@@ -1,0 +1,218 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per experiment, backed by internal/experiments), plus
+// ablation benches for the design choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark iteration performs the complete experiment at Quick scale;
+// the cpabench CLI runs the same experiments at standard/paper scale.
+package cpa
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cpa/internal/baselines"
+	"cpa/internal/core"
+	"cpa/internal/datasets"
+	"cpa/internal/experiments"
+	"cpa/internal/metrics"
+	"cpa/internal/simulate"
+)
+
+func newBenchRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func benchSettings() experiments.Settings {
+	return experiments.Settings{DataScale: 0.08, Runs: 1, Seed: 1}
+}
+
+func runExperiment(b *testing.B, runner experiments.Runner) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner(benchSettings()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Motivating(b *testing.B) { runExperiment(b, experiments.RunTable1Motivating) }
+
+func BenchmarkTable3DatasetStats(b *testing.B) { runExperiment(b, experiments.RunTable3DatasetStats) }
+
+func BenchmarkTable4OverallAccuracy(b *testing.B) {
+	runExperiment(b, experiments.RunTable4OverallAccuracy)
+}
+
+func BenchmarkFig3Sparsity(b *testing.B) { runExperiment(b, experiments.RunFig3Sparsity) }
+
+func BenchmarkFig4Spammers(b *testing.B) { runExperiment(b, experiments.RunFig4Spammers) }
+
+func BenchmarkFig5LabelDependency(b *testing.B) {
+	runExperiment(b, experiments.RunFig5LabelDependency)
+}
+
+func BenchmarkFig6DataArrival(b *testing.B) { runExperiment(b, experiments.RunFig6DataArrival) }
+
+func BenchmarkTable5OnlineAccuracy(b *testing.B) {
+	runExperiment(b, experiments.RunTable5OnlineAccuracy)
+}
+
+func BenchmarkFig7Runtime(b *testing.B) { runExperiment(b, experiments.RunFig7Runtime) }
+
+func BenchmarkFig8Ablation(b *testing.B) { runExperiment(b, experiments.RunFig8Ablation) }
+
+func BenchmarkFig9Communities(b *testing.B) { runExperiment(b, experiments.RunFig9Communities) }
+
+func BenchmarkFig10WorkerTypes(b *testing.B) { runExperiment(b, experiments.RunFig10WorkerTypes) }
+
+// ---------------------------------------------------------------------------
+// Component benchmarks: the individual inference engines on a fixed workload
+// ---------------------------------------------------------------------------
+
+func benchDataset(b *testing.B, name string) *Dataset {
+	b.Helper()
+	ds, _, err := datasets.Load(name, 0.08, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func benchAggregate(b *testing.B, agg Aggregator, ds *Dataset) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := agg.Aggregate(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCPABatchVI(b *testing.B) {
+	benchAggregate(b, New(Options{Seed: 1}), benchDataset(b, "image"))
+}
+
+func BenchmarkCPAOnlineSVI(b *testing.B) {
+	benchAggregate(b, NewOnline(Options{Seed: 1}), benchDataset(b, "image"))
+}
+
+func BenchmarkCPAParallel(b *testing.B) {
+	ds := benchDataset(b, "image")
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			benchAggregate(b, New(Options{Seed: 1, Parallelism: p}), ds)
+		})
+	}
+}
+
+func BenchmarkBaselineMV(b *testing.B) {
+	benchAggregate(b, NewMajorityVote(), benchDataset(b, "image"))
+}
+
+func BenchmarkBaselineEM(b *testing.B) {
+	benchAggregate(b, NewDawidSkene(), benchDataset(b, "image"))
+}
+
+func BenchmarkBaselineCBCC(b *testing.B) {
+	benchAggregate(b, NewCBCC(), benchDataset(b, "image"))
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benches for the design choices documented in DESIGN.md §5.
+// Each reports the achieved F1 as a custom metric alongside the runtime.
+// ---------------------------------------------------------------------------
+
+func reportF1(b *testing.B, agg Aggregator, ds *Dataset) {
+	b.Helper()
+	var pr PR
+	for i := 0; i < b.N; i++ {
+		pred, err := agg.Aggregate(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := Evaluate(ds, pred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pr = got
+	}
+	b.ReportMetric(pr.F1(), "F1")
+}
+
+// BenchmarkAblationGrounding compares the imputed-truth grounding (D2)
+// against the literal Eq. 7 (ground truth only, which is vacuous without
+// test questions).
+func BenchmarkAblationGrounding(b *testing.B) {
+	ds := benchDataset(b, "image")
+	b.Run("imputed", func(b *testing.B) { reportF1(b, New(Options{Seed: 1}), ds) })
+	b.Run("literal-eq7", func(b *testing.B) { reportF1(b, New(Options{Seed: 1, GroundTruthOnly: true}), ds) })
+}
+
+// BenchmarkAblationPhiEvidence compares the answer-evidence term in the
+// cluster update (D1, matching Appendix C) against the literal Eq. 3.
+func BenchmarkAblationPhiEvidence(b *testing.B) {
+	ds := benchDataset(b, "image")
+	b.Run("appendix-c", func(b *testing.B) { reportF1(b, New(Options{Seed: 1}), ds) })
+	b.Run("literal-eq3", func(b *testing.B) { reportF1(b, New(Options{Seed: 1, LiteralPhiUpdate: true}), ds) })
+}
+
+// BenchmarkAblationTruncation sweeps the stick-breaking truncations (the
+// paper: "can safely be set to large values").
+func BenchmarkAblationTruncation(b *testing.B) {
+	ds := benchDataset(b, "image")
+	for _, mt := range []struct{ m, t int }{{3, 5}, {10, 20}, {25, 50}} {
+		b.Run(fmt.Sprintf("M=%d,T=%d", mt.m, mt.t), func(b *testing.B) {
+			reportF1(b, New(Options{Seed: 1, MaxCommunities: mt.m, MaxClusters: mt.t}), ds)
+		})
+	}
+}
+
+// BenchmarkAblationForgettingRate sweeps the SVI forgetting rate r (the
+// paper finds r ∈ [0.85, 0.9] best).
+func BenchmarkAblationForgettingRate(b *testing.B) {
+	ds := benchDataset(b, "image")
+	for _, r := range []float64{0.6, 0.75, 0.875, 1.0} {
+		b.Run(fmt.Sprintf("r=%.3f", r), func(b *testing.B) {
+			reportF1(b, NewOnline(Options{Seed: 1, ForgettingRate: r}), ds)
+		})
+	}
+}
+
+// BenchmarkAblationPrediction compares greedy search (§3.4) with the capped
+// exhaustive subset scan on the small-vocabulary movie dataset.
+func BenchmarkAblationPrediction(b *testing.B) {
+	ds := benchDataset(b, "movie")
+	b.Run("greedy", func(b *testing.B) { reportF1(b, New(Options{Seed: 1}), ds) })
+	b.Run("exhaustive", func(b *testing.B) {
+		reportF1(b, New(Options{Seed: 1, ExhaustivePrediction: true}), ds)
+	})
+}
+
+// BenchmarkAblationSparsity re-runs the Fig. 8 model ablation under heavy
+// sparsity, where the paper's claimed advantages of communities (R1) and
+// clusters (R3) are most visible.
+func BenchmarkAblationSparsity(b *testing.B) {
+	base := benchDataset(b, "image")
+	ds := simulate.Sparsify(base, 0.6, newBenchRand(3))
+	b.Run("CPA", func(b *testing.B) { reportF1(b, New(Options{Seed: 1}), ds) })
+	b.Run("NoZ", func(b *testing.B) { reportF1(b, core.NewNoZAggregator(core.Config{Seed: 1}), ds) })
+	b.Run("NoL", func(b *testing.B) { reportF1(b, core.NewNoLAggregator(core.Config{Seed: 1}), ds) })
+	b.Run("cBCC", func(b *testing.B) { reportF1(b, baselines.NewCBCC(), ds) })
+}
+
+// BenchmarkMetricsEvaluate measures the evaluation substrate itself.
+func BenchmarkMetricsEvaluate(b *testing.B) {
+	ds := benchDataset(b, "image")
+	pred, err := New(Options{Seed: 1}).Aggregate(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.Evaluate(ds, pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

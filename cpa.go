@@ -1,0 +1,120 @@
+// Package cpa is the public facade of this repository: a from-scratch Go
+// implementation of "Computing Crowd Consensus with Partial Agreement"
+// (Nguyen et al., ICDE 2018) — Bayesian nonparametric aggregation of
+// multi-label ("partial agreement") crowdsourcing answers.
+//
+// # Quick start
+//
+//	ds, _ := cpa.NewDataset("tags", numItems, numWorkers, numLabels)
+//	_ = ds.Add(item, worker, cpa.Labels(1, 4))   // one answer per worker/item
+//	model := cpa.New(cpa.Options{Seed: 1})
+//	consensus, err := model.Aggregate(ds)        // one label set per item
+//
+// Streaming ingestion, the baseline aggregators (MV, EM/Dawid–Skene, BCC,
+// cBCC), the crowd simulator, the evaluation metrics and the experiment
+// harness are re-exported below; the implementing packages live under
+// internal/ (see DESIGN.md for the architecture and paper mapping).
+package cpa
+
+import (
+	"cpa/internal/answers"
+	"cpa/internal/baselines"
+	"cpa/internal/core"
+	"cpa/internal/datasets"
+	"cpa/internal/labelset"
+	"cpa/internal/metrics"
+	"cpa/internal/simulate"
+)
+
+// LabelSet is a set of label indices (a worker's answer, or a consensus).
+type LabelSet = labelset.Set
+
+// Labels builds a LabelSet from label indices.
+func Labels(labels ...int) LabelSet { return labelset.Of(labels...) }
+
+// Dataset is the sparse answer matrix plus evaluation ground truth.
+type Dataset = answers.Dataset
+
+// Answer is one worker's label set for one item.
+type Answer = answers.Answer
+
+// NewDataset allocates an empty dataset with the given dimensions.
+func NewDataset(name string, numItems, numWorkers, numLabels int) (*Dataset, error) {
+	return answers.NewDataset(name, numItems, numWorkers, numLabels)
+}
+
+// ReadJSON / ReadCSV decode datasets written by Dataset.WriteJSON/WriteCSV.
+var (
+	ReadJSON = answers.ReadJSON
+	ReadCSV  = answers.ReadCSV
+)
+
+// Aggregator is the common interface of every answer-aggregation method in
+// this repository.
+type Aggregator = baselines.Aggregator
+
+// Options configures the CPA model; the zero value selects the defaults
+// used throughout the paper reproduction (see core.DefaultConfig).
+type Options = core.Config
+
+// Model is the CPA posterior: fit it with Fit/FitStream/PartialFit, then
+// Predict. Most callers should use New(...).Aggregate instead.
+type Model = core.Model
+
+// NewModel allocates a CPA model for explicit streaming use.
+func NewModel(opts Options, numItems, numWorkers, numLabels int) (*Model, error) {
+	return core.NewModel(opts, numItems, numWorkers, numLabels)
+}
+
+// New returns the batch (offline, Algorithm 1) CPA aggregator.
+func New(opts Options) *core.Aggregator { return core.NewAggregator(opts) }
+
+// NewOnline returns the streaming (single-pass SVI, Algorithm 2) CPA
+// aggregator.
+func NewOnline(opts Options) *core.Aggregator { return core.NewOnlineAggregator(opts) }
+
+// Baseline aggregators from the paper's evaluation (§5.1).
+var (
+	// NewMajorityVote returns the per-label majority-voting baseline.
+	NewMajorityVote = baselines.NewMajorityVote
+	// NewDawidSkene returns the EM (Dawid–Skene) baseline.
+	NewDawidSkene = baselines.NewDawidSkene
+	// NewBCC returns the Bayesian classifier combination baseline.
+	NewBCC = baselines.NewBCC
+	// NewCBCC returns the community-BCC baseline.
+	NewCBCC = baselines.NewCBCC
+)
+
+// PR is a set-based precision/recall pair averaged over items.
+type PR = metrics.PR
+
+// Evaluate scores predictions against the dataset's ground truth.
+func Evaluate(ds *Dataset, predicted []LabelSet) (PR, error) {
+	return metrics.Evaluate(ds, predicted)
+}
+
+// SimulateConfig parameterises the crowd simulator that substitutes for the
+// paper's CrowdFlower datasets (DESIGN.md D4).
+type SimulateConfig = simulate.Config
+
+// SimulateMetadata records the latent generation state (worker archetypes,
+// label clusters, item archetypes).
+type SimulateMetadata = simulate.Metadata
+
+// Simulate generates a synthetic crowdsourcing dataset.
+func Simulate(cfg SimulateConfig) (*Dataset, *SimulateMetadata, error) {
+	return simulate.Generate(cfg)
+}
+
+// DefaultWorkerMix returns the worker-population mix used by the dataset
+// profiles (25% spammers, honest remainder split reliable/normal/sloppy).
+func DefaultWorkerMix() simulate.Mix { return simulate.DefaultMix() }
+
+// LoadProfile generates one of the paper's five evaluation datasets (image,
+// topic, aspect, entity, movie) at the given scale (1 = Table 3 sizes).
+func LoadProfile(name string, scale float64, seed int64) (*Dataset, *SimulateMetadata, error) {
+	return datasets.Load(name, scale, seed)
+}
+
+// ProfileNames lists the five Table 3 dataset profiles.
+func ProfileNames() []string { return datasets.Names() }

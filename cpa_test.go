@@ -1,0 +1,110 @@
+package cpa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPublicAPIRoundTrip exercises the documented quick-start path end to
+// end through the facade: build a dataset, aggregate with CPA and every
+// baseline, serialise and reload.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	ds, meta, err := Simulate(SimulateConfig{
+		Name:           "facade",
+		Items:          120,
+		Workers:        40,
+		Labels:         25,
+		AnswersPerItem: 7,
+		Mix:            DefaultWorkerMix(),
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.TypeCount(0) == 0 { // Reliable
+		t.Error("simulated crowd lacks reliable workers")
+	}
+
+	for _, agg := range []Aggregator{
+		New(Options{Seed: 1}),
+		NewOnline(Options{Seed: 1}),
+		NewMajorityVote(),
+		NewDawidSkene(),
+		NewBCC(),
+		NewCBCC(),
+	} {
+		pred, err := agg.Aggregate(ds)
+		if err != nil {
+			t.Fatalf("%s: %v", agg.Name(), err)
+		}
+		pr, err := Evaluate(ds, pred)
+		if err != nil {
+			t.Fatalf("%s: %v", agg.Name(), err)
+		}
+		if pr.F1() < 0.3 {
+			t.Errorf("%s degenerate on easy facade data: %v", agg.Name(), pr)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumAnswers() != ds.NumAnswers() {
+		t.Error("JSON round trip lost answers")
+	}
+}
+
+func TestFacadeManualDataset(t *testing.T) {
+	ds, err := NewDataset("manual", 3, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		truth := Labels(i, (i+1)%4)
+		if err := ds.SetTruth(i, truth); err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < 3; u++ {
+			if err := ds.Add(i, u, truth.Clone()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	model, err := NewModel(Options{Seed: 1}, 3, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := model.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := Evaluate(ds, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Precision < 0.99 || pr.Recall < 0.99 {
+		t.Errorf("perfect workers should give perfect consensus: %v", pr)
+	}
+}
+
+func TestProfileNames(t *testing.T) {
+	names := ProfileNames()
+	if len(names) != 5 {
+		t.Fatalf("ProfileNames = %v", names)
+	}
+	ds, _, err := LoadProfile(names[0], 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumAnswers() == 0 {
+		t.Error("profile dataset empty")
+	}
+}

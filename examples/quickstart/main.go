@@ -1,0 +1,84 @@
+// Quickstart: the paper's Table 1 motivating example through the public API.
+//
+// Five workers tag four pictures with subsets of {sky, plane, sun, water,
+// tree}. Worker u3 is a uniform spammer (answers {water} to everything),
+// worker u4 a random spammer. Per-label majority voting gets picture i1
+// partially wrong and picture i4 badly incomplete; CPA improves the
+// consensus by weighting worker communities and exploiting label
+// co-occurrence. (Four items are too few for a full recovery — the effect
+// at scale is shown by examples/imagetagging.)
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cpa"
+)
+
+func main() {
+	names := []string{"sky", "plane", "sun", "water", "tree"}
+	ds, err := cpa.NewDataset("table1", 4, 5, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds.LabelNames = names
+
+	// The answer matrix of Table 1 (labels 0-based: sky=0 ... tree=4).
+	answers := []struct {
+		item, worker int
+		labels       cpa.LabelSet
+	}{
+		{0, 0, cpa.Labels(3, 4)}, {0, 1, cpa.Labels(3, 4)}, {0, 2, cpa.Labels(3)}, {0, 3, cpa.Labels(0)}, {0, 4, cpa.Labels(4)},
+		{1, 0, cpa.Labels(1, 2)}, {1, 1, cpa.Labels(0, 3)}, {1, 2, cpa.Labels(3)}, {1, 3, cpa.Labels(1)}, {1, 4, cpa.Labels(2, 3)},
+		{2, 0, cpa.Labels(0, 1)}, {2, 1, cpa.Labels(3)}, {2, 2, cpa.Labels(3)}, {2, 3, cpa.Labels(2)}, {2, 4, cpa.Labels(3, 4)},
+		{3, 0, cpa.Labels(0, 1)}, {3, 1, cpa.Labels(1, 2)}, {3, 2, cpa.Labels(3)}, {3, 3, cpa.Labels(3)}, {3, 4, cpa.Labels(0, 1, 2)},
+	}
+	for _, a := range answers {
+		if err := ds.Add(a.item, a.worker, a.labels); err != nil {
+			log.Fatal(err)
+		}
+	}
+	truth := []cpa.LabelSet{cpa.Labels(4), cpa.Labels(2, 3), cpa.Labels(3, 4), cpa.Labels(0, 1, 2)}
+	for i, tr := range truth {
+		if err := ds.SetTruth(i, tr); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	mv, err := cpa.NewMajorityVote().Aggregate(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	consensus, err := cpa.New(cpa.Options{Seed: 3, MaxCommunities: 3, MaxClusters: 4}).Aggregate(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pretty := func(s cpa.LabelSet) string {
+		out := "{"
+		for i, c := range s.Slice() {
+			if i > 0 {
+				out += ","
+			}
+			out += names[c]
+		}
+		return out + "}"
+	}
+	fmt.Println("item  correct              majority             CPA")
+	for i := 0; i < ds.NumItems; i++ {
+		tr, _ := ds.Truth(i)
+		fmt.Printf("i%d    %-20s %-20s %s\n", i+1, pretty(tr), pretty(mv[i]), pretty(consensus[i]))
+	}
+	mvPR, err := cpa.Evaluate(ds, mv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpaPR, err := cpa.Evaluate(ds, consensus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmajority voting: %v\nCPA:             %v\n", mvPR, cpaPR)
+}

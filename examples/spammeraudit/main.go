@@ -1,0 +1,85 @@
+// Spammer audit: use CPA's worker-community reliabilities to flag faulty
+// workers after a spam attack — the mechanism behind the paper's Fig. 4
+// robustness result, turned into an operational audit tool.
+//
+// A movie-genre dataset is spiked so that 40% of all answers come from
+// injected spammers; the fitted model's per-worker reliabilities are then
+// thresholded and scored against the known injection.
+//
+// Run with: go run ./examples/spammeraudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"cpa"
+	"cpa/internal/simulate"
+)
+
+func main() {
+	base, _, err := cpa.LoadProfile("movie", 0.3, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spamRatio := 0.4
+	spiked, err := simulate.InjectSpammers(base, spamRatio, rand.New(rand.NewSource(11)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d items, %d workers (%d injected spammers), %d answers (%.0f%% spam)\n\n",
+		spiked.NumItems, spiked.NumWorkers, spiked.NumWorkers-base.NumWorkers,
+		spiked.NumAnswers(), spamRatio*100)
+
+	agg := cpa.New(cpa.Options{Seed: 2})
+	pred, err := agg.Aggregate(spiked)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr, err := cpa.Evaluate(spiked, pred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clean, err := cpa.New(cpa.Options{Seed: 2}).Aggregate(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cleanPR, err := cpa.Evaluate(base, clean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consensus quality:  clean data F1=%.3f   spiked data F1=%.3f (robustness ratio %.2f)\n\n",
+		cleanPR.F1(), pr.F1(), pr.F1()/cleanPR.F1())
+
+	// Audit: rank workers by model reliability; flag the bottom tail.
+	model := agg.Model()
+	type scored struct {
+		worker int
+		rel    float64
+	}
+	ranked := make([]scored, spiked.NumWorkers)
+	for u := 0; u < spiked.NumWorkers; u++ {
+		ranked[u] = scored{u, model.WorkerReliability(u)}
+	}
+	sort.Slice(ranked, func(a, b int) bool { return ranked[a].rel < ranked[b].rel })
+
+	isInjected := func(u int) bool { return u >= base.NumWorkers }
+	injected := spiked.NumWorkers - base.NumWorkers
+	flagged := ranked[:injected] // flag as many as were injected
+	hits := 0
+	for _, s := range flagged {
+		if isInjected(s.worker) {
+			hits++
+		}
+	}
+	fmt.Printf("audit: flagged the %d least-reliable workers\n", len(flagged))
+	fmt.Printf("  injected spammers caught: %d/%d (flag-set precision vs injected only: %.2f)\n",
+		hits, injected, float64(hits)/float64(len(flagged)))
+	fmt.Println("  (the base crowd itself contains ~25% organic spammers, so many un-injected flags are real spam too)")
+	fmt.Println("\nleast reliable ten workers (reliability, injected?):")
+	for _, s := range ranked[:10] {
+		fmt.Printf("  worker %4d  rel=%.3f  injected=%v\n", s.worker, s.rel, isInjected(s.worker))
+	}
+}

@@ -1,0 +1,581 @@
+// Package answers models the input of partial-agreement answer aggregation:
+// the sparse I×U answer matrix M of the paper's Problem 1, the ground-truth
+// label assignment used for evaluation, and the subset of truth revealed to
+// the model as test questions. It also provides JSON and CSV codecs so the
+// CLIs can exchange datasets with the outside world.
+//
+// The representation is deliberately sparse. Crowdsourcing matrices are
+// mostly empty (each worker sees a small fraction of items), so answers are
+// stored once in arrival order with by-item and by-worker index views built
+// on top. Arrival order doubles as the stream order for the online (SVI)
+// inference path.
+package answers
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cpa/internal/labelset"
+)
+
+// ErrInvalid reports a malformed dataset or answer.
+var ErrInvalid = errors.New("answers: invalid")
+
+// Answer is one worker's label set for one item.
+type Answer struct {
+	Item   int
+	Worker int
+	Labels labelset.Set
+}
+
+// Dataset is an immutable-after-build collection of answers plus evaluation
+// truth. Construct with NewDataset and Add, or decode with ReadJSON/ReadCSV.
+type Dataset struct {
+	Name       string
+	NumItems   int
+	NumWorkers int
+	NumLabels  int
+	LabelNames []string // optional, len NumLabels when present
+
+	answers  []Answer
+	byItem   [][]int // answer indices per item
+	byWorker [][]int // answer indices per worker
+
+	truth    []labelset.Set // ground truth per item (evaluation)
+	hasTruth []bool         // truth known for evaluation
+	revealed []bool         // truth revealed to the model (test questions)
+}
+
+// NewDataset allocates an empty dataset with the given dimensions.
+func NewDataset(name string, numItems, numWorkers, numLabels int) (*Dataset, error) {
+	if numItems <= 0 || numWorkers <= 0 || numLabels <= 0 {
+		return nil, fmt.Errorf("%w: dimensions (%d items, %d workers, %d labels)",
+			ErrInvalid, numItems, numWorkers, numLabels)
+	}
+	return &Dataset{
+		Name:       name,
+		NumItems:   numItems,
+		NumWorkers: numWorkers,
+		NumLabels:  numLabels,
+		byItem:     make([][]int, numItems),
+		byWorker:   make([][]int, numWorkers),
+		truth:      make([]labelset.Set, numItems),
+		hasTruth:   make([]bool, numItems),
+		revealed:   make([]bool, numItems),
+	}, nil
+}
+
+// Add appends one answer. Empty label sets are rejected: per the problem
+// statement an empty x_iu means "no answer", which is represented by
+// absence. A worker may answer the same item at most once.
+func (d *Dataset) Add(item, worker int, labels labelset.Set) error {
+	if item < 0 || item >= d.NumItems {
+		return fmt.Errorf("%w: item %d out of range [0,%d)", ErrInvalid, item, d.NumItems)
+	}
+	if worker < 0 || worker >= d.NumWorkers {
+		return fmt.Errorf("%w: worker %d out of range [0,%d)", ErrInvalid, worker, d.NumWorkers)
+	}
+	if labels.IsEmpty() {
+		return fmt.Errorf("%w: empty answer for item %d worker %d", ErrInvalid, item, worker)
+	}
+	if m := labels.Max(); m >= d.NumLabels {
+		return fmt.Errorf("%w: label %d out of range [0,%d)", ErrInvalid, m, d.NumLabels)
+	}
+	for _, ai := range d.byItem[item] {
+		if d.answers[ai].Worker == worker {
+			return fmt.Errorf("%w: duplicate answer for item %d worker %d", ErrInvalid, item, worker)
+		}
+	}
+	idx := len(d.answers)
+	d.answers = append(d.answers, Answer{Item: item, Worker: worker, Labels: labels})
+	d.byItem[item] = append(d.byItem[item], idx)
+	d.byWorker[worker] = append(d.byWorker[worker], idx)
+	return nil
+}
+
+// SetTruth records the evaluation ground truth for an item.
+func (d *Dataset) SetTruth(item int, labels labelset.Set) error {
+	if item < 0 || item >= d.NumItems {
+		return fmt.Errorf("%w: item %d out of range", ErrInvalid, item)
+	}
+	if m := labels.Max(); m >= d.NumLabels {
+		return fmt.Errorf("%w: truth label %d out of range", ErrInvalid, m)
+	}
+	d.truth[item] = labels
+	d.hasTruth[item] = true
+	return nil
+}
+
+// Reveal marks an item's truth as visible to the model (a test question,
+// paper §3.1). The item must have truth set.
+func (d *Dataset) Reveal(item int) error {
+	if item < 0 || item >= d.NumItems || !d.hasTruth[item] {
+		return fmt.Errorf("%w: cannot reveal item %d without truth", ErrInvalid, item)
+	}
+	d.revealed[item] = true
+	return nil
+}
+
+// NumAnswers returns the total number of non-empty answers.
+func (d *Dataset) NumAnswers() int { return len(d.answers) }
+
+// Answer returns the i-th answer in arrival order.
+func (d *Dataset) Answer(i int) Answer { return d.answers[i] }
+
+// Answers returns all answers in arrival order. The slice is shared; callers
+// must not mutate it.
+func (d *Dataset) Answers() []Answer { return d.answers }
+
+// ForItem calls fn for every answer on the given item.
+func (d *Dataset) ForItem(item int, fn func(a Answer)) {
+	for _, ai := range d.byItem[item] {
+		fn(d.answers[ai])
+	}
+}
+
+// ForWorker calls fn for every answer by the given worker.
+func (d *Dataset) ForWorker(worker int, fn func(a Answer)) {
+	for _, ai := range d.byWorker[worker] {
+		fn(d.answers[ai])
+	}
+}
+
+// ItemAnswerCount returns how many workers answered the item.
+func (d *Dataset) ItemAnswerCount(item int) int { return len(d.byItem[item]) }
+
+// WorkerAnswerCount returns how many items the worker answered.
+func (d *Dataset) WorkerAnswerCount(worker int) int { return len(d.byWorker[worker]) }
+
+// Truth returns the ground truth for item and whether it is known.
+func (d *Dataset) Truth(item int) (labelset.Set, bool) {
+	return d.truth[item], d.hasTruth[item]
+}
+
+// Revealed reports whether the item's truth is visible to the model, and
+// returns it. Models must consult this, never Truth, during inference.
+func (d *Dataset) Revealed(item int) (labelset.Set, bool) {
+	if !d.revealed[item] {
+		return labelset.Set{}, false
+	}
+	return d.truth[item], true
+}
+
+// TruthCount returns the number of items with known evaluation truth.
+func (d *Dataset) TruthCount() int {
+	n := 0
+	for _, h := range d.hasTruth {
+		if h {
+			n++
+		}
+	}
+	return n
+}
+
+// Density returns NumAnswers / (NumItems × NumWorkers), the fill ratio of
+// the answer matrix.
+func (d *Dataset) Density() float64 {
+	return float64(len(d.answers)) / (float64(d.NumItems) * float64(d.NumWorkers))
+}
+
+// Clone returns a deep copy sharing no mutable state with the receiver.
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{
+		Name:       d.Name,
+		NumItems:   d.NumItems,
+		NumWorkers: d.NumWorkers,
+		NumLabels:  d.NumLabels,
+		answers:    make([]Answer, len(d.answers)),
+		byItem:     make([][]int, d.NumItems),
+		byWorker:   make([][]int, d.NumWorkers),
+		truth:      make([]labelset.Set, d.NumItems),
+		hasTruth:   append([]bool(nil), d.hasTruth...),
+		revealed:   append([]bool(nil), d.revealed...),
+	}
+	if d.LabelNames != nil {
+		out.LabelNames = append([]string(nil), d.LabelNames...)
+	}
+	for i, a := range d.answers {
+		out.answers[i] = Answer{Item: a.Item, Worker: a.Worker, Labels: a.Labels.Clone()}
+	}
+	for i, idxs := range d.byItem {
+		out.byItem[i] = append([]int(nil), idxs...)
+	}
+	for u, idxs := range d.byWorker {
+		out.byWorker[u] = append([]int(nil), idxs...)
+	}
+	for i, s := range d.truth {
+		out.truth[i] = s.Clone()
+	}
+	return out
+}
+
+// Filter returns a new dataset containing only the answers for which keep
+// returns true. Dimensions, truth and reveal flags are preserved.
+func (d *Dataset) Filter(keep func(a Answer) bool) *Dataset {
+	out, err := NewDataset(d.Name, d.NumItems, d.NumWorkers, d.NumLabels)
+	if err != nil {
+		panic(err) // dimensions were already validated
+	}
+	out.LabelNames = d.LabelNames
+	for _, a := range d.answers {
+		if keep(a) {
+			if err := out.Add(a.Item, a.Worker, a.Labels.Clone()); err != nil {
+				panic(err) // re-adding validated answers cannot fail
+			}
+		}
+	}
+	copy(out.truth, d.truth)
+	copy(out.hasTruth, d.hasTruth)
+	copy(out.revealed, d.revealed)
+	return out
+}
+
+// Shuffled returns a copy whose arrival order is a seed-determined random
+// permutation. Used by the online experiments ("the dataset is shuffled
+// randomly", paper §5.1).
+func (d *Dataset) Shuffled(rng *rand.Rand) *Dataset {
+	perm := rng.Perm(len(d.answers))
+	out, err := NewDataset(d.Name, d.NumItems, d.NumWorkers, d.NumLabels)
+	if err != nil {
+		panic(err)
+	}
+	out.LabelNames = d.LabelNames
+	for _, pi := range perm {
+		a := d.answers[pi]
+		if err := out.Add(a.Item, a.Worker, a.Labels.Clone()); err != nil {
+			panic(err)
+		}
+	}
+	copy(out.truth, d.truth)
+	copy(out.hasTruth, d.hasTruth)
+	copy(out.revealed, d.revealed)
+	return out
+}
+
+// Prefix returns a copy containing only the first n answers in arrival
+// order — the "data arrival" views of Fig. 6. n is clamped to the answer
+// count.
+func (d *Dataset) Prefix(n int) *Dataset {
+	if n > len(d.answers) {
+		n = len(d.answers)
+	}
+	out, err := NewDataset(d.Name, d.NumItems, d.NumWorkers, d.NumLabels)
+	if err != nil {
+		panic(err)
+	}
+	out.LabelNames = d.LabelNames
+	for _, a := range d.answers[:n] {
+		if err := out.Add(a.Item, a.Worker, a.Labels.Clone()); err != nil {
+			panic(err)
+		}
+	}
+	copy(out.truth, d.truth)
+	copy(out.hasTruth, d.hasTruth)
+	copy(out.revealed, d.revealed)
+	return out
+}
+
+// Batch is a contiguous chunk of the answer stream handed to online
+// inference (paper §4.1: "data is received as a series of batches").
+type Batch struct {
+	Index   int
+	Answers []Answer
+}
+
+// Batches splits the arrival-ordered answers into chunks of size batchSize
+// (the last one may be smaller).
+func (d *Dataset) Batches(batchSize int) []Batch {
+	if batchSize <= 0 {
+		batchSize = 1
+	}
+	var out []Batch
+	for start, idx := 0, 0; start < len(d.answers); start, idx = start+batchSize, idx+1 {
+		end := start + batchSize
+		if end > len(d.answers) {
+			end = len(d.answers)
+		}
+		out = append(out, Batch{Index: idx, Answers: d.answers[start:end]})
+	}
+	return out
+}
+
+// Stats summarises the shape of a dataset, mirroring the quantities of the
+// paper's Table 3 plus answer-distribution diagnostics.
+type Stats struct {
+	Items, Workers, Labels, Answers int
+	Density                         float64
+	MeanAnswersPerItem              float64
+	MeanAnswersPerWorker            float64
+	MaxAnswersPerWorker             int
+	MeanAnswerSize                  float64
+	MeanTruthSize                   float64
+	TruthItems                      int
+}
+
+// ComputeStats scans the dataset once and returns its Stats.
+func (d *Dataset) ComputeStats() Stats {
+	s := Stats{
+		Items:   d.NumItems,
+		Workers: d.NumWorkers,
+		Labels:  d.NumLabels,
+		Answers: len(d.answers),
+		Density: d.Density(),
+	}
+	if d.NumItems > 0 {
+		s.MeanAnswersPerItem = float64(len(d.answers)) / float64(d.NumItems)
+	}
+	if d.NumWorkers > 0 {
+		s.MeanAnswersPerWorker = float64(len(d.answers)) / float64(d.NumWorkers)
+	}
+	for u := range d.byWorker {
+		if n := len(d.byWorker[u]); n > s.MaxAnswersPerWorker {
+			s.MaxAnswersPerWorker = n
+		}
+	}
+	sizeSum := 0
+	for _, a := range d.answers {
+		sizeSum += a.Labels.Len()
+	}
+	if len(d.answers) > 0 {
+		s.MeanAnswerSize = float64(sizeSum) / float64(len(d.answers))
+	}
+	truthSum, truthN := 0, 0
+	for i, h := range d.hasTruth {
+		if h {
+			truthSum += d.truth[i].Len()
+			truthN++
+		}
+	}
+	s.TruthItems = truthN
+	if truthN > 0 {
+		s.MeanTruthSize = float64(truthSum) / float64(truthN)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Codecs
+// ---------------------------------------------------------------------------
+
+// jsonDataset is the wire form of a Dataset.
+type jsonDataset struct {
+	Name       string       `json:"name"`
+	Items      int          `json:"items"`
+	Workers    int          `json:"workers"`
+	Labels     int          `json:"labels"`
+	LabelNames []string     `json:"label_names,omitempty"`
+	Answers    []jsonAnswer `json:"answers"`
+	Truth      []jsonTruth  `json:"truth,omitempty"`
+}
+
+type jsonAnswer struct {
+	Item   int          `json:"i"`
+	Worker int          `json:"u"`
+	Labels labelset.Set `json:"x"`
+}
+
+type jsonTruth struct {
+	Item     int          `json:"i"`
+	Labels   labelset.Set `json:"y"`
+	Revealed bool         `json:"revealed,omitempty"`
+}
+
+// WriteJSON encodes the dataset to w.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	jd := jsonDataset{
+		Name:       d.Name,
+		Items:      d.NumItems,
+		Workers:    d.NumWorkers,
+		Labels:     d.NumLabels,
+		LabelNames: d.LabelNames,
+	}
+	for _, a := range d.answers {
+		jd.Answers = append(jd.Answers, jsonAnswer{Item: a.Item, Worker: a.Worker, Labels: a.Labels})
+	}
+	for i, h := range d.hasTruth {
+		if h {
+			jd.Truth = append(jd.Truth, jsonTruth{Item: i, Labels: d.truth[i], Revealed: d.revealed[i]})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jd)
+}
+
+// ReadJSON decodes a dataset produced by WriteJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var jd jsonDataset
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jd); err != nil {
+		return nil, fmt.Errorf("answers: decoding JSON: %w", err)
+	}
+	d, err := NewDataset(jd.Name, jd.Items, jd.Workers, jd.Labels)
+	if err != nil {
+		return nil, err
+	}
+	d.LabelNames = jd.LabelNames
+	for _, a := range jd.Answers {
+		if err := d.Add(a.Item, a.Worker, a.Labels); err != nil {
+			return nil, err
+		}
+	}
+	for _, tr := range jd.Truth {
+		if err := d.SetTruth(tr.Item, tr.Labels); err != nil {
+			return nil, err
+		}
+		if tr.Revealed {
+			if err := d.Reveal(tr.Item); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}
+
+// WriteCSV encodes the answers as rows `item,worker,"c1;c2;..."` with a
+// header. Truth rows use worker = -1 (revealed truth: worker = -2).
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"item", "worker", "labels"}); err != nil {
+		return err
+	}
+	encodeSet := func(s labelset.Set) string {
+		parts := s.Slice()
+		strs := make([]string, len(parts))
+		for i, c := range parts {
+			strs[i] = strconv.Itoa(c)
+		}
+		return strings.Join(strs, ";")
+	}
+	for _, a := range d.answers {
+		if err := cw.Write([]string{strconv.Itoa(a.Item), strconv.Itoa(a.Worker), encodeSet(a.Labels)}); err != nil {
+			return err
+		}
+	}
+	for i, h := range d.hasTruth {
+		if !h {
+			continue
+		}
+		marker := "-1"
+		if d.revealed[i] {
+			marker = "-2"
+		}
+		if err := cw.Write([]string{strconv.Itoa(i), marker, encodeSet(d.truth[i])}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes the CSV form written by WriteCSV. Dimensions are inferred
+// from the data (max index + 1).
+func ReadCSV(name string, r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("answers: reading CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("%w: empty CSV", ErrInvalid)
+	}
+	start := 0
+	if records[0][0] == "item" {
+		start = 1
+	}
+	type row struct {
+		item, worker int
+		labels       labelset.Set
+	}
+	rows := make([]row, 0, len(records)-start)
+	maxItem, maxWorker, maxLabel := -1, -1, -1
+	for ln, rec := range records[start:] {
+		if len(rec) != 3 {
+			return nil, fmt.Errorf("%w: CSV line %d has %d fields", ErrInvalid, ln+start+1, len(rec))
+		}
+		item, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: CSV line %d item: %v", ErrInvalid, ln+start+1, err)
+		}
+		worker, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: CSV line %d worker: %v", ErrInvalid, ln+start+1, err)
+		}
+		var ls labelset.Set
+		if rec[2] != "" {
+			for _, p := range strings.Split(rec[2], ";") {
+				c, err := strconv.Atoi(p)
+				if err != nil || c < 0 {
+					return nil, fmt.Errorf("%w: CSV line %d label %q", ErrInvalid, ln+start+1, p)
+				}
+				ls.Add(c)
+			}
+		}
+		rows = append(rows, row{item, worker, ls})
+		if item > maxItem {
+			maxItem = item
+		}
+		if worker > maxWorker {
+			maxWorker = worker
+		}
+		if m := ls.Max(); m > maxLabel {
+			maxLabel = m
+		}
+	}
+	if maxItem < 0 || maxLabel < 0 {
+		return nil, fmt.Errorf("%w: CSV contains no usable rows", ErrInvalid)
+	}
+	if maxWorker < 0 {
+		maxWorker = 0 // truth-only file still needs one worker slot
+	}
+	d, err := NewDataset(name, maxItem+1, maxWorker+1, maxLabel+1)
+	if err != nil {
+		return nil, err
+	}
+	for _, rw := range rows {
+		switch {
+		case rw.worker >= 0:
+			if err := d.Add(rw.item, rw.worker, rw.labels); err != nil {
+				return nil, err
+			}
+		default:
+			if err := d.SetTruth(rw.item, rw.labels); err != nil {
+				return nil, err
+			}
+			if rw.worker == -2 {
+				if err := d.Reveal(rw.item); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// SortAnswersForDeterminism re-orders the arrival sequence by (item, worker).
+// Generators use it to guarantee identical arrival order regardless of the
+// map-iteration quirks of their internals.
+func (d *Dataset) SortAnswersForDeterminism() {
+	sort.SliceStable(d.answers, func(a, b int) bool {
+		if d.answers[a].Item != d.answers[b].Item {
+			return d.answers[a].Item < d.answers[b].Item
+		}
+		return d.answers[a].Worker < d.answers[b].Worker
+	})
+	for i := range d.byItem {
+		d.byItem[i] = d.byItem[i][:0]
+	}
+	for u := range d.byWorker {
+		d.byWorker[u] = d.byWorker[u][:0]
+	}
+	for idx, a := range d.answers {
+		d.byItem[a.Item] = append(d.byItem[a.Item], idx)
+		d.byWorker[a.Worker] = append(d.byWorker[a.Worker], idx)
+	}
+}

@@ -1,0 +1,366 @@
+package answers
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cpa/internal/labelset"
+)
+
+func mustDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := NewDataset("test", 4, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDatasetValidation(t *testing.T) {
+	for _, c := range [][3]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 2, 2}} {
+		if _, err := NewDataset("bad", c[0], c[1], c[2]); err == nil {
+			t.Errorf("dimensions %v should fail", c)
+		}
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	d := mustDataset(t)
+	if err := d.Add(0, 0, labelset.Of(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(4, 0, labelset.Of(1)); err == nil {
+		t.Error("item out of range should fail")
+	}
+	if err := d.Add(0, 5, labelset.Of(1)); err == nil {
+		t.Error("worker out of range should fail")
+	}
+	if err := d.Add(0, 1, labelset.Set{}); err == nil {
+		t.Error("empty answer should fail")
+	}
+	if err := d.Add(0, 1, labelset.Of(6)); err == nil {
+		t.Error("label out of range should fail")
+	}
+	if err := d.Add(0, 0, labelset.Of(3)); err == nil {
+		t.Error("duplicate (item,worker) should fail")
+	}
+}
+
+func TestViewsAndCounts(t *testing.T) {
+	d := mustDataset(t)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.Add(0, 0, labelset.Of(1)))
+	must(d.Add(0, 1, labelset.Of(2)))
+	must(d.Add(1, 0, labelset.Of(3)))
+	if d.NumAnswers() != 3 {
+		t.Fatalf("NumAnswers = %d", d.NumAnswers())
+	}
+	if d.ItemAnswerCount(0) != 2 || d.ItemAnswerCount(1) != 1 || d.ItemAnswerCount(2) != 0 {
+		t.Error("ItemAnswerCount wrong")
+	}
+	if d.WorkerAnswerCount(0) != 2 || d.WorkerAnswerCount(1) != 1 || d.WorkerAnswerCount(4) != 0 {
+		t.Error("WorkerAnswerCount wrong")
+	}
+	var items []int
+	d.ForWorker(0, func(a Answer) { items = append(items, a.Item) })
+	if len(items) != 2 || items[0] != 0 || items[1] != 1 {
+		t.Errorf("ForWorker items = %v", items)
+	}
+	var workers []int
+	d.ForItem(0, func(a Answer) { workers = append(workers, a.Worker) })
+	if len(workers) != 2 || workers[0] != 0 || workers[1] != 1 {
+		t.Errorf("ForItem workers = %v", workers)
+	}
+	wantDensity := 3.0 / 20
+	if d.Density() != wantDensity {
+		t.Errorf("Density = %g, want %g", d.Density(), wantDensity)
+	}
+}
+
+func TestTruthAndReveal(t *testing.T) {
+	d := mustDataset(t)
+	if _, ok := d.Truth(0); ok {
+		t.Error("no truth should be set initially")
+	}
+	if err := d.SetTruth(0, labelset.Of(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetTruth(0, labelset.Of(6)); err == nil {
+		t.Error("truth label out of range should fail")
+	}
+	got, ok := d.Truth(0)
+	if !ok || !got.Equal(labelset.Of(1, 2)) {
+		t.Error("Truth round trip failed")
+	}
+	if _, ok := d.Revealed(0); ok {
+		t.Error("truth must not be revealed before Reveal")
+	}
+	if err := d.Reveal(1); err == nil {
+		t.Error("revealing item without truth should fail")
+	}
+	if err := d.Reveal(0); err != nil {
+		t.Fatal(err)
+	}
+	rv, ok := d.Revealed(0)
+	if !ok || !rv.Equal(labelset.Of(1, 2)) {
+		t.Error("Revealed round trip failed")
+	}
+	if d.TruthCount() != 1 {
+		t.Errorf("TruthCount = %d", d.TruthCount())
+	}
+}
+
+func buildRichDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := NewDataset("rich", 10, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10; i++ {
+		for u := 0; u < 6; u++ {
+			if rng.Float64() < 0.5 {
+				continue
+			}
+			s := labelset.Set{}
+			for c := 0; c < 8; c++ {
+				if rng.Float64() < 0.3 {
+					s.Add(c)
+				}
+			}
+			if s.IsEmpty() {
+				s.Add(rng.Intn(8))
+			}
+			if err := d.Add(i, u, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.SetTruth(i, labelset.Of(i%8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Reveal(3); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func datasetsEqual(a, b *Dataset) bool {
+	if a.NumItems != b.NumItems || a.NumWorkers != b.NumWorkers ||
+		a.NumLabels != b.NumLabels || a.NumAnswers() != b.NumAnswers() {
+		return false
+	}
+	// Compare answers as (item, worker) -> labels independent of order.
+	type key struct{ i, u int }
+	am := map[key]labelset.Set{}
+	for _, ans := range a.Answers() {
+		am[key{ans.Item, ans.Worker}] = ans.Labels
+	}
+	for _, ans := range b.Answers() {
+		if !am[key{ans.Item, ans.Worker}].Equal(ans.Labels) {
+			return false
+		}
+	}
+	for i := 0; i < a.NumItems; i++ {
+		ta, oka := a.Truth(i)
+		tb, okb := b.Truth(i)
+		if oka != okb || !ta.Equal(tb) {
+			return false
+		}
+		ra, oka := a.Revealed(i)
+		rb, okb := b.Revealed(i)
+		if oka != okb || !ra.Equal(rb) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := buildRichDataset(t)
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !datasetsEqual(d, got) {
+		t.Error("JSON round trip lost data")
+	}
+}
+
+func TestJSONDecodingErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage JSON should fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"items":0,"workers":1,"labels":1}`)); err == nil {
+		t.Error("invalid dimensions should fail")
+	}
+	bad := `{"name":"x","items":1,"workers":1,"labels":1,"answers":[{"i":0,"u":0,"x":[5]}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("out-of-range label should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := buildRichDataset(t)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("rich", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CSV infers dimensions from data, so compare answer content only.
+	if got.NumAnswers() != d.NumAnswers() {
+		t.Fatalf("answers %d vs %d", got.NumAnswers(), d.NumAnswers())
+	}
+	if got.TruthCount() != d.TruthCount() {
+		t.Fatalf("truth %d vs %d", got.TruthCount(), d.TruthCount())
+	}
+	if _, ok := got.Revealed(3); !ok {
+		t.Error("revealed flag lost in CSV round trip")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"item,worker,labels\nx,0,1",
+		"item,worker,labels\n0,y,1",
+		"item,worker,labels\n0,0,z",
+		"item,worker,labels\n0,0",
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV("bad", strings.NewReader(c)); err == nil {
+			t.Errorf("CSV %q should fail", c)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := buildRichDataset(t)
+	c := d.Clone()
+	if !datasetsEqual(d, c) {
+		t.Fatal("clone differs")
+	}
+	// Mutating the clone must not affect the original.
+	c.answers[0].Labels.Add(7)
+	orig := d.answers[0].Labels
+	if orig.Contains(7) && !buildRichDataset(t).answers[0].Labels.Contains(7) {
+		t.Error("Clone shares label storage with original")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	d := buildRichDataset(t)
+	onlyWorkerZero := d.Filter(func(a Answer) bool { return a.Worker == 0 })
+	if onlyWorkerZero.NumAnswers() != d.WorkerAnswerCount(0) {
+		t.Errorf("Filter kept %d answers, want %d", onlyWorkerZero.NumAnswers(), d.WorkerAnswerCount(0))
+	}
+	if onlyWorkerZero.TruthCount() != d.TruthCount() {
+		t.Error("Filter must preserve truth")
+	}
+}
+
+func TestShuffledPreservesContent(t *testing.T) {
+	d := buildRichDataset(t)
+	s := d.Shuffled(rand.New(rand.NewSource(3)))
+	if !datasetsEqual(d, s) {
+		t.Error("Shuffled changed content")
+	}
+	// Same seed gives same order.
+	s2 := d.Shuffled(rand.New(rand.NewSource(3)))
+	for i := range s.Answers() {
+		if s.Answer(i).Item != s2.Answer(i).Item || s.Answer(i).Worker != s2.Answer(i).Worker {
+			t.Fatal("Shuffled not deterministic under seed")
+		}
+	}
+}
+
+func TestPrefixAndBatches(t *testing.T) {
+	d := buildRichDataset(t)
+	half := d.Prefix(d.NumAnswers() / 2)
+	if half.NumAnswers() != d.NumAnswers()/2 {
+		t.Errorf("Prefix kept %d", half.NumAnswers())
+	}
+	over := d.Prefix(d.NumAnswers() * 10)
+	if over.NumAnswers() != d.NumAnswers() {
+		t.Error("Prefix should clamp")
+	}
+	batches := d.Batches(7)
+	total := 0
+	for bi, b := range batches {
+		if b.Index != bi {
+			t.Errorf("batch index %d, want %d", b.Index, bi)
+		}
+		if bi < len(batches)-1 && len(b.Answers) != 7 {
+			t.Errorf("batch %d size %d", bi, len(b.Answers))
+		}
+		total += len(b.Answers)
+	}
+	if total != d.NumAnswers() {
+		t.Errorf("batches cover %d answers, want %d", total, d.NumAnswers())
+	}
+	if got := d.Batches(0); len(got) != d.NumAnswers() {
+		t.Error("batchSize<=0 should degrade to size 1")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	d := mustDataset(t)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.Add(0, 0, labelset.Of(1, 2)))
+	must(d.Add(0, 1, labelset.Of(3)))
+	must(d.Add(1, 0, labelset.Of(4, 5, 0)))
+	must(d.SetTruth(0, labelset.Of(1, 2)))
+	s := d.ComputeStats()
+	if s.Answers != 3 || s.Items != 4 || s.Workers != 5 || s.Labels != 6 {
+		t.Errorf("stats dims wrong: %+v", s)
+	}
+	if s.MeanAnswerSize != 2 {
+		t.Errorf("MeanAnswerSize = %g", s.MeanAnswerSize)
+	}
+	if s.MeanTruthSize != 2 || s.TruthItems != 1 {
+		t.Errorf("truth stats wrong: %+v", s)
+	}
+	if s.MaxAnswersPerWorker != 2 {
+		t.Errorf("MaxAnswersPerWorker = %d", s.MaxAnswersPerWorker)
+	}
+}
+
+func TestSortAnswersForDeterminism(t *testing.T) {
+	d := mustDataset(t)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.Add(2, 1, labelset.Of(1)))
+	must(d.Add(0, 3, labelset.Of(2)))
+	must(d.Add(0, 1, labelset.Of(3)))
+	d.SortAnswersForDeterminism()
+	order := []struct{ i, u int }{{0, 1}, {0, 3}, {2, 1}}
+	for k, want := range order {
+		if a := d.Answer(k); a.Item != want.i || a.Worker != want.u {
+			t.Fatalf("answer %d = (%d,%d), want (%d,%d)", k, a.Item, a.Worker, want.i, want.u)
+		}
+	}
+	// Views must be rebuilt consistently.
+	if d.ItemAnswerCount(0) != 2 || d.WorkerAnswerCount(1) != 2 {
+		t.Error("views not rebuilt after sort")
+	}
+}

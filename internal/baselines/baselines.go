@@ -1,0 +1,157 @@
+// Package baselines implements the state-of-the-art answer aggregators the
+// paper compares CPA against (§5.1 "Baselines"):
+//
+//   - MV: per-label majority voting, the standard multi-label treatment of
+//     Nowak & Rüger / Deng et al.
+//   - EM: Dawid–Skene expectation-maximisation with per-worker confusion,
+//     run on the per-label binary reduction of the multi-label task.
+//   - BCC: Bayesian classifier combination — Dawid–Skene with Beta priors on
+//     worker confusion and truth prevalence (MAP-EM inference).
+//   - cBCC: community BCC — workers share confusion parameters through
+//     latent communities, estimated jointly across all labels.
+//
+// All baselines follow the paper's reduction: "we regard the multi-label
+// problem as several instances of a single-label problem (each worker giving
+// a Boolean answer for a given label)" with a 0.5 acceptance threshold. The
+// per-item label universe is the set of labels that received at least one
+// vote on that item: labels nobody proposed cannot be accepted by any of
+// these methods (they consider labels independently), so restricting the
+// computation to voted labels is exact and keeps the reduction tractable for
+// large vocabularies.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+
+	"cpa/internal/answers"
+	"cpa/internal/labelset"
+)
+
+// ErrInput reports an aggregation call on an unusable dataset.
+var ErrInput = errors.New("baselines: invalid input")
+
+// Aggregator is the common interface of all answer-aggregation methods in
+// this repository (baselines here, CPA in internal/core).
+type Aggregator interface {
+	// Name identifies the method in reports ("MV", "EM", "cBCC", ...).
+	Name() string
+	// Aggregate consumes a dataset and returns one predicted label set per
+	// item (length ds.NumItems).
+	Aggregate(ds *answers.Dataset) ([]labelset.Set, error)
+}
+
+// itemVotes is the per-item vote tally: the label universe L_i (labels with
+// at least one vote) and, per universe label, which answers voted for it.
+type itemVotes struct {
+	universe []int // sorted label ids with >= 1 vote
+	pos      map[int]int
+	// votes[k][j] reports whether answer j on this item voted for
+	// universe[k].
+	votes [][]bool
+	// workers[j] is the worker of answer j, in ds.ForItem order.
+	workers []int
+}
+
+// tallyVotes builds the per-item structures shared by every baseline.
+func tallyVotes(ds *answers.Dataset) []itemVotes {
+	out := make([]itemVotes, ds.NumItems)
+	for i := 0; i < ds.NumItems; i++ {
+		iv := &out[i]
+		iv.pos = make(map[int]int)
+		ds.ForItem(i, func(a answers.Answer) {
+			iv.workers = append(iv.workers, a.Worker)
+			a.Labels.Range(func(c int) bool {
+				if _, ok := iv.pos[c]; !ok {
+					iv.pos[c] = len(iv.universe)
+					iv.universe = append(iv.universe, c)
+				}
+				return true
+			})
+		})
+		iv.votes = make([][]bool, len(iv.universe))
+		for k := range iv.votes {
+			iv.votes[k] = make([]bool, len(iv.workers))
+		}
+		j := 0
+		ds.ForItem(i, func(a answers.Answer) {
+			for k, c := range iv.universe {
+				iv.votes[k][j] = a.Labels.Contains(c)
+			}
+			j++
+		})
+	}
+	return out
+}
+
+func validate(ds *answers.Dataset) error {
+	if ds == nil {
+		return fmt.Errorf("%w: nil dataset", ErrInput)
+	}
+	if ds.NumAnswers() == 0 {
+		return fmt.Errorf("%w: dataset %q has no answers", ErrInput, ds.Name)
+	}
+	return nil
+}
+
+// thresholdPredict converts per-item per-universe-label acceptance
+// probabilities into label sets with the paper's 0.5 rule, falling back to
+// the highest-probability label when nothing reaches the threshold (items
+// were answered, so an empty consensus is never the intended output).
+func thresholdPredict(ds *answers.Dataset, tallies []itemVotes, prob [][]float64) []labelset.Set {
+	pred := make([]labelset.Set, ds.NumItems)
+	for i := range tallies {
+		s := labelset.New(ds.NumLabels)
+		best, bestP := -1, 0.0
+		for k, c := range tallies[i].universe {
+			p := prob[i][k]
+			if p > 0.5 {
+				s.Add(c)
+			}
+			if p > bestP {
+				best, bestP = c, p
+			}
+		}
+		if s.IsEmpty() && best >= 0 {
+			s.Add(best)
+		}
+		pred[i] = s
+	}
+	return pred
+}
+
+// MajorityVote is the MV baseline: accept a label when more than half of the
+// item's answerers voted for it.
+type MajorityVote struct{}
+
+// NewMajorityVote returns the MV aggregator.
+func NewMajorityVote() *MajorityVote { return &MajorityVote{} }
+
+// Name implements Aggregator.
+func (*MajorityVote) Name() string { return "MV" }
+
+// Aggregate implements Aggregator.
+func (*MajorityVote) Aggregate(ds *answers.Dataset) ([]labelset.Set, error) {
+	if err := validate(ds); err != nil {
+		return nil, err
+	}
+	tallies := tallyVotes(ds)
+	prob := make([][]float64, len(tallies))
+	for i := range tallies {
+		iv := &tallies[i]
+		prob[i] = make([]float64, len(iv.universe))
+		n := float64(len(iv.workers))
+		for k := range iv.universe {
+			count := 0
+			for _, v := range iv.votes[k] {
+				if v {
+					count++
+				}
+			}
+			if n > 0 {
+				prob[i][k] = float64(count) / n
+			}
+		}
+	}
+	return thresholdPredict(ds, tallies, prob), nil
+}

@@ -1,0 +1,351 @@
+package baselines
+
+import (
+	"testing"
+
+	"cpa/internal/answers"
+	"cpa/internal/datasets"
+	"cpa/internal/labelset"
+	"cpa/internal/metrics"
+)
+
+// table1Dataset builds the paper's Table 1 motivating example: five workers
+// label four pictures with subsets of {sky=0, plane=1, sun=2, water=3,
+// tree=4} (shifted to 0-based labels).
+func table1Dataset(t testing.TB) *answers.Dataset {
+	t.Helper()
+	d, err := answers.NewDataset("table1", 4, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows from Table 1 with labels shifted down by one.
+	rows := []struct {
+		item, worker int
+		labels       []int
+	}{
+		{0, 0, []int{3, 4}}, {0, 1, []int{3, 4}}, {0, 2, []int{3}}, {0, 3, []int{0}}, {0, 4, []int{4}},
+		{1, 0, []int{1, 2}}, {1, 1, []int{0, 3}}, {1, 2, []int{3}}, {1, 3, []int{1}}, {1, 4, []int{2, 3}},
+		{2, 0, []int{0, 1}}, {2, 1, []int{3}}, {2, 2, []int{3}}, {2, 3, []int{2}}, {2, 4, []int{3, 4}},
+		{3, 0, []int{0, 1}}, {3, 1, []int{1, 2}}, {3, 2, []int{3}}, {3, 3, []int{3}}, {3, 4, []int{0, 1, 2}},
+	}
+	for _, r := range rows {
+		if err := d.Add(r.item, r.worker, labelset.FromSlice(r.labels)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	truth := [][]int{{4}, {2, 3}, {3, 4}, {0, 1, 2}}
+	for i, tr := range truth {
+		if err := d.SetTruth(i, labelset.FromSlice(tr)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestMajorityVoteMatchesPaperTable1(t *testing.T) {
+	d := table1Dataset(t)
+	mv := NewMajorityVote()
+	if mv.Name() != "MV" {
+		t.Errorf("Name = %q", mv.Name())
+	}
+	pred, err := mv.Aggregate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Majority column (1-based {4,5},{4},{4},{2} -> 0-based).
+	want := []labelset.Set{
+		labelset.Of(3, 4),
+		labelset.Of(3),
+		labelset.Of(3),
+		labelset.Of(1),
+	}
+	for i := range want {
+		if !pred[i].Equal(want[i]) {
+			t.Errorf("item %d: MV = %v, want %v", i, pred[i], want[i])
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if _, err := NewMajorityVote().Aggregate(nil); err == nil {
+		t.Error("nil dataset should fail")
+	}
+	empty, _ := answers.NewDataset("empty", 1, 1, 1)
+	for _, agg := range []Aggregator{NewMajorityVote(), NewDawidSkene(), NewBCC(), NewCBCC()} {
+		if _, err := agg.Aggregate(empty); err == nil {
+			t.Errorf("%s: empty dataset should fail", agg.Name())
+		}
+	}
+}
+
+func TestMVFallbackNeverEmpty(t *testing.T) {
+	// Three workers, total disagreement: no label reaches majority, but the
+	// consensus must still pick the top-voted label rather than ∅.
+	d, _ := answers.NewDataset("split", 1, 3, 4)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.Add(0, 0, labelset.Of(0)))
+	must(d.Add(0, 1, labelset.Of(1)))
+	must(d.Add(0, 2, labelset.Of(2)))
+	pred, err := NewMajorityVote().Aggregate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred[0].IsEmpty() {
+		t.Error("MV must fall back to the top-voted label")
+	}
+	if pred[0].Len() != 1 {
+		t.Errorf("fallback should add exactly one label, got %v", pred[0])
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewDawidSkene().Name() != "EM" {
+		t.Error("DS name")
+	}
+	if NewBCC().Name() != "BCC" {
+		t.Error("BCC name")
+	}
+	if NewCBCC().Name() != "cBCC" {
+		t.Error("cBCC name")
+	}
+	custom := NewDawidSkeneWithConfig("EM-strict", EMConfig{MaxIter: 5})
+	if custom.Name() != "EM-strict" {
+		t.Error("custom name")
+	}
+}
+
+// simulatedBenchmark aggregates with the given method on a small simulated
+// image-profile dataset and returns P/R.
+func simulatedBenchmark(t testing.TB, agg Aggregator) metrics.PR {
+	t.Helper()
+	ds, _, err := datasets.Load("image", 0.08, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := agg.Aggregate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := metrics.Evaluate(ds, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func TestDawidSkeneBeatsMVOnRecall(t *testing.T) {
+	mv := simulatedBenchmark(t, NewMajorityVote())
+	em := simulatedBenchmark(t, NewDawidSkene())
+	t.Logf("MV=%v EM=%v", mv, em)
+	// EM's worker weighting should recover clearly more truth labels than
+	// threshold majority voting on data with sloppy workers and spammers.
+	if em.Recall < mv.Recall {
+		t.Errorf("EM recall %.3f below MV %.3f", em.Recall, mv.Recall)
+	}
+	if em.F1() < mv.F1()-0.02 {
+		t.Errorf("EM F1 %.3f clearly below MV %.3f", em.F1(), mv.F1())
+	}
+}
+
+func TestBCCAndCBCCQuality(t *testing.T) {
+	em := simulatedBenchmark(t, NewDawidSkene())
+	bcc := simulatedBenchmark(t, NewBCC())
+	cbcc := simulatedBenchmark(t, NewCBCC())
+	t.Logf("EM=%v BCC=%v cBCC=%v", em, bcc, cbcc)
+	// The Bayesian variants must stay in the same quality regime as EM
+	// (paper Table 4 shows cBCC >= EM on all datasets).
+	if bcc.F1() < em.F1()-0.05 {
+		t.Errorf("BCC F1 %.3f far below EM %.3f", bcc.F1(), em.F1())
+	}
+	if cbcc.F1() < em.F1()-0.05 {
+		t.Errorf("cBCC F1 %.3f far below EM %.3f", cbcc.F1(), em.F1())
+	}
+}
+
+func TestCBCCExposesCommunities(t *testing.T) {
+	ds, _, err := datasets.Load("movie", 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCBCCWithConfig(CBCCConfig{Communities: 4, MaxIter: 10})
+	if c.Communities() != nil {
+		t.Error("communities should be nil before aggregation")
+	}
+	if _, err := c.Aggregate(ds); err != nil {
+		t.Fatal(err)
+	}
+	resp := c.Communities()
+	if len(resp) != ds.NumWorkers {
+		t.Fatalf("responsibilities for %d workers, want %d", len(resp), ds.NumWorkers)
+	}
+	for u, row := range resp {
+		if len(row) != 4 {
+			t.Fatalf("worker %d has %d communities", u, len(row))
+		}
+		sum := 0.0
+		for _, r := range row {
+			if r < 0 || r > 1 {
+				t.Fatalf("worker %d responsibility out of range: %v", u, row)
+			}
+			sum += r
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("worker %d responsibilities sum to %g", u, sum)
+		}
+	}
+}
+
+func TestCBCCSeparatesSpammersFromReliable(t *testing.T) {
+	ds, meta, err := datasets.Load("image", 0.08, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCBCCWithConfig(CBCCConfig{Communities: 4, MaxIter: 25})
+	if _, err := c.Aggregate(ds); err != nil {
+		t.Fatal(err)
+	}
+	resp := c.Communities()
+	// Hard-assign workers to argmax community and check reliable workers
+	// and uniform spammers do not predominantly share one community.
+	assign := make([]int, len(resp))
+	for u, row := range resp {
+		best, bestV := 0, row[0]
+		for m, v := range row {
+			if v > bestV {
+				best, bestV = m, v
+			}
+		}
+		assign[u] = best
+	}
+	counts := map[bool]map[int]int{true: {}, false: {}}
+	for u := range assign {
+		wt := meta.WorkerTypes[u]
+		if wt == 0 { // reliable
+			counts[true][assign[u]]++
+		}
+		if wt.IsSpammer() {
+			counts[false][assign[u]]++
+		}
+	}
+	top := func(m map[int]int) (int, float64) {
+		bestK, bestV, total := -1, 0, 0
+		for k, v := range m {
+			total += v
+			if v > bestV {
+				bestK, bestV = k, v
+			}
+		}
+		if total == 0 {
+			return -1, 0
+		}
+		return bestK, float64(bestV) / float64(total)
+	}
+	relTop, relFrac := top(counts[true])
+	spamTop, _ := top(counts[false])
+	t.Logf("reliable-top=%d (%.2f) spam-top=%d", relTop, relFrac, spamTop)
+	if relFrac > 0.5 && relTop == spamTop {
+		t.Error("reliable workers and spammers collapse into the same dominant community")
+	}
+}
+
+func TestDeterministicAggregation(t *testing.T) {
+	ds, _, err := datasets.Load("topic", 0.08, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mk := range []func() Aggregator{
+		func() Aggregator { return NewMajorityVote() },
+		func() Aggregator { return NewDawidSkene() },
+		func() Aggregator { return NewBCC() },
+		func() Aggregator { return NewCBCC() },
+	} {
+		a1, err := mk().Aggregate(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := mk().Aggregate(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a1 {
+			if !a1[i].Equal(a2[i]) {
+				t.Fatalf("%s not deterministic at item %d", mk().Name(), i)
+			}
+		}
+	}
+}
+
+func TestPerfectWorkersGivePerfectAnswers(t *testing.T) {
+	// Three perfectly honest workers: every method must recover the truth.
+	d, _ := answers.NewDataset("perfect", 10, 3, 6)
+	for i := 0; i < 10; i++ {
+		truth := labelset.Of(i%6, (i+1)%6)
+		if err := d.SetTruth(i, truth); err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < 3; u++ {
+			if err := d.Add(i, u, truth.Clone()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, agg := range []Aggregator{NewMajorityVote(), NewDawidSkene(), NewBCC(), NewCBCC()} {
+		pred, err := agg.Aggregate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := metrics.Evaluate(d, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.Precision < 0.999 || pr.Recall < 0.999 {
+			t.Errorf("%s on perfect data: %v", agg.Name(), pr)
+		}
+	}
+}
+
+func BenchmarkMajorityVote(b *testing.B) {
+	ds, _, err := datasets.Load("image", 0.1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mv := NewMajorityVote()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mv.Aggregate(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDawidSkene(b *testing.B) {
+	ds, _, err := datasets.Load("image", 0.1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	em := NewDawidSkene()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.Aggregate(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCBCC(b *testing.B) {
+	ds, _, err := datasets.Load("image", 0.1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewCBCC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Aggregate(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

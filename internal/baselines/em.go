@@ -1,0 +1,222 @@
+package baselines
+
+import (
+	"math"
+
+	"cpa/internal/answers"
+	"cpa/internal/labelset"
+	"cpa/internal/mathx"
+)
+
+// EMConfig tunes the Dawid–Skene EM baseline and its Bayesian (BCC)
+// variant. Zero values pick the documented defaults.
+type EMConfig struct {
+	// MaxIter bounds EM iterations per label. Default 50.
+	MaxIter int
+	// Tol is the convergence threshold on the max change of truth
+	// posteriors between iterations. Default 1e-4.
+	Tol float64
+	// SensPrior/SpecPrior are Beta(a,b) pseudo-counts for the worker
+	// confusion parameters. The plain EM baseline uses a weak symmetric
+	// (1,1); BCC uses informative priors favouring better-than-chance
+	// workers. Fields: {A, B}.
+	SensPrior [2]float64
+	SpecPrior [2]float64
+	// TruthPrior is the Beta prior on per-label prevalence. Default (1,1).
+	TruthPrior [2]float64
+}
+
+func (c *EMConfig) fillDefaults() {
+	if c.MaxIter == 0 {
+		c.MaxIter = 50
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-4
+	}
+	if c.SensPrior == ([2]float64{}) {
+		c.SensPrior = [2]float64{1, 1}
+	}
+	if c.SpecPrior == ([2]float64{}) {
+		c.SpecPrior = [2]float64{1, 1}
+	}
+	if c.TruthPrior == ([2]float64{}) {
+		c.TruthPrior = [2]float64{1, 1}
+	}
+}
+
+// DawidSkene is the EM baseline [Dawid & Skene 1979; Ipeirotis et al. 2010]
+// on the per-label binary reduction: each label is an independent binary
+// truth-inference problem in which each worker has a sensitivity and a
+// specificity estimated by expectation-maximisation.
+type DawidSkene struct {
+	cfg  EMConfig
+	name string
+}
+
+// NewDawidSkene returns the plain EM baseline.
+func NewDawidSkene() *DawidSkene {
+	return &DawidSkene{name: "EM"}
+}
+
+// NewBCC returns the Bayesian classifier combination baseline [Kim &
+// Ghahramani 2012]: Dawid–Skene MAP-EM under informative Beta priors that
+// regularise sparse workers toward a mildly-better-than-chance prior belief.
+func NewBCC() *DawidSkene {
+	return &DawidSkene{
+		name: "BCC",
+		cfg: EMConfig{
+			SensPrior: [2]float64{3.5, 1.5},
+			SpecPrior: [2]float64{4.5, 1.5},
+		},
+	}
+}
+
+// NewDawidSkeneWithConfig returns an EM aggregator with explicit settings.
+func NewDawidSkeneWithConfig(name string, cfg EMConfig) *DawidSkene {
+	return &DawidSkene{name: name, cfg: cfg}
+}
+
+// Name implements Aggregator.
+func (d *DawidSkene) Name() string { return d.name }
+
+// labelInstance gathers the binary observations of one label across items:
+// for every item whose universe contains the label, the answering workers
+// and their votes.
+type labelInstance struct {
+	items   []int   // dataset item ids
+	workers [][]int // per instance item: answering workers
+	votes   [][]bool
+}
+
+// buildInstances groups the tallies by label.
+func buildInstances(ds *answers.Dataset, tallies []itemVotes) map[int]*labelInstance {
+	instances := make(map[int]*labelInstance)
+	for i := range tallies {
+		iv := &tallies[i]
+		for k, c := range iv.universe {
+			inst := instances[c]
+			if inst == nil {
+				inst = &labelInstance{}
+				instances[c] = inst
+			}
+			inst.items = append(inst.items, i)
+			inst.workers = append(inst.workers, iv.workers)
+			inst.votes = append(inst.votes, iv.votes[k])
+		}
+	}
+	return instances
+}
+
+// Aggregate implements Aggregator.
+func (d *DawidSkene) Aggregate(ds *answers.Dataset) ([]labelset.Set, error) {
+	if err := validate(ds); err != nil {
+		return nil, err
+	}
+	cfg := d.cfg
+	cfg.fillDefaults()
+	tallies := tallyVotes(ds)
+	instances := buildInstances(ds, tallies)
+
+	prob := make([][]float64, len(tallies))
+	for i := range tallies {
+		prob[i] = make([]float64, len(tallies[i].universe))
+	}
+	for c, inst := range instances {
+		post := runBinaryEM(inst, cfg)
+		for n, item := range inst.items {
+			k := tallies[item].pos[c]
+			prob[item][k] = post[n]
+		}
+	}
+	return thresholdPredict(ds, tallies, prob), nil
+}
+
+// runBinaryEM runs Dawid–Skene EM for a single label and returns the
+// per-instance-item posterior of the label being truly present. Workers are
+// remapped to a dense index over the workers that actually voted on this
+// label's items, so per-iteration work scales with the instance, not the
+// full population.
+func runBinaryEM(inst *labelInstance, cfg EMConfig) []float64 {
+	n := len(inst.items)
+	post := make([]float64, n)
+	// Dense worker remap.
+	remap := make(map[int]int)
+	dense := make([][]int, n)
+	for j := 0; j < n; j++ {
+		dense[j] = make([]int, len(inst.workers[j]))
+		for a, u := range inst.workers[j] {
+			du, ok := remap[u]
+			if !ok {
+				du = len(remap)
+				remap[u] = du
+			}
+			dense[j][a] = du
+		}
+	}
+	w := len(remap)
+
+	// Initialise truth posteriors from the vote fraction (standard DS
+	// initialisation).
+	for j := 0; j < n; j++ {
+		pos := 0
+		for _, v := range inst.votes[j] {
+			if v {
+				pos++
+			}
+		}
+		post[j] = (float64(pos) + 0.5) / (float64(len(inst.votes[j])) + 1)
+	}
+
+	sens := make([]float64, w)
+	spec := make([]float64, w)
+	sensNum := make([]float64, w)
+	sensDen := make([]float64, w)
+	specNum := make([]float64, w)
+	specDen := make([]float64, w)
+	prev := make([]float64, n)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		copy(prev, post)
+		// M-step: per-worker sensitivity/specificity with Beta pseudo-counts.
+		for u := 0; u < w; u++ {
+			sensNum[u], sensDen[u], specNum[u], specDen[u] = 0, 0, 0, 0
+		}
+		prevalenceNum, prevalenceDen := cfg.TruthPrior[0], cfg.TruthPrior[0]+cfg.TruthPrior[1]
+		for j := 0; j < n; j++ {
+			q := post[j]
+			prevalenceNum += q
+			prevalenceDen++
+			for a, u := range dense[j] {
+				if inst.votes[j][a] {
+					sensNum[u] += q
+				} else {
+					specNum[u] += 1 - q
+				}
+				sensDen[u] += q
+				specDen[u] += 1 - q
+			}
+		}
+		for u := 0; u < w; u++ {
+			sens[u] = (sensNum[u] + cfg.SensPrior[0]) / (sensDen[u] + cfg.SensPrior[0] + cfg.SensPrior[1])
+			spec[u] = (specNum[u] + cfg.SpecPrior[0]) / (specDen[u] + cfg.SpecPrior[0] + cfg.SpecPrior[1])
+		}
+		prevalence := prevalenceNum / prevalenceDen
+
+		// E-step: truth posteriors in log space.
+		logPrev := math.Log(prevalence) - math.Log(1-prevalence)
+		for j := 0; j < n; j++ {
+			logOdds := logPrev
+			for a, u := range dense[j] {
+				if inst.votes[j][a] {
+					logOdds += math.Log(sens[u]) - math.Log(1-spec[u])
+				} else {
+					logOdds += math.Log(1-sens[u]) - math.Log(spec[u])
+				}
+			}
+			post[j] = 1 / (1 + math.Exp(-mathx.Clamp(logOdds, -500, 500)))
+		}
+		if mathx.MaxAbsDiff(post, prev) < cfg.Tol {
+			break
+		}
+	}
+	return post
+}

@@ -1,0 +1,292 @@
+// Package community implements the worker-community analyses of the paper's
+// §5.5 and Appendix A: per-label sensitivity/specificity scatter plots of
+// the worker population (Fig. 9), the pooled worker-type characterisation
+// (Fig. 10), and a small deterministic k-means with silhouette-based model
+// selection used to count the communities that emerge per label.
+package community
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cpa/internal/answers"
+	"cpa/internal/metrics"
+)
+
+// Point is one worker's position in the (specificity, sensitivity) plane —
+// the axes of the paper's Fig. 9/10 — plus its assigned community.
+type Point struct {
+	Worker      int
+	Specificity float64
+	Sensitivity float64
+	Community   int
+}
+
+// LabelCommunities is the Fig. 9 analysis result for one label.
+type LabelCommunities struct {
+	Label       int
+	Points      []Point
+	Communities int
+	Silhouette  float64
+}
+
+// DetectForLabel computes each worker's sensitivity/specificity for a label
+// (against ground truth) and clusters the population with k-means, selecting
+// k ∈ [kMin, kMax] by mean silhouette. Workers without measurable quality
+// are skipped.
+func DetectForLabel(ds *answers.Dataset, label int, kMin, kMax int, seed int64) (*LabelCommunities, error) {
+	quality := metrics.WorkerQuality(ds, label)
+	if len(quality) == 0 {
+		return nil, fmt.Errorf("community: no measurable workers for label %d", label)
+	}
+	pts := make([]Point, len(quality))
+	coords := make([][2]float64, len(quality))
+	for i, q := range quality {
+		pts[i] = Point{Worker: q.Worker, Specificity: q.Specificity, Sensitivity: q.Sensitivity}
+		coords[i] = [2]float64{q.Specificity, q.Sensitivity}
+	}
+	k, assign, sil := selectK(coords, kMin, kMax, seed)
+	for i := range pts {
+		pts[i].Community = assign[i]
+	}
+	return &LabelCommunities{Label: label, Points: pts, Communities: k, Silhouette: sil}, nil
+}
+
+// DetectOverall runs the same analysis on the pooled (all-label) quality of
+// each worker — the Fig. 10 worker-type characterisation.
+func DetectOverall(ds *answers.Dataset, kMin, kMax int, seed int64) (*LabelCommunities, error) {
+	quality := metrics.OverallWorkerQuality(ds)
+	if len(quality) == 0 {
+		return nil, fmt.Errorf("community: no measurable workers")
+	}
+	pts := make([]Point, len(quality))
+	coords := make([][2]float64, len(quality))
+	for i, q := range quality {
+		pts[i] = Point{Worker: q.Worker, Specificity: q.Specificity, Sensitivity: q.Sensitivity}
+		coords[i] = [2]float64{q.Specificity, q.Sensitivity}
+	}
+	k, assign, sil := selectK(coords, kMin, kMax, seed)
+	for i := range pts {
+		pts[i].Community = assign[i]
+	}
+	return &LabelCommunities{Label: -1, Points: pts, Communities: k, Silhouette: sil}, nil
+}
+
+// selectK sweeps k and returns the assignment with the best mean silhouette
+// (k=1 when the population is too small or degenerate).
+func selectK(coords [][2]float64, kMin, kMax int, seed int64) (int, []int, float64) {
+	n := len(coords)
+	if kMin < 1 {
+		kMin = 1
+	}
+	if kMax < kMin {
+		kMax = kMin
+	}
+	if kMax > n {
+		kMax = n
+	}
+	bestK := 1
+	bestSil := math.Inf(-1)
+	bestAssign := make([]int, n)
+	for k := kMin; k <= kMax; k++ {
+		assign := kmeans(coords, k, seed)
+		sil := meanSilhouette(coords, assign, k)
+		if sil > bestSil {
+			bestK, bestSil = k, sil
+			copy(bestAssign, assign)
+		}
+	}
+	if math.IsInf(bestSil, -1) {
+		bestSil = 0
+	}
+	return bestK, bestAssign, bestSil
+}
+
+// kmeans is a plain Lloyd's iteration with k-means++-style seeding, fixed
+// iteration budget and deterministic behaviour under seed.
+func kmeans(coords [][2]float64, k int, seed int64) []int {
+	n := len(coords)
+	assign := make([]int, n)
+	if k <= 1 {
+		return assign
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][2]float64, 0, k)
+	centers = append(centers, coords[rng.Intn(n)])
+	for len(centers) < k {
+		// k-means++: pick the next center proportional to squared distance.
+		dists := make([]float64, n)
+		total := 0.0
+		for i, c := range coords {
+			d := math.Inf(1)
+			for _, ctr := range centers {
+				d = math.Min(d, sqDist(c, ctr))
+			}
+			dists[i] = d
+			total += d
+		}
+		if total == 0 {
+			centers = append(centers, coords[rng.Intn(n)])
+			continue
+		}
+		u := rng.Float64() * total
+		picked := n - 1
+		for i, d := range dists {
+			u -= d
+			if u <= 0 {
+				picked = i
+				break
+			}
+		}
+		centers = append(centers, coords[picked])
+	}
+	for iter := 0; iter < 50; iter++ {
+		changed := false
+		for i, c := range coords {
+			best, bestD := 0, math.Inf(1)
+			for j, ctr := range centers {
+				if d := sqDist(c, ctr); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		var sums [][2]float64 = make([][2]float64, k)
+		counts := make([]int, k)
+		for i, c := range coords {
+			sums[assign[i]][0] += c[0]
+			sums[assign[i]][1] += c[1]
+			counts[assign[i]]++
+		}
+		for j := range centers {
+			if counts[j] > 0 {
+				centers[j][0] = sums[j][0] / float64(counts[j])
+				centers[j][1] = sums[j][1] / float64(counts[j])
+			}
+		}
+	}
+	return assign
+}
+
+func sqDist(a, b [2]float64) float64 {
+	dx := a[0] - b[0]
+	dy := a[1] - b[1]
+	return dx*dx + dy*dy
+}
+
+// meanSilhouette computes the average silhouette coefficient of the
+// clustering; -1 when any cluster is empty or k does not partition the data
+// meaningfully.
+func meanSilhouette(coords [][2]float64, assign []int, k int) float64 {
+	n := len(coords)
+	if k < 2 || n <= k {
+		return -1
+	}
+	counts := make([]int, k)
+	for _, a := range assign {
+		counts[a]++
+	}
+	for _, c := range counts {
+		if c == 0 {
+			return -1
+		}
+	}
+	total := 0.0
+	for i := range coords {
+		var intra float64
+		inter := make([]float64, k)
+		interN := make([]int, k)
+		for j := range coords {
+			if i == j {
+				continue
+			}
+			d := math.Sqrt(sqDist(coords[i], coords[j]))
+			inter[assign[j]] += d
+			interN[assign[j]]++
+		}
+		own := assign[i]
+		if interN[own] == 0 {
+			continue // singleton cluster: silhouette 0 contribution
+		}
+		intra = inter[own] / float64(interN[own])
+		nearest := math.Inf(1)
+		for j := 0; j < k; j++ {
+			if j == own || interN[j] == 0 {
+				continue
+			}
+			nearest = math.Min(nearest, inter[j]/float64(interN[j]))
+		}
+		if math.IsInf(nearest, 1) {
+			continue
+		}
+		den := math.Max(intra, nearest)
+		if den > 0 {
+			total += (nearest - intra) / den
+		}
+	}
+	return total / float64(n)
+}
+
+// RenderScatter draws an ASCII scatter of the points (specificity on x,
+// sensitivity on y), marking each worker with its community digit — a
+// terminal rendition of Fig. 9/10.
+func RenderScatter(lc *LabelCommunities, width, height int) string {
+	if width < 10 {
+		width = 40
+	}
+	if height < 5 {
+		height = 16
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = make([]byte, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for _, p := range lc.Points {
+		x := int(p.Specificity * float64(width-1))
+		y := int((1 - p.Sensitivity) * float64(height-1))
+		if x < 0 {
+			x = 0
+		}
+		if x >= width {
+			x = width - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= height {
+			y = height - 1
+		}
+		grid[y][x] = byte('0' + p.Community%10)
+	}
+	out := fmt.Sprintf("label=%d communities=%d silhouette=%.2f (x: specificity, y: sensitivity)\n",
+		lc.Label, lc.Communities, lc.Silhouette)
+	for _, row := range grid {
+		out += "|" + string(row) + "|\n"
+	}
+	return out
+}
+
+// CommunitySizes returns the population of each community, largest first.
+func (lc *LabelCommunities) CommunitySizes() []int {
+	counts := make(map[int]int)
+	for _, p := range lc.Points {
+		counts[p.Community]++
+	}
+	out := make([]int, 0, len(counts))
+	for _, v := range counts {
+		out = append(out, v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}

@@ -1,0 +1,149 @@
+package community
+
+import (
+	"strings"
+	"testing"
+
+	"cpa/internal/answers"
+	"cpa/internal/datasets"
+	"cpa/internal/labelset"
+)
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	// Two tight blobs: k-means with k=2 must split them exactly.
+	coords := [][2]float64{
+		{0.1, 0.1}, {0.12, 0.08}, {0.09, 0.12}, {0.11, 0.11},
+		{0.9, 0.9}, {0.88, 0.92}, {0.91, 0.89}, {0.9, 0.91},
+	}
+	assign := kmeans(coords, 2, 1)
+	for i := 1; i < 4; i++ {
+		if assign[i] != assign[0] {
+			t.Fatalf("low blob split: %v", assign)
+		}
+	}
+	for i := 5; i < 8; i++ {
+		if assign[i] != assign[4] {
+			t.Fatalf("high blob split: %v", assign)
+		}
+	}
+	if assign[0] == assign[4] {
+		t.Fatal("blobs merged")
+	}
+}
+
+func TestSelectKPrefersTrueK(t *testing.T) {
+	coords := [][2]float64{
+		{0.1, 0.1}, {0.12, 0.08}, {0.09, 0.12}, {0.11, 0.11}, {0.1, 0.09},
+		{0.9, 0.9}, {0.88, 0.92}, {0.91, 0.89}, {0.9, 0.91}, {0.92, 0.9},
+	}
+	k, _, sil := selectK(coords, 2, 5, 3)
+	if k != 2 {
+		t.Errorf("selectK = %d (silhouette %.2f), want 2", k, sil)
+	}
+	if sil < 0.8 {
+		t.Errorf("silhouette %.2f too low for clean blobs", sil)
+	}
+}
+
+func TestSelectKDegenerate(t *testing.T) {
+	coords := [][2]float64{{0.5, 0.5}, {0.5, 0.5}}
+	k, assign, _ := selectK(coords, 1, 4, 1)
+	if k < 1 || len(assign) != 2 {
+		t.Errorf("degenerate selectK k=%d assign=%v", k, assign)
+	}
+}
+
+func TestDetectForLabelOnSimulatedData(t *testing.T) {
+	ds, _, err := datasets.Load("image", 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a reasonably common label to analyse.
+	counts := make([]int, ds.NumLabels)
+	for i := 0; i < ds.NumItems; i++ {
+		truth, _ := ds.Truth(i)
+		truth.Range(func(c int) bool {
+			counts[c]++
+			return true
+		})
+	}
+	best := 0
+	for c, n := range counts {
+		if n > counts[best] {
+			best = c
+		}
+	}
+	lc, err := DetectForLabel(ds, best, 2, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lc.Points) == 0 {
+		t.Fatal("no points")
+	}
+	if lc.Communities < 2 || lc.Communities > 5 {
+		t.Errorf("communities = %d outside sweep range", lc.Communities)
+	}
+	for _, p := range lc.Points {
+		if p.Sensitivity < 0 || p.Sensitivity > 1 || p.Specificity < 0 || p.Specificity > 1 {
+			t.Fatalf("point out of unit square: %+v", p)
+		}
+	}
+	sizes := lc.CommunitySizes()
+	totalSize := 0
+	for _, s := range sizes {
+		totalSize += s
+	}
+	if totalSize != len(lc.Points) {
+		t.Errorf("community sizes %v do not cover %d points", sizes, len(lc.Points))
+	}
+}
+
+func TestDetectOverall(t *testing.T) {
+	ds, _, err := datasets.Load("movie", 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := DetectOverall(ds, 2, 6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.Label != -1 {
+		t.Errorf("overall analysis should have label -1, got %d", lc.Label)
+	}
+	if len(lc.Points) == 0 {
+		t.Fatal("no points")
+	}
+}
+
+func TestDetectErrorsWithoutTruth(t *testing.T) {
+	ds, _ := answers.NewDataset("nt", 2, 2, 2)
+	if err := ds.Add(0, 0, labelset.Of(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DetectForLabel(ds, 0, 2, 3, 1); err == nil {
+		t.Error("no-truth dataset should fail")
+	}
+	if _, err := DetectOverall(ds, 2, 3, 1); err == nil {
+		t.Error("no-truth dataset should fail")
+	}
+}
+
+func TestRenderScatter(t *testing.T) {
+	lc := &LabelCommunities{
+		Label:       7,
+		Communities: 2,
+		Points: []Point{
+			{Worker: 0, Specificity: 0.1, Sensitivity: 0.9, Community: 0},
+			{Worker: 1, Specificity: 0.95, Sensitivity: 0.05, Community: 1},
+		},
+	}
+	out := RenderScatter(lc, 20, 8)
+	if !strings.Contains(out, "label=7") || !strings.Contains(out, "communities=2") {
+		t.Errorf("missing header: %s", out)
+	}
+	if !strings.Contains(out, "0") || !strings.Contains(out, "1") {
+		t.Errorf("missing community marks: %s", out)
+	}
+	// Degenerate sizes fall back to defaults without panicking.
+	_ = RenderScatter(lc, 1, 1)
+}

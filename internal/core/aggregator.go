@@ -1,0 +1,71 @@
+package core
+
+import (
+	"cpa/internal/answers"
+	"cpa/internal/labelset"
+)
+
+// Aggregator adapts the CPA model to the repository-wide Aggregator
+// interface (fit on a dataset, return one label set per item). Each call
+// builds a fresh model so aggregations are independent and deterministic
+// under Config.Seed.
+type Aggregator struct {
+	cfg    Config
+	name   string
+	online bool
+	// last holds the model of the most recent Aggregate call for
+	// post-hoc analysis (communities, reliabilities).
+	last *Model
+}
+
+// NewAggregator returns the batch-VI CPA aggregator ("CPA").
+func NewAggregator(cfg Config) *Aggregator {
+	return &Aggregator{cfg: cfg, name: "CPA"}
+}
+
+// NewOnlineAggregator returns the streaming-SVI CPA aggregator
+// ("CPA-online"), which consumes the dataset in arrival order with a single
+// pass (paper §4.1).
+func NewOnlineAggregator(cfg Config) *Aggregator {
+	return &Aggregator{cfg: cfg, name: "CPA-online", online: true}
+}
+
+// NewNoZAggregator returns the No-Z ablation of §5.4: community structure
+// removed, every worker a singleton community.
+func NewNoZAggregator(cfg Config) *Aggregator {
+	cfg.DisableCommunities = true
+	return &Aggregator{cfg: cfg, name: "No Z"}
+}
+
+// NewNoLAggregator returns the No-L ablation of §5.4: item cluster structure
+// removed, every item a singleton cluster.
+func NewNoLAggregator(cfg Config) *Aggregator {
+	cfg.DisableClusters = true
+	return &Aggregator{cfg: cfg, name: "No L"}
+}
+
+// Name implements the Aggregator interface.
+func (a *Aggregator) Name() string { return a.name }
+
+// Aggregate fits a fresh model on ds and predicts every item's label set.
+func (a *Aggregator) Aggregate(ds *answers.Dataset) ([]labelset.Set, error) {
+	model, err := NewModel(a.cfg, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+	if err != nil {
+		return nil, err
+	}
+	if a.online {
+		if _, err := model.FitStream(ds); err != nil {
+			return nil, err
+		}
+	} else {
+		if _, err := model.Fit(ds); err != nil {
+			return nil, err
+		}
+	}
+	a.last = model
+	return model.Predict()
+}
+
+// Model returns the model of the most recent Aggregate call (nil before the
+// first call).
+func (a *Aggregator) Model() *Model { return a.last }

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"fmt"
+
+	"cpa/internal/mathx"
+)
+
+// DebugItem prints the prediction internals of one item to stdout. It is a
+// development aid, not part of the public surface.
+func (m *Model) DebugItem(i int) {
+	T, C := m.T, m.numLabels
+	phiMAP := m.dirichletModes(m.zeta, m.T)
+	nbar := m.clusterTruthSizes()
+	t := m.ItemCluster(i)
+	fmt.Printf("item %d: cluster=%d phi=%.3f nbar[t]=%.2f voted=%v yhat=%.2f\n",
+		i, t, m.phi[i*T+t], nbar[t], m.votedList[i], m.yhatVals[i])
+	for _, c := range m.votedList[i] {
+		fmt.Printf("  label %d: phiMAP=%.4f ntimesphi=%.4f\n", c, phiMAP[t*C+c], nbar[t]*phiMAP[t*C+c])
+	}
+	fmt.Printf("  relm=%.3f\n", m.relm[:minInt(len(m.relm), 12)])
+	sample := make([]float64, 0, 8)
+	for u := 0; u < minInt(m.numWorkers, 8); u++ {
+		sample = append(sample, m.workerRelW[u])
+	}
+	fmt.Printf("  workerRelW[:8]=%.3f\n", sample)
+	_ = mathx.Sum
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

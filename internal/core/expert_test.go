@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"cpa/internal/answers"
+	"cpa/internal/labelset"
+)
+
+// expertDataset builds a workload where label 1 is always true alongside
+// label 0 but systematically under-voted: without external knowledge the
+// consensus misses it, with the expert rule "0 ⇒ 1" it is recovered.
+func expertDataset(t *testing.T) *answers.Dataset {
+	t.Helper()
+	const items, workers, labels = 30, 9, 6
+	d, err := answers.NewDataset("expert", items, workers, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < items; i++ {
+		if err := d.SetTruth(i, labelset.Of(0, 1)); err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < workers; u++ {
+			ans := labelset.New(labels)
+			// Most — not all — workers report label 0; a third report the
+			// implied label 1; everyone sprays occasional noise, so misses
+			// are only moderate evidence of absence.
+			if u != 4 && u != 7 {
+				ans.Add(0)
+			}
+			if u%3 == 0 {
+				ans.Add(1)
+			}
+			if (u+i)%2 == 0 {
+				ans.Add(2 + (u+i)%4)
+			}
+			if ans.IsEmpty() {
+				ans.Add(5)
+			}
+			if err := d.Add(i, u, ans); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return d
+}
+
+func TestSetExpertCooccurrenceValidation(t *testing.T) {
+	m, err := NewModel(Config{Seed: 1}, 4, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetExpertCooccurrence(make([][]float64, 2)); err == nil {
+		t.Error("wrong row count should fail")
+	}
+	bad := [][]float64{{0, 0, 0}, {0, 0}, {0, 0, 0}}
+	if err := m.SetExpertCooccurrence(bad); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+	bad2 := [][]float64{{0, 0, 0}, {0, 0, 2}, {0, 0, 0}}
+	if err := m.SetExpertCooccurrence(bad2); err == nil {
+		t.Error("out-of-range entry should fail")
+	}
+	ok := [][]float64{{0, 1, 0}, {0, 0, 0}, {0, 0, 0}}
+	if err := m.SetExpertCooccurrence(ok); err != nil {
+		t.Errorf("valid matrix rejected: %v", err)
+	}
+	if err := m.SetExpertCooccurrence(nil); err != nil {
+		t.Errorf("nil should clear the prior: %v", err)
+	}
+}
+
+func TestExpertPriorRecoversImpliedLabel(t *testing.T) {
+	ds := expertDataset(t)
+
+	run := func(withExpert bool) (missing int) {
+		m, err := NewModel(Config{Seed: 2, MaxCommunities: 3, MaxClusters: 3}, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withExpert {
+			cooc := make([][]float64, ds.NumLabels)
+			for a := range cooc {
+				cooc[a] = make([]float64, ds.NumLabels)
+			}
+			cooc[0][1] = 0.95 // expert: label 0 implies label 1
+			if err := m.SetExpertCooccurrence(cooc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := m.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		pred, err := m.Predict()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pred {
+			if !p.Contains(1) {
+				missing++
+			}
+		}
+		return missing
+	}
+
+	without := run(false)
+	with := run(true)
+	t.Logf("items missing the implied label: without expert prior %d, with %d", without, with)
+	if with >= without && without > 0 {
+		t.Errorf("expert prior should recover the implied label: %d -> %d misses", without, with)
+	}
+	if with > ds.NumItems/4 {
+		t.Errorf("with the expert rule, most items should carry label 1; %d/%d still miss it", with, ds.NumItems)
+	}
+}

@@ -1,0 +1,790 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"cpa/internal/answers"
+	"cpa/internal/mathx"
+)
+
+// TrainStats reports the trajectory of a Fit or FitStream call.
+type TrainStats struct {
+	// Iterations actually run (VI) or batches consumed (SVI).
+	Iterations int
+	// Converged reports whether the parameter-delta criterion fired before
+	// MaxIter (always false for SVI, which is single-pass by design).
+	Converged bool
+	// Deltas holds the max absolute responsibility change per iteration.
+	Deltas []float64
+	// DataLogLik traces the expected data log likelihood Σ ln p(x_iu) under
+	// the mean posterior — a cheap ELBO surrogate used to monitor progress.
+	DataLogLik []float64
+}
+
+// FinalDelta returns the last recorded delta, or +Inf when none.
+func (s *TrainStats) FinalDelta() float64 {
+	if len(s.Deltas) == 0 {
+		return math.Inf(1)
+	}
+	return s.Deltas[len(s.Deltas)-1]
+}
+
+// Fit runs batch variational inference (paper Algorithm 1) to convergence on
+// the dataset. It may be called repeatedly; each call re-loads the data and
+// continues from the current posterior.
+func (m *Model) Fit(ds *answers.Dataset) (*TrainStats, error) {
+	if ds == nil || ds.NumAnswers() == 0 {
+		return nil, fmt.Errorf("%w: empty dataset", ErrConfig)
+	}
+	if err := m.loadDataset(ds); err != nil {
+		return nil, err
+	}
+	stats := &TrainStats{}
+
+	// Bootstrap: impute truth from plain votes (uniform reliability), seed
+	// the responsibilities from the data (DESIGN.md D6) on the first fit,
+	// then fold them into the globals so the first local update sees a
+	// symmetry-broken posterior.
+	m.imputeTruth(nil)
+	if !m.fitted {
+		m.seedFromData()
+	}
+	m.updateGlobal()
+	m.updateReliability()
+	m.imputeTruth(nil)
+	m.refreshExpectations()
+
+	prevKappa := append([]float64(nil), m.kappa...)
+	prevPhi := append([]float64(nil), m.phi...)
+	for iter := 0; iter < m.cfg.MaxIter; iter++ {
+		// Deterministic annealing: keep the local responsibilities soft for
+		// the first iterations so assignments can move off the seed before
+		// the posterior hardens (DESIGN.md D6).
+		m.temp = math.Max(1, 4*math.Pow(0.5, float64(iter)))
+		m.updateLocal()
+		m.updateGlobal()
+		m.updateReliability()
+		m.imputeTruth(nil)
+		m.refreshExpectations()
+
+		delta := math.Max(mathx.MaxAbsDiff(m.kappa, prevKappa), mathx.MaxAbsDiff(m.phi, prevPhi))
+		stats.Deltas = append(stats.Deltas, delta)
+		stats.DataLogLik = append(stats.DataLogLik, m.dataLogLik())
+		stats.Iterations = iter + 1
+		copy(prevKappa, m.kappa)
+		copy(prevPhi, m.phi)
+		if delta < m.cfg.Tol && m.temp <= 1 {
+			stats.Converged = true
+			break
+		}
+	}
+	m.fitted = true
+	return stats, nil
+}
+
+// updateLocal performs the coordinate-ascent updates of the local variables:
+// worker community responsibilities κ (Eq. 2) and item cluster
+// responsibilities ϕ (Eq. 3 extended per DESIGN.md D1). With
+// Config.Parallelism > 1 the per-worker and per-item updates run on the
+// Algorithm 3 map shards.
+func (m *Model) updateLocal() {
+	if !m.cfg.DisableCommunities {
+		m.parallelFor(m.numWorkers, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				m.updateKappaRow(u)
+			}
+		})
+	}
+	if !m.cfg.DisableClusters {
+		m.parallelFor(m.numItems, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				m.updatePhiRow(i)
+			}
+		})
+	}
+}
+
+// updateKappaRow recomputes q(z_u) for one worker (Eq. 2):
+//
+//	κ_um ∝ exp( Σ_i Σ_t ϕ_it E[ln p(x_iu | ψ_tm)] + E[ln π_m] )
+func (m *Model) updateKappaRow(u int) {
+	M, T := m.M, m.T
+	row := m.kappa[u*M : (u+1)*M]
+	copy(row, m.elogPi)
+	for _, ar := range m.perWorker[u] {
+		phiRow := m.phi[ar.other*T : (ar.other+1)*T]
+		for t := 0; t < T; t++ {
+			pt := phiRow[t]
+			if pt < 1e-8 {
+				continue
+			}
+			for mm := 0; mm < M; mm++ {
+				row[mm] += pt * m.answerScore(t, mm, ar.labels)
+			}
+		}
+	}
+	if m.temp > 1 {
+		mathx.Scale(row, 1/m.temp)
+	}
+	mathx.SoftmaxInPlace(row)
+}
+
+// updatePhiRow recomputes q(l_i) for one item: the literal Eq. 3 terms
+// (truth emission + stick prior) plus, unless LiteralPhiUpdate is set, the
+// answer-evidence term a_it = Σ_u Σ_m κ_um E[ln p(x_iu | ψ_tm)] that the
+// paper's Appendix C uses for the same quantity (DESIGN.md D1). Unobserved
+// truth contributes through its imputed expectation ŷ (DESIGN.md D2).
+func (m *Model) updatePhiRow(i int) {
+	M, T, C := m.M, m.T, m.numLabels
+	row := m.phi[i*T : (i+1)*T]
+	copy(row, m.elogTau)
+	// Truth-emission evidence: Σ_c E[y_ic]·E[ln φ_tc].
+	if truth := m.revealedTruth[i]; truth != nil {
+		for t := 0; t < T; t++ {
+			s := 0.0
+			for _, c := range truth {
+				s += m.elogPhi[t*C+c]
+			}
+			row[t] += s
+		}
+	} else if !m.cfg.GroundTruthOnly {
+		voted := m.votedList[i]
+		vals := m.yhatVals[i]
+		for t := 0; t < T; t++ {
+			s := 0.0
+			for k, c := range voted {
+				if v := vals[k]; v > 1e-8 {
+					s += v * m.elogPhi[t*C+c]
+				}
+			}
+			row[t] += s
+		}
+	}
+	// Answer evidence (Appendix C's a_it term).
+	if !m.cfg.LiteralPhiUpdate {
+		for _, ar := range m.perItem[i] {
+			kappaRow := m.kappa[ar.other*M : (ar.other+1)*M]
+			for t := 0; t < T; t++ {
+				s := 0.0
+				for mm := 0; mm < M; mm++ {
+					km := kappaRow[mm]
+					if km < 1e-8 {
+						continue
+					}
+					s += km * m.answerScore(t, mm, ar.labels)
+				}
+				row[t] += s
+			}
+		}
+	}
+	if m.temp > 1 {
+		mathx.Scale(row, 1/m.temp)
+	}
+	mathx.SoftmaxInPlace(row)
+}
+
+// updateGlobal recomputes the global variational parameters: the stick
+// posteriors ρ, υ (Eqs. 4–5) and the Dirichlet posteriors λ, ζ (Eqs. 6–7,
+// with Eq. 7 extended by imputed truth per DESIGN.md D2).
+func (m *Model) updateGlobal() {
+	m.updateSticks()
+	m.updateLambda()
+	m.updateZeta()
+}
+
+// updateSticks implements Eqs. (4) and (5).
+func (m *Model) updateSticks() {
+	M, T := m.M, m.T
+	if M > 1 {
+		colSum := make([]float64, M)
+		for u := 0; u < m.numWorkers; u++ {
+			for mm := 0; mm < M; mm++ {
+				colSum[mm] += m.kappa[u*M+mm]
+			}
+		}
+		suffix := 0.0
+		for mm := M - 1; mm >= 0; mm-- {
+			if mm < M-1 {
+				m.rho1[mm] = 1 + colSum[mm]
+				m.rho2[mm] = m.cfg.Alpha + suffix
+			}
+			suffix += colSum[mm]
+		}
+	}
+	if T > 1 {
+		colSum := make([]float64, T)
+		for i := 0; i < m.numItems; i++ {
+			for t := 0; t < T; t++ {
+				colSum[t] += m.phi[i*T+t]
+			}
+		}
+		suffix := 0.0
+		for t := T - 1; t >= 0; t-- {
+			if t < T-1 {
+				m.ups1[t] = 1 + colSum[t]
+				m.ups2[t] = m.cfg.Epsilon + suffix
+			}
+			suffix += colSum[t]
+		}
+	}
+}
+
+// updateLambda implements Eq. (6): λ_tmc = γ + Σ_i ϕ_it Σ_u κ_um x_iuc.
+// Shards accumulate over disjoint item ranges into private buffers that are
+// reduced in shard order: results are deterministic for a fixed Parallelism,
+// and agree across Parallelism values up to floating-point reduction order.
+func (m *Model) updateLambda() {
+	M, T, C := m.M, m.T, m.numLabels
+	shards := m.shardCount(m.numItems)
+	buffers := m.lambdaScratch(shards, T*M*C)
+	m.parallelForShards(m.numItems, shards, func(shard, lo, hi int) {
+		buf := buffers[shard]
+		for k := range buf {
+			buf[k] = 0
+		}
+		for i := lo; i < hi; i++ {
+			phiRow := m.phi[i*T : (i+1)*T]
+			for _, ar := range m.perItem[i] {
+				kappaRow := m.kappa[ar.other*M : (ar.other+1)*M]
+				for t := 0; t < T; t++ {
+					pt := phiRow[t]
+					if pt < 1e-8 {
+						continue
+					}
+					rowBase := (t * M) * C
+					for mm := 0; mm < M; mm++ {
+						w := pt * kappaRow[mm]
+						if w < 1e-10 {
+							continue
+						}
+						base := rowBase + mm*C
+						for _, c := range ar.labels {
+							buf[base+c] += w
+						}
+					}
+				}
+			}
+		}
+	})
+	mathx.Fill(m.lambda, m.cfg.GammaPrior)
+	for _, buf := range buffers {
+		for k, v := range buf {
+			m.lambda[k] += v
+		}
+	}
+}
+
+// updateZeta implements Eq. (7) with imputed truth:
+// ζ_tc = η + Σ_i ϕ_it · E[y_ic], where E[y_ic] is the revealed truth
+// indicator when available, the reliability-weighted vote otherwise
+// (DESIGN.md D2), or absent entirely under GroundTruthOnly.
+func (m *Model) updateZeta() {
+	T, C := m.T, m.numLabels
+	mathx.Fill(m.zeta, m.cfg.EtaPrior)
+	for i := 0; i < m.numItems; i++ {
+		phiRow := m.phi[i*T : (i+1)*T]
+		truth := m.revealedTruth[i]
+		if truth == nil && m.cfg.GroundTruthOnly {
+			continue
+		}
+		for t := 0; t < T; t++ {
+			pt := phiRow[t]
+			if pt < 1e-8 {
+				continue
+			}
+			base := t * C
+			if truth != nil {
+				for _, c := range truth {
+					m.zeta[base+c] += pt
+				}
+				continue
+			}
+			voted := m.votedList[i]
+			vals := m.yhatVals[i]
+			for k, c := range voted {
+				if v := vals[k]; v > 1e-8 {
+					m.zeta[base+c] += pt * v
+				}
+			}
+		}
+	}
+}
+
+// updateReliability derives community reliabilities rel_m from the mean
+// agreement (Jaccard) between the answers of a community's workers and the
+// hardened current consensus ŷ, pooled over the community (requirement R1:
+// assessing workers through their community is robust where per-worker data
+// is sparse). Reliabilities are min-max normalised and floored, then folded
+// into per-worker weights w_u = Σ_m κ_um rel_m (DESIGN.md D2). The mutual
+// reinforcement — better consensus → sharper reliabilities → better
+// consensus — is the iterative mechanism the paper's §1 describes.
+func (m *Model) updateReliability() {
+	M := m.M
+	// Hardened consensus signature per item: voted labels with ŷ > 0.5,
+	// falling back to the single strongest label.
+	hard := m.hardConsensus()
+
+	agreeNum := make([]float64, M)
+	agreeDen := make([]float64, M)
+	member := make(map[int]bool)
+	for u := 0; u < m.numWorkers; u++ {
+		agree, n := 0.0, 0
+		for _, ar := range m.perWorker[u] {
+			sig := hard[ar.other]
+			for k := range member {
+				delete(member, k)
+			}
+			for _, c := range sig {
+				member[c] = true
+			}
+			inter := 0
+			for _, c := range ar.labels {
+				if member[c] {
+					inter++
+				}
+			}
+			union := len(ar.labels) + len(sig) - inter
+			if union > 0 {
+				agree += float64(inter) / float64(union)
+			} else {
+				agree++
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		a := agree / float64(n)
+		for mm := 0; mm < M; mm++ {
+			k := m.kappa[u*M+mm]
+			agreeNum[mm] += k * a
+			agreeDen[mm] += k
+		}
+	}
+	// Community-level two-coin rates against the hardened consensus
+	// (requirement R2: worker validity assessed at the level of individual
+	// labels, pooled by community for sparse-data robustness). For each
+	// voted label of each item, every answering worker either asserted it
+	// (vote) or left it out (miss); rates are κ-weighted per community.
+	tpNum := make([]float64, M)
+	tpDen := make([]float64, M)
+	fpNum := make([]float64, M)
+	fpDen := make([]float64, M)
+	prevNum := make([]float64, m.numLabels)
+	prevDen := make([]float64, m.numLabels)
+	mathx.Fill(m.tpNumU, 0)
+	mathx.Fill(m.tpDenU, 0)
+	mathx.Fill(m.fpNumU, 0)
+	mathx.Fill(m.fpDenU, 0)
+	for i := 0; i < m.numItems; i++ {
+		sig := hard[i]
+		for k := range member {
+			delete(member, k)
+		}
+		for _, c := range sig {
+			member[c] = true
+		}
+		for k, c := range m.votedList[i] {
+			prevNum[c] += m.yhatVals[i][k]
+			prevDen[c]++
+		}
+		for _, ar := range m.perItem[i] {
+			u := ar.other
+			for _, c := range m.votedList[i] {
+				pos := member[c]
+				j := searchInts(ar.labels, c)
+				vote := j < len(ar.labels) && ar.labels[j] == c
+				if pos {
+					m.tpDenU[u]++
+					if vote {
+						m.tpNumU[u]++
+					}
+				} else {
+					m.fpDenU[u]++
+					if vote {
+						m.fpNumU[u]++
+					}
+				}
+				for mm := 0; mm < M; mm++ {
+					k := m.kappa[u*M+mm]
+					if k < 1e-8 {
+						continue
+					}
+					if pos {
+						tpDen[mm] += k
+						if vote {
+							tpNum[mm] += k
+						}
+					} else {
+						fpDen[mm] += k
+						if vote {
+							fpNum[mm] += k
+						}
+					}
+				}
+			}
+		}
+	}
+	for c := 0; c < m.numLabels; c++ {
+		m.labelPrev[c] = (prevNum[c] + 0.5) / (prevDen[c] + 2)
+	}
+	m.deriveWorkerModel(tpNum, tpDen, fpNum, fpDen, agreeNum, agreeDen)
+}
+
+// deriveWorkerModel turns the accumulated two-coin counts into the worker
+// model. Community rates come from the κ-weighted accumulators; each
+// worker's rates are its own raw counts shrunk toward its community's rates
+// with shrinkageObs pseudo-observations — the community acts as a prior
+// (requirement R1: robust for sparse workers) while prolific workers are
+// judged mostly on their own record. Per-worker vote/miss log-odds weights
+// and min-max-normalised reliabilities follow.
+func (m *Model) deriveWorkerModel(tpNum, tpDen, fpNum, fpDen, agreeNum, agreeDen []float64) {
+	const shrinkageObs = 8.0
+	M := m.M
+	for mm := 0; mm < M; mm++ {
+		tpr := (tpNum[mm] + 1) / (tpDen[mm] + 2)
+		fpr := (fpNum[mm] + 1) / (fpDen[mm] + 2)
+		m.tprM[mm] = mathx.Clamp(tpr, 0.05, 0.98)
+		m.fprM[mm] = mathx.Clamp(fpr, 0.02, 0.95)
+	}
+	for u := 0; u < m.numWorkers; u++ {
+		commTPR, commFPR := 0.0, 0.0
+		for mm := 0; mm < M; mm++ {
+			k := m.kappa[u*M+mm]
+			if k < 1e-8 {
+				continue
+			}
+			commTPR += k * m.tprM[mm]
+			commFPR += k * m.fprM[mm]
+		}
+		tprU := mathx.Clamp((m.tpNumU[u]+shrinkageObs*commTPR)/(m.tpDenU[u]+shrinkageObs), 0.05, 0.98)
+		fprU := mathx.Clamp((m.fpNumU[u]+shrinkageObs*commFPR)/(m.fpDenU[u]+shrinkageObs), 0.02, 0.95)
+		m.voteLW[u] = math.Log(tprU / fprU)
+		m.missLW[u] = math.Log((1 - tprU) / (1 - fprU))
+	}
+	minRel, maxRel := math.Inf(1), math.Inf(-1)
+	for mm := 0; mm < M; mm++ {
+		if agreeDen[mm] > 1e-9 {
+			m.relm[mm] = agreeNum[mm] / agreeDen[mm]
+		} else {
+			m.relm[mm] = math.NaN() // empty community: resolved below
+		}
+		if !math.IsNaN(m.relm[mm]) {
+			if m.relm[mm] < minRel {
+				minRel = m.relm[mm]
+			}
+			if m.relm[mm] > maxRel {
+				maxRel = m.relm[mm]
+			}
+		}
+	}
+	if !(maxRel > minRel) {
+		mathx.Fill(m.relm, 1)
+	} else {
+		span := maxRel - minRel
+		for mm := range m.relm {
+			if math.IsNaN(m.relm[mm]) {
+				m.relm[mm] = 0.5 // neutral weight for empty communities
+				continue
+			}
+			m.relm[mm] = math.Max(0.05, (m.relm[mm]-minRel)/span)
+		}
+	}
+	for u := 0; u < m.numWorkers; u++ {
+		w := 0.0
+		for mm := 0; mm < M; mm++ {
+			w += m.kappa[u*M+mm] * m.relm[mm]
+		}
+		m.workerRelW[u] = w
+	}
+	m.haveRates = true
+}
+
+// hardConsensus returns, per item, the sorted labels whose imputed (or
+// revealed) expectation exceeds 0.5, falling back to the single strongest
+// label so every answered item has a non-empty signature.
+func (m *Model) hardConsensus() [][]int {
+	out := make([][]int, m.numItems)
+	for i := 0; i < m.numItems; i++ {
+		voted := m.votedList[i]
+		vals := m.yhatVals[i]
+		var sig []int
+		bestK, bestV := -1, 0.0
+		for k, c := range voted {
+			if vals[k] > 0.5 {
+				sig = append(sig, c)
+			}
+			if vals[k] > bestV {
+				bestK, bestV = k, vals[k]
+			}
+		}
+		if len(sig) == 0 && bestK >= 0 {
+			sig = []int{voted[bestK]}
+		}
+		out[i] = sig
+	}
+	return out
+}
+
+// imputeTruth recomputes the imputed truth expectations ŷ_ic for items
+// without revealed truth (DESIGN.md D2). Before the first worker-model pass
+// it uses reliability-weighted vote frequencies (bootstrap); afterwards it
+// computes a calibrated per-label posterior: a two-coin log-odds vote with
+// the per-worker community rates, around a prior drawn from the item's
+// cluster emissions — the channel through which label co-occurrence
+// dependencies flow into the consensus (requirement R3). When items is nil
+// every item is refreshed; otherwise only the listed items are.
+func (m *Model) imputeTruth(items []int) {
+	var phiMean []float64
+	var nbar []float64
+	if m.haveRates {
+		T, C := m.T, m.numLabels
+		phiMean = make([]float64, T*C)
+		copy(phiMean, m.zeta)
+		for t := 0; t < T; t++ {
+			mathx.NormalizeInPlace(phiMean[t*C : (t+1)*C])
+		}
+		nbar = m.clusterTruthSizes()
+	}
+	apply := func(i int) {
+		voted := m.votedList[i]
+		vals := m.yhatVals[i]
+		if truth := m.revealedTruth[i]; truth != nil {
+			// Revealed items carry exact expectations.
+			for k, c := range voted {
+				vals[k] = 0
+				for _, tc := range truth {
+					if tc == c {
+						vals[k] = 1
+						break
+					}
+				}
+			}
+			return
+		}
+		if m.cfg.GroundTruthOnly {
+			// Literal Eq. 7 ablation: unobserved truth contributes nothing
+			// anywhere — demonstrating why grounding is required (D2).
+			for k := range vals {
+				vals[k] = 0
+			}
+			return
+		}
+		if !m.haveRates {
+			// Bootstrap: reliability-weighted vote share.
+			for k := range vals {
+				vals[k] = 0
+			}
+			denom := 0.0
+			for _, ar := range m.perItem[i] {
+				w := m.workerRelW[ar.other]
+				denom += w
+				for _, c := range ar.labels {
+					vals[searchInts(voted, c)] += w
+				}
+			}
+			if denom > 0 {
+				inv := 1 / denom
+				for k := range vals {
+					vals[k] *= inv
+				}
+			}
+			return
+		}
+		// Calibrated path: prior log-odds combining the cluster-mixture
+		// prior (label co-occurrence, R3) with the per-label empirical
+		// prevalence (the class prior): clusters lift co-occurring labels
+		// where the clustering is informative, prevalence separates
+		// commonly-true labels from incidental votes everywhere else.
+		T, C := m.T, m.numLabels
+		phiRow := m.phi[i*T : (i+1)*T]
+		for k, c := range voted {
+			prior := 0.0
+			for t := 0; t < T; t++ {
+				pt := phiRow[t]
+				if pt < 1e-6 {
+					continue
+				}
+				prior += pt * mathx.Clamp(nbar[t]*phiMean[t*C+c], 0.02, 0.90)
+			}
+			prior = math.Max(prior, m.labelPrev[c])
+			if m.expertCooc != nil {
+				// §6 extension: expert conditional probabilities floor the
+				// prior of labels implied by currently-believed ones.
+				prior = math.Max(prior, 0.9*m.expertPriorFloor(i, c))
+			}
+			prior = mathx.Clamp(prior, 0.05, 0.90)
+			logOdds := math.Log(prior) - math.Log1p(-prior)
+			for _, ar := range m.perItem[i] {
+				j := searchInts(ar.labels, c)
+				if j < len(ar.labels) && ar.labels[j] == c {
+					logOdds += m.voteLW[ar.other]
+				} else {
+					logOdds += m.missLW[ar.other]
+				}
+			}
+			vals[k] = 1 / (1 + math.Exp(-mathx.Clamp(logOdds, -30, 30)))
+		}
+		if m.expertCooc != nil {
+			// §6 extension, second stage: propagate belief along expert
+			// implications — "include label b whenever label a has been
+			// assigned" (the paper's §2.1 motivating rule). One pass over
+			// ordered pairs of voted labels.
+			for k, a := range voted {
+				if vals[k] <= 0.5 {
+					continue
+				}
+				row := m.expertCooc[a]
+				for j, b := range voted {
+					if implied := row[b] * vals[k]; implied > vals[j] {
+						vals[j] = implied
+					}
+				}
+			}
+		}
+	}
+	if items == nil {
+		for i := 0; i < m.numItems; i++ {
+			apply(i)
+		}
+		return
+	}
+	for _, i := range items {
+		apply(i)
+	}
+}
+
+// searchInts is a tiny binary search over a sorted int slice; the slices are
+// voted-label lists of a dozen entries, so this beats sort.SearchInts'
+// interface overhead in the hot path.
+func searchInts(s []int, x int) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// dataLogLik computes the ELBO surrogate Σ_{(i,u)} ln Σ_t ϕ_it Σ_m κ_um
+// p(x_iu | ψ̄_tm) under the posterior-mean confusion vectors — cheap,
+// monotone-ish during training, used by tests and diagnostics.
+func (m *Model) dataLogLik() float64 {
+	M, T, C := m.M, m.T, m.numLabels
+	psiMean := make([]float64, T*M*C)
+	copy(psiMean, m.lambda)
+	for t := 0; t < T; t++ {
+		for mm := 0; mm < M; mm++ {
+			mathx.NormalizeInPlace(psiMean[(t*M+mm)*C : (t*M+mm+1)*C])
+		}
+	}
+	totals := make([]float64, m.shardCount(m.numItems))
+	m.parallelForShards(m.numItems, len(totals), func(shard, lo, hi int) {
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			phiRow := m.phi[i*T : (i+1)*T]
+			for _, ar := range m.perItem[i] {
+				kappaRow := m.kappa[ar.other*M : (ar.other+1)*M]
+				lik := 0.0
+				for t := 0; t < T; t++ {
+					pt := phiRow[t]
+					if pt < 1e-10 {
+						continue
+					}
+					inner := 0.0
+					for mm := 0; mm < M; mm++ {
+						km := kappaRow[mm]
+						if km < 1e-10 {
+							continue
+						}
+						p := 1.0
+						base := (t*M + mm) * C
+						for _, c := range ar.labels {
+							p *= math.Max(psiMean[base+c], 1e-12)
+						}
+						inner += km * p
+					}
+					lik += pt * inner
+				}
+				sum += math.Log(math.Max(lik, 1e-300))
+			}
+		}
+		totals[shard] = sum
+	})
+	return mathx.Sum(totals)
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 3: map-reduce parallelisation
+// ---------------------------------------------------------------------------
+
+// shardCount returns the number of map shards for a loop over n elements.
+func (m *Model) shardCount(n int) int {
+	p := m.cfg.Parallelism
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// parallelFor splits [0, n) into contiguous shards processed concurrently.
+// With Parallelism 1 it runs inline (no goroutine overhead).
+func (m *Model) parallelFor(n int, fn func(lo, hi int)) {
+	shards := m.shardCount(n)
+	if shards == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo := s * n / shards
+		hi := (s + 1) * n / shards
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// parallelForShards is parallelFor with the shard index exposed, for
+// reductions into per-shard buffers.
+func (m *Model) parallelForShards(n, shards int, fn func(shard, lo, hi int)) {
+	if shards == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo := s * n / shards
+		hi := (s + 1) * n / shards
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			fn(s, lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+}
+
+// lambdaScratch returns per-shard accumulation buffers, reusing prior
+// allocations when the shape matches.
+func (m *Model) lambdaScratch(shards, size int) [][]float64 {
+	if len(m.scratch) != shards || (shards > 0 && len(m.scratch[0]) != size) {
+		m.scratch = make([][]float64, shards)
+		for s := range m.scratch {
+			m.scratch[s] = make([]float64, size)
+		}
+	}
+	return m.scratch
+}

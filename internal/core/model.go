@@ -1,0 +1,761 @@
+// Package core implements the paper's primary contribution: the CPA model
+// (Generic Crowdsourcing Consensus with Partial Agreement) — a Bayesian
+// nonparametric model for aggregating multi-label crowd answers — together
+// with its three inference engines and its prediction procedure:
+//
+//   - batch variational inference (paper §3.3, Algorithm 1) — Fit;
+//   - stochastic variational inference for online/streaming data (paper
+//     §4.1, Algorithm 2) — FitStream / PartialFit;
+//   - map-reduce style parallelisation of the local updates (paper §4.2,
+//     Algorithm 3) — Config.Parallelism;
+//   - greedy MAP label-set instantiation (paper §3.4) with an optional
+//     exhaustive mode — Predict.
+//
+// Worker communities and item clusters are both modelled by truncated
+// stick-breaking representations of Chinese Restaurant Processes, giving the
+// nonparametric adaptivity of requirement R4: unused components decay to
+// negligible stick mass, so the effective number of communities/clusters is
+// learned from data.
+//
+// Two documented deviations from the paper's literal equations (DESIGN.md
+// D1, D2) close gaps that make the literal model vacuous in the fully
+// unsupervised setting used by every headline experiment; both can be
+// switched off (Config.LiteralPhiUpdate, Config.GroundTruthOnly) to recover
+// the literal equations for ablation.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cpa/internal/answers"
+	"cpa/internal/labelset"
+	"cpa/internal/mathx"
+)
+
+// ErrConfig reports an invalid model configuration.
+var ErrConfig = errors.New("core: invalid config")
+
+// ErrState reports a call that is invalid in the model's current state
+// (e.g. Predict before Fit).
+var ErrState = errors.New("core: invalid state")
+
+// Config collects every tunable of the CPA model. The zero value is not
+// valid; use DefaultConfig as a starting point.
+type Config struct {
+	// MaxCommunities is M, the stick-breaking truncation for worker
+	// communities. The paper notes truncations "can safely be set to large
+	// values"; the effective number of communities adapts below it.
+	MaxCommunities int
+	// MaxClusters is T, the truncation for item clusters.
+	MaxClusters int
+
+	// Alpha is the CRP concentration for worker communities (prior belief
+	// on community fragmentation).
+	Alpha float64
+	// Epsilon is the CRP concentration for item clusters.
+	Epsilon float64
+	// GammaPrior is the symmetric Dirichlet pseudo-count for the community
+	// confusion vectors ψ_tm.
+	GammaPrior float64
+	// EtaPrior is the symmetric Dirichlet pseudo-count for the cluster
+	// label emissions φ_t.
+	EtaPrior float64
+
+	// MaxIter bounds batch VI iterations; Tol is the convergence threshold
+	// on the maximum absolute parameter change between iterations (the
+	// paper's criterion: "all model parameter differences ... below 1e-3").
+	MaxIter int
+	Tol     float64
+
+	// Seed drives the deterministic random initialisation.
+	Seed int64
+
+	// Parallelism is the number of map shards P for the Algorithm 3
+	// map-reduce; 1 runs serially. Results are deterministic and identical
+	// for every P (per-shard partial sums are reduced in shard order).
+	Parallelism int
+
+	// BatchSize is the number of answers per SVI mini-batch (Algorithm 2).
+	BatchSize int
+	// ForgettingRate is r in the learning rate ω_b = (1+b)^-r; the paper
+	// finds r ∈ [0.85, 0.9] best and any r ∈ (0.5, 1] convergent.
+	ForgettingRate float64
+
+	// DisableCommunities is the No-Z ablation (§5.4): every worker becomes
+	// a singleton community (κ pinned to the identity).
+	DisableCommunities bool
+	// DisableClusters is the No-L ablation (§5.4): every item becomes a
+	// singleton cluster (ϕ pinned to the identity).
+	DisableClusters bool
+
+	// GroundTruthOnly disables the imputed-truth grounding (DESIGN.md D2):
+	// the cluster emission update (Eq. 7) then uses revealed truth only,
+	// exactly as printed in the paper.
+	GroundTruthOnly bool
+	// LiteralPhiUpdate disables the answer-evidence term in the item
+	// cluster update (DESIGN.md D1), reverting to the literal Eq. 3.
+	LiteralPhiUpdate bool
+
+	// ExhaustivePrediction replaces the greedy search of §3.4 with an
+	// exhaustive scan over label subsets of the candidate universe, as the
+	// paper describes for the No-L discussion. The universe is capped at
+	// ExhaustiveCap labels (top candidates by marginal score) to bound the
+	// 2^C blow-up the paper itself calls intractable.
+	ExhaustivePrediction bool
+	ExhaustiveCap        int
+}
+
+// DefaultConfig returns the settings used by the evaluation harness.
+func DefaultConfig() Config {
+	return Config{
+		MaxCommunities: 10,
+		MaxClusters:    20,
+		Alpha:          1,
+		Epsilon:        1,
+		GammaPrior:     0.1,
+		EtaPrior:       0.1,
+		MaxIter:        40,
+		Tol:            1e-3,
+		Parallelism:    1,
+		BatchSize:      256,
+		ForgettingRate: 0.875,
+		ExhaustiveCap:  12,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.MaxCommunities == 0 {
+		c.MaxCommunities = d.MaxCommunities
+	}
+	if c.MaxClusters == 0 {
+		c.MaxClusters = d.MaxClusters
+	}
+	if c.Alpha == 0 {
+		c.Alpha = d.Alpha
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = d.Epsilon
+	}
+	if c.GammaPrior == 0 {
+		c.GammaPrior = d.GammaPrior
+	}
+	if c.EtaPrior == 0 {
+		c.EtaPrior = d.EtaPrior
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = d.MaxIter
+	}
+	if c.Tol == 0 {
+		c.Tol = d.Tol
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = d.Parallelism
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = d.BatchSize
+	}
+	if c.ForgettingRate == 0 {
+		c.ForgettingRate = d.ForgettingRate
+	}
+	if c.ExhaustiveCap == 0 {
+		c.ExhaustiveCap = d.ExhaustiveCap
+	}
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.MaxCommunities < 1 || c.MaxClusters < 1:
+		return fmt.Errorf("%w: truncations M=%d T=%d", ErrConfig, c.MaxCommunities, c.MaxClusters)
+	case c.Alpha <= 0 || c.Epsilon <= 0:
+		return fmt.Errorf("%w: concentrations alpha=%v epsilon=%v", ErrConfig, c.Alpha, c.Epsilon)
+	case c.GammaPrior <= 0 || c.EtaPrior <= 0:
+		return fmt.Errorf("%w: Dirichlet priors gamma=%v eta=%v", ErrConfig, c.GammaPrior, c.EtaPrior)
+	case c.MaxIter < 1:
+		return fmt.Errorf("%w: MaxIter=%d", ErrConfig, c.MaxIter)
+	case c.Tol <= 0:
+		return fmt.Errorf("%w: Tol=%v", ErrConfig, c.Tol)
+	case c.Parallelism < 1:
+		return fmt.Errorf("%w: Parallelism=%d", ErrConfig, c.Parallelism)
+	case c.BatchSize < 1:
+		return fmt.Errorf("%w: BatchSize=%d", ErrConfig, c.BatchSize)
+	case c.ForgettingRate <= 0.5 || c.ForgettingRate > 1:
+		return fmt.Errorf("%w: ForgettingRate=%v outside (0.5,1]", ErrConfig, c.ForgettingRate)
+	case c.ExhaustiveCap < 1 || c.ExhaustiveCap > 24:
+		return fmt.Errorf("%w: ExhaustiveCap=%d outside [1,24]", ErrConfig, c.ExhaustiveCap)
+	}
+	return nil
+}
+
+// ansRef is one answer in the model's dense internal form.
+type ansRef struct {
+	other  int   // the item (in perWorker) or the worker (in perItem)
+	labels []int // sorted member labels of x_iu
+}
+
+// Model holds the variational posterior of a CPA instance. Create with
+// NewModel, train with Fit (batch) or FitStream/PartialFit (online), then
+// call Predict.
+type Model struct {
+	cfg Config
+
+	numItems, numWorkers, numLabels int
+	// M, T are the effective truncations after ablation flags (No-Z pins
+	// M to numWorkers, No-L pins T to numItems).
+	M, T int
+
+	rng *rand.Rand
+
+	// Observed data in dense form (populated by Fit or accumulated by
+	// PartialFit).
+	perWorker [][]ansRef
+	perItem   [][]ansRef
+	numAns    int
+	// revealedTruth[i] is nil unless item i's truth is visible to the
+	// model (test questions).
+	revealedTruth [][]int
+
+	// Variational parameters.
+	kappa  []float64 // U×M responsibilities q(z_u)
+	phi    []float64 // I×T responsibilities q(l_i)
+	lambda []float64 // T×M×C Dirichlet params of q(ψ_tm)
+	zeta   []float64 // T×C Dirichlet params of q(φ_t)
+	rho1   []float64 // M-1 Beta params of community sticks
+	rho2   []float64
+	ups1   []float64 // T-1 Beta params of cluster sticks
+	ups2   []float64
+
+	// Cached expectations, refreshed from the parameters above at the start
+	// of each iteration.
+	elogPi  []float64 // M
+	elogTau []float64 // T
+	elogPsi []float64 // T×M×C: ψ(λ_tmc) − ψ(Σ_c λ_tmc)
+	elogPhi []float64 // T×C
+
+	// Imputed truth expectations ŷ (DESIGN.md D2) and the community-level
+	// two-coin worker model that calibrates them.
+	votedList  [][]int // per item: sorted union of voted labels
+	yhatVals   [][]float64
+	relm       []float64 // M community reliabilities in [0,1] (agreement)
+	workerRelW []float64 // U: Σ_m κ_um rel_m
+	// Per-community binary rates marginalised from ψ against the hardened
+	// consensus: true-positive rate and false-positive rate, plus their
+	// per-worker log-odds contributions.
+	tprM, fprM []float64 // M
+	// Per-worker raw two-coin counts; worker rates are these counts shrunk
+	// toward the worker's community rates (hierarchical pooling: the
+	// community is the prior, the worker's own record the evidence).
+	tpNumU, tpDenU, fpNumU, fpDenU []float64 // U
+	voteLW                         []float64 // U: ln(TPR_u/FPR_u)
+	missLW                         []float64 // U: ln((1−TPR_u)/(1−FPR_u))
+	haveRates                      bool
+	streamFitted                   bool
+	// labelPrev[c] is the empirical per-label prevalence: among items where
+	// c was voted, the mean imputed probability that c is true — the class
+	// prior of the calibrated imputation.
+	labelPrev []float64
+	// Running SVI worker-model accumulators (batch counts blended by ω).
+	runTP, runTPD, runFP, runFPD, runAgree, runAgreeD []float64
+	runPrevN, runPrevD                                []float64
+	// expertCooc is the optional external co-occurrence prior (§6 extension);
+	// see SetExpertCooccurrence.
+	expertCooc [][]float64
+
+	// SVI state.
+	batchIndex     int
+	lastBatchDelta float64
+	fitted         bool
+
+	// temp is the deterministic-annealing temperature applied to the local
+	// softmax updates (1 = exact mean-field; >1 keeps responsibilities soft
+	// during the first batch-VI iterations so assignments can refine before
+	// they harden).
+	temp float64
+
+	// scratch holds per-shard reduction buffers reused across iterations.
+	scratch [][]float64
+}
+
+// NewModel allocates a CPA model for the given problem dimensions.
+func NewModel(cfg Config, numItems, numWorkers, numLabels int) (*Model, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if numItems <= 0 || numWorkers <= 0 || numLabels <= 0 {
+		return nil, fmt.Errorf("%w: dimensions %d/%d/%d", ErrConfig, numItems, numWorkers, numLabels)
+	}
+	m := &Model{
+		cfg:        cfg,
+		numItems:   numItems,
+		numWorkers: numWorkers,
+		numLabels:  numLabels,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		temp:       1,
+	}
+	m.M = cfg.MaxCommunities
+	if cfg.DisableCommunities {
+		m.M = numWorkers
+	}
+	m.T = cfg.MaxClusters
+	if cfg.DisableClusters {
+		m.T = numItems
+	}
+	if m.M > numWorkers {
+		m.M = numWorkers
+	}
+	if m.T > numItems {
+		m.T = numItems
+	}
+	m.allocate()
+	m.initialize()
+	return m, nil
+}
+
+// Dims returns (items, workers, labels).
+func (m *Model) Dims() (int, int, int) { return m.numItems, m.numWorkers, m.numLabels }
+
+// Truncations returns the effective (M, T) truncation levels.
+func (m *Model) Truncations() (int, int) { return m.M, m.T }
+
+func (m *Model) allocate() {
+	U, I, C, M, T := m.numWorkers, m.numItems, m.numLabels, m.M, m.T
+	m.perWorker = make([][]ansRef, U)
+	m.perItem = make([][]ansRef, I)
+	m.revealedTruth = make([][]int, I)
+	m.kappa = make([]float64, U*M)
+	m.phi = make([]float64, I*T)
+	m.lambda = make([]float64, T*M*C)
+	m.zeta = make([]float64, T*C)
+	if M > 1 {
+		m.rho1 = make([]float64, M-1)
+		m.rho2 = make([]float64, M-1)
+	}
+	if T > 1 {
+		m.ups1 = make([]float64, T-1)
+		m.ups2 = make([]float64, T-1)
+	}
+	m.elogPi = make([]float64, M)
+	m.elogTau = make([]float64, T)
+	m.elogPsi = make([]float64, T*M*C)
+	m.elogPhi = make([]float64, T*C)
+	m.votedList = make([][]int, I)
+	m.yhatVals = make([][]float64, I)
+	m.relm = make([]float64, M)
+	m.workerRelW = make([]float64, U)
+	m.tprM = make([]float64, M)
+	m.fprM = make([]float64, M)
+	m.tpNumU = make([]float64, U)
+	m.tpDenU = make([]float64, U)
+	m.fpNumU = make([]float64, U)
+	m.fpDenU = make([]float64, U)
+	m.voteLW = make([]float64, U)
+	m.missLW = make([]float64, U)
+	m.labelPrev = make([]float64, C)
+	mathx.Fill(m.labelPrev, 0.25)
+}
+
+// initialize seeds the responsibilities with jittered-uniform assignments
+// (identity for the ablated factors) and the global parameters at their
+// priors. Batch fitting replaces the jitter with data-driven seeding
+// (DESIGN.md D6) before the first iteration.
+func (m *Model) initialize() {
+	U, I, M, T := m.numWorkers, m.numItems, m.M, m.T
+	for u := 0; u < U; u++ {
+		row := m.kappa[u*M : (u+1)*M]
+		if m.cfg.DisableCommunities {
+			mathx.Fill(row, 0)
+			row[u] = 1
+			continue
+		}
+		for mm := range row {
+			row[mm] = 0.75 + 0.5*m.rng.Float64()
+		}
+		mathx.NormalizeInPlace(row)
+	}
+	for i := 0; i < I; i++ {
+		row := m.phi[i*T : (i+1)*T]
+		if m.cfg.DisableClusters {
+			mathx.Fill(row, 0)
+			row[i] = 1
+			continue
+		}
+		for t := range row {
+			row[t] = 0.75 + 0.5*m.rng.Float64()
+		}
+		mathx.NormalizeInPlace(row)
+	}
+	mathx.Fill(m.lambda, m.cfg.GammaPrior)
+	mathx.Fill(m.zeta, m.cfg.EtaPrior)
+	mathx.Fill(m.rho1, 1)
+	mathx.Fill(m.rho2, m.cfg.Alpha)
+	mathx.Fill(m.ups1, 1)
+	mathx.Fill(m.ups2, m.cfg.Epsilon)
+	mathx.Fill(m.relm, 1)
+	mathx.Fill(m.workerRelW, 1)
+	m.refreshExpectations()
+}
+
+// seedFromData replaces the jittered-uniform responsibilities with
+// data-driven ones (DESIGN.md D6). Requires imputeTruth to have produced
+// vote fractions first. Item clusters: each item is softly assigned to the
+// seed item (T spread-out representatives) whose majority-voted label
+// signature is most Jaccard-similar. Worker communities: workers are ranked
+// by mean agreement of their answers with the majority signature and split
+// into M quantile buckets.
+func (m *Model) seedFromData() {
+	M, T := m.M, m.T
+	const soft = 0.2 // mass spread across non-home components
+
+	// Majority signatures per item: voted labels with ŷ > 0.5 (falling back
+	// to the top-ŷ label).
+	signatures := make([][]int, m.numItems)
+	for i := 0; i < m.numItems; i++ {
+		voted := m.votedList[i]
+		vals := m.yhatVals[i]
+		var sig []int
+		bestK, bestV := -1, 0.0
+		for k, c := range voted {
+			if vals[k] > 0.5 {
+				sig = append(sig, c)
+			}
+			if vals[k] > bestV {
+				bestK, bestV = k, vals[k]
+			}
+		}
+		if len(sig) == 0 && bestK >= 0 {
+			sig = []int{voted[bestK]}
+		}
+		signatures[i] = sig
+	}
+
+	if !m.cfg.DisableClusters {
+		seeds := m.rng.Perm(m.numItems)
+		if len(seeds) > T {
+			seeds = seeds[:T]
+		}
+		member := make(map[int]bool)
+		for i := 0; i < m.numItems; i++ {
+			for k := range member {
+				delete(member, k)
+			}
+			for _, c := range signatures[i] {
+				member[c] = true
+			}
+			bestT, bestSim := 0, -1.0
+			for t, seed := range seeds {
+				inter := 0
+				for _, c := range signatures[seed] {
+					if member[c] {
+						inter++
+					}
+				}
+				union := len(signatures[i]) + len(signatures[seed]) - inter
+				sim := 1.0
+				if union > 0 {
+					sim = float64(inter) / float64(union)
+				}
+				if sim > bestSim {
+					bestT, bestSim = t, sim
+				}
+			}
+			row := m.phi[i*T : (i+1)*T]
+			mathx.Fill(row, soft/float64(T))
+			row[bestT] += 1 - soft
+		}
+	}
+
+	if !m.cfg.DisableCommunities {
+		type wa struct {
+			u     int
+			agree float64
+		}
+		order := make([]wa, m.numWorkers)
+		member := make(map[int]bool)
+		for u := 0; u < m.numWorkers; u++ {
+			agree, n := 0.0, 0
+			for _, ar := range m.perWorker[u] {
+				for k := range member {
+					delete(member, k)
+				}
+				for _, c := range signatures[ar.other] {
+					member[c] = true
+				}
+				inter := 0
+				for _, c := range ar.labels {
+					if member[c] {
+						inter++
+					}
+				}
+				union := len(ar.labels) + len(member) - inter
+				if union > 0 {
+					agree += float64(inter) / float64(union)
+				} else {
+					agree++
+				}
+				n++
+			}
+			score := 0.5
+			if n > 0 {
+				score = agree / float64(n)
+			}
+			order[u] = wa{u, score + 1e-9*float64(u%97)}
+		}
+		sort.Slice(order, func(a, b int) bool { return order[a].agree < order[b].agree })
+		for rank, w := range order {
+			home := rank * M / len(order)
+			row := m.kappa[w.u*M : (w.u+1)*M]
+			mathx.Fill(row, soft/float64(M))
+			row[home] += 1 - soft
+		}
+	}
+}
+
+// loadDataset ingests a dataset into the dense internal form, replacing any
+// previously loaded data.
+func (m *Model) loadDataset(ds *answers.Dataset) error {
+	if ds.NumItems != m.numItems || ds.NumWorkers != m.numWorkers || ds.NumLabels != m.numLabels {
+		return fmt.Errorf("%w: dataset dims %d/%d/%d do not match model %d/%d/%d", ErrConfig,
+			ds.NumItems, ds.NumWorkers, ds.NumLabels, m.numItems, m.numWorkers, m.numLabels)
+	}
+	for u := range m.perWorker {
+		m.perWorker[u] = nil
+	}
+	for i := range m.perItem {
+		m.perItem[i] = nil
+	}
+	m.numAns = 0
+	for _, a := range ds.Answers() {
+		m.ingest(a)
+	}
+	for i := 0; i < m.numItems; i++ {
+		if truth, ok := ds.Revealed(i); ok {
+			m.revealedTruth[i] = truth.Slice()
+		} else {
+			m.revealedTruth[i] = nil
+		}
+	}
+	m.rebuildVoted()
+	return nil
+}
+
+// ingest adds one answer to the dense views.
+func (m *Model) ingest(a answers.Answer) {
+	xs := a.Labels.Slice()
+	m.perWorker[a.Worker] = append(m.perWorker[a.Worker], ansRef{other: a.Item, labels: xs})
+	m.perItem[a.Item] = append(m.perItem[a.Item], ansRef{other: a.Worker, labels: xs})
+	m.numAns++
+}
+
+// rebuildVoted recomputes, per item, the sorted union of voted labels and
+// resets the imputed-truth storage aligned with it.
+func (m *Model) rebuildVoted() {
+	for i := 0; i < m.numItems; i++ {
+		var s labelset.Set
+		for _, ar := range m.perItem[i] {
+			for _, c := range ar.labels {
+				s.Add(c)
+			}
+		}
+		for _, c := range m.revealedTruth[i] {
+			s.Add(c)
+		}
+		m.votedList[i] = s.Slice()
+		m.yhatVals[i] = make([]float64, len(m.votedList[i]))
+	}
+}
+
+// refreshExpectations recomputes every cached digamma expectation from the
+// current variational parameters.
+func (m *Model) refreshExpectations() {
+	M, T, C := m.M, m.T, m.numLabels
+	// Stick expectations E[ln π_m], E[ln τ_t].
+	if M > 1 {
+		stickELog(m.rho1, m.rho2, m.elogPi)
+	} else {
+		m.elogPi[0] = 0
+	}
+	if T > 1 {
+		stickELog(m.ups1, m.ups2, m.elogTau)
+	} else {
+		m.elogTau[0] = 0
+	}
+	// Dirichlet expectations for ψ and φ.
+	for t := 0; t < T; t++ {
+		for mm := 0; mm < M; mm++ {
+			row := m.lambda[(t*M+mm)*C : (t*M+mm+1)*C]
+			out := m.elogPsi[(t*M+mm)*C : (t*M+mm+1)*C]
+			dirELog(row, out)
+		}
+		dirELog(m.zeta[t*C:(t+1)*C], m.elogPhi[t*C:(t+1)*C])
+	}
+}
+
+// stickELog fills dst (length len(a)+1) with E[ln π_k] for the truncated
+// stick-breaking posterior given Beta parameters (a, b).
+func stickELog(a, b, dst []float64) {
+	acc := 0.0
+	for j := range a {
+		sum := mathx.Digamma(a[j] + b[j])
+		dst[j] = acc + mathx.Digamma(a[j]) - sum
+		acc += mathx.Digamma(b[j]) - sum
+	}
+	dst[len(a)] = acc
+}
+
+// dirELog fills dst with ψ(α_c) − ψ(Σα) for the Dirichlet parameters alpha.
+func dirELog(alpha, dst []float64) {
+	total := mathx.Digamma(mathx.Sum(alpha))
+	for c, a := range alpha {
+		dst[c] = mathx.Digamma(a) - total
+	}
+}
+
+// CommunityWeights returns the posterior expected community proportions
+// E[π], derived from the stick posteriors.
+func (m *Model) CommunityWeights() []float64 {
+	return stickMeanWeights(m.rho1, m.rho2, m.M)
+}
+
+// ClusterWeights returns the posterior expected cluster proportions E[τ].
+func (m *Model) ClusterWeights() []float64 {
+	return stickMeanWeights(m.ups1, m.ups2, m.T)
+}
+
+func stickMeanWeights(a, b []float64, k int) []float64 {
+	out := make([]float64, k)
+	remaining := 1.0
+	for j := 0; j < k-1; j++ {
+		v := a[j] / (a[j] + b[j])
+		out[j] = v * remaining
+		remaining *= 1 - v
+	}
+	out[k-1] = remaining
+	return out
+}
+
+// EffectiveCommunities counts communities whose expected proportion exceeds
+// threshold — the adaptivity diagnostic of requirement R4.
+func (m *Model) EffectiveCommunities(threshold float64) int {
+	n := 0
+	for _, w := range m.CommunityWeights() {
+		if w > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// EffectiveClusters counts clusters whose expected proportion exceeds
+// threshold.
+func (m *Model) EffectiveClusters(threshold float64) int {
+	n := 0
+	for _, w := range m.ClusterWeights() {
+		if w > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// WorkerCommunity returns the MAP community of worker u.
+func (m *Model) WorkerCommunity(u int) int {
+	if u < 0 || u >= m.numWorkers {
+		return -1
+	}
+	return mathx.ArgMax(m.kappa[u*m.M : (u+1)*m.M])
+}
+
+// ItemCluster returns the MAP cluster of item i.
+func (m *Model) ItemCluster(i int) int {
+	if i < 0 || i >= m.numItems {
+		return -1
+	}
+	return mathx.ArgMax(m.phi[i*m.T : (i+1)*m.T])
+}
+
+// WorkerReliability returns the model's reliability weight for worker u:
+// Σ_m κ_um · rel_m, in [0, 1]. Available after fitting.
+func (m *Model) WorkerReliability(u int) float64 {
+	if u < 0 || u >= m.numWorkers {
+		return 0
+	}
+	return m.workerRelW[u]
+}
+
+// CommunityReliability returns rel_m for community m.
+func (m *Model) CommunityReliability(mm int) float64 {
+	if mm < 0 || mm >= m.M {
+		return 0
+	}
+	return m.relm[mm]
+}
+
+// Fitted reports whether the model has been trained.
+func (m *Model) Fitted() bool { return m.fitted }
+
+// Clone returns an independent deep copy of the model, used by the
+// experiment harness to snapshot online-learning trajectories.
+func (m *Model) Clone() *Model {
+	c := *m
+	c.rng = rand.New(rand.NewSource(m.cfg.Seed + int64(m.batchIndex) + 1))
+	cpF := func(v []float64) []float64 { return append([]float64(nil), v...) }
+	c.kappa = cpF(m.kappa)
+	c.phi = cpF(m.phi)
+	c.lambda = cpF(m.lambda)
+	c.zeta = cpF(m.zeta)
+	c.rho1, c.rho2 = cpF(m.rho1), cpF(m.rho2)
+	c.ups1, c.ups2 = cpF(m.ups1), cpF(m.ups2)
+	c.elogPi, c.elogTau = cpF(m.elogPi), cpF(m.elogTau)
+	c.elogPsi, c.elogPhi = cpF(m.elogPsi), cpF(m.elogPhi)
+	c.relm, c.workerRelW = cpF(m.relm), cpF(m.workerRelW)
+	c.tprM, c.fprM = cpF(m.tprM), cpF(m.fprM)
+	c.tpNumU, c.tpDenU = cpF(m.tpNumU), cpF(m.tpDenU)
+	c.fpNumU, c.fpDenU = cpF(m.fpNumU), cpF(m.fpDenU)
+	c.voteLW, c.missLW = cpF(m.voteLW), cpF(m.missLW)
+	c.labelPrev = cpF(m.labelPrev)
+	if m.runTP != nil {
+		c.runTP, c.runTPD = cpF(m.runTP), cpF(m.runTPD)
+		c.runFP, c.runFPD = cpF(m.runFP), cpF(m.runFPD)
+		c.runAgree, c.runAgreeD = cpF(m.runAgree), cpF(m.runAgreeD)
+		c.runPrevN, c.runPrevD = cpF(m.runPrevN), cpF(m.runPrevD)
+	}
+	c.perWorker = make([][]ansRef, len(m.perWorker))
+	for u := range m.perWorker {
+		c.perWorker[u] = append([]ansRef(nil), m.perWorker[u]...)
+	}
+	c.perItem = make([][]ansRef, len(m.perItem))
+	for i := range m.perItem {
+		c.perItem[i] = append([]ansRef(nil), m.perItem[i]...)
+	}
+	c.revealedTruth = make([][]int, len(m.revealedTruth))
+	for i := range m.revealedTruth {
+		c.revealedTruth[i] = append([]int(nil), m.revealedTruth[i]...)
+	}
+	c.votedList = make([][]int, len(m.votedList))
+	c.yhatVals = make([][]float64, len(m.yhatVals))
+	for i := range m.votedList {
+		c.votedList[i] = append([]int(nil), m.votedList[i]...)
+		c.yhatVals[i] = append([]float64(nil), m.yhatVals[i]...)
+	}
+	c.scratch = nil // reduction buffers must not be shared between models
+	return &c
+}
+
+// answerScore computes Σ_{c∈xs} elogPsi[t][m][c] for a given (t, m), the
+// data term E[ln p(x_iu | ψ_tm)] up to the count-factorial constant that
+// cancels in all softmax normalisations.
+func (m *Model) answerScore(t, mm int, xs []int) float64 {
+	base := (t*m.M + mm) * m.numLabels
+	s := 0.0
+	for _, c := range xs {
+		s += m.elogPsi[base+c]
+	}
+	return s
+}
+
+// NumAnswers returns the number of answers the model has ingested.
+func (m *Model) NumAnswers() int { return m.numAns }

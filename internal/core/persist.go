@@ -1,0 +1,157 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"cpa/internal/mathx"
+)
+
+// modelState is the gob wire form of a trained model: configuration,
+// dimensions, the variational posterior, and the ingested answers (which
+// prediction's cluster-weight likelihoods and later PartialFit scaling
+// depend on). A restored model predicts identically to the original and can
+// continue streaming.
+type modelState struct {
+	Version    int
+	Cfg        Config
+	Items      int
+	Workers    int
+	Labels     int
+	M, T       int
+	Kappa      []float64
+	Phi        []float64
+	Lambda     []float64
+	Zeta       []float64
+	Rho1, Rho2 []float64
+	Ups1, Ups2 []float64
+	VotedList  [][]int
+	YhatVals   [][]float64
+	Relm       []float64
+	WorkerRelW []float64
+	TprM, FprM []float64
+	VoteLW     []float64
+	MissLW     []float64
+	LabelPrev  []float64
+	HaveRates  bool
+	BatchIndex int
+	Fitted     bool
+	// Ingested answers, flattened in arrival-independent per-item order.
+	AnsItems   []int
+	AnsWorkers []int
+	AnsLabels  [][]int
+}
+
+const persistVersion = 1
+
+// Save serialises the trained posterior to w (encoding/gob). See modelState
+// for what is and is not persisted.
+func (m *Model) Save(w io.Writer) error {
+	st := modelState{
+		Version: persistVersion,
+		Cfg:     m.cfg,
+		Items:   m.numItems, Workers: m.numWorkers, Labels: m.numLabels,
+		M: m.M, T: m.T,
+		Kappa: m.kappa, Phi: m.phi, Lambda: m.lambda, Zeta: m.zeta,
+		Rho1: m.rho1, Rho2: m.rho2, Ups1: m.ups1, Ups2: m.ups2,
+		VotedList: m.votedList, YhatVals: m.yhatVals,
+		Relm: m.relm, WorkerRelW: m.workerRelW,
+		TprM: m.tprM, FprM: m.fprM, VoteLW: m.voteLW, MissLW: m.missLW,
+		LabelPrev: m.labelPrev, HaveRates: m.haveRates,
+		BatchIndex: m.batchIndex, Fitted: m.fitted,
+	}
+	for i, refs := range m.perItem {
+		for _, ar := range refs {
+			st.AnsItems = append(st.AnsItems, i)
+			st.AnsWorkers = append(st.AnsWorkers, ar.other)
+			st.AnsLabels = append(st.AnsLabels, ar.labels)
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	return nil
+}
+
+// Load restores a model saved with Save.
+func Load(r io.Reader) (*Model, error) {
+	var st modelState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: loading model: %w", err)
+	}
+	if st.Version != persistVersion {
+		return nil, fmt.Errorf("%w: model state version %d (want %d)", ErrConfig, st.Version, persistVersion)
+	}
+	m, err := NewModel(st.Cfg, st.Items, st.Workers, st.Labels)
+	if err != nil {
+		return nil, err
+	}
+	if st.M != m.M || st.T != m.T {
+		return nil, fmt.Errorf("%w: truncation mismatch in saved state", ErrConfig)
+	}
+	copyInto := func(dst, src []float64, what string) error {
+		if len(dst) != len(src) {
+			return fmt.Errorf("%w: saved %s has %d entries, want %d", ErrConfig, what, len(src), len(dst))
+		}
+		copy(dst, src)
+		return nil
+	}
+	for _, c := range []struct {
+		dst, src []float64
+		what     string
+	}{
+		{m.kappa, st.Kappa, "kappa"}, {m.phi, st.Phi, "phi"},
+		{m.lambda, st.Lambda, "lambda"}, {m.zeta, st.Zeta, "zeta"},
+		{m.rho1, st.Rho1, "rho1"}, {m.rho2, st.Rho2, "rho2"},
+		{m.ups1, st.Ups1, "ups1"}, {m.ups2, st.Ups2, "ups2"},
+		{m.relm, st.Relm, "relm"}, {m.workerRelW, st.WorkerRelW, "workerRelW"},
+		{m.tprM, st.TprM, "tprM"}, {m.fprM, st.FprM, "fprM"},
+		{m.voteLW, st.VoteLW, "voteLW"}, {m.missLW, st.MissLW, "missLW"},
+		{m.labelPrev, st.LabelPrev, "labelPrev"},
+	} {
+		if err := copyInto(c.dst, c.src, c.what); err != nil {
+			return nil, err
+		}
+	}
+	if len(st.VotedList) != m.numItems || len(st.YhatVals) != m.numItems {
+		return nil, fmt.Errorf("%w: saved per-item state has wrong length", ErrConfig)
+	}
+	for i := range st.VotedList {
+		m.votedList[i] = st.VotedList[i]
+		m.yhatVals[i] = st.YhatVals[i]
+		if len(m.votedList[i]) != len(m.yhatVals[i]) {
+			return nil, fmt.Errorf("%w: item %d voted/yhat length mismatch", ErrConfig, i)
+		}
+	}
+	if len(st.AnsItems) != len(st.AnsWorkers) || len(st.AnsItems) != len(st.AnsLabels) {
+		return nil, fmt.Errorf("%w: saved answers malformed", ErrConfig)
+	}
+	for k, item := range st.AnsItems {
+		worker := st.AnsWorkers[k]
+		if item < 0 || item >= m.numItems || worker < 0 || worker >= m.numWorkers {
+			return nil, fmt.Errorf("%w: saved answer (%d,%d) out of range", ErrConfig, item, worker)
+		}
+		xs := st.AnsLabels[k]
+		m.perItem[item] = append(m.perItem[item], ansRef{other: worker, labels: xs})
+		m.perWorker[worker] = append(m.perWorker[worker], ansRef{other: item, labels: xs})
+		m.numAns++
+	}
+	m.haveRates = st.HaveRates
+	m.batchIndex = st.BatchIndex
+	m.fitted = st.Fitted
+	m.streamFitted = st.BatchIndex > 0
+	// Reseed the RNG deterministically past the saved progress and refresh
+	// the cached expectations from the restored parameters.
+	m.rng = rand.New(rand.NewSource(st.Cfg.Seed + int64(st.BatchIndex) + 1))
+	m.refreshExpectations()
+	// Sanity: parameters must be positive.
+	for _, v := range m.lambda {
+		if v <= 0 {
+			return nil, fmt.Errorf("%w: non-positive lambda in saved state", ErrConfig)
+		}
+	}
+	_ = mathx.Sum // keep import stable for future validations
+	return m, nil
+}

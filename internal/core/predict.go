@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cpa/internal/labelset"
+	"cpa/internal/mathx"
+)
+
+// Predict instantiates the deterministic assignment d : items → 2^labels
+// (paper §3.4): for every item it maximises p(y_i, x_{U_i} | D, P) over
+// label sets, greedily by default or exhaustively over a capped candidate
+// universe with Config.ExhaustivePrediction. Prediction is independent per
+// item and runs on the Algorithm 3 shards.
+func (m *Model) Predict() ([]labelset.Set, error) {
+	if !m.fitted {
+		return nil, fmt.Errorf("%w: Predict before Fit/FitStream", ErrState)
+	}
+	pred := make([]labelset.Set, m.numItems)
+	// Posterior-mode (MAP) estimates ψ^MAP, φ^MAP of the Dirichlet
+	// posteriors, shared read-only across shards.
+	psiMAP := m.dirichletModes(m.lambda, m.M*m.T)
+	phiMAP := m.dirichletModes(m.zeta, m.T)
+	nbar := m.clusterTruthSizes()
+	m.parallelFor(m.numItems, func(lo, hi int) {
+		sc := newPredictScratch(m)
+		for i := lo; i < hi; i++ {
+			pred[i] = m.predictItem(i, psiMAP, phiMAP, nbar, sc)
+		}
+	})
+	return pred, nil
+}
+
+// PredictItem predicts a single item with fresh scratch. Prefer Predict for
+// bulk use.
+func (m *Model) PredictItem(i int) (labelset.Set, error) {
+	if !m.fitted {
+		return labelset.Set{}, fmt.Errorf("%w: PredictItem before Fit/FitStream", ErrState)
+	}
+	if i < 0 || i >= m.numItems {
+		return labelset.Set{}, fmt.Errorf("%w: item %d out of range", ErrConfig, i)
+	}
+	psiMAP := m.dirichletModes(m.lambda, m.M*m.T)
+	phiMAP := m.dirichletModes(m.zeta, m.T)
+	nbar := m.clusterTruthSizes()
+	return m.predictItem(i, psiMAP, phiMAP, nbar, newPredictScratch(m)), nil
+}
+
+// dirichletModes returns row-wise MAP points of `rows` C-dimensional
+// Dirichlet posteriors stored contiguously, falling back to the mean when
+// any concentration is below one (no interior mode).
+func (m *Model) dirichletModes(params []float64, rows int) []float64 {
+	C := m.numLabels
+	out := make([]float64, len(params))
+	for r := 0; r < rows; r++ {
+		row := params[r*C : (r+1)*C]
+		dst := out[r*C : (r+1)*C]
+		sum := mathx.Sum(row)
+		interior := sum > float64(C)
+		if interior {
+			for _, a := range row {
+				if a < 1 {
+					interior = false
+					break
+				}
+			}
+		}
+		if interior {
+			denom := sum - float64(C)
+			for c, a := range row {
+				dst[c] = (a - 1) / denom
+			}
+		} else {
+			copy(dst, row)
+			mathx.NormalizeInPlace(dst)
+		}
+	}
+	return out
+}
+
+// clusterTruthSizes estimates n̄_t, the expected true-label-set size of each
+// cluster, from the accumulated emission mass: Σ_c (ζ_tc − η) is the
+// ϕ-weighted sum of imputed/observed truth masses in cluster t (DESIGN.md
+// D3).
+func (m *Model) clusterTruthSizes() []float64 {
+	T, C := m.T, m.numLabels
+	mass := make([]float64, T)
+	for i := 0; i < m.numItems; i++ {
+		for t := 0; t < T; t++ {
+			mass[t] += m.phi[i*T+t]
+		}
+	}
+	out := make([]float64, T)
+	for t := 0; t < T; t++ {
+		acc := mathx.Sum(m.zeta[t*C:(t+1)*C]) - float64(C)*m.cfg.EtaPrior
+		if mass[t] > 1e-6 {
+			out[t] = acc / mass[t]
+		}
+		out[t] = mathx.Clamp(out[t], 1, float64(C))
+	}
+	return out
+}
+
+// predictScratch holds the per-item working buffers of prediction.
+type predictScratch struct {
+	logW    []float64   // T: ln w_it (cluster posterior incl. answer evidence)
+	runLogS []float64   // T: running ln S_t(y) during greedy
+	trial   []float64   // T
+	delta   [][]float64 // per candidate: T-vector of per-cluster gains
+	cand    []int
+}
+
+func newPredictScratch(m *Model) *predictScratch {
+	return &predictScratch{
+		logW:    make([]float64, m.T),
+		runLogS: make([]float64, m.T),
+		trial:   make([]float64, m.T),
+	}
+}
+
+// predictItem implements the §3.4 instantiation for one item (DESIGN.md D3
+// documents the multinomial→Bernoulli conversion of the set score).
+func (m *Model) predictItem(i int, psiMAP, phiMAP, nbar []float64, sc *predictScratch) labelset.Set {
+	M, T, C := m.M, m.T, m.numLabels
+
+	// Cluster posterior weights:
+	// ln w_it = ln ϕ_it + Σ_{u∈U_i} ln Σ_m κ_um p(x_iu | ψ_tm^MAP).
+	for t := 0; t < T; t++ {
+		w := math.Log(math.Max(m.phi[i*T+t], 1e-300))
+		for _, ar := range m.perItem[i] {
+			kappaRow := m.kappa[ar.other*M : (ar.other+1)*M]
+			inner := 0.0
+			for mm := 0; mm < M; mm++ {
+				km := kappaRow[mm]
+				if km < 1e-10 {
+					continue
+				}
+				p := 1.0
+				base := (t*M + mm) * C
+				for _, c := range ar.labels {
+					p *= math.Max(psiMAP[base+c], 1e-12)
+				}
+				inner += km * p
+			}
+			w += math.Log(math.Max(inner, 1e-300))
+		}
+		sc.logW[t] = w
+	}
+	// Normalise for stability (constant shift does not change the argmax).
+	shift := mathx.LogSumExp(sc.logW)
+	for t := range sc.logW {
+		sc.logW[t] -= shift
+	}
+
+	// Candidate labels: every voted label plus cluster labels with
+	// appreciable posterior-weighted inclusion probability (this is where
+	// labels nobody proposed can still enter the consensus — R3).
+	candidates := m.predictCandidates(i, phiMAP, nbar, sc)
+
+	// Per-cluster per-label inclusion probability with hierarchical
+	// shrinkage (DESIGN.md D3): the item's calibrated truth posterior ŷ_ic
+	// shrunk toward the cluster prior max(n̄_t·φ_tc, labelPrev_c). ŷ is
+	// already prior-informed (imputeTruth), so the blend weight rises
+	// quickly with the item's answer count.
+	nAns := float64(len(m.perItem[i]))
+	voteWeight := (nAns + 1) / (nAns + 3)
+	yvote := make(map[int]float64, len(m.votedList[i]))
+	for k, c := range m.votedList[i] {
+		yvote[c] = m.yhatVals[i][k]
+	}
+	if cap(sc.delta) < len(candidates) {
+		sc.delta = make([][]float64, len(candidates))
+		for k := range sc.delta {
+			sc.delta[k] = make([]float64, T)
+		}
+	}
+	sc.delta = sc.delta[:len(candidates)]
+	for k := range sc.delta {
+		if sc.delta[k] == nil {
+			sc.delta[k] = make([]float64, T)
+		}
+	}
+	for t := 0; t < T; t++ {
+		base := sc.logW[t]
+		for k, c := range candidates {
+			prior := math.Min(nbar[t]*phiMAP[t*C+c], 0.95)
+			if m.labelPrev[c] > prior {
+				prior = m.labelPrev[c]
+			}
+			p := mathx.Clamp(voteWeight*yvote[c]+(1-voteWeight)*prior, 1e-6, 0.99)
+			base += math.Log1p(-p)
+			sc.delta[k][t] = math.Log(p) - math.Log1p(-p)
+		}
+		sc.runLogS[t] = base
+	}
+
+	if m.cfg.ExhaustivePrediction {
+		m.trimToCap(candidates, sc)
+		return m.exhaustiveSearch(sc.cand, sc)
+	}
+	return m.greedySearch(candidates, sc)
+}
+
+// predictCandidates assembles the candidate label universe for an item:
+// voted labels always; plus the labels whose mixture inclusion probability
+// Σ_t W_t·φ̃_tc clears a small threshold (capped to keep the search bounded).
+func (m *Model) predictCandidates(i int, phiMAP, nbar []float64, sc *predictScratch) []int {
+	T, C := m.T, m.numLabels
+	const inclusionThreshold = 0.2
+	// Prior-driven (non-voted) candidates are capped by the item's evidence
+	// volume: with almost no answers the cluster prior itself is built from
+	// almost nothing, and flooding the search with speculative labels
+	// destroys precision exactly where the paper's Fig. 3 demands
+	// robustness.
+	maxExtra := 4 * len(m.perItem[i])
+	if maxExtra > 16 {
+		maxExtra = 16
+	}
+	if len(m.perItem[i]) < 2 {
+		maxExtra = 0
+	}
+	sc.cand = sc.cand[:0]
+	seen := make(map[int]bool, len(m.votedList[i])+maxExtra)
+	for _, c := range m.votedList[i] {
+		sc.cand = append(sc.cand, c)
+		seen[c] = true
+	}
+	// Mixture weights in probability space.
+	wt := make([]float64, T)
+	for t := 0; t < T; t++ {
+		wt[t] = math.Exp(sc.logW[t])
+	}
+	type scored struct {
+		c int
+		p float64
+	}
+	var extras []scored
+	for t := 0; t < T; t++ {
+		if wt[t] < 0.05 {
+			continue
+		}
+		for c := 0; c < C; c++ {
+			if seen[c] {
+				continue
+			}
+			p := wt[t] * mathx.Clamp(nbar[t]*phiMAP[t*C+c], 0, 0.95)
+			if p > inclusionThreshold {
+				extras = append(extras, scored{c, p})
+				seen[c] = true
+			}
+		}
+	}
+	sort.Slice(extras, func(a, b int) bool { return extras[a].p > extras[b].p })
+	if len(extras) > maxExtra {
+		extras = extras[:maxExtra]
+	}
+	for _, e := range extras {
+		sc.cand = append(sc.cand, e.c)
+	}
+	return sc.cand
+}
+
+// greedySearch adds, at each step, the candidate label with the largest
+// increase of the mixture score ln Σ_t exp(runLogS_t + δ_tc), stopping when
+// no candidate increases it (§3.4's greedy approximation of the NP-hard
+// argmax). Because the score is a mixture over clusters, committing to one
+// label re-weights the clusters and changes later labels' gains — the label
+// co-occurrence mechanism of requirement R3.
+func (m *Model) greedySearch(candidates []int, sc *predictScratch) labelset.Set {
+	out := labelset.New(m.numLabels)
+	used := make([]bool, len(candidates))
+	current := mathx.LogSumExp(sc.runLogS)
+	for {
+		bestK, bestScore := -1, current
+		for k := range candidates {
+			if used[k] {
+				continue
+			}
+			for t := range sc.trial {
+				sc.trial[t] = sc.runLogS[t] + sc.delta[k][t]
+			}
+			if s := mathx.LogSumExp(sc.trial); s > bestScore+1e-12 {
+				bestK, bestScore = k, s
+			}
+		}
+		if bestK < 0 {
+			break
+		}
+		used[bestK] = true
+		out.Add(candidates[bestK])
+		for t := range sc.runLogS {
+			sc.runLogS[t] += sc.delta[bestK][t]
+		}
+		current = bestScore
+	}
+	return out
+}
+
+// trimToCap reduces the candidate universe to the ExhaustiveCap labels with
+// the highest single-label mixture gain, reordering sc.cand and sc.delta in
+// lock-step so exhaustiveSearch sees a consistent view.
+func (m *Model) trimToCap(candidates []int, sc *predictScratch) {
+	cap := m.cfg.ExhaustiveCap
+	if len(candidates) <= cap {
+		return
+	}
+	type ranked struct {
+		idx  int
+		gain float64
+	}
+	order := make([]ranked, len(candidates))
+	for k := range candidates {
+		for t := range sc.trial {
+			sc.trial[t] = sc.runLogS[t] + sc.delta[k][t]
+		}
+		order[k] = ranked{idx: k, gain: mathx.LogSumExp(sc.trial)}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].gain > order[b].gain })
+	newCand := make([]int, cap)
+	newDelta := make([][]float64, cap)
+	for j := 0; j < cap; j++ {
+		newCand[j] = candidates[order[j].idx]
+		newDelta[j] = sc.delta[order[j].idx]
+	}
+	sc.cand = newCand
+	sc.delta = newDelta
+}
+
+// exhaustiveSearch scans all 2^k subsets of the candidate universe — the
+// exact argmax the paper calls NP-hard, feasible only for small universes
+// (used by the No-L discussion and the greedy-vs-exact ablation bench).
+func (m *Model) exhaustiveSearch(candidates []int, sc *predictScratch) labelset.Set {
+	k := len(candidates)
+	bestMask := 0
+	bestScore := math.Inf(-1)
+	for mask := 0; mask < 1<<uint(k); mask++ {
+		for t := range sc.trial {
+			s := sc.runLogS[t]
+			for b := 0; b < k; b++ {
+				if mask&(1<<uint(b)) != 0 {
+					s += sc.delta[b][t]
+				}
+			}
+			sc.trial[t] = s
+		}
+		if s := mathx.LogSumExp(sc.trial); s > bestScore {
+			bestMask, bestScore = mask, s
+		}
+	}
+	out := labelset.New(m.numLabels)
+	for b := 0; b < k; b++ {
+		if bestMask&(1<<uint(b)) != 0 {
+			out.Add(candidates[b])
+		}
+	}
+	return out
+}

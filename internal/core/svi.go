@@ -1,0 +1,570 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cpa/internal/answers"
+	"cpa/internal/mathx"
+)
+
+// FitStream trains the model online (paper §4.1, Algorithm 2): the dataset's
+// arrival-ordered answers are consumed once, in mini-batches of
+// Config.BatchSize, with natural-gradient updates under the learning rate
+// ω_b = (1+b)^{-ForgettingRate}. Revealed truths are registered before
+// streaming (test questions are known up front in the paper's setting).
+//
+// After the stream is consumed, the online-prediction posterior of §4.1 is
+// prepared: one local pass refreshes the responsibilities and imputations
+// from the final global parameters (no additional training epochs — each
+// answer still contributes to the globals exactly once).
+func (m *Model) FitStream(ds *answers.Dataset) (*TrainStats, error) {
+	if ds == nil || ds.NumAnswers() == 0 {
+		return nil, fmt.Errorf("%w: empty dataset", ErrConfig)
+	}
+	if ds.NumItems != m.numItems || ds.NumWorkers != m.numWorkers || ds.NumLabels != m.numLabels {
+		return nil, fmt.Errorf("%w: dataset dims %d/%d/%d do not match model %d/%d/%d", ErrConfig,
+			ds.NumItems, ds.NumWorkers, ds.NumLabels, m.numItems, m.numWorkers, m.numLabels)
+	}
+	for i := 0; i < m.numItems; i++ {
+		if truth, ok := ds.Revealed(i); ok {
+			m.revealedTruth[i] = truth.Slice()
+		}
+	}
+	stats := &TrainStats{}
+	for _, b := range ds.Batches(m.cfg.BatchSize) {
+		if err := m.PartialFit(b.Answers); err != nil {
+			return nil, err
+		}
+		stats.Iterations++
+		stats.Deltas = append(stats.Deltas, m.lastBatchDelta)
+	}
+	m.FinalizeOnline()
+	return stats, nil
+}
+
+// PartialFit performs one stochastic variational inference step on a batch
+// of newly arrived answers (paper Algorithm 2). The model accumulates the
+// answers (needed for prediction and for scaling the stochastic gradients)
+// but every update in this call costs O(batch), not O(data): local
+// responsibilities move along batch-only evidence with the canonical
+// geometric blend, and global parameters along the scaled natural gradient.
+func (m *Model) PartialFit(batch []answers.Answer) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	// Validate and ingest, tracking the touched workers and items.
+	batchByWorker := make(map[int][]ansRef)
+	batchByItem := make(map[int][]ansRef)
+	for _, a := range batch {
+		if a.Item < 0 || a.Item >= m.numItems || a.Worker < 0 || a.Worker >= m.numWorkers {
+			return fmt.Errorf("%w: answer (%d,%d) out of range", ErrConfig, a.Item, a.Worker)
+		}
+		if a.Labels.IsEmpty() {
+			return fmt.Errorf("%w: empty answer for item %d worker %d", ErrConfig, a.Item, a.Worker)
+		}
+		if mx := a.Labels.Max(); mx >= m.numLabels {
+			return fmt.Errorf("%w: label %d out of range", ErrConfig, mx)
+		}
+		m.ingest(a)
+		xs := a.Labels.Slice()
+		batchByWorker[a.Worker] = append(batchByWorker[a.Worker], ansRef{other: a.Item, labels: xs})
+		batchByItem[a.Item] = append(batchByItem[a.Item], ansRef{other: a.Worker, labels: xs})
+	}
+	workers := sortedKeys(batchByWorker)
+	items := sortedKeys(batchByItem)
+	m.extendVoted(items)
+
+	// Learning rate ω_b = (1+b)^{-r}.
+	m.batchIndex++
+	omega := math.Pow(1+float64(m.batchIndex), -m.cfg.ForgettingRate)
+
+	// Local step, workers: stochastic Eq. 2 from batch evidence, scaled to
+	// the worker's full answer volume, geometric blend with weight ω
+	// (first-touch rows take the fresh estimate directly). The per-worker
+	// and per-item loops run on the Algorithm 3 map shards — each writes
+	// only its own responsibility row.
+	shardDeltas := make([]float64, m.shardCount(len(workers))+m.shardCount(len(items)))
+	if !m.cfg.DisableCommunities {
+		m.parallelForShards(len(workers), m.shardCount(len(workers)), func(shard, lo, hi int) {
+			fresh := make([]float64, m.M)
+			old := make([]float64, m.M)
+			maxD := 0.0
+			for wi := lo; wi < hi; wi++ {
+				u := workers[wi]
+				refs := batchByWorker[u]
+				scale := float64(len(m.perWorker[u])) / float64(len(refs))
+				m.stochasticKappa(u, refs, scale, fresh)
+				row := m.kappa[u*m.M : (u+1)*m.M]
+				copy(old, row)
+				first := len(m.perWorker[u]) == len(refs)
+				blendRows(row, fresh, omega, first)
+				if d := mathx.MaxAbsDiff(old, row); d > maxD {
+					maxD = d
+				}
+			}
+			shardDeltas[shard] = maxD
+		})
+	}
+	// Imputed truth for the touched items under the current worker model.
+	m.imputeTruth(items)
+	// Local step, items: stochastic cluster responsibilities, same blending
+	// (the paper's µ-space natural gradient, Eqs. 15–17, 20).
+	if !m.cfg.DisableClusters {
+		off := m.shardCount(len(workers))
+		m.parallelForShards(len(items), m.shardCount(len(items)), func(shard, lo, hi int) {
+			fresh := make([]float64, m.T)
+			old := make([]float64, m.T)
+			maxD := 0.0
+			for ii := lo; ii < hi; ii++ {
+				i := items[ii]
+				refs := batchByItem[i]
+				scale := float64(len(m.perItem[i])) / float64(len(refs))
+				m.stochasticPhi(i, refs, scale, fresh)
+				row := m.phi[i*m.T : (i+1)*m.T]
+				copy(old, row)
+				first := len(m.perItem[i]) == len(refs)
+				blendRows(row, fresh, omega, first)
+				if d := mathx.MaxAbsDiff(old, row); d > maxD {
+					maxD = d
+				}
+			}
+			shardDeltas[off+shard] = maxD
+		})
+	}
+	maxDelta := 0.0
+	for _, d := range shardDeltas {
+		if d > maxDelta {
+			maxDelta = d
+		}
+	}
+
+	// Global step: natural-gradient targets from the batch scaled to the
+	// population seen so far, blended with weight ω (Eqs. 9–14, 18–19).
+	m.sviGlobalStep(batch, items, workers, omega)
+	// Worker-model statistics from the batch, blended into the running
+	// accumulators (ratios are scale-free, so raw batch counts suffice).
+	m.sviWorkerModelStep(items, omega)
+	m.refreshExpectations()
+	m.lastBatchDelta = maxDelta
+	m.fitted = true
+	m.streamFitted = true
+	return nil
+}
+
+// FinalizeOnline prepares the online-prediction posterior (§4.1): one local
+// pass over the stored answers recomputes the responsibilities from the
+// final global parameters, then the worker-model/imputation fixed point is
+// iterated a few times (each a cheap O(answers) pass — no further global
+// training). Safe to call repeatedly; a no-op before any PartialFit.
+func (m *Model) FinalizeOnline() {
+	if !m.streamFitted {
+		return
+	}
+	m.temp = 1
+	m.updateLocal()
+	for pass := 0; pass < 3; pass++ {
+		m.updateReliability()
+		m.imputeTruth(nil)
+	}
+}
+
+// stochasticKappa computes a fresh κ row for worker u from only its batch
+// answers, with the data term scaled to the worker's full volume.
+func (m *Model) stochasticKappa(u int, refs []ansRef, scale float64, dst []float64) {
+	M, T := m.M, m.T
+	copy(dst, m.elogPi)
+	for _, ar := range refs {
+		phiRow := m.phi[ar.other*T : (ar.other+1)*T]
+		for t := 0; t < T; t++ {
+			pt := phiRow[t]
+			if pt < 1e-8 {
+				continue
+			}
+			for mm := 0; mm < M; mm++ {
+				dst[mm] += scale * pt * m.answerScore(t, mm, ar.labels)
+			}
+		}
+	}
+	mathx.SoftmaxInPlace(dst)
+}
+
+// stochasticPhi computes a fresh ϕ row for item i from its batch answers
+// (scaled) plus the truth-emission term, mirroring updatePhiRow.
+func (m *Model) stochasticPhi(i int, refs []ansRef, scale float64, dst []float64) {
+	M, T, C := m.M, m.T, m.numLabels
+	copy(dst, m.elogTau)
+	if truth := m.revealedTruth[i]; truth != nil {
+		for t := 0; t < T; t++ {
+			s := 0.0
+			for _, c := range truth {
+				s += m.elogPhi[t*C+c]
+			}
+			dst[t] += s
+		}
+	} else if !m.cfg.GroundTruthOnly {
+		voted := m.votedList[i]
+		vals := m.yhatVals[i]
+		for t := 0; t < T; t++ {
+			s := 0.0
+			for k, c := range voted {
+				if v := vals[k]; v > 1e-8 {
+					s += v * m.elogPhi[t*C+c]
+				}
+			}
+			dst[t] += s
+		}
+	}
+	if !m.cfg.LiteralPhiUpdate {
+		for _, ar := range refs {
+			kappaRow := m.kappa[ar.other*M : (ar.other+1)*M]
+			for t := 0; t < T; t++ {
+				s := 0.0
+				for mm := 0; mm < M; mm++ {
+					km := kappaRow[mm]
+					if km < 1e-8 {
+						continue
+					}
+					s += km * m.answerScore(t, mm, ar.labels)
+				}
+				dst[t] += scale * s
+			}
+		}
+	}
+	mathx.SoftmaxInPlace(dst)
+}
+
+// blendRows overwrites row with the geometric blend row^(1−ω)·fresh^ω
+// (normalised), or with fresh directly on first touch.
+func blendRows(row, fresh []float64, omega float64, first bool) {
+	if first {
+		copy(row, fresh)
+		return
+	}
+	for j := range row {
+		row[j] = math.Pow(math.Max(row[j], 1e-12), 1-omega) *
+			math.Pow(math.Max(fresh[j], 1e-12), omega)
+	}
+	mathx.NormalizeInPlace(row)
+}
+
+// sviGlobalStep forms the intermediate estimates λ̂, ζ̂, ρ̂, υ̂ that the
+// batch's sufficient statistics would imply if the whole stream looked like
+// this batch (scale factors N/|batch|), then blends them into the current
+// parameters with the learning rate: θ ← (1−ω)θ + ω·θ̂. This is the
+// canonical SVI step of Hoffman et al. and coincides with the paper's
+// natural-gradient Eqs. (9)–(14) aggregated per Eqs. (18)–(19).
+func (m *Model) sviGlobalStep(batch []answers.Answer, items, workers []int, omega float64) {
+	M, T, C := m.M, m.T, m.numLabels
+
+	// --- λ̂ from the batch answers (Eq. 9 / 18).
+	scaleA := float64(m.numAns) / float64(len(batch))
+	lhat := m.lambdaScratch(1, T*M*C)[0]
+	for k := range lhat {
+		lhat[k] = 0
+	}
+	var buf []int
+	for _, a := range batch {
+		xs := a.Labels.AppendTo(buf[:0])
+		buf = xs
+		phiRow := m.phi[a.Item*T : (a.Item+1)*T]
+		kappaRow := m.kappa[a.Worker*M : (a.Worker+1)*M]
+		for t := 0; t < T; t++ {
+			pt := phiRow[t]
+			if pt < 1e-8 {
+				continue
+			}
+			for mm := 0; mm < M; mm++ {
+				w := pt * kappaRow[mm]
+				if w < 1e-10 {
+					continue
+				}
+				base := (t*M + mm) * C
+				for _, c := range xs {
+					lhat[base+c] += w
+				}
+			}
+		}
+	}
+	for k := range m.lambda {
+		target := m.cfg.GammaPrior + scaleA*lhat[k]
+		m.lambda[k] = (1-omega)*m.lambda[k] + omega*target
+	}
+
+	// --- ζ̂ from the batch items' (imputed) truth (Eq. 10 / 18).
+	seenItems := 0
+	for i := 0; i < m.numItems; i++ {
+		if len(m.perItem[i]) > 0 {
+			seenItems++
+		}
+	}
+	scaleI := float64(seenItems) / float64(len(items))
+	zhat := make([]float64, T*C)
+	for _, i := range items {
+		phiRow := m.phi[i*T : (i+1)*T]
+		truth := m.revealedTruth[i]
+		if truth == nil && m.cfg.GroundTruthOnly {
+			continue
+		}
+		for t := 0; t < T; t++ {
+			pt := phiRow[t]
+			if pt < 1e-8 {
+				continue
+			}
+			base := t * C
+			if truth != nil {
+				for _, c := range truth {
+					zhat[base+c] += pt
+				}
+				continue
+			}
+			for k, c := range m.votedList[i] {
+				if v := m.yhatVals[i][k]; v > 1e-8 {
+					zhat[base+c] += pt * v
+				}
+			}
+		}
+	}
+	for k := range m.zeta {
+		target := m.cfg.EtaPrior + scaleI*zhat[k]
+		m.zeta[k] = (1-omega)*m.zeta[k] + omega*target
+	}
+
+	// --- ρ̂ from the batch workers (Eqs. 11–12 / 19).
+	if M > 1 && !m.cfg.DisableCommunities {
+		seenWorkers := 0
+		for u := 0; u < m.numWorkers; u++ {
+			if len(m.perWorker[u]) > 0 {
+				seenWorkers++
+			}
+		}
+		scaleU := float64(seenWorkers) / float64(len(workers))
+		colSum := make([]float64, M)
+		for _, u := range workers {
+			for mm := 0; mm < M; mm++ {
+				colSum[mm] += m.kappa[u*M+mm]
+			}
+		}
+		suffix := 0.0
+		for mm := M - 1; mm >= 0; mm-- {
+			if mm < M-1 {
+				r1 := 1 + scaleU*colSum[mm]
+				r2 := m.cfg.Alpha + scaleU*suffix
+				m.rho1[mm] = (1-omega)*m.rho1[mm] + omega*r1
+				m.rho2[mm] = (1-omega)*m.rho2[mm] + omega*r2
+			}
+			suffix += colSum[mm]
+		}
+	}
+
+	// --- υ̂ from the batch items (Eqs. 13–14 / 19).
+	if T > 1 && !m.cfg.DisableClusters {
+		colSum := make([]float64, T)
+		for _, i := range items {
+			for t := 0; t < T; t++ {
+				colSum[t] += m.phi[i*T+t]
+			}
+		}
+		suffix := 0.0
+		for t := T - 1; t >= 0; t-- {
+			if t < T-1 {
+				u1 := 1 + scaleI*colSum[t]
+				u2 := m.cfg.Epsilon + scaleI*suffix
+				m.ups1[t] = (1-omega)*m.ups1[t] + omega*u1
+				m.ups2[t] = (1-omega)*m.ups2[t] + omega*u2
+			}
+			suffix += colSum[t]
+		}
+	}
+}
+
+// sviWorkerModelStep updates the community two-coin rates and reliabilities
+// from the batch items only, blending batch counts into running accumulators
+// with weight ω (the rates are ratios, so no population scaling is needed).
+func (m *Model) sviWorkerModelStep(items []int, omega float64) {
+	M := m.M
+	if m.runTP == nil {
+		m.runTP = make([]float64, M)
+		m.runTPD = make([]float64, M)
+		m.runFP = make([]float64, M)
+		m.runFPD = make([]float64, M)
+		m.runAgree = make([]float64, M)
+		m.runAgreeD = make([]float64, M)
+		m.runPrevN = make([]float64, m.numLabels)
+		m.runPrevD = make([]float64, m.numLabels)
+	}
+	tpNum := make([]float64, M)
+	tpDen := make([]float64, M)
+	fpNum := make([]float64, M)
+	fpDen := make([]float64, M)
+	agreeNum := make([]float64, M)
+	agreeDen := make([]float64, M)
+	prevNum := make([]float64, m.numLabels)
+	prevDen := make([]float64, m.numLabels)
+
+	member := make(map[int]bool)
+	for _, i := range items {
+		voted := m.votedList[i]
+		vals := m.yhatVals[i]
+		for k, c := range voted {
+			prevNum[c] += vals[k]
+			prevDen[c]++
+		}
+		for k := range member {
+			delete(member, k)
+		}
+		bestK, bestV := -1, 0.0
+		sigLen := 0
+		for k, c := range voted {
+			if vals[k] > 0.5 {
+				member[c] = true
+				sigLen++
+			}
+			if vals[k] > bestV {
+				bestK, bestV = k, vals[k]
+			}
+		}
+		if sigLen == 0 && bestK >= 0 {
+			member[voted[bestK]] = true
+			sigLen = 1
+		}
+		for _, ar := range m.perItem[i] {
+			u := ar.other
+			inter := 0
+			for _, c := range ar.labels {
+				if member[c] {
+					inter++
+				}
+			}
+			union := len(ar.labels) + sigLen - inter
+			agreement := 1.0
+			if union > 0 {
+				agreement = float64(inter) / float64(union)
+			}
+			for _, c := range voted {
+				pos := member[c]
+				j := searchInts(ar.labels, c)
+				vote := j < len(ar.labels) && ar.labels[j] == c
+				// Per-worker counts accumulate across the stream (each
+				// answer contributes once).
+				if pos {
+					m.tpDenU[u]++
+					if vote {
+						m.tpNumU[u]++
+					}
+				} else {
+					m.fpDenU[u]++
+					if vote {
+						m.fpNumU[u]++
+					}
+				}
+				for mm := 0; mm < M; mm++ {
+					k := m.kappa[u*M+mm]
+					if k < 1e-8 {
+						continue
+					}
+					if pos {
+						tpDen[mm] += k
+						if vote {
+							tpNum[mm] += k
+						}
+					} else {
+						fpDen[mm] += k
+						if vote {
+							fpNum[mm] += k
+						}
+					}
+				}
+			}
+			for mm := 0; mm < M; mm++ {
+				k := m.kappa[u*M+mm]
+				if k < 1e-8 {
+					continue
+				}
+				agreeNum[mm] += k * agreement
+				agreeDen[mm] += k
+			}
+		}
+	}
+	for mm := 0; mm < M; mm++ {
+		m.runTP[mm] = (1-omega)*m.runTP[mm] + omega*tpNum[mm]
+		m.runTPD[mm] = (1-omega)*m.runTPD[mm] + omega*tpDen[mm]
+		m.runFP[mm] = (1-omega)*m.runFP[mm] + omega*fpNum[mm]
+		m.runFPD[mm] = (1-omega)*m.runFPD[mm] + omega*fpDen[mm]
+		m.runAgree[mm] = (1-omega)*m.runAgree[mm] + omega*agreeNum[mm]
+		m.runAgreeD[mm] = (1-omega)*m.runAgreeD[mm] + omega*agreeDen[mm]
+	}
+	for c := 0; c < m.numLabels; c++ {
+		m.runPrevN[c] = (1-omega)*m.runPrevN[c] + omega*prevNum[c]
+		m.runPrevD[c] = (1-omega)*m.runPrevD[c] + omega*prevDen[c]
+		m.labelPrev[c] = (m.runPrevN[c] + 0.5) / (m.runPrevD[c] + 2)
+	}
+	m.deriveWorkerModel(m.runTP, m.runTPD, m.runFP, m.runFPD, m.runAgree, m.runAgreeD)
+}
+
+func sortedKeys[V any](set map[int]V) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sortInts(out)
+	return out
+}
+
+// sortInts is an insertion sort adequate for the short per-batch key lists;
+// it avoids pulling package sort into a hot path with interface conversions.
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// extendVoted merges newly voted labels of the given items into the
+// voted-label lists, preserving existing imputed values.
+func (m *Model) extendVoted(items []int) {
+	for _, i := range items {
+		need := map[int]bool{}
+		for _, c := range m.votedList[i] {
+			need[c] = false
+		}
+		for _, ar := range m.perItem[i] {
+			for _, c := range ar.labels {
+				if _, ok := need[c]; !ok {
+					need[c] = true
+				}
+			}
+		}
+		for _, c := range m.revealedTruth[i] {
+			if _, ok := need[c]; !ok {
+				need[c] = true
+			}
+		}
+		added := false
+		for _, isNew := range need {
+			if isNew {
+				added = true
+				break
+			}
+		}
+		if !added {
+			continue
+		}
+		old := m.votedList[i]
+		oldVals := m.yhatVals[i]
+		merged := make([]int, 0, len(need))
+		for c := range need {
+			merged = append(merged, c)
+		}
+		sortInts(merged)
+		vals := make([]float64, len(merged))
+		for k, c := range merged {
+			if j := searchInts(old, c); j < len(old) && old[j] == c {
+				vals[k] = oldVals[j]
+			}
+		}
+		m.votedList[i] = merged
+		m.yhatVals[i] = vals
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cpa/internal/answers"
+	"cpa/internal/datasets"
+	"cpa/internal/labelset"
+	"cpa/internal/metrics"
+)
+
+func TestFitStreamValidations(t *testing.T) {
+	m, _ := NewModel(Config{Seed: 1}, 4, 4, 4)
+	if _, err := m.FitStream(nil); err == nil {
+		t.Error("nil dataset should fail")
+	}
+	empty, _ := answers.NewDataset("e", 4, 4, 4)
+	if _, err := m.FitStream(empty); err == nil {
+		t.Error("empty dataset should fail")
+	}
+}
+
+func TestPartialFitValidations(t *testing.T) {
+	m, _ := NewModel(Config{Seed: 1}, 4, 4, 4)
+	if err := m.PartialFit(nil); err != nil {
+		t.Error("empty batch should be a no-op")
+	}
+	bad := []answers.Answer{{Item: 9, Worker: 0, Labels: labelset.Of(1)}}
+	if err := m.PartialFit(bad); err == nil {
+		t.Error("out-of-range item should fail")
+	}
+	bad = []answers.Answer{{Item: 0, Worker: 0, Labels: labelset.Set{}}}
+	if err := m.PartialFit(bad); err == nil {
+		t.Error("empty labels should fail")
+	}
+	bad = []answers.Answer{{Item: 0, Worker: 0, Labels: labelset.Of(9)}}
+	if err := m.PartialFit(bad); err == nil {
+		t.Error("out-of-range label should fail")
+	}
+}
+
+func TestOnlineTracksOffline(t *testing.T) {
+	// Table 5's comparison: the single-pass online model must land within a
+	// modest margin of the batch model.
+	for _, name := range []string{"image", "movie"} {
+		ds, _, err := datasets.Load(name, 0.08, 19)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offline := NewAggregator(Config{Seed: 4})
+		op, err := offline.Aggregate(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offPR, _ := metrics.Evaluate(ds, op)
+
+		online := NewOnlineAggregator(Config{Seed: 4})
+		np, err := online.Aggregate(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onPR, _ := metrics.Evaluate(ds, np)
+		t.Logf("%s offline=%v online=%v", name, offPR, onPR)
+		if onPR.F1() < offPR.F1()-0.12 {
+			t.Errorf("%s: online F1 %.3f too far below offline %.3f", name, onPR.F1(), offPR.F1())
+		}
+	}
+}
+
+func TestFitStreamEquivalentToManualPartialFits(t *testing.T) {
+	ds, _, err := datasets.Load("movie", 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 6, BatchSize: 100}
+	auto, err := NewModel(cfg, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := auto.FitStream(ds); err != nil {
+		t.Fatal(err)
+	}
+	manual, err := NewModel(cfg, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range ds.Batches(100) {
+		if err := manual.PartialFit(b.Answers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	manual.FinalizeOnline()
+	pa, err := auto.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := manual.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pa {
+		if !pa[i].Equal(pb[i]) {
+			t.Fatalf("FitStream and manual PartialFit diverge at item %d", i)
+		}
+	}
+}
+
+func TestFinalizeOnlineIdempotentNoop(t *testing.T) {
+	m, _ := NewModel(Config{Seed: 1}, 4, 4, 4)
+	m.FinalizeOnline() // must not panic before any PartialFit
+	if m.Fitted() {
+		t.Error("FinalizeOnline alone must not mark the model fitted")
+	}
+}
+
+func TestIncrementalQualityImprovesWithArrival(t *testing.T) {
+	// Fig. 6's shape: prediction quality at 100% arrival should exceed the
+	// quality at 20% arrival.
+	ds, _, err := datasets.Load("image", 0.08, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 8, BatchSize: 128}
+	m, err := NewModel(cfg, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := ds.Batches(cfg.BatchSize)
+	fifth := len(batches) / 5
+	if fifth == 0 {
+		fifth = 1
+	}
+	var early float64
+	for bi, b := range batches {
+		if err := m.PartialFit(b.Answers); err != nil {
+			t.Fatal(err)
+		}
+		if bi == fifth-1 {
+			snap := m.Clone()
+			snap.FinalizeOnline()
+			pred, err := snap.Predict()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr, _ := metrics.Evaluate(ds, pred)
+			early = pr.F1()
+		}
+	}
+	m.FinalizeOnline()
+	pred, err := m.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, _ := metrics.Evaluate(ds, pred)
+	t.Logf("F1 at ~20%% arrival %.3f, at 100%% %.3f", early, pr.F1())
+	if pr.F1() <= early {
+		t.Errorf("quality should improve with data: %.3f -> %.3f", early, pr.F1())
+	}
+}
+
+func TestForgettingRateSweepStaysFinite(t *testing.T) {
+	ds, _, err := datasets.Load("movie", 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []float64{0.6, 0.75, 0.875, 1.0} {
+		agg := NewOnlineAggregator(Config{Seed: 2, ForgettingRate: r})
+		pred, err := agg.Aggregate(ds)
+		if err != nil {
+			t.Fatalf("r=%v: %v", r, err)
+		}
+		pr, err := metrics.Evaluate(ds, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(pr.Precision) || pr.F1() < 0.3 {
+			t.Errorf("r=%v gives degenerate quality %v", r, pr)
+		}
+	}
+}
+
+func TestStreamWithRevealedTruth(t *testing.T) {
+	ds, _, err := datasets.Load("movie", 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withReveal := ds.Clone()
+	for i := 0; i < withReveal.NumItems; i += 4 {
+		if err := withReveal.Reveal(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg := NewOnlineAggregator(Config{Seed: 2})
+	pred, err := agg.Aggregate(withReveal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := metrics.Evaluate(withReveal, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.F1() < 0.4 {
+		t.Errorf("online with revealed truth degenerate: %v", pr)
+	}
+}

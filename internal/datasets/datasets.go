@@ -1,0 +1,176 @@
+// Package datasets defines simulation profiles for the five evaluation
+// corpora of the paper's Table 3. The real corpora (NUS-WIDE images, TREC
+// 2011 tweets, restaurant reviews, T-NER tweets, IMDB movies) and their
+// CrowdFlower answer logs are not redistributable, so each profile drives
+// the crowd simulator with that dataset's published shape: question/worker/
+// label/answer counts, truth-set bounds, candidate-list size from the task
+// design, label-correlation strength, and worker-participation skew
+// (DESIGN.md, substitution D4).
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cpa/internal/answers"
+	"cpa/internal/simulate"
+)
+
+// Profile describes one evaluation dataset's shape (Table 3 plus the §5.1
+// qualitative notes).
+type Profile struct {
+	Name        string
+	Description string
+
+	// Table 3 quantities. Questions is the number of crowdsourced items
+	// (the paper's "# Questions" row; "# Items" counts the full corpora the
+	// samples were drawn from and is irrelevant for aggregation).
+	Questions int
+	Workers   int
+	Labels    int
+	Answers   int
+
+	// Truth-set characteristics ("up to 10 tags", "up to five topics", ...).
+	TruthMax  int
+	TruthMean float64
+
+	// Correlation strength of labels per §5.2's discussion: strong for
+	// image/topic/entity, little for aspect/movie.
+	Correlation   float64
+	LabelClusters int
+
+	// Candidates reflects the §5.1 task design (e.g. 30 of 81 labels shown
+	// per image, 20 of 262 per review).
+	Candidates int
+
+	// WorkerSkew reflects §5.1: answer distribution skewed for image and
+	// movie, normal for aspect.
+	WorkerSkew float64
+}
+
+// AnswersPerItem returns the average answers per question from Table 3,
+// which the simulator uses as the per-item worker count.
+func (p Profile) AnswersPerItem() int {
+	return int(math.Round(float64(p.Answers) / float64(p.Questions)))
+}
+
+// profiles holds the five Table 3 entries.
+var profiles = map[string]Profile{
+	"image": {
+		Name:        "image",
+		Description: "NUS-WIDE image tagging (strong label correlation, skewed workers)",
+		Questions:   2000, Workers: 416, Labels: 81, Answers: 22920,
+		TruthMax: 10, TruthMean: 4,
+		Correlation: 0.90, LabelClusters: 8,
+		Candidates: 30, WorkerSkew: 0.8,
+	},
+	"topic": {
+		Name:        "topic",
+		Description: "TREC-2011 microblog topic annotation (strong correlation, text tasks)",
+		Questions:   2000, Workers: 313, Labels: 49, Answers: 15080,
+		TruthMax: 5, TruthMean: 2.5,
+		Correlation: 0.85, LabelClusters: 7,
+		Candidates: 15, WorkerSkew: 0.3,
+	},
+	"aspect": {
+		Name:        "aspect",
+		Description: "restaurant-review aspect extraction (little correlation, normal workers)",
+		Questions:   3710, Workers: 482, Labels: 262, Answers: 19780,
+		TruthMax: 5, TruthMean: 2.5,
+		Correlation: 0.30, LabelClusters: 26,
+		Candidates: 20, WorkerSkew: 0,
+	},
+	"entity": {
+		Name:        "entity",
+		Description: "T-NER tweet entity extraction (strongest correlation, huge vocabulary)",
+		Questions:   2400, Workers: 517, Labels: 1450, Answers: 15510,
+		TruthMax: 5, TruthMean: 3,
+		Correlation: 0.90, LabelClusters: 10,
+		Candidates: 25, WorkerSkew: 0.3,
+	},
+	"movie": {
+		Name:        "movie",
+		Description: "IMDB movie genre tagging (little correlation, skewed workers)",
+		Questions:   500, Workers: 936, Labels: 22, Answers: 14430,
+		TruthMax: 5, TruthMean: 2.5,
+		Correlation: 0.25, LabelClusters: 5,
+		Candidates: 22, WorkerSkew: 0.8,
+	},
+}
+
+// Names returns the profile names in a stable order.
+func Names() []string {
+	out := make([]string, 0, len(profiles))
+	for name := range profiles {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the profile with the given name.
+func Get(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("datasets: unknown profile %q (have %v)", name, Names())
+	}
+	return p, nil
+}
+
+// Config converts the profile into a simulator configuration at the given
+// scale. scale=1 reproduces the Table 3 sizes; smaller scales shrink items
+// and workers proportionally (keeping answers/item constant) so tests and
+// benches stay fast. The seed feeds the simulator.
+func (p Profile) Config(scale float64, seed int64) (simulate.Config, error) {
+	if scale <= 0 || scale > 1 {
+		return simulate.Config{}, fmt.Errorf("datasets: scale %v out of (0,1]", scale)
+	}
+	items := int(math.Max(20, math.Round(float64(p.Questions)*scale)))
+	workers := int(math.Max(20, math.Round(float64(p.Workers)*scale)))
+	api := p.AnswersPerItem()
+	if api > workers {
+		api = workers
+	}
+	return simulate.Config{
+		Name:           p.Name,
+		Items:          items,
+		Workers:        workers,
+		Labels:         p.Labels,
+		AnswersPerItem: api,
+		LabelClusters:  p.LabelClusters,
+		Correlation:    p.Correlation,
+		TruthMean:      p.TruthMean,
+		TruthMax:       p.TruthMax,
+		Candidates:     p.Candidates,
+		WorkerSkew:     p.WorkerSkew,
+		Mix:            simulate.DefaultMix(),
+		Seed:           seed,
+	}, nil
+}
+
+// Load generates the profile's dataset at the given scale and seed.
+func Load(name string, scale float64, seed int64) (*answers.Dataset, *simulate.Metadata, error) {
+	p, err := Get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg, err := p.Config(scale, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return simulate.Generate(cfg)
+}
+
+// LoadAll generates all five profiles at the given scale, in Names() order.
+func LoadAll(scale float64, seed int64) (map[string]*answers.Dataset, error) {
+	out := make(map[string]*answers.Dataset, len(profiles))
+	for _, name := range Names() {
+		ds, _, err := Load(name, scale, seed)
+		if err != nil {
+			return nil, fmt.Errorf("datasets: loading %s: %w", name, err)
+		}
+		out[name] = ds
+	}
+	return out, nil
+}

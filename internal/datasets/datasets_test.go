@@ -1,0 +1,143 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNamesStable(t *testing.T) {
+	want := []string{"aspect", "entity", "image", "movie", "topic"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown profile should fail")
+	}
+}
+
+func TestProfilesMatchTable3(t *testing.T) {
+	// The published Table 3 quantities the profiles must carry verbatim.
+	table3 := map[string][4]int{ // questions, workers, labels, answers
+		"image":  {2000, 416, 81, 22920},
+		"topic":  {2000, 313, 49, 15080},
+		"aspect": {3710, 482, 262, 19780},
+		"entity": {2400, 517, 1450, 15510},
+		"movie":  {500, 936, 22, 14430},
+	}
+	for name, want := range table3 {
+		p, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Questions != want[0] || p.Workers != want[1] || p.Labels != want[2] || p.Answers != want[3] {
+			t.Errorf("%s profile = %d/%d/%d/%d, want %v", name, p.Questions, p.Workers, p.Labels, p.Answers, want)
+		}
+	}
+}
+
+func TestAnswersPerItem(t *testing.T) {
+	p, _ := Get("movie")
+	if got := p.AnswersPerItem(); got != 29 {
+		t.Errorf("movie answers/item = %d, want 29", got)
+	}
+	p, _ = Get("image")
+	if got := p.AnswersPerItem(); got != 11 {
+		t.Errorf("image answers/item = %d, want 11", got)
+	}
+}
+
+func TestConfigScaleValidation(t *testing.T) {
+	p, _ := Get("image")
+	if _, err := p.Config(0, 1); err == nil {
+		t.Error("scale 0 should fail")
+	}
+	if _, err := p.Config(1.5, 1); err == nil {
+		t.Error("scale > 1 should fail")
+	}
+}
+
+func TestLoadScaledShape(t *testing.T) {
+	ds, meta, err := Load("image", 0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumItems != 200 {
+		t.Errorf("scaled items = %d, want 200", ds.NumItems)
+	}
+	if math.Abs(float64(ds.NumWorkers)-41.6) > 1 {
+		t.Errorf("scaled workers = %d, want about 42", ds.NumWorkers)
+	}
+	if ds.NumLabels != 81 {
+		t.Errorf("labels = %d, want 81 (never scaled)", ds.NumLabels)
+	}
+	wantAnswers := 200 * 11
+	if got := ds.NumAnswers(); got < wantAnswers*9/10 || got > wantAnswers {
+		t.Errorf("answers = %d, want about %d", got, wantAnswers)
+	}
+	if len(meta.WorkerTypes) != ds.NumWorkers {
+		t.Error("metadata mismatch")
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	a, _, err := Load("movie", 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Load("movie", 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumAnswers() != b.NumAnswers() {
+		t.Fatal("not deterministic")
+	}
+	for i := range a.Answers() {
+		if !a.Answer(i).Labels.Equal(b.Answer(i).Labels) {
+			t.Fatal("answers differ under same seed")
+		}
+	}
+}
+
+func TestLoadAll(t *testing.T) {
+	all, err := LoadAll(0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("LoadAll returned %d datasets", len(all))
+	}
+	for name, ds := range all {
+		if ds.NumAnswers() == 0 {
+			t.Errorf("%s has no answers", name)
+		}
+		if ds.TruthCount() != ds.NumItems {
+			t.Errorf("%s truth incomplete", name)
+		}
+	}
+}
+
+func TestTruthSizesRespectProfileBounds(t *testing.T) {
+	ds, _, err := Load("topic", 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := Get("topic")
+	for i := 0; i < ds.NumItems; i++ {
+		truth, ok := ds.Truth(i)
+		if !ok {
+			t.Fatalf("item %d lacks truth", i)
+		}
+		if truth.Len() < 1 || truth.Len() > p.TruthMax {
+			t.Fatalf("item %d truth size %d outside [1,%d]", i, truth.Len(), p.TruthMax)
+		}
+	}
+}

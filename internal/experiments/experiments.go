@@ -1,0 +1,251 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§5) on the simulated crowd substrate. Each experiment
+// is a named Runner producing a structured Result that renders as an ASCII
+// table (for the cpabench CLI) or as Markdown (for EXPERIMENTS.md).
+//
+// The experiment ↔ paper mapping lives in DESIGN.md §4; every runner's doc
+// comment restates the workload it reproduces.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cpa/internal/answers"
+	"cpa/internal/baselines"
+	"cpa/internal/core"
+	"cpa/internal/datasets"
+	"cpa/internal/metrics"
+)
+
+// Settings scales an experiment run. DataScale shrinks the Table 3 dataset
+// sizes (1 = paper scale); Runs averages stochastic experiments over several
+// seeds; Seed is the base seed.
+type Settings struct {
+	DataScale float64
+	Runs      int
+	Seed      int64
+}
+
+// Quick returns the settings used by unit tests and smoke benches.
+func Quick() Settings { return Settings{DataScale: 0.08, Runs: 1, Seed: 1} }
+
+// Standard returns the settings used by the cpabench CLI by default.
+func Standard() Settings { return Settings{DataScale: 0.15, Runs: 3, Seed: 1} }
+
+// Paper returns full Table 3 sizes with the paper's 10-run averaging.
+func Paper() Settings { return Settings{DataScale: 1, Runs: 10, Seed: 1} }
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes records reproduction caveats (substitutions, scale).
+	Notes string
+	// Extra carries free-form renderings (e.g. ASCII scatter plots).
+	Extra string
+}
+
+// Runner regenerates one experiment.
+type Runner func(s Settings) (*Result, error)
+
+// registry maps experiment ids to runners, with ids ordered as in the paper.
+var registry = map[string]Runner{
+	"table1": RunTable1Motivating,
+	"table3": RunTable3DatasetStats,
+	"table4": RunTable4OverallAccuracy,
+	"fig3":   RunFig3Sparsity,
+	"fig4":   RunFig4Spammers,
+	"fig5":   RunFig5LabelDependency,
+	"fig6":   RunFig6DataArrival,
+	"table5": RunTable5OnlineAccuracy,
+	"fig7":   RunFig7Runtime,
+	"fig8":   RunFig8Ablation,
+	"fig9":   RunFig9Communities,
+	"fig10":  RunFig10WorkerTypes,
+}
+
+// order lists experiment ids in presentation order.
+var order = []string{
+	"table1", "table3", "table4", "fig3", "fig4", "fig5",
+	"fig6", "table5", "fig7", "fig8", "fig9", "fig10",
+}
+
+// IDs returns the experiment identifiers in presentation order.
+func IDs() []string { return append([]string(nil), order...) }
+
+// Get returns the runner for an experiment id.
+func Get(id string) (Runner, error) {
+	r, ok := registry[id]
+	if !ok {
+		known := IDs()
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(known, ", "))
+	}
+	return r, nil
+}
+
+// RunAll executes every experiment in order, collecting results. Failures
+// abort with the offending experiment named.
+func RunAll(s Settings) ([]*Result, error) {
+	out := make([]*Result, 0, len(order))
+	for _, id := range order {
+		r, err := registry[id](s)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+// RenderASCII formats the result as a boxed text table.
+func (r *Result) RenderASCII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s\n", r.ID, r.Title)
+	if len(r.Headers) > 0 {
+		widths := make([]int, len(r.Headers))
+		for c, h := range r.Headers {
+			widths[c] = len(h)
+		}
+		for _, row := range r.Rows {
+			for c, cell := range row {
+				if c < len(widths) && len(cell) > widths[c] {
+					widths[c] = len(cell)
+				}
+			}
+		}
+		writeRow := func(cells []string) {
+			for c, cell := range cells {
+				if c >= len(widths) {
+					break
+				}
+				fmt.Fprintf(&b, "| %-*s ", widths[c], cell)
+			}
+			b.WriteString("|\n")
+		}
+		writeRow(r.Headers)
+		for c, w := range widths {
+			if c == 0 {
+				b.WriteString("|")
+			}
+			b.WriteString(strings.Repeat("-", w+2))
+			b.WriteString("|")
+		}
+		b.WriteString("\n")
+		for _, row := range r.Rows {
+			writeRow(row)
+		}
+	}
+	if r.Extra != "" {
+		b.WriteString(r.Extra)
+		if !strings.HasSuffix(r.Extra, "\n") {
+			b.WriteString("\n")
+		}
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", r.Notes)
+	}
+	return b.String()
+}
+
+// RenderMarkdown formats the result as a Markdown section.
+func (r *Result) RenderMarkdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	if len(r.Headers) > 0 {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(r.Headers, " | "))
+		seps := make([]string, len(r.Headers))
+		for i := range seps {
+			seps[i] = "---"
+		}
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(seps, " | "))
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+		}
+		b.WriteString("\n")
+	}
+	if r.Extra != "" {
+		b.WriteString("```\n")
+		b.WriteString(r.Extra)
+		if !strings.HasSuffix(r.Extra, "\n") {
+			b.WriteString("\n")
+		}
+		b.WriteString("```\n\n")
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "_Note: %s_\n\n", r.Notes)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+func cpaConfig(seed int64) core.Config {
+	return core.Config{Seed: seed}
+}
+
+// evaluate fits the aggregator and scores it against the dataset's truth.
+func evaluate(agg baselines.Aggregator, ds *answers.Dataset) (metrics.PR, error) {
+	pred, err := agg.Aggregate(ds)
+	if err != nil {
+		return metrics.PR{}, fmt.Errorf("%s on %s: %w", agg.Name(), ds.Name, err)
+	}
+	return metrics.Evaluate(ds, pred)
+}
+
+// timedEvaluate additionally reports the aggregation wall time.
+func timedEvaluate(agg baselines.Aggregator, ds *answers.Dataset) (metrics.PR, time.Duration, error) {
+	start := time.Now()
+	pred, err := agg.Aggregate(ds)
+	elapsed := time.Since(start)
+	if err != nil {
+		return metrics.PR{}, elapsed, err
+	}
+	pr, err := metrics.Evaluate(ds, pred)
+	return pr, elapsed, err
+}
+
+// averagePR runs fn over Runs seeds and averages precision/recall.
+func averagePR(s Settings, fn func(seed int64) (metrics.PR, error)) (metrics.PR, metrics.MeanStd, metrics.MeanStd, error) {
+	var ps, rs []float64
+	for run := 0; run < s.Runs; run++ {
+		pr, err := fn(s.Seed + int64(run)*101)
+		if err != nil {
+			return metrics.PR{}, metrics.MeanStd{}, metrics.MeanStd{}, err
+		}
+		ps = append(ps, pr.Precision)
+		rs = append(rs, pr.Recall)
+	}
+	mp := metrics.Summarize(ps)
+	mr := metrics.Summarize(rs)
+	return metrics.PR{Precision: mp.Mean, Recall: mr.Mean, Items: s.Runs}, mp, mr, nil
+}
+
+// profileDataset loads one Table 3 profile at the experiment scale.
+func profileDataset(name string, s Settings, seed int64) (*answers.Dataset, error) {
+	ds, _, err := datasets.Load(name, s.DataScale, seed)
+	return ds, err
+}
+
+// standardAggregators returns the Table 4 method set in paper order.
+func standardAggregators(seed int64) []baselines.Aggregator {
+	return []baselines.Aggregator{
+		baselines.NewMajorityVote(),
+		baselines.NewDawidSkene(),
+		baselines.NewCBCC(),
+		core.NewAggregator(cpaConfig(seed)),
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cpa/internal/answers"
+	"cpa/internal/baselines"
+	"cpa/internal/core"
+	"cpa/internal/datasets"
+	"cpa/internal/labelset"
+	"cpa/internal/metrics"
+)
+
+// Table1Dataset builds the paper's Table 1 motivating example: five workers
+// label four pictures with subsets of {sky, plane, sun, water, tree}
+// (0-based here). Exported so examples and benches can reuse it.
+func Table1Dataset() (*answers.Dataset, error) {
+	d, err := answers.NewDataset("table1", 4, 5, 5)
+	if err != nil {
+		return nil, err
+	}
+	d.LabelNames = []string{"sky", "plane", "sun", "water", "tree"}
+	rows := []struct {
+		item, worker int
+		labels       []int
+	}{
+		{0, 0, []int{3, 4}}, {0, 1, []int{3, 4}}, {0, 2, []int{3}}, {0, 3, []int{0}}, {0, 4, []int{4}},
+		{1, 0, []int{1, 2}}, {1, 1, []int{0, 3}}, {1, 2, []int{3}}, {1, 3, []int{1}}, {1, 4, []int{2, 3}},
+		{2, 0, []int{0, 1}}, {2, 1, []int{3}}, {2, 2, []int{3}}, {2, 3, []int{2}}, {2, 4, []int{3, 4}},
+		{3, 0, []int{0, 1}}, {3, 1, []int{1, 2}}, {3, 2, []int{3}}, {3, 3, []int{3}}, {3, 4, []int{0, 1, 2}},
+	}
+	for _, r := range rows {
+		if err := d.Add(r.item, r.worker, labelset.FromSlice(r.labels)); err != nil {
+			return nil, err
+		}
+	}
+	truth := [][]int{{4}, {2, 3}, {3, 4}, {0, 1, 2}}
+	for i, tr := range truth {
+		if err := d.SetTruth(i, labelset.FromSlice(tr)); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// RunTable1Motivating reproduces Table 1: the fixed 5-worker × 4-picture
+// answer matrix, the correct assignment, the per-label majority vote, and
+// CPA's consensus.
+func RunTable1Motivating(s Settings) (*Result, error) {
+	ds, err := Table1Dataset()
+	if err != nil {
+		return nil, err
+	}
+	mvPred, err := baselines.NewMajorityVote().Aggregate(ds)
+	if err != nil {
+		return nil, err
+	}
+	cpaPred, err := core.NewAggregator(core.Config{Seed: 3, MaxCommunities: 3, MaxClusters: 4}).Aggregate(ds)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:      "table1",
+		Title:   "Motivating example (paper Table 1; labels 0-based)",
+		Headers: []string{"item", "correct", "majority", "CPA"},
+		Notes:   "paper's majority column: {3,4},{3},{3},{1}; CPA should fix i1's spurious 3 and i4's missing labels",
+	}
+	for i := 0; i < ds.NumItems; i++ {
+		truth, _ := ds.Truth(i)
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("i%d", i+1), truth.String(), mvPred[i].String(), cpaPred[i].String(),
+		})
+	}
+	mvPR, err := metrics.Evaluate(ds, mvPred)
+	if err != nil {
+		return nil, err
+	}
+	cpaPR, err := metrics.Evaluate(ds, cpaPred)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, []string{"P/R", "1.000/1.000",
+		f3(mvPR.Precision) + "/" + f3(mvPR.Recall), f3(cpaPR.Precision) + "/" + f3(cpaPR.Recall)})
+	return res, nil
+}
+
+// RunTable3DatasetStats reproduces Table 3: the shape statistics of the five
+// (simulated) evaluation datasets at the current scale.
+func RunTable3DatasetStats(s Settings) (*Result, error) {
+	res := &Result{
+		ID:      "table3",
+		Title:   fmt.Sprintf("Dataset statistics (paper Table 3; simulated at scale %.2f)", s.DataScale),
+		Headers: []string{"quantity", "image", "topic", "aspect", "entity", "movie"},
+		Notes:   "datasets are simulated per DESIGN.md D4; #items/#workers scale with DataScale, labels and answers/item match the paper",
+	}
+	names := []string{"image", "topic", "aspect", "entity", "movie"}
+	stats := make([]answers.Stats, len(names))
+	for i, name := range names {
+		ds, err := profileDataset(name, s, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		stats[i] = ds.ComputeStats()
+	}
+	row := func(label string, get func(st answers.Stats) string) {
+		cells := []string{label}
+		for _, st := range stats {
+			cells = append(cells, get(st))
+		}
+		res.Rows = append(res.Rows, cells)
+	}
+	row("# Questions", func(st answers.Stats) string { return fmt.Sprintf("%d", st.Items) })
+	row("# Labels", func(st answers.Stats) string { return fmt.Sprintf("%d", st.Labels) })
+	row("# Workers", func(st answers.Stats) string { return fmt.Sprintf("%d", st.Workers) })
+	row("# Answers", func(st answers.Stats) string { return fmt.Sprintf("%d", st.Answers) })
+	row("answers/item", func(st answers.Stats) string { return fmt.Sprintf("%.1f", st.MeanAnswersPerItem) })
+	row("mean answer size", func(st answers.Stats) string { return fmt.Sprintf("%.1f", st.MeanAnswerSize) })
+	row("mean truth size", func(st answers.Stats) string { return fmt.Sprintf("%.1f", st.MeanTruthSize) })
+	row("density", func(st answers.Stats) string { return fmt.Sprintf("%.3f", st.Density) })
+	return res, nil
+}
+
+// RunTable4OverallAccuracy reproduces Table 4: precision and recall of MV,
+// EM, cBCC and CPA on the five datasets, without any revealed truth.
+func RunTable4OverallAccuracy(s Settings) (*Result, error) {
+	res := &Result{
+		ID:      "table4",
+		Title:   "Overall accuracy (paper Table 4)",
+		Headers: []string{"dataset", "MV P", "EM P", "cBCC P", "CPA P", "MV R", "EM R", "cBCC R", "CPA R"},
+		Notes:   fmt.Sprintf("averaged over %d run(s) at scale %.2f; expected ordering MV ≤ EM ≤ cBCC < CPA", s.Runs, s.DataScale),
+	}
+	for _, name := range datasets.Names() {
+		prs := make([]metrics.PR, 4)
+		for ai := range prs {
+			ai := ai
+			avg, _, _, err := averagePR(s, func(seed int64) (metrics.PR, error) {
+				ds, err := profileDataset(name, s, seed)
+				if err != nil {
+					return metrics.PR{}, err
+				}
+				return evaluate(standardAggregators(seed)[ai], ds)
+			})
+			if err != nil {
+				return nil, err
+			}
+			prs[ai] = avg
+		}
+		res.Rows = append(res.Rows, []string{
+			name,
+			f3(prs[0].Precision), f3(prs[1].Precision), f3(prs[2].Precision), f3(prs[3].Precision),
+			f3(prs[0].Recall), f3(prs[1].Recall), f3(prs[2].Recall), f3(prs[3].Recall),
+		})
+	}
+	return res, nil
+}
+
+// RunTable5OnlineAccuracy reproduces Table 5: precision/recall of the
+// offline (batch VI) and online (SVI) CPA variants after all answers have
+// arrived, with ± deviations over shuffled runs.
+func RunTable5OnlineAccuracy(s Settings) (*Result, error) {
+	res := &Result{
+		ID:      "table5",
+		Title:   "Effects of data arrival at 100% (paper Table 5)",
+		Headers: []string{"dataset", "online P", "offline P", "online R", "offline R"},
+		Notes:   "online = single-pass stochastic VI over shuffled arrival order; offline = batch VI; ± is the std over runs",
+	}
+	for _, name := range datasets.Names() {
+		var onP, onR, offP, offR []float64
+		for run := 0; run < s.Runs; run++ {
+			seed := s.Seed + int64(run)*101
+			ds, err := profileDataset(name, s, seed)
+			if err != nil {
+				return nil, err
+			}
+			shuffled := ds.Shuffled(newRand(seed))
+			on, err := evaluate(core.NewOnlineAggregator(cpaConfig(seed)), shuffled)
+			if err != nil {
+				return nil, err
+			}
+			off, err := evaluate(core.NewAggregator(cpaConfig(seed)), ds)
+			if err != nil {
+				return nil, err
+			}
+			onP = append(onP, on.Precision)
+			onR = append(onR, on.Recall)
+			offP = append(offP, off.Precision)
+			offR = append(offR, off.Recall)
+		}
+		res.Rows = append(res.Rows, []string{
+			name,
+			metrics.Summarize(onP).String(), f3(metrics.Summarize(offP).Mean),
+			metrics.Summarize(onR).String(), f3(metrics.Summarize(offR).Mean),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,325 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestDigammaKnownValues(t *testing.T) {
+	// Reference values computed with mpmath to 20 digits.
+	cases := []struct {
+		x, want float64
+	}{
+		{1, -Euler},
+		{0.5, -Euler - 2*math.Ln2},
+		{2, 1 - Euler},
+		{3, 1.5 - Euler},
+		{4, 1.0/3 + 1.5 - Euler},
+		{10, 2.2517525890667211076},
+		{100, 4.6001618527380874002},
+		{1e6, 13.815510057964274509},
+		{0.1, -10.423754940411076795},
+		{1e-4, -10000.577051183505},
+	}
+	for _, c := range cases {
+		got := Digamma(c.x)
+		tol := 1e-10 * math.Max(1, math.Abs(c.want))
+		if !almostEqual(got, c.want, tol) {
+			t.Errorf("Digamma(%g) = %.15g, want %.15g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestDigammaRecurrenceProperty(t *testing.T) {
+	// ψ(x+1) = ψ(x) + 1/x must hold for all positive x.
+	f := func(raw float64) bool {
+		x := math.Abs(raw)
+		if x < 1e-6 || x > 1e8 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		lhs := Digamma(x + 1)
+		rhs := Digamma(x) + 1/x
+		return almostEqual(lhs, rhs, 1e-9*math.Max(1, math.Abs(rhs)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDigammaReflection(t *testing.T) {
+	// ψ(1-x) - ψ(x) = π·cot(πx) for non-integer x.
+	for _, x := range []float64{-0.5, -1.5, -2.25, -7.75} {
+		lhs := Digamma(1-x) - Digamma(x)
+		rhs := math.Pi / math.Tan(math.Pi*x)
+		if !almostEqual(lhs, rhs, 1e-8*math.Max(1, math.Abs(rhs))) {
+			t.Errorf("reflection at %g: lhs=%g rhs=%g", x, lhs, rhs)
+		}
+	}
+}
+
+func TestDigammaPoles(t *testing.T) {
+	for _, x := range []float64{0, -1, -2, -10} {
+		if !math.IsNaN(Digamma(x)) {
+			t.Errorf("Digamma(%g) should be NaN at a pole", x)
+		}
+	}
+}
+
+func TestDigammaMonotoneOnPositiveAxis(t *testing.T) {
+	prev := Digamma(0.01)
+	for x := 0.02; x < 50; x += 0.01 {
+		cur := Digamma(x)
+		if cur <= prev {
+			t.Fatalf("Digamma not strictly increasing at x=%g: %g <= %g", x, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestTrigammaKnownValues(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{1, math.Pi * math.Pi / 6},
+		{0.5, math.Pi * math.Pi / 2},
+		{2, math.Pi*math.Pi/6 - 1},
+		{10, 0.10516633568168575012},
+	}
+	for _, c := range cases {
+		got := Trigamma(c.x)
+		if !almostEqual(got, c.want, 1e-10*math.Max(1, c.want)) {
+			t.Errorf("Trigamma(%g) = %.15g, want %.15g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestTrigammaIsDerivativeOfDigamma(t *testing.T) {
+	const h = 1e-6
+	for _, x := range []float64{0.3, 1, 2.5, 7, 42, 1000} {
+		numeric := (Digamma(x+h) - Digamma(x-h)) / (2 * h)
+		got := Trigamma(x)
+		if !almostEqual(got, numeric, 1e-4*math.Max(1, math.Abs(numeric))) {
+			t.Errorf("Trigamma(%g)=%g, numeric derivative %g", x, got, numeric)
+		}
+	}
+}
+
+func TestLogGammaAndLogBeta(t *testing.T) {
+	if got := LogGamma(5); !almostEqual(got, math.Log(24), 1e-12) {
+		t.Errorf("LogGamma(5) = %g, want ln 24", got)
+	}
+	// B(a,b) = Γ(a)Γ(b)/Γ(a+b); B(2,3) = 1/12.
+	if got := LogBeta(2, 3); !almostEqual(got, math.Log(1.0/12), 1e-12) {
+		t.Errorf("LogBeta(2,3) = %g, want ln 1/12", got)
+	}
+}
+
+func TestLogFactorial(t *testing.T) {
+	want := 0.0
+	for n := 0; n <= 20; n++ {
+		if n >= 2 {
+			want += math.Log(float64(n))
+		}
+		if got := LogFactorial(n); !almostEqual(got, want, 1e-9) {
+			t.Errorf("LogFactorial(%d) = %g, want %g", n, got, want)
+		}
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	if got := LogSumExp(nil); !math.IsInf(got, -1) {
+		t.Errorf("LogSumExp(nil) = %g, want -Inf", got)
+	}
+	v := []float64{math.Log(1), math.Log(2), math.Log(3)}
+	if got := LogSumExp(v); !almostEqual(got, math.Log(6), 1e-12) {
+		t.Errorf("LogSumExp = %g, want ln 6", got)
+	}
+	// Huge offsets must not overflow.
+	v = []float64{1000, 1000 + math.Log(2)}
+	if got := LogSumExp(v); !almostEqual(got, 1000+math.Log(3), 1e-9) {
+		t.Errorf("LogSumExp with offset = %g", got)
+	}
+	allNegInf := []float64{math.Inf(-1), math.Inf(-1)}
+	if got := LogSumExp(allNegInf); !math.IsInf(got, -1) {
+		t.Errorf("LogSumExp(-Inf,-Inf) = %g, want -Inf", got)
+	}
+}
+
+func TestLogSumExp2MatchesSlice(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 500 || math.Abs(b) > 500 {
+			return true
+		}
+		return almostEqual(LogSumExp2(a, b), LogSumExp([]float64{a, b}), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxInPlace(t *testing.T) {
+	v := []float64{math.Log(1), math.Log(2), math.Log(7)}
+	SoftmaxInPlace(v)
+	want := []float64{0.1, 0.2, 0.7}
+	for i := range v {
+		if !almostEqual(v[i], want[i], 1e-12) {
+			t.Errorf("softmax[%d] = %g, want %g", i, v[i], want[i])
+		}
+	}
+	// Degenerate: all -Inf becomes uniform.
+	v = []float64{math.Inf(-1), math.Inf(-1)}
+	SoftmaxInPlace(v)
+	if !almostEqual(v[0], 0.5, 1e-12) || !almostEqual(v[1], 0.5, 1e-12) {
+		t.Errorf("softmax of -Inf vector = %v, want uniform", v)
+	}
+}
+
+func TestSoftmaxSumsToOneProperty(t *testing.T) {
+	f := func(raw [7]float64) bool {
+		v := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			v = append(v, math.Mod(x, 700)) // keep exp in range
+		}
+		SoftmaxInPlace(v)
+		s := 0.0
+		for _, p := range v {
+			if p < 0 || p > 1 {
+				return false
+			}
+			s += p
+		}
+		return almostEqual(s, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeInPlace(t *testing.T) {
+	v := []float64{1, 3}
+	sum := NormalizeInPlace(v)
+	if sum != 4 || !almostEqual(v[0], 0.25, 1e-15) || !almostEqual(v[1], 0.75, 1e-15) {
+		t.Errorf("NormalizeInPlace = %v (sum %g)", v, sum)
+	}
+	z := []float64{0, 0, 0, 0}
+	NormalizeInPlace(z)
+	for _, x := range z {
+		if !almostEqual(x, 0.25, 1e-15) {
+			t.Errorf("zero vector should normalise to uniform, got %v", z)
+		}
+	}
+}
+
+func TestKahanSumBeatsNaiveOnIllConditionedInput(t *testing.T) {
+	// 1 followed by many tiny values that naive summation drops entirely.
+	n := 1 << 20
+	v := make([]float64, n+1)
+	v[0] = 1
+	tiny := 1e-16
+	for i := 1; i <= n; i++ {
+		v[i] = tiny
+	}
+	want := 1 + float64(n)*tiny
+	if got := KahanSum(v); !almostEqual(got, want, 1e-12) {
+		t.Errorf("KahanSum = %.18g, want %.18g", got, want)
+	}
+}
+
+func TestDotAndAXPY(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+	v := []float64{1, 1, 1}
+	AXPY(2, a, v)
+	want := []float64{3, 5, 7}
+	for i := range v {
+		if v[i] != want[i] {
+			t.Errorf("AXPY = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot should panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestArgMax(t *testing.T) {
+	if got := ArgMax(nil); got != -1 {
+		t.Errorf("ArgMax(nil) = %d, want -1", got)
+	}
+	if got := ArgMax([]float64{1, 5, 5, 2}); got != 1 {
+		t.Errorf("ArgMax tie should break low, got %d", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if got := MaxAbsDiff([]float64{1, 2, 3}, []float64{1, 2.5, 2}); got != 1 {
+		t.Errorf("MaxAbsDiff = %g, want 1", got)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(v); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := StdDev(v); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+	if StdDev([]float64{1}) != 0 || Mean(nil) != 0 {
+		t.Error("degenerate Mean/StdDev should be 0")
+	}
+}
+
+func TestScaleFill(t *testing.T) {
+	v := Fill(make([]float64, 3), 2)
+	Scale(v, 3)
+	for _, x := range v {
+		if x != 6 {
+			t.Errorf("Scale/Fill got %v", v)
+		}
+	}
+}
+
+func BenchmarkDigamma(b *testing.B) {
+	x := 0.5
+	for i := 0; i < b.N; i++ {
+		x = 1 + math.Mod(Digamma(1+x)*Digamma(1+x), 10)
+	}
+	_ = x
+}
+
+func BenchmarkLogSumExp(b *testing.B) {
+	v := make([]float64, 64)
+	for i := range v {
+		v[i] = float64(i%7) - 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = LogSumExp(v)
+	}
+}

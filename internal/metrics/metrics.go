@@ -1,0 +1,252 @@
+// Package metrics implements the evaluation measures of the paper's §5.1:
+// set-based precision and recall averaged over items, plus the per-label
+// sensitivity/specificity used by the community-detection analysis (Fig. 9
+// and Appendix A's worker-type characterisation).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"cpa/internal/answers"
+	"cpa/internal/labelset"
+)
+
+// PR holds the averaged set-based precision and recall of a prediction.
+type PR struct {
+	Precision float64
+	Recall    float64
+	// Items is the number of ground-truth items the averages cover.
+	Items int
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (p PR) F1() float64 {
+	if p.Precision+p.Recall == 0 {
+		return 0
+	}
+	return 2 * p.Precision * p.Recall / (p.Precision + p.Recall)
+}
+
+func (p PR) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f (n=%d)", p.Precision, p.Recall, p.Items)
+}
+
+// ItemPR returns the per-item precision and recall of predicted against
+// truth, following the paper's conventions:
+//
+//	P_i = |Y_i ∩ Y*_i| / |Y*_i|    (1 when the prediction is empty and the
+//	                                truth is empty; 0 when the prediction is
+//	                                empty but truth is not — nothing correct
+//	                                was asserted)
+//	R_i = |Y_i ∩ Y*_i| / |Y_i|     (1 when the truth is empty)
+func ItemPR(truth, predicted labelset.Set) (precision, recall float64) {
+	inter := float64(truth.IntersectLen(predicted))
+	if n := predicted.Len(); n > 0 {
+		precision = inter / float64(n)
+	} else if truth.IsEmpty() {
+		precision = 1
+	}
+	if n := truth.Len(); n > 0 {
+		recall = inter / float64(n)
+	} else {
+		recall = 1
+	}
+	return precision, recall
+}
+
+// Evaluate averages per-item precision/recall over every item of the dataset
+// that has evaluation truth. predicted must have length ds.NumItems.
+func Evaluate(ds *answers.Dataset, predicted []labelset.Set) (PR, error) {
+	if len(predicted) != ds.NumItems {
+		return PR{}, fmt.Errorf("metrics: %d predictions for %d items", len(predicted), ds.NumItems)
+	}
+	var sumP, sumR float64
+	n := 0
+	for i := 0; i < ds.NumItems; i++ {
+		truth, ok := ds.Truth(i)
+		if !ok {
+			continue
+		}
+		p, r := ItemPR(truth, predicted[i])
+		sumP += p
+		sumR += r
+		n++
+	}
+	if n == 0 {
+		return PR{}, fmt.Errorf("metrics: dataset %q has no ground truth", ds.Name)
+	}
+	return PR{Precision: sumP / float64(n), Recall: sumR / float64(n), Items: n}, nil
+}
+
+// ExactMatchRate returns the fraction of ground-truth items whose predicted
+// set equals the truth exactly (the strictest multi-label accuracy notion).
+func ExactMatchRate(ds *answers.Dataset, predicted []labelset.Set) (float64, error) {
+	if len(predicted) != ds.NumItems {
+		return 0, fmt.Errorf("metrics: %d predictions for %d items", len(predicted), ds.NumItems)
+	}
+	match, n := 0, 0
+	for i := 0; i < ds.NumItems; i++ {
+		truth, ok := ds.Truth(i)
+		if !ok {
+			continue
+		}
+		if truth.Equal(predicted[i]) {
+			match++
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("metrics: dataset %q has no ground truth", ds.Name)
+	}
+	return float64(match) / float64(n), nil
+}
+
+// MeanJaccard returns the average Jaccard similarity between predictions and
+// truth over ground-truth items.
+func MeanJaccard(ds *answers.Dataset, predicted []labelset.Set) (float64, error) {
+	if len(predicted) != ds.NumItems {
+		return 0, fmt.Errorf("metrics: %d predictions for %d items", len(predicted), ds.NumItems)
+	}
+	sum, n := 0.0, 0
+	for i := 0; i < ds.NumItems; i++ {
+		truth, ok := ds.Truth(i)
+		if !ok {
+			continue
+		}
+		sum += truth.Jaccard(predicted[i])
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("metrics: dataset %q has no ground truth", ds.Name)
+	}
+	return sum / float64(n), nil
+}
+
+// WorkerLabelQuality is one worker's two-coin quality for one label:
+// sensitivity (true-positive rate) and specificity (true-negative rate),
+// the axes of the paper's Fig. 9 and Fig. 10.
+type WorkerLabelQuality struct {
+	Worker      int
+	Label       int
+	Sensitivity float64
+	Specificity float64
+	// Positives / Negatives are the support sizes behind each rate.
+	Positives int
+	Negatives int
+}
+
+// WorkerQuality computes, for the given label, every worker's sensitivity
+// and specificity against the dataset's ground truth, skipping workers with
+// no answered truth items. Laplace smoothing (add-one) keeps rates away from
+// the degenerate 0/0.
+func WorkerQuality(ds *answers.Dataset, label int) []WorkerLabelQuality {
+	if label < 0 || label >= ds.NumLabels {
+		return nil
+	}
+	var out []WorkerLabelQuality
+	for u := 0; u < ds.NumWorkers; u++ {
+		tp, fn, tn, fp := 0, 0, 0, 0
+		ds.ForWorker(u, func(a answers.Answer) {
+			truth, ok := ds.Truth(a.Item)
+			if !ok {
+				return
+			}
+			inTruth := truth.Contains(label)
+			inAnswer := a.Labels.Contains(label)
+			switch {
+			case inTruth && inAnswer:
+				tp++
+			case inTruth && !inAnswer:
+				fn++
+			case !inTruth && inAnswer:
+				fp++
+			default:
+				tn++
+			}
+		})
+		if tp+fn+tn+fp == 0 {
+			continue
+		}
+		out = append(out, WorkerLabelQuality{
+			Worker:      u,
+			Label:       label,
+			Sensitivity: float64(tp+1) / float64(tp+fn+2),
+			Specificity: float64(tn+1) / float64(tn+fp+2),
+			Positives:   tp + fn,
+			Negatives:   tn + fp,
+		})
+	}
+	return out
+}
+
+// OverallWorkerQuality computes a single sensitivity/specificity pair per
+// worker pooled over all labels — the 2-D points of Appendix A's Fig. 10.
+func OverallWorkerQuality(ds *answers.Dataset) []WorkerLabelQuality {
+	var out []WorkerLabelQuality
+	for u := 0; u < ds.NumWorkers; u++ {
+		tp, fn, tn, fp := 0, 0, 0, 0
+		ds.ForWorker(u, func(a answers.Answer) {
+			truth, ok := ds.Truth(a.Item)
+			if !ok {
+				return
+			}
+			for c := 0; c < ds.NumLabels; c++ {
+				inTruth := truth.Contains(c)
+				inAnswer := a.Labels.Contains(c)
+				switch {
+				case inTruth && inAnswer:
+					tp++
+				case inTruth && !inAnswer:
+					fn++
+				case !inTruth && inAnswer:
+					fp++
+				default:
+					tn++
+				}
+			}
+		})
+		if tp+fn+tn+fp == 0 {
+			continue
+		}
+		out = append(out, WorkerLabelQuality{
+			Worker:      u,
+			Label:       -1,
+			Sensitivity: float64(tp+1) / float64(tp+fn+2),
+			Specificity: float64(tn+1) / float64(tn+fp+2),
+			Positives:   tp + fn,
+			Negatives:   tn + fp,
+		})
+	}
+	return out
+}
+
+// MeanStd summarises repeated measurements (Table 5's "± deviation").
+type MeanStd struct {
+	Mean float64
+	Std  float64
+	N    int
+}
+
+// Summarize computes mean and population standard deviation.
+func Summarize(values []float64) MeanStd {
+	n := len(values)
+	if n == 0 {
+		return MeanStd{}
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	mean := sum / float64(n)
+	ss := 0.0
+	for _, v := range values {
+		d := v - mean
+		ss += d * d
+	}
+	return MeanStd{Mean: mean, Std: math.Sqrt(ss / float64(n)), N: n}
+}
+
+func (m MeanStd) String() string {
+	return fmt.Sprintf("%.3f ±%.3f", m.Mean, m.Std)
+}

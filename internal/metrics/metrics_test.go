@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cpa/internal/answers"
+	"cpa/internal/labelset"
+)
+
+func TestItemPR(t *testing.T) {
+	cases := []struct {
+		truth, pred labelset.Set
+		p, r        float64
+	}{
+		{labelset.Of(1, 2), labelset.Of(1, 2), 1, 1},
+		{labelset.Of(1, 2), labelset.Of(1), 1, 0.5},
+		{labelset.Of(1), labelset.Of(1, 2), 0.5, 1},
+		{labelset.Of(1, 2), labelset.Of(3), 0, 0},
+		{labelset.Of(1, 2), labelset.Set{}, 0, 0},
+		{labelset.Set{}, labelset.Set{}, 1, 1},
+		{labelset.Set{}, labelset.Of(1), 0, 1},
+	}
+	for _, c := range cases {
+		p, r := ItemPR(c.truth, c.pred)
+		if p != c.p || r != c.r {
+			t.Errorf("ItemPR(%v,%v) = (%g,%g), want (%g,%g)", c.truth, c.pred, p, r, c.p, c.r)
+		}
+	}
+}
+
+func TestItemPRBoundsProperty(t *testing.T) {
+	f := func(tr, pr []uint8) bool {
+		truth, pred := labelset.Set{}, labelset.Set{}
+		for _, c := range tr {
+			truth.Add(int(c % 32))
+		}
+		for _, c := range pr {
+			pred.Add(int(c % 32))
+		}
+		p, r := ItemPR(truth, pred)
+		if p < 0 || p > 1 || r < 0 || r > 1 {
+			return false
+		}
+		// Perfect prediction is (1,1).
+		if truth.Equal(pred) {
+			return p == 1 && r == 1
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildDataset(t *testing.T) *answers.Dataset {
+	t.Helper()
+	d, err := answers.NewDataset("m", 3, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.Add(0, 0, labelset.Of(0, 1)))
+	must(d.Add(1, 0, labelset.Of(2)))
+	must(d.Add(1, 1, labelset.Of(2, 3)))
+	must(d.SetTruth(0, labelset.Of(0, 1)))
+	must(d.SetTruth(1, labelset.Of(2)))
+	// Item 2 has no truth: excluded from averages.
+	return d
+}
+
+func TestEvaluate(t *testing.T) {
+	d := buildDataset(t)
+	pred := []labelset.Set{
+		labelset.Of(0),    // P=1, R=0.5
+		labelset.Of(2, 3), // P=0.5, R=1
+		labelset.Of(4),    // no truth: ignored
+	}
+	pr, err := Evaluate(d, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Items != 2 {
+		t.Errorf("Items = %d", pr.Items)
+	}
+	if math.Abs(pr.Precision-0.75) > 1e-12 || math.Abs(pr.Recall-0.75) > 1e-12 {
+		t.Errorf("PR = %v", pr)
+	}
+	if math.Abs(pr.F1()-0.75) > 1e-12 {
+		t.Errorf("F1 = %g", pr.F1())
+	}
+	if _, err := Evaluate(d, pred[:1]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestEvaluateNoTruth(t *testing.T) {
+	d, _ := answers.NewDataset("empty", 2, 2, 2)
+	if _, err := Evaluate(d, make([]labelset.Set, 2)); err == nil {
+		t.Error("no-truth dataset should fail evaluation")
+	}
+}
+
+func TestExactMatchAndJaccard(t *testing.T) {
+	d := buildDataset(t)
+	pred := []labelset.Set{labelset.Of(0, 1), labelset.Of(2, 3), labelset.Set{}}
+	em, err := ExactMatchRate(d, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em != 0.5 {
+		t.Errorf("ExactMatchRate = %g", em)
+	}
+	mj, err := MeanJaccard(d, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mj-0.75) > 1e-12 {
+		t.Errorf("MeanJaccard = %g", mj)
+	}
+	if _, err := ExactMatchRate(d, pred[:1]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := MeanJaccard(d, pred[:1]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestWorkerQuality(t *testing.T) {
+	d, err := answers.NewDataset("wq", 4, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Worker 0 always asserts label 0 correctly; worker 1 always wrongly.
+	must(d.SetTruth(0, labelset.Of(0)))
+	must(d.SetTruth(1, labelset.Of(0)))
+	must(d.SetTruth(2, labelset.Of(1)))
+	must(d.SetTruth(3, labelset.Of(1)))
+	must(d.Add(0, 0, labelset.Of(0)))
+	must(d.Add(1, 0, labelset.Of(0)))
+	must(d.Add(2, 0, labelset.Of(1)))
+	must(d.Add(3, 0, labelset.Of(1)))
+	must(d.Add(0, 1, labelset.Of(1)))
+	must(d.Add(1, 1, labelset.Of(1)))
+	must(d.Add(2, 1, labelset.Of(0)))
+	must(d.Add(3, 1, labelset.Of(0)))
+
+	q := WorkerQuality(d, 0)
+	if len(q) != 2 {
+		t.Fatalf("quality count = %d", len(q))
+	}
+	// Worker 0 for label 0: tp=2 fn=0 tn=2 fp=0 -> smoothed 3/4, 3/4.
+	if q[0].Sensitivity != 0.75 || q[0].Specificity != 0.75 {
+		t.Errorf("worker0: %+v", q[0])
+	}
+	// Worker 1 for label 0: tp=0 fn=2 tn=0 fp=2 -> smoothed 1/4, 1/4.
+	if q[1].Sensitivity != 0.25 || q[1].Specificity != 0.25 {
+		t.Errorf("worker1: %+v", q[1])
+	}
+	if WorkerQuality(d, -1) != nil || WorkerQuality(d, 99) != nil {
+		t.Error("out-of-range labels should return nil")
+	}
+
+	overall := OverallWorkerQuality(d)
+	if len(overall) != 2 {
+		t.Fatalf("overall count = %d", len(overall))
+	}
+	if overall[0].Sensitivity <= overall[1].Sensitivity {
+		t.Error("good worker should dominate bad worker in sensitivity")
+	}
+}
+
+func TestWorkerQualitySkipsWorkersWithoutTruth(t *testing.T) {
+	d, _ := answers.NewDataset("wq2", 2, 2, 2)
+	if err := d.Add(0, 0, labelset.Of(0)); err != nil {
+		t.Fatal(err)
+	}
+	// No truth anywhere: nobody has measurable quality.
+	if got := WorkerQuality(d, 0); len(got) != 0 {
+		t.Errorf("expected no measurable workers, got %d", len(got))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 || s.Std != 2 || s.N != 8 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if z := Summarize(nil); z.Mean != 0 || z.Std != 0 || z.N != 0 {
+		t.Errorf("Summarize(nil) = %+v", z)
+	}
+	if got := s.String(); got != "5.000 ±2.000" {
+		t.Errorf("String = %q", got)
+	}
+}

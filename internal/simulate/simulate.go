@@ -1,0 +1,716 @@
+// Package simulate generates synthetic crowdsourcing datasets that stand in
+// for the paper's five CrowdFlower-collected corpora (DESIGN.md, substitution
+// D4). The generator reproduces the structural properties each experiment in
+// the paper's §5 probes:
+//
+//   - a worker population mixed from the five types of §2.1 / Appendix A
+//     (reliable, normal, sloppy, uniform spammer, random spammer), each with
+//     two-coin sensitivity/specificity behaviour;
+//   - label co-occurrence structure: labels are grouped into latent clusters
+//     and items draw their true label sets mostly from one home cluster
+//     (archetype), yielding the co-occurrence dependencies of Fig. 1;
+//   - task design per §5.1: workers see a bounded candidate list (the true
+//     labels padded with co-occurring distractors), answer in batches, and
+//     participation across workers can be skewed;
+//   - the paper's intervention experiments: answer removal (Fig. 3 sparsity),
+//     spammer injection (Fig. 4), and label-dependency injection (Fig. 5).
+//
+// All generation is deterministic under Config.Seed.
+package simulate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cpa/internal/answers"
+	"cpa/internal/dist"
+	"cpa/internal/labelset"
+)
+
+// ErrConfig reports an invalid generator configuration.
+var ErrConfig = errors.New("simulate: invalid config")
+
+// WorkerType enumerates the paper's five worker archetypes (§2.1).
+type WorkerType int
+
+const (
+	Reliable WorkerType = iota
+	Normal
+	Sloppy
+	UniformSpammer
+	RandomSpammer
+	numWorkerTypes
+)
+
+// String returns the archetype name.
+func (w WorkerType) String() string {
+	switch w {
+	case Reliable:
+		return "reliable"
+	case Normal:
+		return "normal"
+	case Sloppy:
+		return "sloppy"
+	case UniformSpammer:
+		return "uniform-spammer"
+	case RandomSpammer:
+		return "random-spammer"
+	default:
+		return fmt.Sprintf("WorkerType(%d)", int(w))
+	}
+}
+
+// IsSpammer reports whether the type is one of the two spammer archetypes.
+func (w WorkerType) IsSpammer() bool {
+	return w == UniformSpammer || w == RandomSpammer
+}
+
+// qualityRange bounds the two-coin parameters per archetype, following the
+// characterisation in the paper's Appendix A (Fig. 10).
+type qualityRange struct {
+	sensLo, sensHi float64
+	specLo, specHi float64
+}
+
+var typeQuality = map[WorkerType]qualityRange{
+	Reliable: {0.70, 0.90, 0.92, 0.99},
+	Normal:   {0.45, 0.70, 0.85, 0.96},
+	Sloppy:   {0.25, 0.50, 0.70, 0.90},
+}
+
+// trapRate is the probability that an honest worker of each type falls for a
+// trap label — a plausible-but-wrong distractor from the item's home
+// co-occurrence cluster. Traps model the correlated mistakes of real crowds
+// (different workers agreeing on the same wrong label), which is what makes
+// the paper's real datasets hard for naive vote counting.
+var trapRate = map[WorkerType]float64{
+	Reliable: 0.25,
+	Normal:   0.45,
+	Sloppy:   0.65,
+}
+
+// Mix gives the worker population proportions. Entries need not sum to one;
+// they are normalised. The zero value is invalid — use DefaultMix or
+// PaperSimulationMix.
+type Mix struct {
+	Reliable       float64
+	Normal         float64
+	Sloppy         float64
+	UniformSpammer float64
+	RandomSpammer  float64
+}
+
+// DefaultMix is the population used for the five dataset profiles: a quarter
+// spammers (the paper's §5.1 simulation default γ=25, within Vuurens et
+// al.'s "up to 40%" bound) with the honest remainder split across reliable,
+// normal and sloppy workers.
+func DefaultMix() Mix {
+	return Mix{Reliable: 0.30, Normal: 0.25, Sloppy: 0.20, UniformSpammer: 0.125, RandomSpammer: 0.125}
+}
+
+// AppendixAMix follows the real-world population reported in the paper's
+// Appendix A (27% reliable, 16% normal, 18% sloppy, 38% spammers split
+// evenly) — the most hostile documented population, used by stress tests.
+func AppendixAMix() Mix {
+	return Mix{Reliable: 0.27, Normal: 0.16, Sloppy: 0.18, UniformSpammer: 0.19, RandomSpammer: 0.19}
+}
+
+// PaperSimulationMix follows §5.1's large-scale simulation defaults:
+// α=43% reliable, β=32% sloppy, γ=25% spammers (γ/2 each kind). The paper's
+// simulation setup does not use a separate "normal" share.
+func PaperSimulationMix() Mix {
+	return Mix{Reliable: 0.43, Sloppy: 0.32, UniformSpammer: 0.125, RandomSpammer: 0.125}
+}
+
+func (m Mix) total() float64 {
+	return m.Reliable + m.Normal + m.Sloppy + m.UniformSpammer + m.RandomSpammer
+}
+
+func (m Mix) weights() []float64 {
+	return []float64{m.Reliable, m.Normal, m.Sloppy, m.UniformSpammer, m.RandomSpammer}
+}
+
+// Config parameterises dataset generation. Mandatory fields: Items, Workers,
+// Labels, AnswersPerItem, Mix. Zero values elsewhere select sensible
+// defaults (documented per field).
+type Config struct {
+	Name    string
+	Items   int
+	Workers int
+	Labels  int
+
+	// AnswersPerItem is the number of distinct workers answering each item
+	// (Table 3's #Answers / #Questions).
+	AnswersPerItem int
+
+	// LabelClusters is the number of latent co-occurrence groups the label
+	// vocabulary is partitioned into. Default: max(2, Labels/10).
+	LabelClusters int
+
+	// Correlation in [0,1] is the probability that each true label of an
+	// item is drawn from the item's home cluster rather than uniformly.
+	// High values give the strong co-occurrence of the image/topic/entity
+	// datasets; low values the weak correlation of aspect/movie. Default 0.8.
+	Correlation float64
+
+	// TruthMean is the mean true-label-set size (≥1). Default 3.
+	TruthMean float64
+	// TruthMax caps the true-label-set size (Table 3: "up to 10 tags",
+	// "up to five topics", ...). Default 2*TruthMean.
+	TruthMax int
+
+	// Candidates is the size of the label list shown to a worker per item
+	// (§5.1 task design: 30 of 81 for image, 20 of 262 for aspect, ...).
+	// False positives are drawn from this list only. Default min(Labels, 20).
+	Candidates int
+
+	// WorkerSkew ≥ 0 skews participation across workers with Zipf-like
+	// weights rank^(-WorkerSkew). 0 means uniform participation. The image
+	// and movie datasets are skewed per §5.1.
+	WorkerSkew float64
+
+	// Mix is the worker-type population. Required (use DefaultMix()).
+	Mix Mix
+
+	// RevealFraction of items have their ground truth revealed to the model
+	// as test questions. Default 0.
+	RevealFraction float64
+
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.LabelClusters == 0 {
+		c.LabelClusters = c.Labels / 10
+		if c.LabelClusters < 2 {
+			c.LabelClusters = 2
+		}
+	}
+	if c.Correlation == 0 {
+		c.Correlation = 0.8
+	}
+	if c.TruthMean == 0 {
+		c.TruthMean = 3
+	}
+	if c.TruthMax == 0 {
+		c.TruthMax = int(2 * c.TruthMean)
+	}
+	if c.Candidates == 0 {
+		c.Candidates = 20
+		if c.Labels < c.Candidates {
+			c.Candidates = c.Labels
+		}
+	}
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Items <= 0 || c.Workers <= 0 || c.Labels <= 0:
+		return fmt.Errorf("%w: dimensions %d/%d/%d", ErrConfig, c.Items, c.Workers, c.Labels)
+	case c.AnswersPerItem <= 0:
+		return fmt.Errorf("%w: AnswersPerItem=%d", ErrConfig, c.AnswersPerItem)
+	case c.AnswersPerItem > c.Workers:
+		return fmt.Errorf("%w: AnswersPerItem=%d exceeds Workers=%d", ErrConfig, c.AnswersPerItem, c.Workers)
+	case c.Mix.total() <= 0:
+		return fmt.Errorf("%w: empty worker mix", ErrConfig)
+	case c.Correlation < 0 || c.Correlation > 1:
+		return fmt.Errorf("%w: Correlation=%v", ErrConfig, c.Correlation)
+	case c.TruthMean < 1:
+		return fmt.Errorf("%w: TruthMean=%v", ErrConfig, c.TruthMean)
+	case c.LabelClusters > c.Labels:
+		return fmt.Errorf("%w: LabelClusters=%d exceeds Labels=%d", ErrConfig, c.LabelClusters, c.Labels)
+	case c.RevealFraction < 0 || c.RevealFraction > 1:
+		return fmt.Errorf("%w: RevealFraction=%v", ErrConfig, c.RevealFraction)
+	}
+	return nil
+}
+
+// Metadata records the latent generation state for analysis and assertions:
+// which archetype each worker belongs to, the label clustering, and each
+// item's home cluster.
+type Metadata struct {
+	Config         Config
+	WorkerTypes    []WorkerType
+	Sensitivity    []float64 // per worker; spammers hold NaN
+	Specificity    []float64
+	UniformSpamSet []labelset.Set // non-empty only for uniform spammers
+	LabelCluster   []int          // cluster id per label
+	ClusterLabels  [][]int        // member labels per cluster
+	ItemCluster    []int          // home cluster per item
+	ItemTraps      []labelset.Set // per item: plausible-but-wrong trap labels
+}
+
+// TypeCount returns how many workers have the given archetype.
+func (m *Metadata) TypeCount(t WorkerType) int {
+	n := 0
+	for _, wt := range m.WorkerTypes {
+		if wt == t {
+			n++
+		}
+	}
+	return n
+}
+
+// Generate builds a dataset and its generation metadata from cfg.
+func Generate(cfg Config) (*answers.Dataset, *Metadata, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	meta := &Metadata{Config: cfg}
+	assignLabelClusters(cfg, rng, meta)
+	assignWorkerTypes(cfg, rng, meta)
+
+	ds, err := answers.NewDataset(cfg.Name, cfg.Items, cfg.Workers, cfg.Labels)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Participation weights (Zipf-like over a random worker permutation so
+	// archetypes are not confounded with participation volume).
+	weights := make([]float64, cfg.Workers)
+	perm := rng.Perm(cfg.Workers)
+	for rank, u := range perm {
+		if cfg.WorkerSkew > 0 {
+			weights[u] = math.Pow(float64(rank+1), -cfg.WorkerSkew)
+		} else {
+			weights[u] = 1
+		}
+	}
+
+	meta.ItemCluster = make([]int, cfg.Items)
+	meta.ItemTraps = make([]labelset.Set, cfg.Items)
+	scratch := &genScratch{
+		keys:       make([]wkey, cfg.Workers),
+		candidates: make([]int, 0, cfg.Candidates),
+		member:     make([]bool, cfg.Labels),
+	}
+	for i := 0; i < cfg.Items; i++ {
+		home := rng.Intn(cfg.LabelClusters)
+		meta.ItemCluster[i] = home
+		truth := sampleTruth(cfg, rng, meta, home)
+		if err := ds.SetTruth(i, truth); err != nil {
+			return nil, nil, err
+		}
+		if cfg.RevealFraction > 0 && rng.Float64() < cfg.RevealFraction {
+			if err := ds.Reveal(i); err != nil {
+				return nil, nil, err
+			}
+		}
+		traps := sampleTraps(cfg, rng, meta, home, truth)
+		meta.ItemTraps[i] = traps
+		candidates := buildCandidates(cfg, rng, meta, home, truth, traps, scratch)
+		for _, u := range pickWorkers(rng, weights, cfg.WorkerSkew == 0, cfg.AnswersPerItem, scratch) {
+			ans := answerFor(cfg, rng, meta, u, truth, traps, candidates)
+			if ans.IsEmpty() {
+				continue // worker skipped the task
+			}
+			if err := ds.Add(i, u, ans); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return ds, meta, nil
+}
+
+// assignLabelClusters partitions the vocabulary into contiguous clusters of
+// near-equal size after a random shuffle, so cluster membership is random
+// but exhaustive.
+func assignLabelClusters(cfg Config, rng *rand.Rand, meta *Metadata) {
+	meta.LabelCluster = make([]int, cfg.Labels)
+	meta.ClusterLabels = make([][]int, cfg.LabelClusters)
+	perm := rng.Perm(cfg.Labels)
+	for idx, c := range perm {
+		k := idx % cfg.LabelClusters
+		meta.LabelCluster[c] = k
+		meta.ClusterLabels[k] = append(meta.ClusterLabels[k], c)
+	}
+	for k := range meta.ClusterLabels {
+		sort.Ints(meta.ClusterLabels[k])
+	}
+}
+
+// assignWorkerTypes draws each worker's archetype from the mix and samples
+// its two-coin parameters.
+func assignWorkerTypes(cfg Config, rng *rand.Rand, meta *Metadata) {
+	meta.WorkerTypes = make([]WorkerType, cfg.Workers)
+	meta.Sensitivity = make([]float64, cfg.Workers)
+	meta.Specificity = make([]float64, cfg.Workers)
+	meta.UniformSpamSet = make([]labelset.Set, cfg.Workers)
+	mixWeights := cfg.Mix.weights()
+	for u := 0; u < cfg.Workers; u++ {
+		wt := WorkerType(dist.SampleCategorical(rng, mixWeights))
+		meta.WorkerTypes[u] = wt
+		switch wt {
+		case UniformSpammer:
+			// A fixed set of 1–2 labels pasted onto every task (§2.1's u3).
+			spam := labelset.Of(rng.Intn(cfg.Labels))
+			if rng.Float64() < 0.5 && cfg.Labels > 1 {
+				spam.Add(rng.Intn(cfg.Labels))
+			}
+			meta.UniformSpamSet[u] = spam
+			meta.Sensitivity[u] = math.NaN()
+			meta.Specificity[u] = math.NaN()
+		case RandomSpammer:
+			meta.Sensitivity[u] = math.NaN()
+			meta.Specificity[u] = math.NaN()
+		default:
+			q := typeQuality[wt]
+			meta.Sensitivity[u] = q.sensLo + rng.Float64()*(q.sensHi-q.sensLo)
+			meta.Specificity[u] = q.specLo + rng.Float64()*(q.specHi-q.specLo)
+		}
+	}
+}
+
+// sampleTruth draws an item's true label set: size 1 + Poisson(TruthMean-1)
+// capped at TruthMax, each label from the home cluster with probability
+// Correlation, otherwise uniform over the vocabulary.
+func sampleTruth(cfg Config, rng *rand.Rand, meta *Metadata, home int) labelset.Set {
+	size := 1 + dist.Poisson(rng, cfg.TruthMean-1)
+	if size > cfg.TruthMax {
+		size = cfg.TruthMax
+	}
+	if size > cfg.Labels {
+		size = cfg.Labels
+	}
+	truth := labelset.New(cfg.Labels)
+	homeLabels := meta.ClusterLabels[home]
+	for attempts := 0; truth.Len() < size && attempts < 50*size; attempts++ {
+		var c int
+		if rng.Float64() < cfg.Correlation {
+			c = homeLabels[rng.Intn(len(homeLabels))]
+		} else {
+			c = rng.Intn(cfg.Labels)
+		}
+		truth.Add(c)
+	}
+	return truth
+}
+
+type wkey struct {
+	worker int
+	key    float64
+}
+
+type genScratch struct {
+	keys       []wkey
+	pool       []int // partial Fisher–Yates pool for the unweighted path
+	picked     []int
+	candidates []int
+	member     []bool
+}
+
+// pickWorkers selects k distinct workers with probability proportional to
+// their weights. Uniform weights take a partial Fisher–Yates shuffle (O(k)
+// per item — required for the Fig. 7 large-scale generation); skewed weights
+// use Efraimidis–Spirakis reservoir keys (O(U log U), fine for the profile
+// sizes that use skew).
+func pickWorkers(rng *rand.Rand, weights []float64, uniform bool, k int, s *genScratch) []int {
+	if s.picked == nil {
+		s.picked = make([]int, 0, k)
+	}
+	s.picked = s.picked[:0]
+	if uniform {
+		if s.pool == nil {
+			s.pool = make([]int, len(weights))
+			for u := range s.pool {
+				s.pool[u] = u
+			}
+		}
+		n := len(s.pool)
+		for j := 0; j < k; j++ {
+			r := j + rng.Intn(n-j)
+			s.pool[j], s.pool[r] = s.pool[r], s.pool[j]
+			s.picked = append(s.picked, s.pool[j])
+		}
+		return s.picked
+	}
+	for u, w := range weights {
+		u64 := rng.Float64()
+		for u64 == 0 {
+			u64 = rng.Float64()
+		}
+		s.keys[u] = wkey{worker: u, key: math.Pow(u64, 1/w)}
+	}
+	sort.Slice(s.keys, func(a, b int) bool { return s.keys[a].key > s.keys[b].key })
+	for j := 0; j < k; j++ {
+		s.picked = append(s.picked, s.keys[j].worker)
+	}
+	return s.picked
+}
+
+// sampleTraps picks up to two plausible-but-wrong labels from the item's
+// home cluster. All workers see the same traps, producing the correlated
+// errors observed in real crowds.
+func sampleTraps(cfg Config, rng *rand.Rand, meta *Metadata, home int, truth labelset.Set) labelset.Set {
+	traps := labelset.New(cfg.Labels)
+	homeLabels := meta.ClusterLabels[home]
+	want := 2
+	if len(homeLabels) <= truth.Len()+1 {
+		want = 1
+	}
+	for attempts := 0; traps.Len() < want && attempts < 20; attempts++ {
+		c := homeLabels[rng.Intn(len(homeLabels))]
+		if !truth.Contains(c) {
+			traps.Add(c)
+		}
+	}
+	return traps
+}
+
+// buildCandidates assembles the label list shown to workers for an item: the
+// true labels first, then the traps, padded with distractors biased toward
+// the item's home cluster (the paper pads with the highest-co-occurrence
+// labels).
+func buildCandidates(cfg Config, rng *rand.Rand, meta *Metadata, home int, truth, traps labelset.Set, s *genScratch) []int {
+	s.candidates = s.candidates[:0]
+	for i := range s.member {
+		s.member[i] = false
+	}
+	truth.Range(func(c int) bool {
+		s.candidates = append(s.candidates, c)
+		s.member[c] = true
+		return true
+	})
+	traps.Range(func(c int) bool {
+		if !s.member[c] {
+			s.candidates = append(s.candidates, c)
+			s.member[c] = true
+		}
+		return true
+	})
+	homeLabels := meta.ClusterLabels[home]
+	for attempts := 0; len(s.candidates) < cfg.Candidates && attempts < 50*cfg.Candidates; attempts++ {
+		var c int
+		if rng.Float64() < 0.6 {
+			c = homeLabels[rng.Intn(len(homeLabels))]
+		} else {
+			c = rng.Intn(cfg.Labels)
+		}
+		if !s.member[c] {
+			s.member[c] = true
+			s.candidates = append(s.candidates, c)
+		}
+	}
+	return s.candidates
+}
+
+// answerFor produces worker u's label set for an item with true set truth,
+// trap set traps, and candidate list candidates.
+func answerFor(cfg Config, rng *rand.Rand, meta *Metadata, u int, truth, traps labelset.Set, candidates []int) labelset.Set {
+	switch meta.WorkerTypes[u] {
+	case UniformSpammer:
+		return meta.UniformSpamSet[u].Clone()
+	case RandomSpammer:
+		// A random subset of the candidate list, sized like a typical truth
+		// set, occasionally wandering outside the candidates entirely.
+		size := 1 + rng.Intn(int(math.Max(1, cfg.TruthMean*1.5)))
+		out := labelset.New(cfg.Labels)
+		for j := 0; j < size; j++ {
+			if rng.Float64() < 0.8 {
+				out.Add(candidates[rng.Intn(len(candidates))])
+			} else {
+				out.Add(rng.Intn(cfg.Labels))
+			}
+		}
+		return out
+	}
+	sens, spec := meta.Sensitivity[u], meta.Specificity[u]
+	trap := trapRate[meta.WorkerTypes[u]]
+	out := labelset.New(cfg.Labels)
+	for _, c := range candidates {
+		switch {
+		case truth.Contains(c):
+			if rng.Float64() < sens {
+				out.Add(c)
+			}
+		case traps.Contains(c):
+			if rng.Float64() < trap {
+				out.Add(c)
+			}
+		default:
+			if rng.Float64() > spec {
+				out.Add(c)
+			}
+		}
+	}
+	// Honest workers do not submit empty answers; they pick their best guess.
+	if out.IsEmpty() {
+		out.Add(candidates[rng.Intn(len(candidates))])
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Intervention operators for the robustness experiments
+// ---------------------------------------------------------------------------
+
+// Sparsify returns a copy of ds with the given fraction of answers removed
+// uniformly at random (Fig. 3: "randomly removing a certain share of the
+// answers"). fraction is clamped to [0, 1].
+func Sparsify(ds *answers.Dataset, fraction float64, rng *rand.Rand) *answers.Dataset {
+	if fraction <= 0 {
+		return ds.Clone()
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	n := ds.NumAnswers()
+	remove := int(math.Round(fraction * float64(n)))
+	drop := make(map[int]bool, remove)
+	for _, idx := range rng.Perm(n)[:remove] {
+		drop[idx] = true
+	}
+	kept := 0
+	out := ds.Filter(func(answers.Answer) bool {
+		keep := !drop[kept]
+		kept++
+		return keep
+	})
+	return out
+}
+
+// InjectSpammers returns a copy of ds extended with fresh spammer workers
+// whose answers make up the given ratio of the resulting dataset (Fig. 4:
+// "adding answers of spammers ... such that they account for 20% or 40% of
+// the data"). Spammers are split evenly between uniform and random kinds.
+// The returned worker count grows accordingly.
+func InjectSpammers(ds *answers.Dataset, ratio float64, rng *rand.Rand) (*answers.Dataset, error) {
+	if ratio <= 0 {
+		return ds.Clone(), nil
+	}
+	if ratio >= 1 {
+		return nil, fmt.Errorf("%w: spam ratio %v must be < 1", ErrConfig, ratio)
+	}
+	n := ds.NumAnswers()
+	spamAnswers := int(math.Round(ratio / (1 - ratio) * float64(n)))
+	// Give each spammer about the mean per-worker volume of the base data.
+	perSpammer := int(math.Max(1, float64(n)/float64(ds.NumWorkers)))
+	numSpammers := (spamAnswers + perSpammer - 1) / perSpammer
+
+	out, err := answers.NewDataset(ds.Name, ds.NumItems, ds.NumWorkers+numSpammers, ds.NumLabels)
+	if err != nil {
+		return nil, err
+	}
+	out.LabelNames = ds.LabelNames
+	for _, a := range ds.Answers() {
+		if err := out.Add(a.Item, a.Worker, a.Labels.Clone()); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < ds.NumItems; i++ {
+		if truth, ok := ds.Truth(i); ok {
+			if err := out.SetTruth(i, truth.Clone()); err != nil {
+				return nil, err
+			}
+			if _, revealed := ds.Revealed(i); revealed {
+				if err := out.Reveal(i); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	added := 0
+	for s := 0; s < numSpammers && added < spamAnswers; s++ {
+		u := ds.NumWorkers + s
+		uniform := s%2 == 0
+		var spamSet labelset.Set
+		if uniform {
+			spamSet = labelset.Of(rng.Intn(ds.NumLabels))
+			if rng.Float64() < 0.5 && ds.NumLabels > 1 {
+				spamSet.Add(rng.Intn(ds.NumLabels))
+			}
+		}
+		budget := perSpammer
+		if spamAnswers-added < budget {
+			budget = spamAnswers - added
+		}
+		for _, item := range rng.Perm(ds.NumItems) {
+			if budget == 0 {
+				break
+			}
+			var ans labelset.Set
+			if uniform {
+				ans = spamSet.Clone()
+			} else {
+				size := 1 + rng.Intn(3)
+				ans = labelset.New(ds.NumLabels)
+				for j := 0; j < size; j++ {
+					ans.Add(rng.Intn(ds.NumLabels))
+				}
+			}
+			if err := out.Add(item, u, ans); err != nil {
+				return nil, err
+			}
+			budget--
+			added++
+		}
+	}
+	return out, nil
+}
+
+// InjectDependency returns a copy of ds in which the given fraction of the
+// "missing correct labels" (truth labels absent from answers that contain at
+// least one correct label) are added back into those answers (Fig. 5's
+// label-dependency simulation).
+func InjectDependency(ds *answers.Dataset, fraction float64, rng *rand.Rand) (*answers.Dataset, error) {
+	if fraction < 0 || fraction > 1 {
+		return nil, fmt.Errorf("%w: dependency fraction %v", ErrConfig, fraction)
+	}
+	type slot struct {
+		answer int // index in arrival order
+		label  int
+	}
+	var missing []slot
+	all := ds.Answers()
+	for idx, a := range all {
+		truth, ok := ds.Truth(a.Item)
+		if !ok || truth.IntersectLen(a.Labels) == 0 {
+			continue
+		}
+		for _, c := range truth.Minus(a.Labels).Slice() {
+			missing = append(missing, slot{answer: idx, label: c})
+		}
+	}
+	add := int(math.Round(fraction * float64(len(missing))))
+	chosen := rng.Perm(len(missing))[:add]
+
+	extra := make(map[int][]int) // answer index -> labels to add
+	for _, mi := range chosen {
+		s := missing[mi]
+		extra[s.answer] = append(extra[s.answer], s.label)
+	}
+	out, err := answers.NewDataset(ds.Name, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+	if err != nil {
+		return nil, err
+	}
+	out.LabelNames = ds.LabelNames
+	for idx, a := range all {
+		ls := a.Labels.Clone()
+		for _, c := range extra[idx] {
+			ls.Add(c)
+		}
+		if err := out.Add(a.Item, a.Worker, ls); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < ds.NumItems; i++ {
+		if truth, ok := ds.Truth(i); ok {
+			if err := out.SetTruth(i, truth.Clone()); err != nil {
+				return nil, err
+			}
+			if _, revealed := ds.Revealed(i); revealed {
+				if err := out.Reveal(i); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}

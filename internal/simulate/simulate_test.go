@@ -1,0 +1,444 @@
+package simulate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cpa/internal/answers"
+	"cpa/internal/labelset"
+	"cpa/internal/metrics"
+)
+
+func baseConfig() Config {
+	return Config{
+		Name:           "sim",
+		Items:          200,
+		Workers:        60,
+		Labels:         30,
+		AnswersPerItem: 8,
+		LabelClusters:  5,
+		Correlation:    0.9,
+		TruthMean:      3,
+		TruthMax:       6,
+		Candidates:     15,
+		Mix:            DefaultMix(),
+		Seed:           11,
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := baseConfig()
+	ds, meta, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumItems != cfg.Items || ds.NumWorkers != cfg.Workers || ds.NumLabels != cfg.Labels {
+		t.Fatalf("dimensions wrong: %d/%d/%d", ds.NumItems, ds.NumWorkers, ds.NumLabels)
+	}
+	// Every item has truth and close to AnswersPerItem answers (honest
+	// workers always answer; only degenerate candidate draws could skip).
+	if ds.TruthCount() != cfg.Items {
+		t.Errorf("TruthCount = %d, want %d", ds.TruthCount(), cfg.Items)
+	}
+	if got := ds.NumAnswers(); got < cfg.Items*cfg.AnswersPerItem*9/10 {
+		t.Errorf("NumAnswers = %d, want about %d", got, cfg.Items*cfg.AnswersPerItem)
+	}
+	for i := 0; i < ds.NumItems; i++ {
+		truth, ok := ds.Truth(i)
+		if !ok || truth.IsEmpty() {
+			t.Fatalf("item %d lacks truth", i)
+		}
+		if truth.Len() > cfg.TruthMax {
+			t.Fatalf("item %d truth size %d exceeds max %d", i, truth.Len(), cfg.TruthMax)
+		}
+	}
+	if len(meta.WorkerTypes) != cfg.Workers || len(meta.ItemCluster) != cfg.Items {
+		t.Error("metadata sizes wrong")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := baseConfig()
+	a, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumAnswers() != b.NumAnswers() {
+		t.Fatal("different answer counts for same seed")
+	}
+	for i := range a.Answers() {
+		x, y := a.Answer(i), b.Answer(i)
+		if x.Item != y.Item || x.Worker != y.Worker || !x.Labels.Equal(y.Labels) {
+			t.Fatalf("answer %d differs under same seed", i)
+		}
+	}
+	cfg.Seed = 12
+	c, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < a.NumAnswers() && i < c.NumAnswers(); i++ {
+		if !a.Answer(i).Labels.Equal(c.Answer(i).Labels) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should give different data")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Items = 0 },
+		func(c *Config) { c.AnswersPerItem = 0 },
+		func(c *Config) { c.AnswersPerItem = c.Workers + 1 },
+		func(c *Config) { c.Mix = Mix{} },
+		func(c *Config) { c.Correlation = 1.5 },
+		func(c *Config) { c.TruthMean = 0.5 },
+		func(c *Config) { c.LabelClusters = c.Labels + 1 },
+		func(c *Config) { c.RevealFraction = 2 },
+	}
+	for i, mutate := range bad {
+		cfg := baseConfig()
+		mutate(&cfg)
+		if _, _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestWorkerMixProportions(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Workers = 2000
+	cfg.Items = 10
+	cfg.AnswersPerItem = 5
+	_, meta, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := DefaultMix()
+	wantShares := map[WorkerType]float64{
+		Reliable:       mix.Reliable,
+		Normal:         mix.Normal,
+		Sloppy:         mix.Sloppy,
+		UniformSpammer: mix.UniformSpammer,
+		RandomSpammer:  mix.RandomSpammer,
+	}
+	for wt, want := range wantShares {
+		got := float64(meta.TypeCount(wt)) / float64(cfg.Workers)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("%v share = %.3f, want about %.3f", wt, got, want)
+		}
+	}
+}
+
+func TestWorkerTypeBehaviours(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Items = 400
+	ds, meta, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform spammers give identical answers everywhere.
+	for u, wt := range meta.WorkerTypes {
+		if wt != UniformSpammer {
+			continue
+		}
+		var first labelset.Set
+		seen := false
+		ds.ForWorker(u, func(a answers.Answer) {
+			if !seen {
+				first = a.Labels
+				seen = true
+				return
+			}
+			if !a.Labels.Equal(first) {
+				t.Errorf("uniform spammer %d varies answers", u)
+			}
+		})
+	}
+	// Reliable workers should beat sloppy workers on measured quality.
+	quality := metrics.OverallWorkerQuality(ds)
+	var relSens, slopSens []float64
+	for _, q := range quality {
+		switch meta.WorkerTypes[q.Worker] {
+		case Reliable:
+			relSens = append(relSens, q.Sensitivity)
+		case Sloppy:
+			slopSens = append(slopSens, q.Sensitivity)
+		}
+	}
+	if len(relSens) == 0 || len(slopSens) == 0 {
+		t.Fatal("need both reliable and sloppy workers in sample")
+	}
+	relMean := metrics.Summarize(relSens).Mean
+	slopMean := metrics.Summarize(slopSens).Mean
+	if relMean <= slopMean+0.1 {
+		t.Errorf("reliable sensitivity %.3f should clearly exceed sloppy %.3f", relMean, slopMean)
+	}
+}
+
+func TestLabelCorrelationStructure(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Correlation = 0.95
+	ds, meta, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Most truth labels should come from the item's home cluster.
+	inHome, total := 0, 0
+	for i := 0; i < ds.NumItems; i++ {
+		truth, _ := ds.Truth(i)
+		home := meta.ItemCluster[i]
+		truth.Range(func(c int) bool {
+			if meta.LabelCluster[c] == home {
+				inHome++
+			}
+			total++
+			return true
+		})
+	}
+	if frac := float64(inHome) / float64(total); frac < 0.8 {
+		t.Errorf("home-cluster truth fraction %.3f, want > 0.8 at correlation 0.95", frac)
+	}
+	// Clusters partition the vocabulary.
+	count := 0
+	for _, members := range meta.ClusterLabels {
+		count += len(members)
+	}
+	if count != cfg.Labels {
+		t.Errorf("cluster members cover %d labels, want %d", count, cfg.Labels)
+	}
+}
+
+func TestWorkerSkewConcentratesParticipation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.WorkerSkew = 1.2
+	ds, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, ds.NumWorkers)
+	for u := range counts {
+		counts[u] = ds.WorkerAnswerCount(u)
+	}
+	max, sum := 0, 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		sum += c
+	}
+	mean := float64(sum) / float64(len(counts))
+	if float64(max) < 3*mean {
+		t.Errorf("skewed participation should be heavy-tailed: max %d vs mean %.1f", max, mean)
+	}
+	// Uniform case: far flatter.
+	cfg.WorkerSkew = 0
+	ds2, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max2, sum2 := 0, 0
+	for u := 0; u < ds2.NumWorkers; u++ {
+		c := ds2.WorkerAnswerCount(u)
+		if c > max2 {
+			max2 = c
+		}
+		sum2 += c
+	}
+	mean2 := float64(sum2) / float64(ds2.NumWorkers)
+	if float64(max2) > 2.5*mean2 {
+		t.Errorf("uniform participation too skewed: max %d vs mean %.1f", max2, mean2)
+	}
+}
+
+func TestRevealFraction(t *testing.T) {
+	cfg := baseConfig()
+	cfg.RevealFraction = 0.3
+	ds, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revealed := 0
+	for i := 0; i < ds.NumItems; i++ {
+		if _, ok := ds.Revealed(i); ok {
+			revealed++
+		}
+	}
+	frac := float64(revealed) / float64(ds.NumItems)
+	if math.Abs(frac-0.3) > 0.1 {
+		t.Errorf("revealed fraction %.3f, want about 0.3", frac)
+	}
+}
+
+func TestSparsify(t *testing.T) {
+	ds, _, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	half := Sparsify(ds, 0.5, rng)
+	want := int(math.Round(0.5 * float64(ds.NumAnswers())))
+	if got := ds.NumAnswers() - half.NumAnswers(); got != want {
+		t.Errorf("Sparsify removed %d, want %d", got, want)
+	}
+	if half.TruthCount() != ds.TruthCount() {
+		t.Error("Sparsify must keep truth")
+	}
+	if full := Sparsify(ds, 0, rng); full.NumAnswers() != ds.NumAnswers() {
+		t.Error("Sparsify(0) should keep everything")
+	}
+	if none := Sparsify(ds, 1.5, rng); none.NumAnswers() != 0 {
+		t.Error("Sparsify(>1) should remove everything")
+	}
+}
+
+func TestInjectSpammers(t *testing.T) {
+	ds, _, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	out, err := InjectSpammers(ds, 0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := out.NumAnswers() - ds.NumAnswers()
+	gotRatio := float64(added) / float64(out.NumAnswers())
+	if math.Abs(gotRatio-0.4) > 0.05 {
+		t.Errorf("spam ratio %.3f, want about 0.4", gotRatio)
+	}
+	if out.NumWorkers <= ds.NumWorkers {
+		t.Error("spammer injection must add workers")
+	}
+	// Original answers intact.
+	for i := 0; i < ds.NumAnswers(); i++ {
+		if !out.Answer(i).Labels.Equal(ds.Answer(i).Labels) {
+			t.Fatal("original answers mutated")
+		}
+	}
+	if same, err := InjectSpammers(ds, 0, rng); err != nil || same.NumAnswers() != ds.NumAnswers() {
+		t.Error("ratio 0 should be identity")
+	}
+	if _, err := InjectSpammers(ds, 1, rng); err == nil {
+		t.Error("ratio 1 should fail")
+	}
+}
+
+func TestInjectDependency(t *testing.T) {
+	ds, _, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	out, err := InjectDependency(ds, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumAnswers() != ds.NumAnswers() {
+		t.Fatal("dependency injection must not change answer count")
+	}
+	// Injection only adds labels, and only truth labels, and recall of
+	// answers against truth must improve.
+	addedTotal := 0
+	for i := range ds.Answers() {
+		before, after := ds.Answer(i), out.Answer(i)
+		if !before.Labels.SubsetOf(after.Labels) {
+			t.Fatal("injection removed labels")
+		}
+		truth, _ := ds.Truth(before.Item)
+		extra := after.Labels.Minus(before.Labels)
+		if !extra.SubsetOf(truth) {
+			t.Fatal("injected non-truth label")
+		}
+		addedTotal += extra.Len()
+	}
+	if addedTotal == 0 {
+		t.Error("expected some labels injected at fraction 0.3")
+	}
+	if _, err := InjectDependency(ds, -0.1, rng); err == nil {
+		t.Error("negative fraction should fail")
+	}
+	zero, err := InjectDependency(ds, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Answers() {
+		if !zero.Answer(i).Labels.Equal(ds.Answer(i).Labels) {
+			t.Fatal("fraction 0 should be identity")
+		}
+	}
+}
+
+func TestMajorityVoteSanityOnSimulatedData(t *testing.T) {
+	// Built-in sanity check of the whole generator: simple per-label
+	// majority voting over simulated answers must beat random guessing by a
+	// wide margin, otherwise the signal the aggregators exploit is absent.
+	cfg := baseConfig()
+	cfg.Items = 300
+	ds, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := make([]labelset.Set, ds.NumItems)
+	for i := 0; i < ds.NumItems; i++ {
+		votes := make([]int, ds.NumLabels)
+		n := 0
+		ds.ForItem(i, func(a answers.Answer) {
+			n++
+			a.Labels.Range(func(c int) bool {
+				votes[c]++
+				return true
+			})
+		})
+		s := labelset.New(ds.NumLabels)
+		best, bestVotes := -1, 0
+		for c, v := range votes {
+			if n > 0 && float64(v) > 0.5*float64(n) {
+				s.Add(c)
+			}
+			if v > bestVotes {
+				best, bestVotes = c, v
+			}
+		}
+		if s.IsEmpty() && best >= 0 {
+			s.Add(best) // argmax fallback, as in the MV baseline
+		}
+		pred[i] = s
+	}
+	pr, err := metrics.Evaluate(ds, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Precision < 0.5 {
+		t.Errorf("MV precision %.3f too low — generator signal broken", pr.Precision)
+	}
+	t.Logf("sanity MV on simulated data: %v", pr)
+}
+
+func TestWorkerTypeString(t *testing.T) {
+	names := map[WorkerType]string{
+		Reliable:       "reliable",
+		Normal:         "normal",
+		Sloppy:         "sloppy",
+		UniformSpammer: "uniform-spammer",
+		RandomSpammer:  "random-spammer",
+		WorkerType(99): "WorkerType(99)",
+	}
+	for wt, want := range names {
+		if wt.String() != want {
+			t.Errorf("String(%d) = %q", int(wt), wt.String())
+		}
+	}
+	if !UniformSpammer.IsSpammer() || Reliable.IsSpammer() {
+		t.Error("IsSpammer misclassifies")
+	}
+}
