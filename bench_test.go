@@ -93,6 +93,47 @@ func BenchmarkCPABatchVI(b *testing.B) {
 	benchAggregate(b, New(Options{Seed: 1}), benchDataset(b, "image"))
 }
 
+// BenchmarkFit measures one full batch Fit (no prediction) at the image
+// profile, full scale — the parameter-engine hot path. Allocations per
+// iteration are the headline number for the flat-buffer refactor.
+func BenchmarkFit(b *testing.B) {
+	ds, _, err := datasets.Load("image", 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model, err := core.NewModel(core.Config{Seed: 1}, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := model.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitStream is the SVI counterpart of BenchmarkFit: one single-pass
+// streaming fit over the full-scale image profile.
+func BenchmarkFitStream(b *testing.B) {
+	ds, _, err := datasets.Load("image", 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model, err := core.NewModel(core.Config{Seed: 1}, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := model.FitStream(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkCPAOnlineSVI(b *testing.B) {
 	benchAggregate(b, NewOnline(Options{Seed: 1}), benchDataset(b, "image"))
 }

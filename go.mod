@@ -1,0 +1,3 @@
+module cpa
+
+go 1.24

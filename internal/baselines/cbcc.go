@@ -7,6 +7,7 @@ import (
 
 	"cpa/internal/answers"
 	"cpa/internal/labelset"
+	"cpa/internal/mat"
 	"cpa/internal/mathx"
 )
 
@@ -52,10 +53,11 @@ func (c *CBCCConfig) fillDefaults() {
 // communities that share per-label sensitivity/specificity parameters, and
 // community membership is inferred jointly across every label — unlike the
 // per-label EM/BCC reduction, information about a worker flows between
-// labels through its community. Inference is mean-field EM.
+// labels through its community. Inference is mean-field EM on dense
+// internal/mat parameter blocks.
 type CBCC struct {
 	cfg      CBCCConfig
-	lastResp [][]float64
+	lastResp *mat.Dense
 }
 
 // NewCBCC returns a cBCC aggregator with default settings.
@@ -68,9 +70,19 @@ func NewCBCCWithConfig(cfg CBCCConfig) *CBCC { return &CBCC{cfg: cfg} }
 func (*CBCC) Name() string { return "cBCC" }
 
 // Communities exposes the final soft community assignment of the last
-// Aggregate call (row per worker, column per community). It is nil before
-// the first call. Used by the community-detection experiments.
-func (c *CBCC) Communities() [][]float64 { return c.lastResp }
+// Aggregate call (row per worker, column per community), converted from the
+// dense internal storage at this boundary. It is nil before the first call.
+// Used by the community-detection experiments.
+func (c *CBCC) Communities() [][]float64 {
+	if c.lastResp == nil {
+		return nil
+	}
+	out := make([][]float64, c.lastResp.Rows())
+	for u := range out {
+		out[u] = append([]float64(nil), c.lastResp.Row(u)...)
+	}
+	return out
+}
 
 var _ Aggregator = (*CBCC)(nil)
 
@@ -78,13 +90,18 @@ type cbccState struct {
 	cfg     CBCCConfig
 	ds      *answers.Dataset
 	tallies []itemVotes
-	// resp[u][m]: responsibility of community m for worker u.
-	resp [][]float64
+	// resp: U×M responsibilities of community m for worker u.
+	resp *mat.Dense
+	// loglik: U×M scratch for the community E-step.
+	loglik *mat.Dense
 	// weight[m]: community mixing proportions.
 	weight []float64
-	// sens[m][c], spec[m][c]: community confusion per label.
-	sens, spec [][]float64
-	// post[i][k]: truth posterior for tallies[i].universe[k].
+	// sens, spec: M×C community confusion per label.
+	sens, spec *mat.Dense
+	// Confusion count accumulators of the M-step, M×C each.
+	sensNum, sensDen, specNum, specDen *mat.Dense
+	// post[i][k]: truth posterior for tallies[i].universe[k] (ragged:
+	// per-item label universes differ in size).
 	post [][]float64
 	// prevalence[c]: per-label prior.
 	prevalence []float64
@@ -179,24 +196,24 @@ func (st *cbccState) init() {
 	}
 	sort.Slice(order, func(a, b int) bool { return order[a].a < order[b].a })
 
-	st.resp = make([][]float64, ds.NumWorkers)
+	st.resp = mat.New(ds.NumWorkers, cfg.Communities)
 	for rank, w := range order {
 		m := rank * cfg.Communities / len(order)
-		row := make([]float64, cfg.Communities)
+		row := st.resp.Row(w.u)
 		for j := range row {
 			row[j] = 0.1 / float64(cfg.Communities)
 		}
 		row[m] += 0.9
 		mathx.NormalizeInPlace(row)
-		st.resp[w.u] = row
 	}
+	st.loglik = mat.New(ds.NumWorkers, cfg.Communities)
 	st.weight = make([]float64, cfg.Communities)
-	st.sens = make([][]float64, cfg.Communities)
-	st.spec = make([][]float64, cfg.Communities)
-	for m := 0; m < cfg.Communities; m++ {
-		st.sens[m] = make([]float64, ds.NumLabels)
-		st.spec[m] = make([]float64, ds.NumLabels)
-	}
+	st.sens = mat.New(cfg.Communities, ds.NumLabels)
+	st.spec = mat.New(cfg.Communities, ds.NumLabels)
+	st.sensNum = mat.New(cfg.Communities, ds.NumLabels)
+	st.sensDen = mat.New(cfg.Communities, ds.NumLabels)
+	st.specNum = mat.New(cfg.Communities, ds.NumLabels)
+	st.specDen = mat.New(cfg.Communities, ds.NumLabels)
 	st.prevalence = make([]float64, ds.NumLabels)
 }
 
@@ -205,19 +222,16 @@ func (st *cbccState) init() {
 func (st *cbccState) mStep() {
 	ds, cfg := st.ds, st.cfg
 	M := cfg.Communities
-	sensNum := make([][]float64, M)
-	sensDen := make([][]float64, M)
-	specNum := make([][]float64, M)
-	specDen := make([][]float64, M)
-	for m := 0; m < M; m++ {
-		sensNum[m] = make([]float64, ds.NumLabels)
-		sensDen[m] = make([]float64, ds.NumLabels)
-		specNum[m] = make([]float64, ds.NumLabels)
-		specDen[m] = make([]float64, ds.NumLabels)
-	}
+	st.sensNum.Zero()
+	st.sensDen.Zero()
+	st.specNum.Zero()
+	st.specDen.Zero()
 	prevNum := make([]float64, ds.NumLabels)
 	prevDen := make([]float64, ds.NumLabels)
 
+	C := ds.NumLabels
+	sensNum, sensDen := st.sensNum.Data(), st.sensDen.Data()
+	specNum, specDen := st.specNum.Data(), st.specDen.Data()
 	for i := range st.tallies {
 		iv := &st.tallies[i]
 		for k, c := range iv.universe {
@@ -226,35 +240,37 @@ func (st *cbccState) mStep() {
 			prevDen[c]++
 			for a, u := range iv.workers {
 				vote := iv.votes[k][a]
+				respRow := st.resp.Row(u)
 				for m := 0; m < M; m++ {
-					r := st.resp[u][m]
-					sensDen[m][c] += r * q
-					specDen[m][c] += r * (1 - q)
+					r := respRow[m]
+					idx := m*C + c
+					sensDen[idx] += r * q
+					specDen[idx] += r * (1 - q)
 					if vote {
-						sensNum[m][c] += r * q
+						sensNum[idx] += r * q
 					} else {
-						specNum[m][c] += r * (1 - q)
+						specNum[idx] += r * (1 - q)
 					}
 				}
 			}
 		}
 	}
 	for m := 0; m < M; m++ {
+		sens, spec := st.sens.Row(m), st.spec.Row(m)
+		sNum, sDen := st.sensNum.Row(m), st.sensDen.Row(m)
+		pNum, pDen := st.specNum.Row(m), st.specDen.Row(m)
 		for c := 0; c < ds.NumLabels; c++ {
-			st.sens[m][c] = (sensNum[m][c] + cfg.SensPrior[0]) / (sensDen[m][c] + cfg.SensPrior[0] + cfg.SensPrior[1])
-			st.spec[m][c] = (specNum[m][c] + cfg.SpecPrior[0]) / (specDen[m][c] + cfg.SpecPrior[0] + cfg.SpecPrior[1])
+			sens[c] = (sNum[c] + cfg.SensPrior[0]) / (sDen[c] + cfg.SensPrior[0] + cfg.SensPrior[1])
+			spec[c] = (pNum[c] + cfg.SpecPrior[0]) / (pDen[c] + cfg.SpecPrior[0] + cfg.SpecPrior[1])
 		}
 	}
 	for c := 0; c < ds.NumLabels; c++ {
 		st.prevalence[c] = (prevNum[c] + 1) / (prevDen[c] + 2)
 	}
-	for m := 0; m < M; m++ {
-		sum := 1.0 // Dirichlet(1,...,1) pseudo-count
-		for u := range st.resp {
-			sum += st.resp[u][m]
-		}
-		st.weight[m] = sum
-	}
+	colSum := make([]float64, M)
+	mathx.Fill(colSum, 1) // Dirichlet(1,...,1) pseudo-count
+	st.resp.ColSumsInto(colSum, nil)
+	copy(st.weight, colSum)
 	mathx.NormalizeInPlace(st.weight)
 }
 
@@ -263,13 +279,11 @@ func (st *cbccState) mStep() {
 func (st *cbccState) eStepCommunities() {
 	ds, cfg := st.ds, st.cfg
 	M := cfg.Communities
-	loglik := make([][]float64, ds.NumWorkers)
-	for u := range loglik {
-		row := make([]float64, M)
+	for u := 0; u < ds.NumWorkers; u++ {
+		row := st.loglik.Row(u)
 		for m := 0; m < M; m++ {
 			row[m] = math.Log(st.weight[m])
 		}
-		loglik[u] = row
 	}
 	for i := range st.tallies {
 		iv := &st.tallies[i]
@@ -277,22 +291,22 @@ func (st *cbccState) eStepCommunities() {
 			q := st.post[i][k]
 			for a, u := range iv.workers {
 				vote := iv.votes[k][a]
+				row := st.loglik.Row(u)
 				for m := 0; m < M; m++ {
-					var ll float64
+					sens, spec := st.sens.At(m, c), st.spec.At(m, c)
 					if vote {
-						ll = q*math.Log(st.sens[m][c]) + (1-q)*math.Log(1-st.spec[m][c])
+						row[m] += q*math.Log(sens) + (1-q)*math.Log(1-spec)
 					} else {
-						ll = q*math.Log(1-st.sens[m][c]) + (1-q)*math.Log(st.spec[m][c])
+						row[m] += q*math.Log(1-sens) + (1-q)*math.Log(spec)
 					}
-					loglik[u][m] += ll
 				}
 			}
 		}
 	}
-	for u := range loglik {
-		mathx.SoftmaxInPlace(loglik[u])
-		st.resp[u] = loglik[u]
+	for u := 0; u < ds.NumWorkers; u++ {
+		st.loglik.SoftmaxRow(u)
 	}
+	st.resp.CopyFrom(st.loglik)
 }
 
 // eStepTruth recomputes truth posteriors under the expected community
@@ -305,12 +319,14 @@ func (st *cbccState) eStepTruth() {
 			logOdds := math.Log(st.prevalence[c]) - math.Log(1-st.prevalence[c])
 			for a, u := range iv.workers {
 				vote := iv.votes[k][a]
+				respRow := st.resp.Row(u)
 				for m := 0; m < M; m++ {
-					r := st.resp[u][m]
+					r := respRow[m]
+					sens, spec := st.sens.At(m, c), st.spec.At(m, c)
 					if vote {
-						logOdds += r * (math.Log(st.sens[m][c]) - math.Log(1-st.spec[m][c]))
+						logOdds += r * (math.Log(sens) - math.Log(1-spec))
 					} else {
-						logOdds += r * (math.Log(1-st.sens[m][c]) - math.Log(st.spec[m][c]))
+						logOdds += r * (math.Log(1-sens) - math.Log(spec))
 					}
 				}
 			}

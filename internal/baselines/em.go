@@ -5,6 +5,7 @@ import (
 
 	"cpa/internal/answers"
 	"cpa/internal/labelset"
+	"cpa/internal/mat"
 	"cpa/internal/mathx"
 )
 
@@ -167,37 +168,48 @@ func runBinaryEM(inst *labelInstance, cfg EMConfig) []float64 {
 		post[j] = (float64(pos) + 0.5) / (float64(len(inst.votes[j])) + 1)
 	}
 
-	sens := make([]float64, w)
-	spec := make([]float64, w)
-	sensNum := make([]float64, w)
-	sensDen := make([]float64, w)
-	specNum := make([]float64, w)
-	specDen := make([]float64, w)
+	// Per-worker confusion on the dense internal/mat layer: one row per
+	// remapped worker, columns [sensitivity, specificity] for the rates and
+	// [sensNum, sensDen, specNum, specDen] for the M-step count
+	// accumulators — one contiguous block each instead of six parallel
+	// slices.
+	const (
+		colSens = 0
+		colSpec = 1
+	)
+	const (
+		colSensNum = 0
+		colSensDen = 1
+		colSpecNum = 2
+		colSpecDen = 3
+	)
+	rates := mat.New(w, 2)
+	counts := mat.New(w, 4)
 	prev := make([]float64, n)
 	for iter := 0; iter < cfg.MaxIter; iter++ {
 		copy(prev, post)
 		// M-step: per-worker sensitivity/specificity with Beta pseudo-counts.
-		for u := 0; u < w; u++ {
-			sensNum[u], sensDen[u], specNum[u], specDen[u] = 0, 0, 0, 0
-		}
+		counts.Zero()
 		prevalenceNum, prevalenceDen := cfg.TruthPrior[0], cfg.TruthPrior[0]+cfg.TruthPrior[1]
 		for j := 0; j < n; j++ {
 			q := post[j]
 			prevalenceNum += q
 			prevalenceDen++
 			for a, u := range dense[j] {
+				row := counts.Row(u)
 				if inst.votes[j][a] {
-					sensNum[u] += q
+					row[colSensNum] += q
 				} else {
-					specNum[u] += 1 - q
+					row[colSpecNum] += 1 - q
 				}
-				sensDen[u] += q
-				specDen[u] += 1 - q
+				row[colSensDen] += q
+				row[colSpecDen] += 1 - q
 			}
 		}
 		for u := 0; u < w; u++ {
-			sens[u] = (sensNum[u] + cfg.SensPrior[0]) / (sensDen[u] + cfg.SensPrior[0] + cfg.SensPrior[1])
-			spec[u] = (specNum[u] + cfg.SpecPrior[0]) / (specDen[u] + cfg.SpecPrior[0] + cfg.SpecPrior[1])
+			cRow, rRow := counts.Row(u), rates.Row(u)
+			rRow[colSens] = (cRow[colSensNum] + cfg.SensPrior[0]) / (cRow[colSensDen] + cfg.SensPrior[0] + cfg.SensPrior[1])
+			rRow[colSpec] = (cRow[colSpecNum] + cfg.SpecPrior[0]) / (cRow[colSpecDen] + cfg.SpecPrior[0] + cfg.SpecPrior[1])
 		}
 		prevalence := prevalenceNum / prevalenceDen
 
@@ -206,10 +218,11 @@ func runBinaryEM(inst *labelInstance, cfg EMConfig) []float64 {
 		for j := 0; j < n; j++ {
 			logOdds := logPrev
 			for a, u := range dense[j] {
+				row := rates.Row(u)
 				if inst.votes[j][a] {
-					logOdds += math.Log(sens[u]) - math.Log(1-spec[u])
+					logOdds += math.Log(row[colSens]) - math.Log(1-row[colSpec])
 				} else {
-					logOdds += math.Log(1-sens[u]) - math.Log(spec[u])
+					logOdds += math.Log(1-row[colSens]) - math.Log(row[colSpec])
 				}
 			}
 			post[j] = 1 / (1 + math.Exp(-mathx.Clamp(logOdds, -500, 500)))

@@ -179,11 +179,9 @@ func TestFitConvergesAndTracksStats(t *testing.T) {
 	}
 	// Posterior sanity: responsibilities on the simplex, Dirichlet params
 	// positive.
-	mm, tt := m.Truncations()
 	for u := 0; u < ds.NumWorkers; u++ {
 		sum := 0.0
-		for j := 0; j < mm; j++ {
-			v := m.kappa[u*mm+j]
+		for j, v := range m.kappa.Row(u) {
 			if v < 0 || v > 1 || math.IsNaN(v) {
 				t.Fatalf("kappa[%d][%d] = %v", u, j, v)
 			}
@@ -195,19 +193,19 @@ func TestFitConvergesAndTracksStats(t *testing.T) {
 	}
 	for i := 0; i < ds.NumItems; i++ {
 		sum := 0.0
-		for j := 0; j < tt; j++ {
-			sum += m.phi[i*tt+j]
+		for _, v := range m.phi.Row(i) {
+			sum += v
 		}
 		if math.Abs(sum-1) > 1e-6 {
 			t.Fatalf("phi row %d sums to %v", i, sum)
 		}
 	}
-	for k, v := range m.lambda {
+	for k, v := range m.lambda.Data() {
 		if v <= 0 || math.IsNaN(v) {
 			t.Fatalf("lambda[%d] = %v", k, v)
 		}
 	}
-	for k, v := range m.zeta {
+	for k, v := range m.zeta.Data() {
 		if v <= 0 || math.IsNaN(v) {
 			t.Fatalf("zeta[%d] = %v", k, v)
 		}

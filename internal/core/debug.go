@@ -9,12 +9,12 @@ import (
 // DebugItem prints the prediction internals of one item to stdout. It is a
 // development aid, not part of the public surface.
 func (m *Model) DebugItem(i int) {
-	T, C := m.T, m.numLabels
-	phiMAP := m.dirichletModes(m.zeta, m.T)
+	C := m.numLabels
+	phiMAP := m.dirichletModes(m.zeta)
 	nbar := m.clusterTruthSizes()
 	t := m.ItemCluster(i)
 	fmt.Printf("item %d: cluster=%d phi=%.3f nbar[t]=%.2f voted=%v yhat=%.2f\n",
-		i, t, m.phi[i*T+t], nbar[t], m.votedList[i], m.yhatVals[i])
+		i, t, m.phi.At(i, t), nbar[t], m.votedList[i], m.yhatVals[i])
 	for _, c := range m.votedList[i] {
 		fmt.Printf("  label %d: phiMAP=%.4f ntimesphi=%.4f\n", c, phiMAP[t*C+c], nbar[t]*phiMAP[t*C+c])
 	}

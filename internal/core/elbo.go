@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"cpa/internal/mat"
 	"cpa/internal/mathx"
 )
 
@@ -17,14 +18,14 @@ import (
 // Σ_i Σ_t ϕ_it Σ_c E[y_ic]·E[ln φ_tc], which is exactly the E-step bound of
 // the missing-data treatment.
 func (m *Model) ELBO() float64 {
-	M, T, C := m.M, m.T, m.numLabels
+	M, T := m.M, m.T
 	var elbo float64
 
 	// --- E[ln p(x | z, l, ψ)]: answers under community confusion.
 	for i := 0; i < m.numItems; i++ {
-		phiRow := m.phi[i*T : (i+1)*T]
+		phiRow := m.phi.Row(i)
 		for _, ar := range m.perItem[i] {
-			kappaRow := m.kappa[ar.other*M : (ar.other+1)*M]
+			kappaRow := m.kappa.Row(ar.other)
 			for t := 0; t < T; t++ {
 				pt := phiRow[t]
 				if pt < 1e-12 {
@@ -43,7 +44,7 @@ func (m *Model) ELBO() float64 {
 
 	// --- E[ln p(y | l, φ)]: revealed or imputed truth under emissions.
 	for i := 0; i < m.numItems; i++ {
-		phiRow := m.phi[i*T : (i+1)*T]
+		phiRow := m.phi.Row(i)
 		voted := m.votedList[i]
 		vals := m.yhatVals[i]
 		for t := 0; t < T; t++ {
@@ -51,10 +52,11 @@ func (m *Model) ELBO() float64 {
 			if pt < 1e-12 {
 				continue
 			}
+			elogRow := m.elogPhi.Row(t)
 			s := 0.0
 			for k, c := range voted {
 				if v := vals[k]; v > 1e-12 {
-					s += v * m.elogPhi[t*C+c]
+					s += v * elogRow[c]
 				}
 			}
 			elbo += pt * s
@@ -62,35 +64,33 @@ func (m *Model) ELBO() float64 {
 	}
 
 	// --- E[ln p(z | π')] − E[ln q(z)] and the community stick terms.
-	elbo += m.mixtureTerms(m.kappa, m.numWorkers, M, m.elogPi)
+	elbo += mixtureTerms(m.kappa, m.elogPi)
 	if M > 1 {
 		elbo += stickTerms(m.rho1, m.rho2, m.cfg.Alpha)
 	}
 	// --- E[ln p(l | τ')] − E[ln q(l)] and the cluster stick terms.
-	elbo += m.mixtureTerms(m.phi, m.numItems, T, m.elogTau)
+	elbo += mixtureTerms(m.phi, m.elogTau)
 	if T > 1 {
 		elbo += stickTerms(m.ups1, m.ups2, m.cfg.Epsilon)
 	}
 
 	// --- E[ln p(ψ)] − E[ln q(ψ)] and E[ln p(φ)] − E[ln q(φ)]: Dirichlet
 	// prior-minus-entropy terms.
+	for r := 0; r < T*M; r++ {
+		elbo += dirichletTerms(m.lambda.Row(r), m.elogPsi.Row(r), m.cfg.GammaPrior)
+	}
 	for t := 0; t < T; t++ {
-		for mm := 0; mm < M; mm++ {
-			elbo += dirichletTerms(m.lambda[(t*M+mm)*C:(t*M+mm+1)*C],
-				m.elogPsi[(t*M+mm)*C:(t*M+mm+1)*C], m.cfg.GammaPrior)
-		}
-		elbo += dirichletTerms(m.zeta[t*C:(t+1)*C], m.elogPhi[t*C:(t+1)*C], m.cfg.EtaPrior)
+		elbo += dirichletTerms(m.zeta.Row(t), m.elogPhi.Row(t), m.cfg.EtaPrior)
 	}
 	return elbo
 }
 
 // mixtureTerms returns Σ_rows Σ_k resp·(elogWeight_k − ln resp), the
 // assignment cross-entropy plus responsibility entropy.
-func (m *Model) mixtureTerms(resp []float64, rows, k int, elogWeight []float64) float64 {
+func mixtureTerms(resp *mat.Dense, elogWeight []float64) float64 {
 	total := 0.0
-	for r := 0; r < rows; r++ {
-		row := resp[r*k : (r+1)*k]
-		for j, v := range row {
+	for r := 0; r < resp.Rows(); r++ {
+		for j, v := range resp.Row(r) {
 			if v < 1e-12 {
 				continue
 			}

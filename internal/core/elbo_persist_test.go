@@ -127,6 +127,13 @@ func TestSaveLoadSupportsContinuedStreaming(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The SVI population-scaling counters must survive the round trip:
+	// without them, post-restore global steps scale suffstats by ~0 and
+	// collapse the restored posterior toward the prior.
+	if restored.seenItems != m.seenItems || restored.seenWorkers != m.seenWorkers {
+		t.Fatalf("restored seen counts (%d items, %d workers) != original (%d, %d)",
+			restored.seenItems, restored.seenWorkers, m.seenItems, m.seenWorkers)
+	}
 	// Continue streaming on the restored model; it must accept batches and
 	// end in a usable state. (Answers before the save are not re-shipped,
 	// so predictions differ from an uninterrupted run — the posterior

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"cpa/internal/mat"
+)
 
 // SetExpertCooccurrence installs external label-dependency knowledge — the
 // extension the paper sketches in §3.2/§6: "prior knowledge could be
@@ -14,7 +18,8 @@ import "fmt"
 //
 // The matrix must be C×C. Passing nil removes the prior. This is learned
 // co-occurrence's complement: the nonparametric clusters discover
-// dependencies from data, the expert matrix injects them a priori.
+// dependencies from data, the expert matrix injects them a priori. The
+// rows are copied into a dense internal matrix at this boundary.
 func (m *Model) SetExpertCooccurrence(cooc [][]float64) error {
 	if cooc == nil {
 		m.expertCooc = nil
@@ -23,6 +28,7 @@ func (m *Model) SetExpertCooccurrence(cooc [][]float64) error {
 	if len(cooc) != m.numLabels {
 		return fmt.Errorf("%w: co-occurrence matrix has %d rows, want %d", ErrConfig, len(cooc), m.numLabels)
 	}
+	dense := mat.New(m.numLabels, m.numLabels)
 	for a, row := range cooc {
 		if len(row) != m.numLabels {
 			return fmt.Errorf("%w: co-occurrence row %d has %d entries, want %d", ErrConfig, a, len(row), m.numLabels)
@@ -32,8 +38,9 @@ func (m *Model) SetExpertCooccurrence(cooc [][]float64) error {
 				return fmt.Errorf("%w: co-occurrence[%d][%d]=%v outside [0,1]", ErrConfig, a, b, v)
 			}
 		}
+		copy(dense.Row(a), row)
 	}
-	m.expertCooc = cooc
+	m.expertCooc = dense
 	return nil
 }
 
@@ -51,7 +58,7 @@ func (m *Model) expertPriorFloor(i, c int) float64 {
 		if a == c || vals[k] <= 0.5 {
 			continue
 		}
-		if v := m.expertCooc[a][c]; v > best {
+		if v := m.expertCooc.At(a, c); v > best {
 			best = v
 		}
 	}

@@ -3,9 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
-	"sync"
+	"sort"
 
 	"cpa/internal/answers"
+	"cpa/internal/mat"
 	"cpa/internal/mathx"
 )
 
@@ -56,8 +57,9 @@ func (m *Model) Fit(ds *answers.Dataset) (*TrainStats, error) {
 	m.imputeTruth(nil)
 	m.refreshExpectations()
 
-	prevKappa := append([]float64(nil), m.kappa...)
-	prevPhi := append([]float64(nil), m.phi...)
+	prevKappa, prevPhi := m.ws.prevKappa, m.ws.prevPhi
+	prevKappa.CopyFrom(m.kappa)
+	prevPhi.CopyFrom(m.phi)
 	for iter := 0; iter < m.cfg.MaxIter; iter++ {
 		// Deterministic annealing: keep the local responsibilities soft for
 		// the first iterations so assignments can move off the seed before
@@ -69,12 +71,12 @@ func (m *Model) Fit(ds *answers.Dataset) (*TrainStats, error) {
 		m.imputeTruth(nil)
 		m.refreshExpectations()
 
-		delta := math.Max(mathx.MaxAbsDiff(m.kappa, prevKappa), mathx.MaxAbsDiff(m.phi, prevPhi))
+		delta := math.Max(m.kappa.MaxAbsDiff(prevKappa), m.phi.MaxAbsDiff(prevPhi))
 		stats.Deltas = append(stats.Deltas, delta)
 		stats.DataLogLik = append(stats.DataLogLik, m.dataLogLik())
 		stats.Iterations = iter + 1
-		copy(prevKappa, m.kappa)
-		copy(prevPhi, m.phi)
+		prevKappa.CopyFrom(m.kappa)
+		prevPhi.CopyFrom(m.phi)
 		if delta < m.cfg.Tol && m.temp <= 1 {
 			stats.Converged = true
 			break
@@ -88,7 +90,8 @@ func (m *Model) Fit(ds *answers.Dataset) (*TrainStats, error) {
 // worker community responsibilities κ (Eq. 2) and item cluster
 // responsibilities ϕ (Eq. 3 extended per DESIGN.md D1). With
 // Config.Parallelism > 1 the per-worker and per-item updates run on the
-// Algorithm 3 map shards.
+// Algorithm 3 map shards (each shard writes only its own responsibility
+// rows).
 func (m *Model) updateLocal() {
 	if !m.cfg.DisableCommunities {
 		m.parallelFor(m.numWorkers, func(lo, hi int) {
@@ -106,79 +109,23 @@ func (m *Model) updateLocal() {
 	}
 }
 
-// updateKappaRow recomputes q(z_u) for one worker (Eq. 2):
-//
-//	κ_um ∝ exp( Σ_i Σ_t ϕ_it E[ln p(x_iu | ψ_tm)] + E[ln π_m] )
+// updateKappaRow recomputes q(z_u) for one worker (Eq. 2) through the
+// shared scoring kernel — the batch case is the stochastic update with the
+// full answer list and scale 1.
 func (m *Model) updateKappaRow(u int) {
-	M, T := m.M, m.T
-	row := m.kappa[u*M : (u+1)*M]
-	copy(row, m.elogPi)
-	for _, ar := range m.perWorker[u] {
-		phiRow := m.phi[ar.other*T : (ar.other+1)*T]
-		for t := 0; t < T; t++ {
-			pt := phiRow[t]
-			if pt < 1e-8 {
-				continue
-			}
-			for mm := 0; mm < M; mm++ {
-				row[mm] += pt * m.answerScore(t, mm, ar.labels)
-			}
-		}
-	}
+	row := m.kappa.Row(u)
+	m.scoreKappaRow(m.perWorker[u], 1, row)
 	if m.temp > 1 {
 		mathx.Scale(row, 1/m.temp)
 	}
 	mathx.SoftmaxInPlace(row)
 }
 
-// updatePhiRow recomputes q(l_i) for one item: the literal Eq. 3 terms
-// (truth emission + stick prior) plus, unless LiteralPhiUpdate is set, the
-// answer-evidence term a_it = Σ_u Σ_m κ_um E[ln p(x_iu | ψ_tm)] that the
-// paper's Appendix C uses for the same quantity (DESIGN.md D1). Unobserved
-// truth contributes through its imputed expectation ŷ (DESIGN.md D2).
+// updatePhiRow recomputes q(l_i) for one item through the shared scoring
+// kernel (Eq. 3 + Appendix C answer evidence, DESIGN.md D1/D2).
 func (m *Model) updatePhiRow(i int) {
-	M, T, C := m.M, m.T, m.numLabels
-	row := m.phi[i*T : (i+1)*T]
-	copy(row, m.elogTau)
-	// Truth-emission evidence: Σ_c E[y_ic]·E[ln φ_tc].
-	if truth := m.revealedTruth[i]; truth != nil {
-		for t := 0; t < T; t++ {
-			s := 0.0
-			for _, c := range truth {
-				s += m.elogPhi[t*C+c]
-			}
-			row[t] += s
-		}
-	} else if !m.cfg.GroundTruthOnly {
-		voted := m.votedList[i]
-		vals := m.yhatVals[i]
-		for t := 0; t < T; t++ {
-			s := 0.0
-			for k, c := range voted {
-				if v := vals[k]; v > 1e-8 {
-					s += v * m.elogPhi[t*C+c]
-				}
-			}
-			row[t] += s
-		}
-	}
-	// Answer evidence (Appendix C's a_it term).
-	if !m.cfg.LiteralPhiUpdate {
-		for _, ar := range m.perItem[i] {
-			kappaRow := m.kappa[ar.other*M : (ar.other+1)*M]
-			for t := 0; t < T; t++ {
-				s := 0.0
-				for mm := 0; mm < M; mm++ {
-					km := kappaRow[mm]
-					if km < 1e-8 {
-						continue
-					}
-					s += km * m.answerScore(t, mm, ar.labels)
-				}
-				row[t] += s
-			}
-		}
-	}
+	row := m.phi.Row(i)
+	m.scorePhiRow(i, m.perItem[i], 1, row)
 	if m.temp > 1 {
 		mathx.Scale(row, 1/m.temp)
 	}
@@ -187,7 +134,8 @@ func (m *Model) updatePhiRow(i int) {
 
 // updateGlobal recomputes the global variational parameters: the stick
 // posteriors ρ, υ (Eqs. 4–5) and the Dirichlet posteriors λ, ζ (Eqs. 6–7,
-// with Eq. 7 extended by imputed truth per DESIGN.md D2).
+// with Eq. 7 extended by imputed truth per DESIGN.md D2). Each is the
+// ω = 1, scale = 1 case of the shared blending kernels the SVI path uses.
 func (m *Model) updateGlobal() {
 	m.updateSticks()
 	m.updateLambda()
@@ -196,241 +144,96 @@ func (m *Model) updateGlobal() {
 
 // updateSticks implements Eqs. (4) and (5).
 func (m *Model) updateSticks() {
-	M, T := m.M, m.T
-	if M > 1 {
-		colSum := make([]float64, M)
-		for u := 0; u < m.numWorkers; u++ {
-			for mm := 0; mm < M; mm++ {
-				colSum[mm] += m.kappa[u*M+mm]
-			}
-		}
-		suffix := 0.0
-		for mm := M - 1; mm >= 0; mm-- {
-			if mm < M-1 {
-				m.rho1[mm] = 1 + colSum[mm]
-				m.rho2[mm] = m.cfg.Alpha + suffix
-			}
-			suffix += colSum[mm]
-		}
+	if m.M > 1 {
+		colSum := m.ws.colSumM
+		mat.Fill(colSum, 0)
+		m.kappa.ColSumsInto(colSum, nil)
+		applySticks(m.rho1, m.rho2, colSum, m.cfg.Alpha, 1, 1)
 	}
-	if T > 1 {
-		colSum := make([]float64, T)
-		for i := 0; i < m.numItems; i++ {
-			for t := 0; t < T; t++ {
-				colSum[t] += m.phi[i*T+t]
-			}
-		}
-		suffix := 0.0
-		for t := T - 1; t >= 0; t-- {
-			if t < T-1 {
-				m.ups1[t] = 1 + colSum[t]
-				m.ups2[t] = m.cfg.Epsilon + suffix
-			}
-			suffix += colSum[t]
-		}
+	if m.T > 1 {
+		colSum := m.ws.colSumT
+		mat.Fill(colSum, 0)
+		m.phi.ColSumsInto(colSum, nil)
+		applySticks(m.ups1, m.ups2, colSum, m.cfg.Epsilon, 1, 1)
 	}
 }
 
 // updateLambda implements Eq. (6): λ_tmc = γ + Σ_i ϕ_it Σ_u κ_um x_iuc.
-// Shards accumulate over disjoint item ranges into private buffers that are
-// reduced in shard order: results are deterministic for a fixed Parallelism,
-// and agree across Parallelism values up to floating-point reduction order.
+// Shards accumulate the per-answer suffstats over disjoint item ranges into
+// private buffers that are reduced in shard order: results are
+// deterministic for a fixed Parallelism, and agree across Parallelism
+// values up to floating-point reduction order.
 func (m *Model) updateLambda() {
-	M, T, C := m.M, m.T, m.numLabels
-	shards := m.shardCount(m.numItems)
-	buffers := m.lambdaScratch(shards, T*M*C)
-	m.parallelForShards(m.numItems, shards, func(shard, lo, hi int) {
-		buf := buffers[shard]
-		for k := range buf {
-			buf[k] = 0
-		}
-		for i := lo; i < hi; i++ {
-			phiRow := m.phi[i*T : (i+1)*T]
-			for _, ar := range m.perItem[i] {
-				kappaRow := m.kappa[ar.other*M : (ar.other+1)*M]
-				for t := 0; t < T; t++ {
-					pt := phiRow[t]
-					if pt < 1e-8 {
-						continue
-					}
-					rowBase := (t * M) * C
-					for mm := 0; mm < M; mm++ {
-						w := pt * kappaRow[mm]
-						if w < 1e-10 {
-							continue
-						}
-						base := rowBase + mm*C
-						for _, c := range ar.labels {
-							buf[base+c] += w
-						}
-					}
+	suff := m.ws.lambdaSuff
+	m.accLambda.Accumulate(suff, 0, len(suff), m.numItems, m.shardCount(m.numItems),
+		func(buf []float64, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for _, ar := range m.perItem[i] {
+					m.lambdaAnswerStat(buf, i, ar.other, ar.labels)
 				}
 			}
-		}
-	})
-	mathx.Fill(m.lambda, m.cfg.GammaPrior)
-	for _, buf := range buffers {
-		for k, v := range buf {
-			m.lambda[k] += v
-		}
-	}
+		})
+	applyDirichlet(m.lambda.Data(), suff, m.cfg.GammaPrior, 1, 1)
 }
 
-// updateZeta implements Eq. (7) with imputed truth:
-// ζ_tc = η + Σ_i ϕ_it · E[y_ic], where E[y_ic] is the revealed truth
-// indicator when available, the reliability-weighted vote otherwise
-// (DESIGN.md D2), or absent entirely under GroundTruthOnly.
+// updateZeta implements Eq. (7) with imputed truth: ζ_tc = η + Σ_i ϕ_it ·
+// E[y_ic] (DESIGN.md D2), sharded over items like updateLambda.
 func (m *Model) updateZeta() {
-	T, C := m.T, m.numLabels
-	mathx.Fill(m.zeta, m.cfg.EtaPrior)
-	for i := 0; i < m.numItems; i++ {
-		phiRow := m.phi[i*T : (i+1)*T]
-		truth := m.revealedTruth[i]
-		if truth == nil && m.cfg.GroundTruthOnly {
-			continue
-		}
-		for t := 0; t < T; t++ {
-			pt := phiRow[t]
-			if pt < 1e-8 {
-				continue
+	suff := m.ws.zetaSuff
+	m.accZeta.Accumulate(suff, 0, len(suff), m.numItems, m.shardCount(m.numItems),
+		func(buf []float64, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				m.zetaItemStat(buf, i)
 			}
-			base := t * C
-			if truth != nil {
-				for _, c := range truth {
-					m.zeta[base+c] += pt
-				}
-				continue
-			}
-			voted := m.votedList[i]
-			vals := m.yhatVals[i]
-			for k, c := range voted {
-				if v := vals[k]; v > 1e-8 {
-					m.zeta[base+c] += pt * v
-				}
-			}
-		}
-	}
+		})
+	applyDirichlet(m.zeta.Data(), suff, m.cfg.EtaPrior, 1, 1)
 }
 
 // updateReliability derives community reliabilities rel_m from the mean
 // agreement (Jaccard) between the answers of a community's workers and the
 // hardened current consensus ŷ, pooled over the community (requirement R1:
 // assessing workers through their community is robust where per-worker data
-// is sparse). Reliabilities are min-max normalised and floored, then folded
-// into per-worker weights w_u = Σ_m κ_um rel_m (DESIGN.md D2). The mutual
-// reinforcement — better consensus → sharper reliabilities → better
-// consensus — is the iterative mechanism the paper's §1 describes.
+// is sparse), together with the community/worker two-coin rates against the
+// same consensus (requirement R2). Both passes run on the Algorithm 3
+// shards with deterministic shard-order reduction. Reliabilities are
+// min-max normalised and floored, then folded into per-worker weights
+// w_u = Σ_m κ_um rel_m (DESIGN.md D2). The mutual reinforcement — better
+// consensus → sharper reliabilities → better consensus — is the iterative
+// mechanism the paper's §1 describes.
 func (m *Model) updateReliability() {
-	M := m.M
-	// Hardened consensus signature per item: voted labels with ŷ > 0.5,
-	// falling back to the single strongest label.
-	hard := m.hardConsensus()
+	M, C, U := m.M, m.numLabels, m.numWorkers
+	m.refreshHardSig(nil)
 
-	agreeNum := make([]float64, M)
-	agreeDen := make([]float64, M)
-	member := make(map[int]bool)
-	for u := 0; u < m.numWorkers; u++ {
-		agree, n := 0.0, 0
-		for _, ar := range m.perWorker[u] {
-			sig := hard[ar.other]
-			for k := range member {
-				delete(member, k)
+	// Community agreement, sharded over workers (each worker contributes
+	// its mean agreement once, κ-weighted).
+	agree := m.ws.agreeStats
+	m.accAgree.Accumulate(agree, 0, 2*M, U, m.shardCount(U),
+		func(buf []float64, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				m.workerAgreeStats(u, buf)
 			}
-			for _, c := range sig {
-				member[c] = true
+		})
+
+	// Two-coin and prevalence counts, sharded over items.
+	coins := m.ws.coinStats
+	m.accCoin.Accumulate(coins, 0, m.coinLen(), m.numItems, m.shardCount(m.numItems),
+		func(buf []float64, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				m.itemCoinStats(i, buf)
 			}
-			inter := 0
-			for _, c := range ar.labels {
-				if member[c] {
-					inter++
-				}
-			}
-			union := len(ar.labels) + len(sig) - inter
-			if union > 0 {
-				agree += float64(inter) / float64(union)
-			} else {
-				agree++
-			}
-			n++
-		}
-		if n == 0 {
-			continue
-		}
-		a := agree / float64(n)
-		for mm := 0; mm < M; mm++ {
-			k := m.kappa[u*M+mm]
-			agreeNum[mm] += k * a
-			agreeDen[mm] += k
-		}
+		})
+
+	// Unpack: the batch pass replaces the per-worker raw counts wholesale.
+	offTP, offTPD, offFP, offFPD, offPrevN, offPrevD, offTPU, offTPDU, offFPU, offFPDU := m.coinOffsets()
+	copy(m.tpNumU, coins[offTPU:offTPU+U])
+	copy(m.tpDenU, coins[offTPDU:offTPDU+U])
+	copy(m.fpNumU, coins[offFPU:offFPU+U])
+	copy(m.fpDenU, coins[offFPDU:offFPDU+U])
+	for c := 0; c < C; c++ {
+		m.labelPrev[c] = (coins[offPrevN+c] + 0.5) / (coins[offPrevD+c] + 2)
 	}
-	// Community-level two-coin rates against the hardened consensus
-	// (requirement R2: worker validity assessed at the level of individual
-	// labels, pooled by community for sparse-data robustness). For each
-	// voted label of each item, every answering worker either asserted it
-	// (vote) or left it out (miss); rates are κ-weighted per community.
-	tpNum := make([]float64, M)
-	tpDen := make([]float64, M)
-	fpNum := make([]float64, M)
-	fpDen := make([]float64, M)
-	prevNum := make([]float64, m.numLabels)
-	prevDen := make([]float64, m.numLabels)
-	mathx.Fill(m.tpNumU, 0)
-	mathx.Fill(m.tpDenU, 0)
-	mathx.Fill(m.fpNumU, 0)
-	mathx.Fill(m.fpDenU, 0)
-	for i := 0; i < m.numItems; i++ {
-		sig := hard[i]
-		for k := range member {
-			delete(member, k)
-		}
-		for _, c := range sig {
-			member[c] = true
-		}
-		for k, c := range m.votedList[i] {
-			prevNum[c] += m.yhatVals[i][k]
-			prevDen[c]++
-		}
-		for _, ar := range m.perItem[i] {
-			u := ar.other
-			for _, c := range m.votedList[i] {
-				pos := member[c]
-				j := searchInts(ar.labels, c)
-				vote := j < len(ar.labels) && ar.labels[j] == c
-				if pos {
-					m.tpDenU[u]++
-					if vote {
-						m.tpNumU[u]++
-					}
-				} else {
-					m.fpDenU[u]++
-					if vote {
-						m.fpNumU[u]++
-					}
-				}
-				for mm := 0; mm < M; mm++ {
-					k := m.kappa[u*M+mm]
-					if k < 1e-8 {
-						continue
-					}
-					if pos {
-						tpDen[mm] += k
-						if vote {
-							tpNum[mm] += k
-						}
-					} else {
-						fpDen[mm] += k
-						if vote {
-							fpNum[mm] += k
-						}
-					}
-				}
-			}
-		}
-	}
-	for c := 0; c < m.numLabels; c++ {
-		m.labelPrev[c] = (prevNum[c] + 0.5) / (prevDen[c] + 2)
-	}
-	m.deriveWorkerModel(tpNum, tpDen, fpNum, fpDen, agreeNum, agreeDen)
+	m.deriveWorkerModel(coins[offTP:offTP+M], coins[offTPD:offTPD+M],
+		coins[offFP:offFP+M], coins[offFPD:offFPD+M], agree[:M], agree[M:])
 }
 
 // deriveWorkerModel turns the accumulated two-coin counts into the worker
@@ -450,10 +253,10 @@ func (m *Model) deriveWorkerModel(tpNum, tpDen, fpNum, fpDen, agreeNum, agreeDen
 		m.fprM[mm] = mathx.Clamp(fpr, 0.02, 0.95)
 	}
 	for u := 0; u < m.numWorkers; u++ {
+		kappaRow := m.kappa.Row(u)
 		commTPR, commFPR := 0.0, 0.0
-		for mm := 0; mm < M; mm++ {
-			k := m.kappa[u*M+mm]
-			if k < 1e-8 {
+		for mm, k := range kappaRow {
+			if k < respFloor {
 				continue
 			}
 			commTPR += k * m.tprM[mm]
@@ -493,39 +296,9 @@ func (m *Model) deriveWorkerModel(tpNum, tpDen, fpNum, fpDen, agreeNum, agreeDen
 		}
 	}
 	for u := 0; u < m.numWorkers; u++ {
-		w := 0.0
-		for mm := 0; mm < M; mm++ {
-			w += m.kappa[u*M+mm] * m.relm[mm]
-		}
-		m.workerRelW[u] = w
+		m.workerRelW[u] = mathx.Dot(m.kappa.Row(u), m.relm)
 	}
 	m.haveRates = true
-}
-
-// hardConsensus returns, per item, the sorted labels whose imputed (or
-// revealed) expectation exceeds 0.5, falling back to the single strongest
-// label so every answered item has a non-empty signature.
-func (m *Model) hardConsensus() [][]int {
-	out := make([][]int, m.numItems)
-	for i := 0; i < m.numItems; i++ {
-		voted := m.votedList[i]
-		vals := m.yhatVals[i]
-		var sig []int
-		bestK, bestV := -1, 0.0
-		for k, c := range voted {
-			if vals[k] > 0.5 {
-				sig = append(sig, c)
-			}
-			if vals[k] > bestV {
-				bestK, bestV = k, vals[k]
-			}
-		}
-		if len(sig) == 0 && bestK >= 0 {
-			sig = []int{voted[bestK]}
-		}
-		out[i] = sig
-	}
-	return out
 }
 
 // imputeTruth recomputes the imputed truth expectations ŷ_ic for items
@@ -535,18 +308,19 @@ func (m *Model) hardConsensus() [][]int {
 // the per-worker community rates, around a prior drawn from the item's
 // cluster emissions — the channel through which label co-occurrence
 // dependencies flow into the consensus (requirement R3). When items is nil
-// every item is refreshed; otherwise only the listed items are.
+// every item is refreshed on the Algorithm 3 shards (each item's ŷ is
+// independent); otherwise only the listed items are, serially.
 func (m *Model) imputeTruth(items []int) {
-	var phiMean []float64
+	var phiMean *mat.Dense
 	var nbar []float64
 	if m.haveRates {
-		T, C := m.T, m.numLabels
-		phiMean = make([]float64, T*C)
-		copy(phiMean, m.zeta)
-		for t := 0; t < T; t++ {
-			mathx.NormalizeInPlace(phiMean[t*C : (t+1)*C])
+		phiMean = m.ws.phiMean
+		phiMean.CopyFrom(m.zeta)
+		for t := 0; t < m.T; t++ {
+			phiMean.NormalizeRow(t)
 		}
-		nbar = m.clusterTruthSizes()
+		m.clusterTruthSizesInto(m.ws.nbar)
+		nbar = m.ws.nbar
 	}
 	apply := func(i int) {
 		voted := m.votedList[i]
@@ -582,7 +356,7 @@ func (m *Model) imputeTruth(items []int) {
 				w := m.workerRelW[ar.other]
 				denom += w
 				for _, c := range ar.labels {
-					vals[searchInts(voted, c)] += w
+					vals[sort.SearchInts(voted, c)] += w
 				}
 			}
 			if denom > 0 {
@@ -598,8 +372,8 @@ func (m *Model) imputeTruth(items []int) {
 		// prevalence (the class prior): clusters lift co-occurring labels
 		// where the clustering is informative, prevalence separates
 		// commonly-true labels from incidental votes everywhere else.
-		T, C := m.T, m.numLabels
-		phiRow := m.phi[i*T : (i+1)*T]
+		T := m.T
+		phiRow := m.phi.Row(i)
 		for k, c := range voted {
 			prior := 0.0
 			for t := 0; t < T; t++ {
@@ -607,7 +381,7 @@ func (m *Model) imputeTruth(items []int) {
 				if pt < 1e-6 {
 					continue
 				}
-				prior += pt * mathx.Clamp(nbar[t]*phiMean[t*C+c], 0.02, 0.90)
+				prior += pt * mathx.Clamp(nbar[t]*phiMean.At(t, c), 0.02, 0.90)
 			}
 			prior = math.Max(prior, m.labelPrev[c])
 			if m.expertCooc != nil {
@@ -618,7 +392,7 @@ func (m *Model) imputeTruth(items []int) {
 			prior = mathx.Clamp(prior, 0.05, 0.90)
 			logOdds := math.Log(prior) - math.Log1p(-prior)
 			for _, ar := range m.perItem[i] {
-				j := searchInts(ar.labels, c)
+				j := sort.SearchInts(ar.labels, c)
 				if j < len(ar.labels) && ar.labels[j] == c {
 					logOdds += m.voteLW[ar.other]
 				} else {
@@ -636,7 +410,7 @@ func (m *Model) imputeTruth(items []int) {
 				if vals[k] <= 0.5 {
 					continue
 				}
-				row := m.expertCooc[a]
+				row := m.expertCooc.Row(a)
 				for j, b := range voted {
 					if implied := row[b] * vals[k]; implied > vals[j] {
 						vals[j] = implied
@@ -646,9 +420,11 @@ func (m *Model) imputeTruth(items []int) {
 		}
 	}
 	if items == nil {
-		for i := 0; i < m.numItems; i++ {
-			apply(i)
-		}
+		m.parallelFor(m.numItems, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				apply(i)
+			}
+		})
 		return
 	}
 	for _, i := range items {
@@ -656,135 +432,50 @@ func (m *Model) imputeTruth(items []int) {
 	}
 }
 
-// searchInts is a tiny binary search over a sorted int slice; the slices are
-// voted-label lists of a dozen entries, so this beats sort.SearchInts'
-// interface overhead in the hot path.
-func searchInts(s []int, x int) int {
-	lo, hi := 0, len(s)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if s[mid] < x {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
-}
-
 // dataLogLik computes the ELBO surrogate Σ_{(i,u)} ln Σ_t ϕ_it Σ_m κ_um
 // p(x_iu | ψ̄_tm) under the posterior-mean confusion vectors — cheap,
 // monotone-ish during training, used by tests and diagnostics.
 func (m *Model) dataLogLik() float64 {
 	M, T, C := m.M, m.T, m.numLabels
-	psiMean := make([]float64, T*M*C)
-	copy(psiMean, m.lambda)
-	for t := 0; t < T; t++ {
-		for mm := 0; mm < M; mm++ {
-			mathx.NormalizeInPlace(psiMean[(t*M+mm)*C : (t*M+mm+1)*C])
-		}
+	psiMean := m.ws.psiMean
+	psiMean.CopyFrom(m.lambda)
+	for r := 0; r < T*M; r++ {
+		psiMean.NormalizeRow(r)
 	}
-	totals := make([]float64, m.shardCount(m.numItems))
-	m.parallelForShards(m.numItems, len(totals), func(shard, lo, hi int) {
-		sum := 0.0
-		for i := lo; i < hi; i++ {
-			phiRow := m.phi[i*T : (i+1)*T]
-			for _, ar := range m.perItem[i] {
-				kappaRow := m.kappa[ar.other*M : (ar.other+1)*M]
-				lik := 0.0
-				for t := 0; t < T; t++ {
-					pt := phiRow[t]
-					if pt < 1e-10 {
-						continue
-					}
-					inner := 0.0
-					for mm := 0; mm < M; mm++ {
-						km := kappaRow[mm]
-						if km < 1e-10 {
+	psi := psiMean.Data()
+	var total [1]float64
+	m.accLogLik.Accumulate(total[:], 0, 1, m.numItems, m.shardCount(m.numItems),
+		func(buf []float64, lo, hi int) {
+			sum := 0.0
+			for i := lo; i < hi; i++ {
+				phiRow := m.phi.Row(i)
+				for _, ar := range m.perItem[i] {
+					kappaRow := m.kappa.Row(ar.other)
+					lik := 0.0
+					for t := 0; t < T; t++ {
+						pt := phiRow[t]
+						if pt < 1e-10 {
 							continue
 						}
-						p := 1.0
-						base := (t*M + mm) * C
-						for _, c := range ar.labels {
-							p *= math.Max(psiMean[base+c], 1e-12)
+						inner := 0.0
+						for mm := 0; mm < M; mm++ {
+							km := kappaRow[mm]
+							if km < 1e-10 {
+								continue
+							}
+							p := 1.0
+							base := (t*M + mm) * C
+							for _, c := range ar.labels {
+								p *= math.Max(psi[base+c], 1e-12)
+							}
+							inner += km * p
 						}
-						inner += km * p
+						lik += pt * inner
 					}
-					lik += pt * inner
+					sum += math.Log(math.Max(lik, 1e-300))
 				}
-				sum += math.Log(math.Max(lik, 1e-300))
 			}
-		}
-		totals[shard] = sum
-	})
-	return mathx.Sum(totals)
-}
-
-// ---------------------------------------------------------------------------
-// Algorithm 3: map-reduce parallelisation
-// ---------------------------------------------------------------------------
-
-// shardCount returns the number of map shards for a loop over n elements.
-func (m *Model) shardCount(n int) int {
-	p := m.cfg.Parallelism
-	if p > n {
-		p = n
-	}
-	if p < 1 {
-		p = 1
-	}
-	return p
-}
-
-// parallelFor splits [0, n) into contiguous shards processed concurrently.
-// With Parallelism 1 it runs inline (no goroutine overhead).
-func (m *Model) parallelFor(n int, fn func(lo, hi int)) {
-	shards := m.shardCount(n)
-	if shards == 1 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	for s := 0; s < shards; s++ {
-		lo := s * n / shards
-		hi := (s + 1) * n / shards
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// parallelForShards is parallelFor with the shard index exposed, for
-// reductions into per-shard buffers.
-func (m *Model) parallelForShards(n, shards int, fn func(shard, lo, hi int)) {
-	if shards == 1 {
-		fn(0, 0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	for s := 0; s < shards; s++ {
-		lo := s * n / shards
-		hi := (s + 1) * n / shards
-		wg.Add(1)
-		go func(s, lo, hi int) {
-			defer wg.Done()
-			fn(s, lo, hi)
-		}(s, lo, hi)
-	}
-	wg.Wait()
-}
-
-// lambdaScratch returns per-shard accumulation buffers, reusing prior
-// allocations when the shape matches.
-func (m *Model) lambdaScratch(shards, size int) [][]float64 {
-	if len(m.scratch) != shards || (shards > 0 && len(m.scratch[0]) != size) {
-		m.scratch = make([][]float64, shards)
-		for s := range m.scratch {
-			m.scratch[s] = make([]float64, size)
-		}
-	}
-	return m.scratch
+			buf[0] += sum
+		})
+	return total[0]
 }

@@ -18,12 +18,12 @@ func TestUpdateSticksHandComputed(t *testing.T) {
 	}
 	// Pin κ and ϕ to known values (3 workers × 3 communities, 2 items × 2
 	// clusters).
-	copy(m.kappa, []float64{
+	copy(m.kappa.Data(), []float64{
 		0.7, 0.2, 0.1,
 		0.1, 0.8, 0.1,
 		0.3, 0.3, 0.4,
 	})
-	copy(m.phi, []float64{
+	copy(m.phi.Data(), []float64{
 		0.6, 0.4,
 		0.2, 0.8,
 	})
@@ -61,14 +61,14 @@ func TestUpdateLambdaHandComputed(t *testing.T) {
 	if err := m.loadDataset(ds); err != nil {
 		t.Fatal(err)
 	}
-	m.kappa[0] = 1
-	m.phi[0] = 1
+	m.kappa.Set(0, 0, 1)
+	m.phi.Set(0, 0, 1)
 	m.updateLambda()
 	// λ_000 = γ + 1, λ_001 = γ, λ_002 = γ + 1.
 	want := []float64{1.5, 0.5, 1.5}
 	for c, w := range want {
-		if math.Abs(m.lambda[c]-w) > 1e-12 {
-			t.Errorf("lambda[%d] = %v, want %v", c, m.lambda[c], w)
+		if math.Abs(m.lambda.Data()[c]-w) > 1e-12 {
+			t.Errorf("lambda[%d] = %v, want %v", c, m.lambda.Data()[c], w)
 		}
 	}
 }
@@ -168,16 +168,46 @@ func TestStickELogMatchesDistHelper(t *testing.T) {
 	}
 }
 
-// TestSearchInts covers the tiny binary search helper.
-func TestSearchInts(t *testing.T) {
-	s := []int{2, 5, 9}
-	cases := map[int]int{1: 0, 2: 0, 3: 1, 5: 1, 7: 2, 9: 2, 10: 3}
-	for x, want := range cases {
-		if got := searchInts(s, x); got != want {
-			t.Errorf("searchInts(%v, %d) = %d, want %d", s, x, got, want)
+// TestApplyDirichletBlending checks the shared Dirichlet kernel: ω = 1 is
+// the exact coordinate-ascent assignment, ω < 1 the convex SVI blend.
+func TestApplyDirichletBlending(t *testing.T) {
+	suff := []float64{2, 0, 4}
+	dst := []float64{1, 1, 1}
+	applyDirichlet(dst, suff, 0.5, 1, 1)
+	for k, w := range []float64{2.5, 0.5, 4.5} {
+		if math.Abs(dst[k]-w) > 1e-12 {
+			t.Errorf("batch dst[%d] = %v, want %v", k, dst[k], w)
 		}
 	}
-	if got := searchInts(nil, 5); got != 0 {
-		t.Errorf("searchInts(nil) = %d", got)
+	// SVI step: target with scale 3, blended at ω = 0.25.
+	applyDirichlet(dst, suff, 0.5, 3, 0.25)
+	// target = [6.5, 0.5, 12.5]; dst = 0.75*prev + 0.25*target.
+	for k, w := range []float64{0.75*2.5 + 0.25*6.5, 0.5, 0.75*4.5 + 0.25*12.5} {
+		if math.Abs(dst[k]-w) > 1e-12 {
+			t.Errorf("svi dst[%d] = %v, want %v", k, dst[k], w)
+		}
+	}
+}
+
+// TestApplySticksBlending checks the shared stick kernel against the
+// hand-computed Eqs. (4)-(5) targets and their SVI blend.
+func TestApplySticksBlending(t *testing.T) {
+	colSum := []float64{1.1, 1.3, 0.6}
+	a := make([]float64, 2)
+	b := make([]float64, 2)
+	applySticks(a, b, colSum, 2, 1, 1)
+	if math.Abs(a[0]-2.1) > 1e-12 || math.Abs(b[0]-3.9) > 1e-12 {
+		t.Errorf("stick 0 = (%v,%v), want (2.1,3.9)", a[0], b[0])
+	}
+	if math.Abs(a[1]-2.3) > 1e-12 || math.Abs(b[1]-2.6) > 1e-12 {
+		t.Errorf("stick 1 = (%v,%v), want (2.3,2.6)", a[1], b[1])
+	}
+	// ω = 0.5 halfway toward a doubled-scale target.
+	a0, b0 := a[0], b[0]
+	applySticks(a, b, colSum, 2, 2, 0.5)
+	wantA := 0.5*a0 + 0.5*(1+2*1.1)
+	wantB := 0.5*b0 + 0.5*(2+2*1.9)
+	if math.Abs(a[0]-wantA) > 1e-12 || math.Abs(b[0]-wantB) > 1e-12 {
+		t.Errorf("blended stick 0 = (%v,%v), want (%v,%v)", a[0], b[0], wantA, wantB)
 	}
 }

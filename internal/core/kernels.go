@@ -1,0 +1,382 @@
+package core
+
+import (
+	"sort"
+
+	"cpa/internal/mat"
+)
+
+// This file is the shared sufficient-statistics layer of the two inference
+// engines. Batch coordinate ascent (Algorithm 1) and stochastic variational
+// inference (Algorithm 2) compute the *same* per-row scores and per-answer
+// statistics; they differ only in which answers they see (all vs. a
+// mini-batch), how the data term is scaled to the population, and how the
+// resulting target is blended into the current parameter (ω = 1 recovers
+// the exact coordinate-ascent update). Every kernel here is allocation-free
+// and safe to run from the Algorithm 3 map shards as long as shards write
+// disjoint rows or private buffers.
+
+// respFloor is the responsibility mass below which a mixture component's
+// contribution is skipped in the hot loops; weightFloor the same for
+// products of responsibilities.
+const (
+	respFloor   = 1e-8
+	weightFloor = 1e-10
+)
+
+// scoreKappaRow fills dst (length M) with the unnormalised log-posterior of
+// Eq. 2 for one worker from the given answers:
+//
+//	dst_m = E[ln π_m] + scale · Σ_refs Σ_t ϕ_it E[ln p(x_iu | ψ_tm)]
+//
+// Batch passes the worker's full answer list with scale 1; SVI passes the
+// mini-batch slice with the population scale |answers_u| / |batch_u|.
+func (m *Model) scoreKappaRow(refs []ansRef, scale float64, dst []float64) {
+	T := m.T
+	copy(dst, m.elogPi)
+	for _, ar := range refs {
+		phiRow := m.phi.Row(ar.other)
+		for t := 0; t < T; t++ {
+			pt := phiRow[t]
+			if pt < respFloor {
+				continue
+			}
+			w := scale * pt
+			for mm := range dst {
+				dst[mm] += w * m.answerScore(t, mm, ar.labels)
+			}
+		}
+	}
+}
+
+// scorePhiRow fills dst (length T) with the unnormalised log-posterior of
+// the item cluster update: the literal Eq. 3 terms (stick prior plus
+// truth-emission evidence, never scaled — the item's truth is one
+// observation regardless of batching) and, unless LiteralPhiUpdate is set,
+// the Appendix C answer-evidence term a_it scaled like the κ data term
+// (DESIGN.md D1). Unobserved truth contributes through its imputed
+// expectation ŷ (DESIGN.md D2).
+func (m *Model) scorePhiRow(i int, refs []ansRef, scale float64, dst []float64) {
+	T := m.T
+	copy(dst, m.elogTau)
+	if truth := m.revealedTruth[i]; truth != nil {
+		elogPhi := m.elogPhi
+		for t := 0; t < T; t++ {
+			row := elogPhi.Row(t)
+			s := 0.0
+			for _, c := range truth {
+				s += row[c]
+			}
+			dst[t] += s
+		}
+	} else if !m.cfg.GroundTruthOnly {
+		voted := m.votedList[i]
+		vals := m.yhatVals[i]
+		for t := 0; t < T; t++ {
+			row := m.elogPhi.Row(t)
+			s := 0.0
+			for k, c := range voted {
+				if v := vals[k]; v > respFloor {
+					s += v * row[c]
+				}
+			}
+			dst[t] += s
+		}
+	}
+	if !m.cfg.LiteralPhiUpdate {
+		for _, ar := range refs {
+			kappaRow := m.kappa.Row(ar.other)
+			for t := 0; t < T; t++ {
+				s := 0.0
+				for mm, km := range kappaRow {
+					if km < respFloor {
+						continue
+					}
+					s += km * m.answerScore(t, mm, ar.labels)
+				}
+				dst[t] += scale * s
+			}
+		}
+	}
+}
+
+// lambdaAnswerStat adds one answer's Eq. 6 sufficient statistic into buf
+// (layout: flat (T·M)×C, matching Model.lambda):
+//
+//	buf[(t·M+m)·C + c] += ϕ_it · κ_um   for every c ∈ x_iu.
+//
+// Batch accumulates it over every answer (sharded by item); SVI over the
+// mini-batch only, scaling the reduced total instead.
+func (m *Model) lambdaAnswerStat(buf []float64, item, worker int, labels []int) {
+	M, T, C := m.M, m.T, m.numLabels
+	phiRow := m.phi.Row(item)
+	kappaRow := m.kappa.Row(worker)
+	for t := 0; t < T; t++ {
+		pt := phiRow[t]
+		if pt < respFloor {
+			continue
+		}
+		rowBase := t * M * C
+		for mm := 0; mm < M; mm++ {
+			w := pt * kappaRow[mm]
+			if w < weightFloor {
+				continue
+			}
+			base := rowBase + mm*C
+			for _, c := range labels {
+				buf[base+c] += w
+			}
+		}
+	}
+}
+
+// zetaItemStat adds item i's Eq. 7 sufficient statistic into buf (layout:
+// flat T×C, matching Model.zeta): ϕ_it·E[y_ic] with the revealed truth
+// indicator when available, the imputed expectation otherwise (DESIGN.md
+// D2), or nothing at all under GroundTruthOnly.
+func (m *Model) zetaItemStat(buf []float64, i int) {
+	T, C := m.T, m.numLabels
+	truth := m.revealedTruth[i]
+	if truth == nil && m.cfg.GroundTruthOnly {
+		return
+	}
+	phiRow := m.phi.Row(i)
+	for t := 0; t < T; t++ {
+		pt := phiRow[t]
+		if pt < respFloor {
+			continue
+		}
+		base := t * C
+		if truth != nil {
+			for _, c := range truth {
+				buf[base+c] += pt
+			}
+			continue
+		}
+		voted := m.votedList[i]
+		vals := m.yhatVals[i]
+		for k, c := range voted {
+			if v := vals[k]; v > respFloor {
+				buf[base+c] += pt * v
+			}
+		}
+	}
+}
+
+// applyDirichlet folds a sufficient-statistics block into a Dirichlet
+// parameter block: dst = (1−ω)·dst + ω·(prior + scale·suff). ω = 1,
+// scale = 1 is the exact batch coordinate-ascent update (Eqs. 6–7); SVI
+// uses the population scale with the learning rate ω (Eqs. 9–10, 18).
+func applyDirichlet(dst, suff []float64, prior, scale, omega float64) {
+	if omega >= 1 {
+		for k, s := range suff {
+			dst[k] = prior + scale*s
+		}
+		return
+	}
+	for k, s := range suff {
+		dst[k] = (1-omega)*dst[k] + omega*(prior+scale*s)
+	}
+}
+
+// applySticks folds (scaled) responsibility column sums into the truncated
+// Beta stick posteriors with blending weight ω: the target of stick j is
+// (1 + scale·colSum_j, conc + scale·Σ_{k>j} colSum_k) — Eqs. 4–5 for the
+// batch case (ω = 1), Eqs. 11–14/19 for SVI.
+func applySticks(a, b, colSum []float64, conc, scale, omega float64) {
+	K := len(colSum)
+	suffix := 0.0
+	for j := K - 1; j >= 0; j-- {
+		if j < K-1 {
+			t1 := 1 + scale*colSum[j]
+			t2 := conc + scale*suffix
+			a[j] = (1-omega)*a[j] + omega*t1
+			b[j] = (1-omega)*b[j] + omega*t2
+		}
+		suffix += colSum[j]
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Worker-model statistics: hardened consensus, agreement, two-coin counts
+// ---------------------------------------------------------------------------
+
+// refreshHardSig recomputes the hardened consensus signature summaries for
+// the listed items (nil = all): per item, the number of voted labels whose
+// imputed (or revealed) expectation exceeds ½, and the index of the single
+// strongest label used as fallback when none does — so every answered item
+// has a non-empty signature without materialising label lists.
+func (m *Model) refreshHardSig(items []int) {
+	apply := func(i int) {
+		vals := m.yhatVals[i]
+		cnt, bestK, bestV := 0, -1, 0.0
+		for k, v := range vals {
+			if v > 0.5 {
+				cnt++
+			}
+			if v > bestV {
+				bestK, bestV = k, v
+			}
+		}
+		fall := -1
+		if cnt == 0 && bestK >= 0 {
+			fall = bestK
+			cnt = 1
+		}
+		m.ws.sigFall[i], m.ws.sigLen[i] = fall, cnt
+	}
+	if items == nil {
+		for i := 0; i < m.numItems; i++ {
+			apply(i)
+		}
+		return
+	}
+	for _, i := range items {
+		apply(i)
+	}
+}
+
+// inHardSig reports whether voted label index k of item i is in the
+// hardened signature (per refreshHardSig).
+func (m *Model) inHardSig(i, k int) bool {
+	return m.yhatVals[i][k] > 0.5 || k == m.ws.sigFall[i]
+}
+
+// jaccardWithSig returns the Jaccard agreement between an answer's label
+// set and item i's hardened signature (1 when both are empty, the harmless
+// convention for unanswerable comparisons).
+func (m *Model) jaccardWithSig(labels []int, i int) float64 {
+	voted := m.votedList[i]
+	inter := 0
+	for _, c := range labels {
+		k := sort.SearchInts(voted, c)
+		if k < len(voted) && voted[k] == c && m.inHardSig(i, k) {
+			inter++
+		}
+	}
+	union := len(labels) + m.ws.sigLen[i] - inter
+	if union > 0 {
+		return float64(inter) / float64(union)
+	}
+	return 1
+}
+
+// Coin-stat buffer layout: four M-length community two-coin accumulators,
+// two C-length prevalence accumulators, four U-length per-worker raw-count
+// accumulators. One flat buffer so the whole item pass reduces through a
+// single sharded accumulator.
+func (m *Model) coinLen() int { return 4*m.M + 2*m.numLabels + 4*m.numWorkers }
+
+func (m *Model) coinOffsets() (tp, tpD, fp, fpD, prevN, prevD, tpU, tpDU, fpU, fpDU int) {
+	M, C, U := m.M, m.numLabels, m.numWorkers
+	tp, tpD, fp, fpD = 0, M, 2*M, 3*M
+	prevN, prevD = 4*M, 4*M+C
+	tpU, tpDU, fpU, fpDU = 4*M+2*C, 4*M+2*C+U, 4*M+2*C+2*U, 4*M+2*C+3*U
+	return
+}
+
+// itemCoinStats accumulates, into a coin-stat buffer, the two-coin counts
+// of every answer on item i against the hardened consensus (requirement
+// R2: per-label validity, pooled by community for sparse-data robustness):
+// for each voted label, every answering worker either asserted it (vote)
+// or left it out (miss), counted raw per worker and κ-weighted per
+// community, plus the per-label prevalence numerators. Identical between
+// the batch pass (all items, sharded) and the SVI pass (batch items only).
+func (m *Model) itemCoinStats(i int, buf []float64) {
+	offTP, offTPD, offFP, offFPD, offPrevN, offPrevD, offTPU, offTPDU, offFPU, offFPDU := m.coinOffsets()
+	voted := m.votedList[i]
+	vals := m.yhatVals[i]
+	for k, c := range voted {
+		buf[offPrevN+c] += vals[k]
+		buf[offPrevD+c]++
+	}
+	for _, ar := range m.perItem[i] {
+		u := ar.other
+		kappaRow := m.kappa.Row(u)
+		for k := range voted {
+			pos := m.inHardSig(i, k)
+			j := sort.SearchInts(ar.labels, voted[k])
+			vote := j < len(ar.labels) && ar.labels[j] == voted[k]
+			if pos {
+				buf[offTPDU+u]++
+				if vote {
+					buf[offTPU+u]++
+				}
+			} else {
+				buf[offFPDU+u]++
+				if vote {
+					buf[offFPU+u]++
+				}
+			}
+			for mm, kw := range kappaRow {
+				if kw < respFloor {
+					continue
+				}
+				if pos {
+					buf[offTPD+mm] += kw
+					if vote {
+						buf[offTP+mm] += kw
+					}
+				} else {
+					buf[offFPD+mm] += kw
+					if vote {
+						buf[offFP+mm] += kw
+					}
+				}
+			}
+		}
+	}
+}
+
+// workerAgreeStats adds worker u's κ-weighted mean agreement with the
+// hardened consensus into an agreement buffer (layout [num M | den M]) —
+// the batch weighting, where every worker contributes equally to its
+// community regardless of answer volume (requirement R1).
+func (m *Model) workerAgreeStats(u int, buf []float64) {
+	M := m.M
+	agree, n := 0.0, 0
+	for _, ar := range m.perWorker[u] {
+		agree += m.jaccardWithSig(ar.labels, ar.other)
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	a := agree / float64(n)
+	kappaRow := m.kappa.Row(u)
+	for mm, kw := range kappaRow {
+		buf[mm] += kw * a
+		buf[M+mm] += kw
+	}
+}
+
+// itemAgreeStats adds the κ-weighted per-answer agreements of item i into
+// an agreement buffer — the SVI weighting, where each streamed answer
+// contributes once (the stream never revisits a worker's history).
+func (m *Model) itemAgreeStats(i int, buf []float64) {
+	M := m.M
+	for _, ar := range m.perItem[i] {
+		a := m.jaccardWithSig(ar.labels, i)
+		kappaRow := m.kappa.Row(ar.other)
+		for mm, kw := range kappaRow {
+			if kw < respFloor {
+				continue
+			}
+			buf[mm] += kw * a
+			buf[M+mm] += kw
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 3 shard plumbing (thin wrappers over internal/mat)
+// ---------------------------------------------------------------------------
+
+// shardCount returns the number of map shards for a loop over n elements.
+func (m *Model) shardCount(n int) int { return mat.Shards(m.cfg.Parallelism, n) }
+
+// parallelFor splits [0, n) into contiguous shards processed concurrently.
+// With Parallelism 1 it runs inline (no goroutine overhead).
+func (m *Model) parallelFor(n int, fn func(lo, hi int)) {
+	mat.ParallelFor(n, m.shardCount(n), func(_, lo, hi int) { fn(lo, hi) })
+}

@@ -32,6 +32,7 @@ import (
 
 	"cpa/internal/answers"
 	"cpa/internal/labelset"
+	"cpa/internal/mat"
 	"cpa/internal/mathx"
 )
 
@@ -214,26 +215,31 @@ type Model struct {
 	perWorker [][]ansRef
 	perItem   [][]ansRef
 	numAns    int
+	// seenWorkers/seenItems count workers/items with at least one ingested
+	// answer (the SVI population-scaling denominators), maintained
+	// incrementally by ingest.
+	seenWorkers, seenItems int
 	// revealedTruth[i] is nil unless item i's truth is visible to the
 	// model (test questions).
 	revealedTruth [][]int
 
-	// Variational parameters.
-	kappa  []float64 // U×M responsibilities q(z_u)
-	phi    []float64 // I×T responsibilities q(l_i)
-	lambda []float64 // T×M×C Dirichlet params of q(ψ_tm)
-	zeta   []float64 // T×C Dirichlet params of q(φ_t)
-	rho1   []float64 // M-1 Beta params of community sticks
+	// Variational parameters: dense row-major matrices on the internal/mat
+	// flat-buffer layer. Stick posteriors are plain vectors.
+	kappa  *mat.Dense // U×M responsibilities q(z_u)
+	phi    *mat.Dense // I×T responsibilities q(l_i)
+	lambda *mat.Dense // (T·M)×C Dirichlet params of q(ψ_tm); row t*M+m
+	zeta   *mat.Dense // T×C Dirichlet params of q(φ_t)
+	rho1   []float64  // M-1 Beta params of community sticks
 	rho2   []float64
 	ups1   []float64 // T-1 Beta params of cluster sticks
 	ups2   []float64
 
 	// Cached expectations, refreshed from the parameters above at the start
 	// of each iteration.
-	elogPi  []float64 // M
-	elogTau []float64 // T
-	elogPsi []float64 // T×M×C: ψ(λ_tmc) − ψ(Σ_c λ_tmc)
-	elogPhi []float64 // T×C
+	elogPi  []float64  // M
+	elogTau []float64  // T
+	elogPsi *mat.Dense // (T·M)×C: ψ(λ_tmc) − ψ(Σ_c λ_tmc)
+	elogPhi *mat.Dense // T×C
 
 	// Imputed truth expectations ŷ (DESIGN.md D2) and the community-level
 	// two-coin worker model that calibrates them.
@@ -262,7 +268,7 @@ type Model struct {
 	runPrevN, runPrevD                                []float64
 	// expertCooc is the optional external co-occurrence prior (§6 extension);
 	// see SetExpertCooccurrence.
-	expertCooc [][]float64
+	expertCooc *mat.Dense // C×C, nil when no expert knowledge is installed
 
 	// SVI state.
 	batchIndex     int
@@ -275,8 +281,34 @@ type Model struct {
 	// they harden).
 	temp float64
 
-	// scratch holds per-shard reduction buffers reused across iterations.
-	scratch [][]float64
+	// Sharded reduction accumulators (Algorithm 3), one per suffstat size
+	// class so steady-state iterations reuse their buffers.
+	accLambda mat.Sharded
+	accZeta   mat.Sharded
+	accCoin   mat.Sharded
+	accAgree  mat.Sharded
+	accLogLik mat.Sharded
+	// ws holds the per-iteration working buffers reused across iterations.
+	ws workScratch
+}
+
+// workScratch bundles the reusable working buffers of the inference loops
+// so steady-state iterations allocate nothing. None of it is model state:
+// every buffer is recomputed before use.
+type workScratch struct {
+	lambdaSuff []float64  // (T·M·C) Eq. 6 sufficient statistics
+	zetaSuff   []float64  // (T·C) Eq. 7 sufficient statistics
+	colSumM    []float64  // M responsibility column sums
+	colSumT    []float64  // T
+	agreeStats []float64  // 2M community agreement accumulators
+	coinStats  []float64  // coin-stat layout, see coinLen
+	psiMean    *mat.Dense // (T·M)×C posterior-mean confusion (dataLogLik)
+	phiMean    *mat.Dense // T×C posterior-mean emissions (imputeTruth)
+	nbar       []float64  // T expected cluster truth-set sizes
+	sigFall    []int      // per item: fallback index into votedList, or -1
+	sigLen     []int      // per item: hardened-signature size
+	prevKappa  *mat.Dense // convergence snapshots (Fit)
+	prevPhi    *mat.Dense
 }
 
 // NewModel allocates a CPA model for the given problem dimensions.
@@ -326,10 +358,10 @@ func (m *Model) allocate() {
 	m.perWorker = make([][]ansRef, U)
 	m.perItem = make([][]ansRef, I)
 	m.revealedTruth = make([][]int, I)
-	m.kappa = make([]float64, U*M)
-	m.phi = make([]float64, I*T)
-	m.lambda = make([]float64, T*M*C)
-	m.zeta = make([]float64, T*C)
+	m.kappa = mat.New(U, M)
+	m.phi = mat.New(I, T)
+	m.lambda = mat.New(T*M, C)
+	m.zeta = mat.New(T, C)
 	if M > 1 {
 		m.rho1 = make([]float64, M-1)
 		m.rho2 = make([]float64, M-1)
@@ -340,8 +372,9 @@ func (m *Model) allocate() {
 	}
 	m.elogPi = make([]float64, M)
 	m.elogTau = make([]float64, T)
-	m.elogPsi = make([]float64, T*M*C)
-	m.elogPhi = make([]float64, T*C)
+	m.elogPsi = mat.New(T*M, C)
+	m.elogPhi = mat.New(T, C)
+	m.ws = m.newWorkScratch()
 	m.votedList = make([][]int, I)
 	m.yhatVals = make([][]float64, I)
 	m.relm = make([]float64, M)
@@ -363,9 +396,9 @@ func (m *Model) allocate() {
 // priors. Batch fitting replaces the jitter with data-driven seeding
 // (DESIGN.md D6) before the first iteration.
 func (m *Model) initialize() {
-	U, I, M, T := m.numWorkers, m.numItems, m.M, m.T
+	U, I := m.numWorkers, m.numItems
 	for u := 0; u < U; u++ {
-		row := m.kappa[u*M : (u+1)*M]
+		row := m.kappa.Row(u)
 		if m.cfg.DisableCommunities {
 			mathx.Fill(row, 0)
 			row[u] = 1
@@ -377,7 +410,7 @@ func (m *Model) initialize() {
 		mathx.NormalizeInPlace(row)
 	}
 	for i := 0; i < I; i++ {
-		row := m.phi[i*T : (i+1)*T]
+		row := m.phi.Row(i)
 		if m.cfg.DisableClusters {
 			mathx.Fill(row, 0)
 			row[i] = 1
@@ -388,8 +421,8 @@ func (m *Model) initialize() {
 		}
 		mathx.NormalizeInPlace(row)
 	}
-	mathx.Fill(m.lambda, m.cfg.GammaPrior)
-	mathx.Fill(m.zeta, m.cfg.EtaPrior)
+	m.lambda.Fill(m.cfg.GammaPrior)
+	m.zeta.Fill(m.cfg.EtaPrior)
 	mathx.Fill(m.rho1, 1)
 	mathx.Fill(m.rho2, m.cfg.Alpha)
 	mathx.Fill(m.ups1, 1)
@@ -462,7 +495,7 @@ func (m *Model) seedFromData() {
 					bestT, bestSim = t, sim
 				}
 			}
-			row := m.phi[i*T : (i+1)*T]
+			row := m.phi.Row(i)
 			mathx.Fill(row, soft/float64(T))
 			row[bestT] += 1 - soft
 		}
@@ -507,7 +540,7 @@ func (m *Model) seedFromData() {
 		sort.Slice(order, func(a, b int) bool { return order[a].agree < order[b].agree })
 		for rank, w := range order {
 			home := rank * M / len(order)
-			row := m.kappa[w.u*M : (w.u+1)*M]
+			row := m.kappa.Row(w.u)
 			mathx.Fill(row, soft/float64(M))
 			row[home] += 1 - soft
 		}
@@ -528,6 +561,7 @@ func (m *Model) loadDataset(ds *answers.Dataset) error {
 		m.perItem[i] = nil
 	}
 	m.numAns = 0
+	m.seenWorkers, m.seenItems = 0, 0
 	for _, a := range ds.Answers() {
 		m.ingest(a)
 	}
@@ -542,9 +576,16 @@ func (m *Model) loadDataset(ds *answers.Dataset) error {
 	return nil
 }
 
-// ingest adds one answer to the dense views.
+// ingest adds one answer to the dense views, maintaining the seen-worker
+// and seen-item counts the SVI scaling depends on.
 func (m *Model) ingest(a answers.Answer) {
 	xs := a.Labels.Slice()
+	if len(m.perWorker[a.Worker]) == 0 {
+		m.seenWorkers++
+	}
+	if len(m.perItem[a.Item]) == 0 {
+		m.seenItems++
+	}
 	m.perWorker[a.Worker] = append(m.perWorker[a.Worker], ansRef{other: a.Item, labels: xs})
 	m.perItem[a.Item] = append(m.perItem[a.Item], ansRef{other: a.Worker, labels: xs})
 	m.numAns++
@@ -571,7 +612,7 @@ func (m *Model) rebuildVoted() {
 // refreshExpectations recomputes every cached digamma expectation from the
 // current variational parameters.
 func (m *Model) refreshExpectations() {
-	M, T, C := m.M, m.T, m.numLabels
+	M, T := m.M, m.T
 	// Stick expectations E[ln π_m], E[ln τ_t].
 	if M > 1 {
 		stickELog(m.rho1, m.rho2, m.elogPi)
@@ -584,13 +625,11 @@ func (m *Model) refreshExpectations() {
 		m.elogTau[0] = 0
 	}
 	// Dirichlet expectations for ψ and φ.
+	for r := 0; r < T*M; r++ {
+		dirELog(m.lambda.Row(r), m.elogPsi.Row(r))
+	}
 	for t := 0; t < T; t++ {
-		for mm := 0; mm < M; mm++ {
-			row := m.lambda[(t*M+mm)*C : (t*M+mm+1)*C]
-			out := m.elogPsi[(t*M+mm)*C : (t*M+mm+1)*C]
-			dirELog(row, out)
-		}
-		dirELog(m.zeta[t*C:(t+1)*C], m.elogPhi[t*C:(t+1)*C])
+		dirELog(m.zeta.Row(t), m.elogPhi.Row(t))
 	}
 }
 
@@ -666,7 +705,7 @@ func (m *Model) WorkerCommunity(u int) int {
 	if u < 0 || u >= m.numWorkers {
 		return -1
 	}
-	return mathx.ArgMax(m.kappa[u*m.M : (u+1)*m.M])
+	return mathx.ArgMax(m.kappa.Row(u))
 }
 
 // ItemCluster returns the MAP cluster of item i.
@@ -674,7 +713,7 @@ func (m *Model) ItemCluster(i int) int {
 	if i < 0 || i >= m.numItems {
 		return -1
 	}
-	return mathx.ArgMax(m.phi[i*m.T : (i+1)*m.T])
+	return mathx.ArgMax(m.phi.Row(i))
 }
 
 // WorkerReliability returns the model's reliability weight for worker u:
@@ -703,14 +742,14 @@ func (m *Model) Clone() *Model {
 	c := *m
 	c.rng = rand.New(rand.NewSource(m.cfg.Seed + int64(m.batchIndex) + 1))
 	cpF := func(v []float64) []float64 { return append([]float64(nil), v...) }
-	c.kappa = cpF(m.kappa)
-	c.phi = cpF(m.phi)
-	c.lambda = cpF(m.lambda)
-	c.zeta = cpF(m.zeta)
+	c.kappa = m.kappa.Clone()
+	c.phi = m.phi.Clone()
+	c.lambda = m.lambda.Clone()
+	c.zeta = m.zeta.Clone()
 	c.rho1, c.rho2 = cpF(m.rho1), cpF(m.rho2)
 	c.ups1, c.ups2 = cpF(m.ups1), cpF(m.ups2)
 	c.elogPi, c.elogTau = cpF(m.elogPi), cpF(m.elogTau)
-	c.elogPsi, c.elogPhi = cpF(m.elogPsi), cpF(m.elogPhi)
+	c.elogPsi, c.elogPhi = m.elogPsi.Clone(), m.elogPhi.Clone()
 	c.relm, c.workerRelW = cpF(m.relm), cpF(m.workerRelW)
 	c.tprM, c.fprM = cpF(m.tprM), cpF(m.fprM)
 	c.tpNumU, c.tpDenU = cpF(m.tpNumU), cpF(m.tpDenU)
@@ -741,18 +780,44 @@ func (m *Model) Clone() *Model {
 		c.votedList[i] = append([]int(nil), m.votedList[i]...)
 		c.yhatVals[i] = append([]float64(nil), m.yhatVals[i]...)
 	}
-	c.scratch = nil // reduction buffers must not be shared between models
+	// Reduction accumulators and working buffers must not be shared between
+	// models; reallocate the clone's privately.
+	c.accLambda, c.accZeta, c.accCoin, c.accAgree, c.accLogLik =
+		mat.Sharded{}, mat.Sharded{}, mat.Sharded{}, mat.Sharded{}, mat.Sharded{}
+	c.ws = m.newWorkScratch()
 	return &c
+}
+
+// newWorkScratch allocates a fresh set of working buffers sized to the
+// model's dimensions.
+func (m *Model) newWorkScratch() workScratch {
+	U, I, C, M, T := m.numWorkers, m.numItems, m.numLabels, m.M, m.T
+	return workScratch{
+		lambdaSuff: make([]float64, T*M*C),
+		zetaSuff:   make([]float64, T*C),
+		colSumM:    make([]float64, M),
+		colSumT:    make([]float64, T),
+		agreeStats: make([]float64, 2*M),
+		coinStats:  make([]float64, m.coinLen()),
+		psiMean:    mat.New(T*M, C),
+		phiMean:    mat.New(T, C),
+		nbar:       make([]float64, T),
+		sigFall:    make([]int, I),
+		sigLen:     make([]int, I),
+		prevKappa:  mat.New(U, M),
+		prevPhi:    mat.New(I, T),
+	}
 }
 
 // answerScore computes Σ_{c∈xs} elogPsi[t][m][c] for a given (t, m), the
 // data term E[ln p(x_iu | ψ_tm)] up to the count-factorial constant that
 // cancels in all softmax normalisations.
 func (m *Model) answerScore(t, mm int, xs []int) float64 {
+	psi := m.elogPsi.Data()
 	base := (t*m.M + mm) * m.numLabels
 	s := 0.0
 	for _, c := range xs {
-		s += m.elogPsi[base+c]
+		s += psi[base+c]
 	}
 	return s
 }

@@ -47,14 +47,16 @@ type modelState struct {
 const persistVersion = 1
 
 // Save serialises the trained posterior to w (encoding/gob). See modelState
-// for what is and is not persisted.
+// for what is and is not persisted. The wire form stores each matrix as its
+// flat row-major backing slice, so the format is unchanged by the
+// internal/mat storage layer.
 func (m *Model) Save(w io.Writer) error {
 	st := modelState{
 		Version: persistVersion,
 		Cfg:     m.cfg,
 		Items:   m.numItems, Workers: m.numWorkers, Labels: m.numLabels,
 		M: m.M, T: m.T,
-		Kappa: m.kappa, Phi: m.phi, Lambda: m.lambda, Zeta: m.zeta,
+		Kappa: m.kappa.Data(), Phi: m.phi.Data(), Lambda: m.lambda.Data(), Zeta: m.zeta.Data(),
 		Rho1: m.rho1, Rho2: m.rho2, Ups1: m.ups1, Ups2: m.ups2,
 		VotedList: m.votedList, YhatVals: m.yhatVals,
 		Relm: m.relm, WorkerRelW: m.workerRelW,
@@ -102,8 +104,8 @@ func Load(r io.Reader) (*Model, error) {
 		dst, src []float64
 		what     string
 	}{
-		{m.kappa, st.Kappa, "kappa"}, {m.phi, st.Phi, "phi"},
-		{m.lambda, st.Lambda, "lambda"}, {m.zeta, st.Zeta, "zeta"},
+		{m.kappa.Data(), st.Kappa, "kappa"}, {m.phi.Data(), st.Phi, "phi"},
+		{m.lambda.Data(), st.Lambda, "lambda"}, {m.zeta.Data(), st.Zeta, "zeta"},
 		{m.rho1, st.Rho1, "rho1"}, {m.rho2, st.Rho2, "rho2"},
 		{m.ups1, st.Ups1, "ups1"}, {m.ups2, st.Ups2, "ups2"},
 		{m.relm, st.Relm, "relm"}, {m.workerRelW, st.WorkerRelW, "workerRelW"},
@@ -134,6 +136,12 @@ func Load(r io.Reader) (*Model, error) {
 			return nil, fmt.Errorf("%w: saved answer (%d,%d) out of range", ErrConfig, item, worker)
 		}
 		xs := st.AnsLabels[k]
+		if len(m.perItem[item]) == 0 {
+			m.seenItems++
+		}
+		if len(m.perWorker[worker]) == 0 {
+			m.seenWorkers++
+		}
 		m.perItem[item] = append(m.perItem[item], ansRef{other: worker, labels: xs})
 		m.perWorker[worker] = append(m.perWorker[worker], ansRef{other: item, labels: xs})
 		m.numAns++
@@ -147,7 +155,7 @@ func Load(r io.Reader) (*Model, error) {
 	m.rng = rand.New(rand.NewSource(st.Cfg.Seed + int64(st.BatchIndex) + 1))
 	m.refreshExpectations()
 	// Sanity: parameters must be positive.
-	for _, v := range m.lambda {
+	for _, v := range m.lambda.Data() {
 		if v <= 0 {
 			return nil, fmt.Errorf("%w: non-positive lambda in saved state", ErrConfig)
 		}

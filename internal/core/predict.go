@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"cpa/internal/labelset"
+	"cpa/internal/mat"
 	"cpa/internal/mathx"
 )
 
@@ -21,8 +22,8 @@ func (m *Model) Predict() ([]labelset.Set, error) {
 	pred := make([]labelset.Set, m.numItems)
 	// Posterior-mode (MAP) estimates ψ^MAP, φ^MAP of the Dirichlet
 	// posteriors, shared read-only across shards.
-	psiMAP := m.dirichletModes(m.lambda, m.M*m.T)
-	phiMAP := m.dirichletModes(m.zeta, m.T)
+	psiMAP := m.dirichletModes(m.lambda)
+	phiMAP := m.dirichletModes(m.zeta)
 	nbar := m.clusterTruthSizes()
 	m.parallelFor(m.numItems, func(lo, hi int) {
 		sc := newPredictScratch(m)
@@ -42,20 +43,21 @@ func (m *Model) PredictItem(i int) (labelset.Set, error) {
 	if i < 0 || i >= m.numItems {
 		return labelset.Set{}, fmt.Errorf("%w: item %d out of range", ErrConfig, i)
 	}
-	psiMAP := m.dirichletModes(m.lambda, m.M*m.T)
-	phiMAP := m.dirichletModes(m.zeta, m.T)
+	psiMAP := m.dirichletModes(m.lambda)
+	phiMAP := m.dirichletModes(m.zeta)
 	nbar := m.clusterTruthSizes()
 	return m.predictItem(i, psiMAP, phiMAP, nbar, newPredictScratch(m)), nil
 }
 
-// dirichletModes returns row-wise MAP points of `rows` C-dimensional
-// Dirichlet posteriors stored contiguously, falling back to the mean when
-// any concentration is below one (no interior mode).
-func (m *Model) dirichletModes(params []float64, rows int) []float64 {
+// dirichletModes returns the row-wise MAP points of a matrix of Dirichlet
+// posteriors (one C-dimensional factor per row) as a flat row-major slice,
+// falling back to the mean when any concentration is below one (no
+// interior mode).
+func (m *Model) dirichletModes(params *mat.Dense) []float64 {
 	C := m.numLabels
-	out := make([]float64, len(params))
-	for r := 0; r < rows; r++ {
-		row := params[r*C : (r+1)*C]
+	out := make([]float64, params.Size())
+	for r := 0; r < params.Rows(); r++ {
+		row := params.Row(r)
 		dst := out[r*C : (r+1)*C]
 		sum := mathx.Sum(row)
 		interior := sum > float64(C)
@@ -85,22 +87,26 @@ func (m *Model) dirichletModes(params []float64, rows int) []float64 {
 // ϕ-weighted sum of imputed/observed truth masses in cluster t (DESIGN.md
 // D3).
 func (m *Model) clusterTruthSizes() []float64 {
-	T, C := m.T, m.numLabels
-	mass := make([]float64, T)
-	for i := 0; i < m.numItems; i++ {
-		for t := 0; t < T; t++ {
-			mass[t] += m.phi[i*T+t]
-		}
-	}
-	out := make([]float64, T)
-	for t := 0; t < T; t++ {
-		acc := mathx.Sum(m.zeta[t*C:(t+1)*C]) - float64(C)*m.cfg.EtaPrior
-		if mass[t] > 1e-6 {
-			out[t] = acc / mass[t]
-		}
-		out[t] = mathx.Clamp(out[t], 1, float64(C))
-	}
+	out := make([]float64, m.T)
+	m.clusterTruthSizesInto(out)
 	return out
+}
+
+// clusterTruthSizesInto is the allocation-free form used every iteration by
+// imputeTruth (dst must have T entries; it doubles as the ϕ column-mass
+// accumulator).
+func (m *Model) clusterTruthSizesInto(dst []float64) {
+	T, C := m.T, m.numLabels
+	mat.Fill(dst, 0)
+	m.phi.ColSumsInto(dst, nil)
+	for t := 0; t < T; t++ {
+		acc := m.zeta.RowSum(t) - float64(C)*m.cfg.EtaPrior
+		v := 0.0
+		if dst[t] > 1e-6 {
+			v = acc / dst[t]
+		}
+		dst[t] = mathx.Clamp(v, 1, float64(C))
+	}
 }
 
 // predictScratch holds the per-item working buffers of prediction.
@@ -128,9 +134,9 @@ func (m *Model) predictItem(i int, psiMAP, phiMAP, nbar []float64, sc *predictSc
 	// Cluster posterior weights:
 	// ln w_it = ln ϕ_it + Σ_{u∈U_i} ln Σ_m κ_um p(x_iu | ψ_tm^MAP).
 	for t := 0; t < T; t++ {
-		w := math.Log(math.Max(m.phi[i*T+t], 1e-300))
+		w := math.Log(math.Max(m.phi.At(i, t), 1e-300))
 		for _, ar := range m.perItem[i] {
-			kappaRow := m.kappa[ar.other*M : (ar.other+1)*M]
+			kappaRow := m.kappa.Row(ar.other)
 			inner := 0.0
 			for mm := 0; mm < M; mm++ {
 				km := kappaRow[mm]

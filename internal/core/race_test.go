@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cpa/internal/datasets"
+)
+
+// TestParallelFitRaceAndDeterminism exercises every sharded code path —
+// the local responsibility updates, the λ/ζ suffstat accumulators, the
+// reliability/two-coin reduction, the parallel truth imputation, and the
+// data-log-lik reduction — with Parallelism 4 so `go test -race` patrols
+// the Algorithm 3 map shards (CI runs the whole suite under -race). It
+// also asserts the documented determinism contract: repeated runs with the
+// same Parallelism produce bit-identical posteriors.
+func TestParallelFitRaceAndDeterminism(t *testing.T) {
+	ds, _, err := datasets.Load("image", 0.04, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Model {
+		m, err := NewModel(Config{Seed: 3, Parallelism: 4, MaxIter: 6}, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m1 := run()
+	m2 := run()
+	if d := m1.kappa.MaxAbsDiff(m2.kappa); d != 0 {
+		t.Errorf("parallel Fit non-deterministic: kappa diff %v", d)
+	}
+	if d := m1.lambda.MaxAbsDiff(m2.lambda); d != 0 {
+		t.Errorf("parallel Fit non-deterministic: lambda diff %v", d)
+	}
+	if _, err := m1.Predict(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelFitStreamRace runs the SVI path with Parallelism 4 under the
+// same race patrol: the sharded stochastic row updates write disjoint
+// responsibility rows while reading the shared expectation caches.
+func TestParallelFitStreamRace(t *testing.T) {
+	ds, _, err := datasets.Load("image", 0.04, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(Config{Seed: 5, Parallelism: 4, BatchSize: 64}, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.FitStream(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iterations == 0 {
+		t.Fatal("no batches consumed")
+	}
+	if d := stats.FinalDelta(); math.IsNaN(d) || math.IsInf(d, 0) {
+		t.Fatalf("final delta %v", d)
+	}
+	pred, err := m.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != ds.NumItems {
+		t.Fatalf("got %d predictions, want %d", len(pred), ds.NumItems)
+	}
+}

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"cpa/internal/answers"
+	"cpa/internal/mat"
 	"cpa/internal/mathx"
 )
 
@@ -49,6 +51,9 @@ func (m *Model) FitStream(ds *answers.Dataset) (*TrainStats, error) {
 // but every update in this call costs O(batch), not O(data): local
 // responsibilities move along batch-only evidence with the canonical
 // geometric blend, and global parameters along the scaled natural gradient.
+// Every score, suffstat, and blending kernel is shared with the batch path
+// (see kernels.go); Algorithm 2 differs from Algorithm 1 only in the answer
+// subsets, population scaling, and the learning rate ω.
 func (m *Model) PartialFit(batch []answers.Answer) error {
 	if len(batch) == 0 {
 		return nil
@@ -86,7 +91,7 @@ func (m *Model) PartialFit(batch []answers.Answer) error {
 	// only its own responsibility row.
 	shardDeltas := make([]float64, m.shardCount(len(workers))+m.shardCount(len(items)))
 	if !m.cfg.DisableCommunities {
-		m.parallelForShards(len(workers), m.shardCount(len(workers)), func(shard, lo, hi int) {
+		mat.ParallelFor(len(workers), m.shardCount(len(workers)), func(shard, lo, hi int) {
 			fresh := make([]float64, m.M)
 			old := make([]float64, m.M)
 			maxD := 0.0
@@ -94,8 +99,9 @@ func (m *Model) PartialFit(batch []answers.Answer) error {
 				u := workers[wi]
 				refs := batchByWorker[u]
 				scale := float64(len(m.perWorker[u])) / float64(len(refs))
-				m.stochasticKappa(u, refs, scale, fresh)
-				row := m.kappa[u*m.M : (u+1)*m.M]
+				m.scoreKappaRow(refs, scale, fresh)
+				mathx.SoftmaxInPlace(fresh)
+				row := m.kappa.Row(u)
 				copy(old, row)
 				first := len(m.perWorker[u]) == len(refs)
 				blendRows(row, fresh, omega, first)
@@ -112,7 +118,7 @@ func (m *Model) PartialFit(batch []answers.Answer) error {
 	// (the paper's µ-space natural gradient, Eqs. 15–17, 20).
 	if !m.cfg.DisableClusters {
 		off := m.shardCount(len(workers))
-		m.parallelForShards(len(items), m.shardCount(len(items)), func(shard, lo, hi int) {
+		mat.ParallelFor(len(items), m.shardCount(len(items)), func(shard, lo, hi int) {
 			fresh := make([]float64, m.T)
 			old := make([]float64, m.T)
 			maxD := 0.0
@@ -120,8 +126,9 @@ func (m *Model) PartialFit(batch []answers.Answer) error {
 				i := items[ii]
 				refs := batchByItem[i]
 				scale := float64(len(m.perItem[i])) / float64(len(refs))
-				m.stochasticPhi(i, refs, scale, fresh)
-				row := m.phi[i*m.T : (i+1)*m.T]
+				m.scorePhiRow(i, refs, scale, fresh)
+				mathx.SoftmaxInPlace(fresh)
+				row := m.phi.Row(i)
 				copy(old, row)
 				first := len(m.perItem[i]) == len(refs)
 				blendRows(row, fresh, omega, first)
@@ -169,71 +176,6 @@ func (m *Model) FinalizeOnline() {
 	}
 }
 
-// stochasticKappa computes a fresh κ row for worker u from only its batch
-// answers, with the data term scaled to the worker's full volume.
-func (m *Model) stochasticKappa(u int, refs []ansRef, scale float64, dst []float64) {
-	M, T := m.M, m.T
-	copy(dst, m.elogPi)
-	for _, ar := range refs {
-		phiRow := m.phi[ar.other*T : (ar.other+1)*T]
-		for t := 0; t < T; t++ {
-			pt := phiRow[t]
-			if pt < 1e-8 {
-				continue
-			}
-			for mm := 0; mm < M; mm++ {
-				dst[mm] += scale * pt * m.answerScore(t, mm, ar.labels)
-			}
-		}
-	}
-	mathx.SoftmaxInPlace(dst)
-}
-
-// stochasticPhi computes a fresh ϕ row for item i from its batch answers
-// (scaled) plus the truth-emission term, mirroring updatePhiRow.
-func (m *Model) stochasticPhi(i int, refs []ansRef, scale float64, dst []float64) {
-	M, T, C := m.M, m.T, m.numLabels
-	copy(dst, m.elogTau)
-	if truth := m.revealedTruth[i]; truth != nil {
-		for t := 0; t < T; t++ {
-			s := 0.0
-			for _, c := range truth {
-				s += m.elogPhi[t*C+c]
-			}
-			dst[t] += s
-		}
-	} else if !m.cfg.GroundTruthOnly {
-		voted := m.votedList[i]
-		vals := m.yhatVals[i]
-		for t := 0; t < T; t++ {
-			s := 0.0
-			for k, c := range voted {
-				if v := vals[k]; v > 1e-8 {
-					s += v * m.elogPhi[t*C+c]
-				}
-			}
-			dst[t] += s
-		}
-	}
-	if !m.cfg.LiteralPhiUpdate {
-		for _, ar := range refs {
-			kappaRow := m.kappa[ar.other*M : (ar.other+1)*M]
-			for t := 0; t < T; t++ {
-				s := 0.0
-				for mm := 0; mm < M; mm++ {
-					km := kappaRow[mm]
-					if km < 1e-8 {
-						continue
-					}
-					s += km * m.answerScore(t, mm, ar.labels)
-				}
-				dst[t] += scale * s
-			}
-		}
-	}
-	mathx.SoftmaxInPlace(dst)
-}
-
 // blendRows overwrites row with the geometric blend row^(1−ω)·fresh^ω
 // (normalised), or with fresh directly on first touch.
 func blendRows(row, fresh []float64, omega float64, first bool) {
@@ -253,136 +195,61 @@ func blendRows(row, fresh []float64, omega float64, first bool) {
 // this batch (scale factors N/|batch|), then blends them into the current
 // parameters with the learning rate: θ ← (1−ω)θ + ω·θ̂. This is the
 // canonical SVI step of Hoffman et al. and coincides with the paper's
-// natural-gradient Eqs. (9)–(14) aggregated per Eqs. (18)–(19).
+// natural-gradient Eqs. (9)–(14) aggregated per Eqs. (18)–(19). The
+// suffstat and blending kernels are exactly the batch ones (kernels.go)
+// with scale ≠ 1 and ω < 1.
 func (m *Model) sviGlobalStep(batch []answers.Answer, items, workers []int, omega float64) {
-	M, T, C := m.M, m.T, m.numLabels
+	M, T := m.M, m.T
 
 	// --- λ̂ from the batch answers (Eq. 9 / 18).
 	scaleA := float64(m.numAns) / float64(len(batch))
-	lhat := m.lambdaScratch(1, T*M*C)[0]
-	for k := range lhat {
-		lhat[k] = 0
-	}
+	lhat := m.ws.lambdaSuff
+	mat.Fill(lhat, 0)
 	var buf []int
 	for _, a := range batch {
 		xs := a.Labels.AppendTo(buf[:0])
 		buf = xs
-		phiRow := m.phi[a.Item*T : (a.Item+1)*T]
-		kappaRow := m.kappa[a.Worker*M : (a.Worker+1)*M]
-		for t := 0; t < T; t++ {
-			pt := phiRow[t]
-			if pt < 1e-8 {
-				continue
-			}
-			for mm := 0; mm < M; mm++ {
-				w := pt * kappaRow[mm]
-				if w < 1e-10 {
-					continue
-				}
-				base := (t*M + mm) * C
-				for _, c := range xs {
-					lhat[base+c] += w
-				}
-			}
-		}
+		m.lambdaAnswerStat(lhat, a.Item, a.Worker, xs)
 	}
-	for k := range m.lambda {
-		target := m.cfg.GammaPrior + scaleA*lhat[k]
-		m.lambda[k] = (1-omega)*m.lambda[k] + omega*target
-	}
+	applyDirichlet(m.lambda.Data(), lhat, m.cfg.GammaPrior, scaleA, omega)
 
 	// --- ζ̂ from the batch items' (imputed) truth (Eq. 10 / 18).
-	seenItems := 0
-	for i := 0; i < m.numItems; i++ {
-		if len(m.perItem[i]) > 0 {
-			seenItems++
-		}
-	}
-	scaleI := float64(seenItems) / float64(len(items))
-	zhat := make([]float64, T*C)
+	scaleI := float64(m.seenItems) / float64(len(items))
+	zhat := m.ws.zetaSuff
+	mat.Fill(zhat, 0)
 	for _, i := range items {
-		phiRow := m.phi[i*T : (i+1)*T]
-		truth := m.revealedTruth[i]
-		if truth == nil && m.cfg.GroundTruthOnly {
-			continue
-		}
-		for t := 0; t < T; t++ {
-			pt := phiRow[t]
-			if pt < 1e-8 {
-				continue
-			}
-			base := t * C
-			if truth != nil {
-				for _, c := range truth {
-					zhat[base+c] += pt
-				}
-				continue
-			}
-			for k, c := range m.votedList[i] {
-				if v := m.yhatVals[i][k]; v > 1e-8 {
-					zhat[base+c] += pt * v
-				}
-			}
-		}
+		m.zetaItemStat(zhat, i)
 	}
-	for k := range m.zeta {
-		target := m.cfg.EtaPrior + scaleI*zhat[k]
-		m.zeta[k] = (1-omega)*m.zeta[k] + omega*target
-	}
+	applyDirichlet(m.zeta.Data(), zhat, m.cfg.EtaPrior, scaleI, omega)
 
 	// --- ρ̂ from the batch workers (Eqs. 11–12 / 19).
 	if M > 1 && !m.cfg.DisableCommunities {
-		seenWorkers := 0
-		for u := 0; u < m.numWorkers; u++ {
-			if len(m.perWorker[u]) > 0 {
-				seenWorkers++
-			}
-		}
-		scaleU := float64(seenWorkers) / float64(len(workers))
-		colSum := make([]float64, M)
-		for _, u := range workers {
-			for mm := 0; mm < M; mm++ {
-				colSum[mm] += m.kappa[u*M+mm]
-			}
-		}
-		suffix := 0.0
-		for mm := M - 1; mm >= 0; mm-- {
-			if mm < M-1 {
-				r1 := 1 + scaleU*colSum[mm]
-				r2 := m.cfg.Alpha + scaleU*suffix
-				m.rho1[mm] = (1-omega)*m.rho1[mm] + omega*r1
-				m.rho2[mm] = (1-omega)*m.rho2[mm] + omega*r2
-			}
-			suffix += colSum[mm]
-		}
+		scaleU := float64(m.seenWorkers) / float64(len(workers))
+		colSum := m.ws.colSumM
+		mat.Fill(colSum, 0)
+		m.kappa.ColSumsInto(colSum, workers)
+		applySticks(m.rho1, m.rho2, colSum, m.cfg.Alpha, scaleU, omega)
 	}
 
 	// --- υ̂ from the batch items (Eqs. 13–14 / 19).
 	if T > 1 && !m.cfg.DisableClusters {
-		colSum := make([]float64, T)
-		for _, i := range items {
-			for t := 0; t < T; t++ {
-				colSum[t] += m.phi[i*T+t]
-			}
-		}
-		suffix := 0.0
-		for t := T - 1; t >= 0; t-- {
-			if t < T-1 {
-				u1 := 1 + scaleI*colSum[t]
-				u2 := m.cfg.Epsilon + scaleI*suffix
-				m.ups1[t] = (1-omega)*m.ups1[t] + omega*u1
-				m.ups2[t] = (1-omega)*m.ups2[t] + omega*u2
-			}
-			suffix += colSum[t]
-		}
+		colSum := m.ws.colSumT
+		mat.Fill(colSum, 0)
+		m.phi.ColSumsInto(colSum, items)
+		applySticks(m.ups1, m.ups2, colSum, m.cfg.Epsilon, scaleI, omega)
 	}
 }
 
 // sviWorkerModelStep updates the community two-coin rates and reliabilities
-// from the batch items only, blending batch counts into running accumulators
-// with weight ω (the rates are ratios, so no population scaling is needed).
+// from the batch items only, through the same per-item counting kernels as
+// the batch pass, blending the batch's community counts into running
+// accumulators with weight ω (the rates are ratios, so no population
+// scaling is needed). Per-worker raw counts accumulate across the stream —
+// each answer contributes once. Agreement is κ-weighted per answer (the
+// stream never revisits a worker's history, so per-worker means are
+// unavailable; see workerAgreeStats for the batch weighting).
 func (m *Model) sviWorkerModelStep(items []int, omega float64) {
-	M := m.M
+	M, C, U := m.M, m.numLabels, m.numWorkers
 	if m.runTP == nil {
 		m.runTP = make([]float64, M)
 		m.runTPD = make([]float64, M)
@@ -390,113 +257,36 @@ func (m *Model) sviWorkerModelStep(items []int, omega float64) {
 		m.runFPD = make([]float64, M)
 		m.runAgree = make([]float64, M)
 		m.runAgreeD = make([]float64, M)
-		m.runPrevN = make([]float64, m.numLabels)
-		m.runPrevD = make([]float64, m.numLabels)
+		m.runPrevN = make([]float64, C)
+		m.runPrevD = make([]float64, C)
 	}
-	tpNum := make([]float64, M)
-	tpDen := make([]float64, M)
-	fpNum := make([]float64, M)
-	fpDen := make([]float64, M)
-	agreeNum := make([]float64, M)
-	agreeDen := make([]float64, M)
-	prevNum := make([]float64, m.numLabels)
-	prevDen := make([]float64, m.numLabels)
-
-	member := make(map[int]bool)
+	m.refreshHardSig(items)
+	coins := m.ws.coinStats
+	mat.Fill(coins, 0)
+	agree := m.ws.agreeStats
+	mat.Fill(agree, 0)
 	for _, i := range items {
-		voted := m.votedList[i]
-		vals := m.yhatVals[i]
-		for k, c := range voted {
-			prevNum[c] += vals[k]
-			prevDen[c]++
-		}
-		for k := range member {
-			delete(member, k)
-		}
-		bestK, bestV := -1, 0.0
-		sigLen := 0
-		for k, c := range voted {
-			if vals[k] > 0.5 {
-				member[c] = true
-				sigLen++
-			}
-			if vals[k] > bestV {
-				bestK, bestV = k, vals[k]
-			}
-		}
-		if sigLen == 0 && bestK >= 0 {
-			member[voted[bestK]] = true
-			sigLen = 1
-		}
-		for _, ar := range m.perItem[i] {
-			u := ar.other
-			inter := 0
-			for _, c := range ar.labels {
-				if member[c] {
-					inter++
-				}
-			}
-			union := len(ar.labels) + sigLen - inter
-			agreement := 1.0
-			if union > 0 {
-				agreement = float64(inter) / float64(union)
-			}
-			for _, c := range voted {
-				pos := member[c]
-				j := searchInts(ar.labels, c)
-				vote := j < len(ar.labels) && ar.labels[j] == c
-				// Per-worker counts accumulate across the stream (each
-				// answer contributes once).
-				if pos {
-					m.tpDenU[u]++
-					if vote {
-						m.tpNumU[u]++
-					}
-				} else {
-					m.fpDenU[u]++
-					if vote {
-						m.fpNumU[u]++
-					}
-				}
-				for mm := 0; mm < M; mm++ {
-					k := m.kappa[u*M+mm]
-					if k < 1e-8 {
-						continue
-					}
-					if pos {
-						tpDen[mm] += k
-						if vote {
-							tpNum[mm] += k
-						}
-					} else {
-						fpDen[mm] += k
-						if vote {
-							fpNum[mm] += k
-						}
-					}
-				}
-			}
-			for mm := 0; mm < M; mm++ {
-				k := m.kappa[u*M+mm]
-				if k < 1e-8 {
-					continue
-				}
-				agreeNum[mm] += k * agreement
-				agreeDen[mm] += k
-			}
-		}
+		m.itemCoinStats(i, coins)
+		m.itemAgreeStats(i, agree)
+	}
+	offTP, offTPD, offFP, offFPD, offPrevN, offPrevD, offTPU, offTPDU, offFPU, offFPDU := m.coinOffsets()
+	for u := 0; u < U; u++ {
+		m.tpNumU[u] += coins[offTPU+u]
+		m.tpDenU[u] += coins[offTPDU+u]
+		m.fpNumU[u] += coins[offFPU+u]
+		m.fpDenU[u] += coins[offFPDU+u]
 	}
 	for mm := 0; mm < M; mm++ {
-		m.runTP[mm] = (1-omega)*m.runTP[mm] + omega*tpNum[mm]
-		m.runTPD[mm] = (1-omega)*m.runTPD[mm] + omega*tpDen[mm]
-		m.runFP[mm] = (1-omega)*m.runFP[mm] + omega*fpNum[mm]
-		m.runFPD[mm] = (1-omega)*m.runFPD[mm] + omega*fpDen[mm]
-		m.runAgree[mm] = (1-omega)*m.runAgree[mm] + omega*agreeNum[mm]
-		m.runAgreeD[mm] = (1-omega)*m.runAgreeD[mm] + omega*agreeDen[mm]
+		m.runTP[mm] = (1-omega)*m.runTP[mm] + omega*coins[offTP+mm]
+		m.runTPD[mm] = (1-omega)*m.runTPD[mm] + omega*coins[offTPD+mm]
+		m.runFP[mm] = (1-omega)*m.runFP[mm] + omega*coins[offFP+mm]
+		m.runFPD[mm] = (1-omega)*m.runFPD[mm] + omega*coins[offFPD+mm]
+		m.runAgree[mm] = (1-omega)*m.runAgree[mm] + omega*agree[mm]
+		m.runAgreeD[mm] = (1-omega)*m.runAgreeD[mm] + omega*agree[M+mm]
 	}
-	for c := 0; c < m.numLabels; c++ {
-		m.runPrevN[c] = (1-omega)*m.runPrevN[c] + omega*prevNum[c]
-		m.runPrevD[c] = (1-omega)*m.runPrevD[c] + omega*prevDen[c]
+	for c := 0; c < C; c++ {
+		m.runPrevN[c] = (1-omega)*m.runPrevN[c] + omega*coins[offPrevN+c]
+		m.runPrevD[c] = (1-omega)*m.runPrevD[c] + omega*coins[offPrevD+c]
 		m.labelPrev[c] = (m.runPrevN[c] + 0.5) / (m.runPrevD[c] + 2)
 	}
 	m.deriveWorkerModel(m.runTP, m.runTPD, m.runFP, m.runFPD, m.runAgree, m.runAgreeD)
@@ -560,7 +350,7 @@ func (m *Model) extendVoted(items []int) {
 		sortInts(merged)
 		vals := make([]float64, len(merged))
 		for k, c := range merged {
-			if j := searchInts(old, c); j < len(old) && old[j] == c {
+			if j := sort.SearchInts(old, c); j < len(old) && old[j] == c {
 				vals[k] = oldVals[j]
 			}
 		}

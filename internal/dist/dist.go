@@ -1,0 +1,60 @@
+// Package dist provides the small random-sampling primitives the data
+// simulator needs (categorical and Poisson draws). All functions take an
+// explicit *rand.Rand so simulations stay deterministic under a seed.
+package dist
+
+import "math"
+import "math/rand"
+
+// SampleCategorical draws an index from the (unnormalised, non-negative)
+// weight vector by CDF inversion. A zero-sum or empty weight vector falls
+// back to a uniform draw over the indices (or 0 for an empty slice).
+func SampleCategorical(rng *rand.Rand, weights []float64) int {
+	if len(weights) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return rng.Intn(len(weights))
+	}
+	u := rng.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		u -= w
+		if u < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Poisson draws from a Poisson distribution with the given mean using
+// Knuth's multiplication method, which is exact and fast for the small
+// means the simulator uses (truth-set sizes, answers per item). A
+// non-positive or non-finite mean yields 0.
+func Poisson(rng *rand.Rand, mean float64) int {
+	if !(mean > 0) || math.IsInf(mean, 0) {
+		return 0
+	}
+	// For large means, split the draw to keep the running product away
+	// from underflow: Poisson(a+b) = Poisson(a) + Poisson(b).
+	n := 0
+	for mean > 30 {
+		n += Poisson(rng, 30)
+		mean -= 30
+	}
+	limit := math.Exp(-mean)
+	p := rng.Float64()
+	for p > limit {
+		n++
+		p *= rng.Float64()
+	}
+	return n
+}

@@ -1,0 +1,160 @@
+// Package mat is the repository's dense storage layer: a small row-major
+// matrix type over a flat []float64 backing, the vector kernels the
+// inference hot loops are written in, and a sharded accumulator that
+// generalises the paper's Algorithm 3 map-reduce (goroutine shards
+// substituting for Spark executors, DESIGN.md D5).
+//
+// Every parameter block of the CPA model — and of the EM/BCC/cBCC
+// baselines — is a Dense: one contiguous allocation, zero-alloc row views,
+// cache-friendly sequential access in the update loops. The package has no
+// dependencies beyond the standard library and internal/mathx, and all
+// row/vector kernels are allocation-free, so they are safe inside the
+// map shards.
+package mat
+
+import (
+	"fmt"
+
+	"cpa/internal/mathx"
+)
+
+// Dense is a row-major matrix backed by one flat []float64. The zero value
+// is an empty matrix; use New to allocate.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// New allocates a rows×cols matrix of zeros. It panics on negative
+// dimensions (a programming error, not a recoverable condition).
+func New(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: New(%d, %d) with negative dimension", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromData adopts the given backing slice as a rows×cols matrix without
+// copying. The slice length must be exactly rows*cols.
+func FromData(rows, cols int, data []float64) (*Dense, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("mat: FromData(%d, %d) with %d values", rows, cols, len(data))
+	}
+	return &Dense{rows: rows, cols: cols, data: data}, nil
+}
+
+// Rows returns the number of rows.
+func (d *Dense) Rows() int { return d.rows }
+
+// Cols returns the number of columns.
+func (d *Dense) Cols() int { return d.cols }
+
+// Size returns rows*cols.
+func (d *Dense) Size() int { return len(d.data) }
+
+// Data returns the flat row-major backing slice. Mutations through it are
+// visible in the matrix; it is the IO boundary for persistence and tests.
+func (d *Dense) Data() []float64 { return d.data }
+
+// Row returns a zero-alloc view of row i, valid until the matrix is
+// reallocated (which Dense never does after New/FromData).
+func (d *Dense) Row(i int) []float64 {
+	return d.data[i*d.cols : (i+1)*d.cols]
+}
+
+// At returns the element at (i, j).
+func (d *Dense) At(i, j int) float64 { return d.data[i*d.cols+j] }
+
+// Set assigns the element at (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.data[i*d.cols+j] = v }
+
+// Fill sets every element to x.
+func (d *Dense) Fill(x float64) { mathx.Fill(d.data, x) }
+
+// Zero sets every element to 0.
+func (d *Dense) Zero() { d.Fill(0) }
+
+// Scale multiplies every element by s in place.
+func (d *Dense) Scale(s float64) { mathx.Scale(d.data, s) }
+
+// AXPY computes d += a*x element-wise. It panics on shape mismatch.
+func (d *Dense) AXPY(a float64, x *Dense) {
+	if d.rows != x.rows || d.cols != x.cols {
+		panic("mat: AXPY shape mismatch")
+	}
+	mathx.AXPY(a, x.data, d.data)
+}
+
+// CopyFrom copies src's contents into d. It panics on shape mismatch.
+func (d *Dense) CopyFrom(src *Dense) {
+	if d.rows != src.rows || d.cols != src.cols {
+		panic("mat: CopyFrom shape mismatch")
+	}
+	copy(d.data, src.data)
+}
+
+// SetData copies the flat row-major values into the matrix, validating the
+// length — the load-time persistence boundary.
+func (d *Dense) SetData(src []float64) error {
+	if len(src) != len(d.data) {
+		return fmt.Errorf("mat: SetData with %d values, want %d", len(src), len(d.data))
+	}
+	copy(d.data, src)
+	return nil
+}
+
+// Clone returns an independent deep copy.
+func (d *Dense) Clone() *Dense {
+	return &Dense{rows: d.rows, cols: d.cols, data: append([]float64(nil), d.data...)}
+}
+
+// MaxAbsDiff returns max |d_ij - o_ij|, the convergence criterion of the
+// paper's Algorithm 1. It panics on shape mismatch.
+func (d *Dense) MaxAbsDiff(o *Dense) float64 {
+	if d.rows != o.rows || d.cols != o.cols {
+		panic("mat: MaxAbsDiff shape mismatch")
+	}
+	return mathx.MaxAbsDiff(d.data, o.data)
+}
+
+// ScaleRow multiplies row i by s in place.
+func (d *Dense) ScaleRow(i int, s float64) { mathx.Scale(d.Row(i), s) }
+
+// RowSum returns the sum of row i.
+func (d *Dense) RowSum(i int) float64 { return mathx.Sum(d.Row(i)) }
+
+// LogSumExpRow returns ln Σ_j exp(d_ij) computed stably.
+func (d *Dense) LogSumExpRow(i int) float64 { return mathx.LogSumExp(d.Row(i)) }
+
+// SoftmaxRow exponentiates-and-normalises row i in place (log weights in,
+// probability vector out).
+func (d *Dense) SoftmaxRow(i int) { mathx.SoftmaxInPlace(d.Row(i)) }
+
+// NormalizeRow scales the non-negative row i to sum to one (uniform on a
+// degenerate row), returning the original sum.
+func (d *Dense) NormalizeRow(i int) float64 { return mathx.NormalizeInPlace(d.Row(i)) }
+
+// ColSumsInto accumulates the column sums of the listed rows into dst
+// (dst[j] += Σ_{i∈rows} d_ij) without allocating; a nil rows slice sums
+// every row. dst must have Cols entries and is NOT zeroed first, so callers
+// can chain accumulations.
+func (d *Dense) ColSumsInto(dst []float64, rows []int) {
+	if len(dst) != d.cols {
+		panic("mat: ColSumsInto length mismatch")
+	}
+	if rows == nil {
+		for i := 0; i < d.rows; i++ {
+			row := d.Row(i)
+			for j, v := range row {
+				dst[j] += v
+			}
+		}
+		return
+	}
+	for _, i := range rows {
+		row := d.Row(i)
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
+}

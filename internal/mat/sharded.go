@@ -1,0 +1,93 @@
+package mat
+
+import (
+	"sync"
+
+	"cpa/internal/mathx"
+)
+
+// ParallelFor splits [0, n) into `shards` contiguous ranges processed
+// concurrently, passing each worker its shard index for private-buffer
+// reductions. With one shard it runs inline (no goroutine overhead). This
+// is the paper's Algorithm 3 map step with goroutine shards substituting
+// for Spark executors (DESIGN.md D5).
+func ParallelFor(n, shards int, fn func(shard, lo, hi int)) {
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for s := 0; s < shards; s++ {
+		go func(s int) {
+			defer wg.Done()
+			fn(s, s*n/shards, (s+1)*n/shards)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// Shards clamps the requested parallelism to the loop length, never below
+// one — the shard count every ParallelFor caller should use.
+func Shards(parallelism, n int) int {
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return parallelism
+}
+
+// Sharded is a reusable pool of per-shard accumulation buffers with a
+// deterministic reduce: shard s accumulates sufficient statistics over its
+// range into a private buffer, and the buffers are summed in shard order,
+// so results are identical run-to-run for a fixed shard count (and agree
+// across shard counts up to floating-point reduction order). This is the
+// Algorithm 3 reduce step. The zero value is ready to use; buffers are
+// retained between calls so steady-state accumulation is allocation-free.
+type Sharded struct {
+	bufs [][]float64
+}
+
+// Buffers returns `shards` zeroed buffers of the given size, reusing prior
+// allocations when the shape matches.
+func (a *Sharded) Buffers(shards, size int) [][]float64 {
+	if len(a.bufs) < shards || (len(a.bufs) > 0 && len(a.bufs[0]) != size) {
+		a.bufs = make([][]float64, shards)
+		for s := range a.bufs {
+			a.bufs[s] = make([]float64, size)
+		}
+	}
+	bufs := a.bufs[:shards]
+	for _, b := range bufs {
+		mathx.Fill(b, 0)
+	}
+	return bufs
+}
+
+// Accumulate runs fn over the sharded ranges of [0, n), each shard
+// accumulating into its own zeroed buffer of the given size, then reduces
+// the buffers into dst in shard order: dst[k] = init + Σ_s buf_s[k].
+// dst may be nil when the caller only wants the per-shard buffers (use
+// Buffers directly in that case instead).
+func (a *Sharded) Accumulate(dst []float64, init float64, size, n, shards int, fn func(buf []float64, lo, hi int)) {
+	shards = Shards(shards, n)
+	bufs := a.Buffers(shards, size)
+	ParallelFor(n, shards, func(shard, lo, hi int) {
+		fn(bufs[shard], lo, hi)
+	})
+	Fill(dst, init)
+	for _, buf := range bufs {
+		for k, v := range buf {
+			dst[k] += v
+		}
+	}
+}
+
+// Fill sets every element of v to x — re-exported here so accumulator
+// callers need only this package for buffer bookkeeping.
+func Fill(v []float64, x float64) { mathx.Fill(v, x) }
