@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"cpa/internal/answers"
+	"cpa/internal/baselines"
+	"cpa/internal/core"
+	"cpa/internal/datasets"
+	"cpa/internal/experiments"
+	"cpa/internal/labelset"
+	"cpa/internal/metrics"
+)
+
+// benchMethods lists the aggregation methods the -json perf sweep covers, in
+// report order.
+var benchMethods = []string{"cpa", "cpa-online", "mv", "em", "bcc", "cbcc"}
+
+// BenchRecord is one (method, profile) perf measurement — the BENCH_*.json
+// row shape tracked across PRs.
+type BenchRecord struct {
+	Method      string  `json:"method"`
+	Profile     string  `json:"profile"`
+	Scale       float64 `json:"scale"`
+	Runs        int     `json:"runs"`
+	Items       int     `json:"items"`
+	Workers     int     `json:"workers"`
+	Labels      int     `json:"labels"`
+	Answers     int     `json:"answers"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Precision   float64 `json:"precision"`
+	Recall      float64 `json:"recall"`
+	F1          float64 `json:"f1"`
+}
+
+// BenchReport is the envelope written by cpabench -json.
+type BenchReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	ScaleName   string        `json:"scale_name"`
+	Seed        int64         `json:"seed"`
+	GoVersion   string        `json:"go_version"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Parallelism int           `json:"parallelism"`
+	Results     []BenchRecord `json:"results"`
+}
+
+// runPerfBench measures every requested method on every requested Table 3
+// profile (wall time, allocations, and consensus P/R against the simulated
+// ground truth) and writes the report as JSON. Each op is one full
+// aggregation of the dataset — the same unit as BenchmarkFit/FitStream — so
+// ns_per_op is directly comparable across PRs on the same machine.
+func runPerfBench(path, scaleName string, s experiments.Settings, profileList, methodList string) error {
+	parallelism := runtime.GOMAXPROCS(0)
+	report := BenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		ScaleName:   scaleName,
+		Seed:        s.Seed,
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  parallelism,
+		Parallelism: parallelism,
+	}
+
+	profiles := datasets.Names()
+	if profileList != "" {
+		profiles = strings.Split(profileList, ",")
+	}
+	methods := benchMethods
+	if methodList != "" {
+		methods = strings.Split(methodList, ",")
+	}
+
+	for _, profile := range profiles {
+		ds, _, err := datasets.Load(strings.TrimSpace(profile), s.DataScale, s.Seed)
+		if err != nil {
+			return fmt.Errorf("loading profile %q: %w", profile, err)
+		}
+		for _, method := range methods {
+			method = strings.TrimSpace(method)
+			rec, err := benchOne(method, ds, s, parallelism)
+			if err != nil {
+				return fmt.Errorf("%s on %s: %w", method, profile, err)
+			}
+			rec.Profile = ds.Name
+			rec.Scale = s.DataScale
+			report.Results = append(report.Results, rec)
+			fmt.Printf("%-10s %-8s %9.1f ms/op %10d allocs/op  P=%.3f R=%.3f\n",
+				method, ds.Name, float64(rec.NsPerOp)/1e6, rec.AllocsPerOp, rec.Precision, rec.Recall)
+		}
+	}
+
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d results)\n", path, len(report.Results))
+	return nil
+}
+
+// benchOne times s.Runs full aggregations of ds with the given method and
+// evaluates the (deterministic) consensus of the last run.
+func benchOne(method string, ds *answers.Dataset, s experiments.Settings, parallelism int) (BenchRecord, error) {
+	agg, err := benchAggregator(method, s.Seed, parallelism)
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	var totalNs, totalAllocs, totalBytes int64
+	var ms runtime.MemStats
+	var pred []labelset.Set
+	for run := 0; run < s.Runs; run++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		startAllocs, startBytes := ms.Mallocs, ms.TotalAlloc
+		start := time.Now()
+		pred, err = agg.Aggregate(ds)
+		if err != nil {
+			return BenchRecord{}, err
+		}
+		totalNs += time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&ms)
+		totalAllocs += int64(ms.Mallocs - startAllocs)
+		totalBytes += int64(ms.TotalAlloc - startBytes)
+	}
+
+	pr, err := metrics.Evaluate(ds, pred)
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	return BenchRecord{
+		Method:      method,
+		Runs:        s.Runs,
+		Items:       ds.NumItems,
+		Workers:     ds.NumWorkers,
+		Labels:      ds.NumLabels,
+		Answers:     ds.NumAnswers(),
+		NsPerOp:     totalNs / int64(s.Runs),
+		AllocsPerOp: totalAllocs / int64(s.Runs),
+		BytesPerOp:  totalBytes / int64(s.Runs),
+		Precision:   pr.Precision,
+		Recall:      pr.Recall,
+		F1:          pr.F1(),
+	}, nil
+}
+
+// benchAggregator mirrors cpacli's method table for the perf sweep.
+func benchAggregator(name string, seed int64, parallelism int) (baselines.Aggregator, error) {
+	cfg := core.Config{Seed: seed, Parallelism: parallelism}
+	switch name {
+	case "cpa":
+		return core.NewAggregator(cfg), nil
+	case "cpa-online":
+		return core.NewOnlineAggregator(cfg), nil
+	case "noz":
+		return core.NewNoZAggregator(cfg), nil
+	case "nol":
+		return core.NewNoLAggregator(cfg), nil
+	case "mv":
+		return baselines.NewMajorityVote(), nil
+	case "em":
+		return baselines.NewDawidSkene(), nil
+	case "bcc":
+		return baselines.NewBCC(), nil
+	case "cbcc":
+		return baselines.NewCBCC(), nil
+	default:
+		return nil, fmt.Errorf("unknown method %q", name)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -33,6 +34,7 @@ func main() {
 		method = flag.String("method", "cpa", "aggregation method: cpa, cpa-online, mv, em, bcc, cbcc, noz, nol")
 		out    = flag.String("out", "", "write consensus CSV here instead of stdout")
 		seed   = flag.Int64("seed", 1, "random seed for the model")
+		par    = flag.Int("parallelism", 0, "map-reduce shards for the CPA methods (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 	)
 	flag.Parse()
 
@@ -67,7 +69,10 @@ func main() {
 		fatal(err)
 	}
 
-	agg, err := pickMethod(*method, *seed)
+	if *par <= 0 {
+		*par = runtime.GOMAXPROCS(0)
+	}
+	agg, err := pickMethod(*method, *seed, *par)
 	if err != nil {
 		fatal(err)
 	}
@@ -114,8 +119,8 @@ func main() {
 	}
 }
 
-func pickMethod(name string, seed int64) (baselines.Aggregator, error) {
-	cfg := core.Config{Seed: seed}
+func pickMethod(name string, seed int64, parallelism int) (baselines.Aggregator, error) {
+	cfg := core.Config{Seed: seed, Parallelism: parallelism}
 	switch name {
 	case "cpa":
 		return core.NewAggregator(cfg), nil

@@ -1,0 +1,93 @@
+// Command cpaserve runs the CPA consensus-serving daemon: a multi-tenant
+// HTTP service that ingests crowd answer streams and serves always-fresh
+// consensus snapshots while fitting continues in the background
+// (internal/serve; DESIGN.md §6).
+//
+// Usage:
+//
+//	cpaserve -addr :8080 -data ./cpaserve-data
+//
+// Quick walkthrough (see README.md for a complete session):
+//
+//	curl -X POST localhost:8080/v1/jobs -d '{"id":"tags","items":100,"workers":20,"labels":30}'
+//	curl -X POST localhost:8080/v1/jobs/tags/answers -d '{"answers":[{"i":0,"u":1,"x":[2,5]}]}'
+//	curl localhost:8080/v1/jobs/tags/consensus
+//
+// On restart with the same -data directory every job is recovered from its
+// checkpoint and journal; consensus survives crashes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cpa/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		data      = flag.String("data", "cpaserve-data", "data directory for journals and checkpoints ('' = ephemeral, no recovery)")
+		queue     = flag.Int("queue", 0, "per-job ingestion queue limit (0 = default 65536)")
+		saveEvery = flag.Int("save-every", 0, "checkpoint the model every N fit rounds (0 = default 16)")
+		batchWait = flag.Duration("batch-wait", 0, "max wait for a mini-batch to fill before fitting a partial one (0 = default 100ms)")
+		syncJrnl  = flag.Bool("sync-journal", false, "fsync the journal after every ingested batch")
+	)
+	flag.Parse()
+
+	reg, err := serve.Open(serve.Config{
+		Dir:         *data,
+		QueueLimit:  *queue,
+		SaveEvery:   *saveEvery,
+		BatchWait:   *batchWait,
+		SyncJournal: *syncJrnl,
+	})
+	if err != nil {
+		log.Fatalf("cpaserve: %v", err)
+	}
+	if n := len(reg.Jobs()); n > 0 {
+		log.Printf("cpaserve: recovered %d job(s) from %s", n, *data)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(reg)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("cpaserve: serving on %s (data: %s)", *addr, dataDesc(*data))
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("cpaserve: %s, shutting down", sig)
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("cpaserve: serve error: %v", err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("cpaserve: HTTP shutdown: %v", err)
+	}
+	// Drain queues, checkpoint every model, close journals.
+	if err := reg.Close(); err != nil {
+		log.Fatalf("cpaserve: closing registry: %v", err)
+	}
+	log.Printf("cpaserve: clean shutdown")
+}
+
+func dataDesc(dir string) string {
+	if dir == "" {
+		return "ephemeral"
+	}
+	return fmt.Sprintf("%q", dir)
+}

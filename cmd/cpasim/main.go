@@ -22,7 +22,7 @@ func main() {
 		profile = flag.String("profile", "", "Table 3 profile: "+fmt.Sprint(datasets.Names())+" (empty = custom)")
 		scale   = flag.Float64("scale", 0.25, "profile scale in (0,1]")
 		seed    = flag.Int64("seed", 1, "random seed")
-		format  = flag.String("format", "json", "output format: json or csv")
+		format  = flag.String("format", "json", "output format: json, csv or jsonl (answer stream for cpaserve ingestion)")
 
 		items       = flag.Int("items", 200, "custom: number of items")
 		workers     = flag.Int("workers", 50, "custom: number of workers")
@@ -87,6 +87,12 @@ func main() {
 		}
 	case "csv":
 		if err := ds.WriteCSV(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case "jsonl":
+		// Pure answer stream, one JSON object per line — pipeable straight
+		// into cpaserve's NDJSON ingestion endpoint.
+		if err := ds.WriteJSONL(os.Stdout); err != nil {
 			fatal(err)
 		}
 	default:

@@ -371,14 +371,8 @@ type jsonDataset struct {
 	Workers    int          `json:"workers"`
 	Labels     int          `json:"labels"`
 	LabelNames []string     `json:"label_names,omitempty"`
-	Answers    []jsonAnswer `json:"answers"`
+	Answers    []JSONAnswer `json:"answers"`
 	Truth      []jsonTruth  `json:"truth,omitempty"`
-}
-
-type jsonAnswer struct {
-	Item   int          `json:"i"`
-	Worker int          `json:"u"`
-	Labels labelset.Set `json:"x"`
 }
 
 type jsonTruth struct {
@@ -397,7 +391,7 @@ func (d *Dataset) WriteJSON(w io.Writer) error {
 		LabelNames: d.LabelNames,
 	}
 	for _, a := range d.answers {
-		jd.Answers = append(jd.Answers, jsonAnswer{Item: a.Item, Worker: a.Worker, Labels: a.Labels})
+		jd.Answers = append(jd.Answers, ToJSON(a))
 	}
 	for i, h := range d.hasTruth {
 		if h {

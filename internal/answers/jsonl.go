@@ -1,0 +1,91 @@
+package answers
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cpa/internal/labelset"
+)
+
+// JSONAnswer is the canonical one-line JSON wire form of an Answer:
+// {"i": item, "u": worker, "x": [labels...]}. It is shared by the dataset
+// JSON codec, the JSONL stream codec below, and the cpaserve ingestion
+// journal, so an answer serialised anywhere in the system round-trips
+// everywhere else.
+type JSONAnswer struct {
+	Item   int          `json:"i"`
+	Worker int          `json:"u"`
+	Labels labelset.Set `json:"x"`
+}
+
+// ToJSON converts an Answer to its wire form.
+func ToJSON(a Answer) JSONAnswer {
+	return JSONAnswer{Item: a.Item, Worker: a.Worker, Labels: a.Labels}
+}
+
+// Answer converts the wire form back to an Answer.
+func (ja JSONAnswer) Answer() Answer {
+	return Answer{Item: ja.Item, Worker: ja.Worker, Labels: ja.Labels}
+}
+
+// MarshalAnswerJSON encodes one answer as a single JSON line (no trailing
+// newline).
+func MarshalAnswerJSON(a Answer) ([]byte, error) {
+	return json.Marshal(ToJSON(a))
+}
+
+// UnmarshalAnswerJSON decodes a single JSON answer line.
+func UnmarshalAnswerJSON(data []byte) (Answer, error) {
+	var ja JSONAnswer
+	if err := json.Unmarshal(data, &ja); err != nil {
+		return Answer{}, fmt.Errorf("%w: answer line %q: %v", ErrInvalid, data, err)
+	}
+	return ja.Answer(), nil
+}
+
+// WriteJSONL streams the dataset's answers in arrival order, one JSON object
+// per line. Unlike WriteJSON it carries no dimensions or truth — it is the
+// pure answer-stream form used for incremental ingestion (cpaserve's
+// /answers endpoint and journal).
+func (d *Dataset) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, a := range d.answers {
+		line, err := MarshalAnswerJSON(a)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeJSONL reads a stream of one-answer-per-line JSON records, calling fn
+// for each in order. Blank lines are skipped. Decoding stops at the first
+// malformed line with an error; fn errors abort the scan unchanged.
+func DecodeJSONL(r io.Reader, fn func(Answer) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		a, err := UnmarshalAnswerJSON(raw)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if err := fn(a); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"bytes"
 	"math"
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"cpa/internal/datasets"
@@ -156,5 +158,107 @@ func TestSaveLoadSupportsContinuedStreaming(t *testing.T) {
 	}
 	if nonEmpty < ds.NumItems/2 {
 		t.Errorf("restored+continued model predicts too few items: %d/%d", nonEmpty, ds.NumItems)
+	}
+}
+
+// TestSaveLoadResumesBitForBit is the strict version of continued
+// streaming: a model saved mid-stream and restored (as cpaserve's crash
+// recovery does) must produce bit-identical posteriors to the uninterrupted
+// model when both consume the identical remaining batches. The arrival
+// order is shuffled: per-worker answer lists then interleave items, which
+// is exactly what a persist format in arrival-independent order gets wrong
+// (float reductions re-order), and streaming accumulators (two-coin counts,
+// ω-blended worker stats) must survive the round trip.
+func TestSaveLoadResumesBitForBit(t *testing.T) {
+	base, _, err := datasets.Load("movie", 0.2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := base.Shuffled(rand.New(rand.NewSource(9)))
+	cfg := Config{Seed: 4, BatchSize: 150, Parallelism: 2}
+	m, err := NewModel(cfg, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := ds.Batches(cfg.BatchSize)
+	split := len(batches)/2 + 1 // arbitrary mid-stream point
+	for _, b := range batches[:split] {
+		if err := m.PartialFit(b.Answers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches[split:] {
+		if err := m.PartialFit(b.Answers); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.PartialFit(b.Answers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := m.ConsensusView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.ConsensusView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Items {
+		if !reflect.DeepEqual(want.Items[i], got.Items[i]) {
+			t.Fatalf("item %d diverged after save/load resume:\nuninterrupted %+v\nrestored      %+v",
+				i, want.Items[i], got.Items[i])
+		}
+	}
+}
+
+// TestSaveLoadKeepsRevealedTruth pins test-question persistence: truths
+// revealed to the model before a mid-stream save must still be pinned by
+// the restored model's imputation.
+func TestSaveLoadKeepsRevealedTruth(t *testing.T) {
+	ds, _, err := datasets.Load("movie", 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := ds.Reveal(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := Config{Seed: 2, BatchSize: 400}
+	m, err := NewModel(cfg, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FitStream(ds); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.revealedTruth, m.revealedTruth) {
+		t.Fatalf("revealed truths did not survive save/load:\nwant %v\ngot  %v",
+			m.revealedTruth[:12], restored.revealedTruth[:12])
+	}
+	revealed := 0
+	for _, truth := range restored.revealedTruth {
+		if truth != nil {
+			revealed++
+		}
+	}
+	if revealed != 10 {
+		t.Fatalf("restored model pins %d revealed items, want 10", revealed)
 	}
 }

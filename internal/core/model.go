@@ -197,6 +197,11 @@ type ansRef struct {
 	labels []int // sorted member labels of x_iu
 }
 
+// arrivalRef locates one ingested answer by arrival order: perItem[item][idx].
+type arrivalRef struct {
+	item, idx int
+}
+
 // Model holds the variational posterior of a CPA instance. Create with
 // NewModel, train with Fit (batch) or FitStream/PartialFit (online), then
 // call Predict.
@@ -214,7 +219,13 @@ type Model struct {
 	// PartialFit).
 	perWorker [][]ansRef
 	perItem   [][]ansRef
-	numAns    int
+	// arrival records global ingestion order as (item, index-in-perItem)
+	// pairs. Persistence flattens answers in this order so a restored
+	// model rebuilds perWorker/perItem with identical element order —
+	// float reductions over those lists, and therefore continued
+	// PartialFit rounds, stay bit-for-bit reproducible after a reload.
+	arrival []arrivalRef
+	numAns  int
 	// seenWorkers/seenItems count workers/items with at least one ingested
 	// answer (the SVI population-scaling denominators), maintained
 	// incrementally by ingest.
@@ -560,6 +571,7 @@ func (m *Model) loadDataset(ds *answers.Dataset) error {
 	for i := range m.perItem {
 		m.perItem[i] = nil
 	}
+	m.arrival = m.arrival[:0]
 	m.numAns = 0
 	m.seenWorkers, m.seenItems = 0, 0
 	for _, a := range ds.Answers() {
@@ -588,6 +600,7 @@ func (m *Model) ingest(a answers.Answer) {
 	}
 	m.perWorker[a.Worker] = append(m.perWorker[a.Worker], ansRef{other: a.Item, labels: xs})
 	m.perItem[a.Item] = append(m.perItem[a.Item], ansRef{other: a.Worker, labels: xs})
+	m.arrival = append(m.arrival, arrivalRef{item: a.Item, idx: len(m.perItem[a.Item]) - 1})
 	m.numAns++
 }
 
@@ -770,6 +783,7 @@ func (m *Model) Clone() *Model {
 	for i := range m.perItem {
 		c.perItem[i] = append([]ansRef(nil), m.perItem[i]...)
 	}
+	c.arrival = append([]arrivalRef(nil), m.arrival...)
 	c.revealedTruth = make([][]int, len(m.revealedTruth))
 	for i := range m.revealedTruth {
 		c.revealedTruth[i] = append([]int(nil), m.revealedTruth[i]...)

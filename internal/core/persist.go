@@ -38,7 +38,21 @@ type modelState struct {
 	HaveRates  bool
 	BatchIndex int
 	Fitted     bool
-	// Ingested answers, flattened in arrival-independent per-item order.
+	// Per-worker two-coin count accumulators and the ω-blended running SVI
+	// worker-model statistics. Both accumulate across PartialFit rounds, so
+	// omitting them would make a restored model's subsequent rounds diverge
+	// from the original's. Run* slices are nil until the first SVI round.
+	TpNumU, TpDenU, FpNumU, FpDenU                    []float64
+	RunTP, RunTPD, RunFP, RunFPD, RunAgree, RunAgreeD []float64
+	RunPrevN, RunPrevD                                []float64
+	// Revealed test-question truths (nil per item when unrevealed): the
+	// imputation pins these during every later round, so a mid-stream
+	// checkpoint without them would stop honouring test questions.
+	Revealed [][]int
+	// Ingested answers, flattened in arrival order: Load re-ingests them in
+	// sequence, so the restored per-item/per-worker reference lists keep the
+	// exact element order of the live model and continued PartialFit rounds
+	// reduce floats in the same order (bit-for-bit recovery).
 	AnsItems   []int
 	AnsWorkers []int
 	AnsLabels  [][]int
@@ -63,13 +77,17 @@ func (m *Model) Save(w io.Writer) error {
 		TprM: m.tprM, FprM: m.fprM, VoteLW: m.voteLW, MissLW: m.missLW,
 		LabelPrev: m.labelPrev, HaveRates: m.haveRates,
 		BatchIndex: m.batchIndex, Fitted: m.fitted,
+		TpNumU: m.tpNumU, TpDenU: m.tpDenU, FpNumU: m.fpNumU, FpDenU: m.fpDenU,
+		RunTP: m.runTP, RunTPD: m.runTPD, RunFP: m.runFP, RunFPD: m.runFPD,
+		RunAgree: m.runAgree, RunAgreeD: m.runAgreeD,
+		RunPrevN: m.runPrevN, RunPrevD: m.runPrevD,
+		Revealed: m.revealedTruth,
 	}
-	for i, refs := range m.perItem {
-		for _, ar := range refs {
-			st.AnsItems = append(st.AnsItems, i)
-			st.AnsWorkers = append(st.AnsWorkers, ar.other)
-			st.AnsLabels = append(st.AnsLabels, ar.labels)
-		}
+	for _, at := range m.arrival {
+		ref := m.perItem[at.item][at.idx]
+		st.AnsItems = append(st.AnsItems, at.item)
+		st.AnsWorkers = append(st.AnsWorkers, ref.other)
+		st.AnsLabels = append(st.AnsLabels, ref.labels)
 	}
 	if err := gob.NewEncoder(w).Encode(&st); err != nil {
 		return fmt.Errorf("core: saving model: %w", err)
@@ -117,6 +135,57 @@ func Load(r io.Reader) (*Model, error) {
 			return nil, err
 		}
 	}
+	// Optional accumulators (absent in pre-serving save files, where they
+	// decode as nil): restore when present, leave zero/nil otherwise.
+	for _, c := range []struct {
+		dst, src []float64
+		what     string
+	}{
+		{m.tpNumU, st.TpNumU, "tpNumU"}, {m.tpDenU, st.TpDenU, "tpDenU"},
+		{m.fpNumU, st.FpNumU, "fpNumU"}, {m.fpDenU, st.FpDenU, "fpDenU"},
+	} {
+		if c.src == nil {
+			continue
+		}
+		if err := copyInto(c.dst, c.src, c.what); err != nil {
+			return nil, err
+		}
+	}
+	if st.RunTP != nil {
+		for _, s := range [][]float64{st.RunTP, st.RunTPD, st.RunFP, st.RunFPD, st.RunAgree, st.RunAgreeD} {
+			if len(s) != m.M {
+				return nil, fmt.Errorf("%w: saved running accumulators have wrong length", ErrConfig)
+			}
+		}
+		for _, s := range [][]float64{st.RunPrevN, st.RunPrevD} {
+			if len(s) != m.numLabels {
+				return nil, fmt.Errorf("%w: saved running prevalences have wrong length", ErrConfig)
+			}
+		}
+		cpF := func(v []float64) []float64 { return append([]float64(nil), v...) }
+		m.runTP, m.runTPD = cpF(st.RunTP), cpF(st.RunTPD)
+		m.runFP, m.runFPD = cpF(st.RunFP), cpF(st.RunFPD)
+		m.runAgree, m.runAgreeD = cpF(st.RunAgree), cpF(st.RunAgreeD)
+		m.runPrevN, m.runPrevD = cpF(st.RunPrevN), cpF(st.RunPrevD)
+	}
+	if st.Revealed != nil {
+		if len(st.Revealed) != m.numItems {
+			return nil, fmt.Errorf("%w: saved revealed truths have wrong length", ErrConfig)
+		}
+		for i, truth := range st.Revealed {
+			// Keep unrevealed items nil: gob does not distinguish nil from
+			// empty, and the kernels treat non-nil as "truth revealed".
+			if len(truth) == 0 {
+				continue
+			}
+			for _, c := range truth {
+				if c < 0 || c >= m.numLabels {
+					return nil, fmt.Errorf("%w: saved revealed label %d out of range", ErrConfig, c)
+				}
+			}
+			m.revealedTruth[i] = truth
+		}
+	}
 	if len(st.VotedList) != m.numItems || len(st.YhatVals) != m.numItems {
 		return nil, fmt.Errorf("%w: saved per-item state has wrong length", ErrConfig)
 	}
@@ -144,6 +213,7 @@ func Load(r io.Reader) (*Model, error) {
 		}
 		m.perItem[item] = append(m.perItem[item], ansRef{other: worker, labels: xs})
 		m.perWorker[worker] = append(m.perWorker[worker], ansRef{other: item, labels: xs})
+		m.arrival = append(m.arrival, arrivalRef{item: item, idx: len(m.perItem[item]) - 1})
 		m.numAns++
 	}
 	m.haveRates = st.HaveRates

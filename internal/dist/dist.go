@@ -24,7 +24,10 @@ func SampleCategorical(rng *rand.Rand, weights []float64) int {
 	}
 	u := rng.Float64() * total
 	for i, w := range weights {
-		if w <= 0 {
+		// !(w > 0) rather than w <= 0: NaN weights must be skipped here
+		// too, or u -= NaN poisons the cursor and the loop falls through
+		// to the last index regardless of the draw.
+		if !(w > 0) {
 			continue
 		}
 		u -= w

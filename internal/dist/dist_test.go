@@ -1,0 +1,153 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSampleCategoricalDeterminism pins the simulator's determinism
+// contract: identical seeds must reproduce identical draw sequences.
+func TestSampleCategoricalDeterminism(t *testing.T) {
+	weights := []float64{0.5, 2, 0, 1.25, 3}
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		if x, y := SampleCategorical(a, weights), SampleCategorical(b, weights); x != y {
+			t.Fatalf("draw %d diverged under the same seed: %d vs %d", i, x, y)
+		}
+	}
+}
+
+// TestSampleCategoricalFrequencies checks CDF inversion against the exact
+// probabilities: empirical frequencies over many draws must match the
+// normalised weights within a loose binomial tolerance.
+func TestSampleCategoricalFrequencies(t *testing.T) {
+	weights := []float64{1, 3, 0, 6} // p = 0.1, 0.3, 0, 0.6
+	const n = 200000
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		k := SampleCategorical(rng, weights)
+		if k < 0 || k >= len(weights) {
+			t.Fatalf("draw %d out of range", k)
+		}
+		counts[k]++
+	}
+	if counts[2] != 0 {
+		t.Fatalf("zero-weight index drawn %d times", counts[2])
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / n
+		want := w / total
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d frequency %.4f, want %.4f ± 0.01", i, got, want)
+		}
+	}
+}
+
+// TestSampleCategoricalDegenerate covers the uniform fallbacks: empty,
+// all-zero, negative, and non-finite weight vectors.
+func TestSampleCategoricalDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := SampleCategorical(rng, nil); got != 0 {
+		t.Fatalf("empty weights drew %d, want 0", got)
+	}
+	for _, weights := range [][]float64{
+		{0, 0, 0},
+		{-1, -2, -3},
+		// An infinite weight makes the total non-finite: uniform fallback.
+		{math.Inf(1), 1, 1},
+	} {
+		counts := make([]int, len(weights))
+		for i := 0; i < 30000; i++ {
+			k := SampleCategorical(rng, weights)
+			if k < 0 || k >= len(weights) {
+				t.Fatalf("weights %v: draw %d out of range", weights, k)
+			}
+			counts[k]++
+		}
+		for i, c := range counts {
+			got := float64(c) / 30000
+			if math.Abs(got-1.0/3) > 0.02 {
+				t.Errorf("weights %v: fallback not uniform, index %d frequency %.4f", weights, i, got)
+			}
+		}
+	}
+	// Single-element vectors always draw index 0.
+	if got := SampleCategorical(rng, []float64{5}); got != 0 {
+		t.Fatalf("single weight drew %d, want 0", got)
+	}
+
+	// A NaN weight is treated as zero: the finite weights keep their
+	// relative probabilities and the NaN index is never drawn.
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[SampleCategorical(rng, []float64{math.NaN(), 1, 1})]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("NaN-weight index drawn %d times", counts[0])
+	}
+	for i := 1; i < 3; i++ {
+		if got := float64(counts[i]) / 30000; math.Abs(got-0.5) > 0.02 {
+			t.Errorf("NaN vector: index %d frequency %.4f, want 0.5", i, got)
+		}
+	}
+}
+
+// TestPoissonDeterminism pins Poisson draws under a fixed seed.
+func TestPoissonDeterminism(t *testing.T) {
+	a := rand.New(rand.NewSource(9))
+	b := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		mean := 0.5 + float64(i%80) // crosses the mean>30 splitting path
+		if x, y := Poisson(a, mean), Poisson(b, mean); x != y {
+			t.Fatalf("draw %d (mean %.1f) diverged under the same seed: %d vs %d", i, mean, x, y)
+		}
+	}
+}
+
+// TestPoissonMoments checks the first two moments: for Poisson(λ) both the
+// mean and the variance are λ. The large mean exercises the splitting path
+// that keeps Knuth's running product away from underflow.
+func TestPoissonMoments(t *testing.T) {
+	for _, mean := range []float64{0.5, 3, 12, 75} {
+		const n = 100000
+		rng := rand.New(rand.NewSource(11))
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			k := Poisson(rng, mean)
+			if k < 0 {
+				t.Fatalf("mean %v: negative draw %d", mean, k)
+			}
+			x := float64(k)
+			sum += x
+			sumSq += x * x
+		}
+		gotMean := sum / n
+		gotVar := sumSq/n - gotMean*gotMean
+		// ~6 standard errors of the empirical mean (σ/√n = √(λ/n)).
+		tol := 6 * math.Sqrt(mean/n)
+		if math.Abs(gotMean-mean) > tol {
+			t.Errorf("mean %v: empirical mean %.4f outside ±%.4f", mean, gotMean, tol)
+		}
+		if math.Abs(gotVar-mean) > 0.05*mean+tol {
+			t.Errorf("mean %v: empirical variance %.4f, want ≈%.4f", mean, gotVar, mean)
+		}
+	}
+}
+
+// TestPoissonDegenerate covers the zero fallbacks for non-positive and
+// non-finite means.
+func TestPoissonDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, mean := range []float64{0, -1, math.Inf(1), math.Inf(-1), math.NaN()} {
+		if got := Poisson(rng, mean); got != 0 {
+			t.Fatalf("mean %v drew %d, want 0", mean, got)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cpa/internal/answers"
+	"cpa/internal/core"
+)
+
+// Server exposes a Registry over HTTP.
+//
+//	POST   /v1/jobs                    create a job
+//	GET    /v1/jobs                    list jobs (stats)
+//	GET    /v1/jobs/{id}               one job's stats
+//	DELETE /v1/jobs/{id}               close and unregister a job
+//	POST   /v1/jobs/{id}/answers      ingest answers (JSON body or NDJSON stream)
+//	GET    /v1/jobs/{id}/consensus    latest consensus snapshot
+//	GET    /v1/jobs/{id}/items/{item} one item's consensus
+//	GET    /healthz                    liveness
+//	GET    /statsz                     queue depths, fit rounds, snapshot ages
+type Server struct {
+	reg   *Registry
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// NewServer wraps a registry in an http.Handler.
+func NewServer(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStats)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/answers", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/consensus", s.handleConsensus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/items/{item}", s.handleItem)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// ---------------------------------------------------------------------------
+// Wire types
+// ---------------------------------------------------------------------------
+
+// CreateJobRequest is the POST /v1/jobs body. Model is optional; omitted
+// fields take the core defaults.
+type CreateJobRequest struct {
+	ID      string      `json:"id"`
+	Items   int         `json:"items"`
+	Workers int         `json:"workers"`
+	Labels  int         `json:"labels"`
+	Model   core.Config `json:"model,omitempty"`
+}
+
+// IngestRequest is the JSON form of the answers endpoint body; NDJSON
+// bodies (Content-Type application/x-ndjson) carry bare answer lines
+// instead.
+type IngestRequest struct {
+	Answers []answers.JSONAnswer `json:"answers"`
+}
+
+// IngestResponse reports how much was accepted and the current backlog.
+type IngestResponse struct {
+	Accepted   int `json:"accepted"`
+	QueueDepth int `json:"queue_depth"`
+}
+
+// ServerStats is the /statsz shape.
+type ServerStats struct {
+	UptimeSec float64    `json:"uptime_seconds"`
+	NumJobs   int        `json:"num_jobs"`
+	Jobs      []JobStats `json:"jobs"`
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	var req CreateJobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, fmt.Errorf("%w: decoding body: %v", ErrInvalid, err))
+		return
+	}
+	job, err := s.reg.Create(JobSpec{
+		ID: req.ID, Items: req.Items, Workers: req.Workers, Labels: req.Labels,
+		Model: req.Model,
+	})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, job.Stats())
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.reg.Jobs()
+	stats := make([]JobStats, len(jobs))
+	for i, j := range jobs {
+		stats[i] = j.Stats()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": stats})
+}
+
+func (s *Server) handleJobStats(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, fmt.Errorf("%w: %q", ErrNotFound, r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Stats())
+}
+
+func (s *Server) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Delete(r.PathValue("id")); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, fmt.Errorf("%w: %q", ErrNotFound, r.PathValue("id")))
+		return
+	}
+	var batch []answers.Answer
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/x-ndjson") || strings.HasPrefix(ct, "application/jsonl") {
+		err := answers.DecodeJSONL(r.Body, func(a answers.Answer) error {
+			batch = append(batch, a)
+			return nil
+		})
+		if err != nil {
+			httpError(w, fmt.Errorf("%w: %v", ErrInvalid, err))
+			return
+		}
+	} else {
+		var req IngestRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, fmt.Errorf("%w: decoding body: %v", ErrInvalid, err))
+			return
+		}
+		batch = make([]answers.Answer, len(req.Answers))
+		for i, ja := range req.Answers {
+			batch[i] = ja.Answer()
+		}
+	}
+	if err := job.Ingest(batch); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, IngestResponse{
+		Accepted:   len(batch),
+		QueueDepth: job.Stats().QueueDepth,
+	})
+}
+
+func (s *Server) handleConsensus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, fmt.Errorf("%w: %q", ErrNotFound, r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+func (s *Server) handleItem(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, fmt.Errorf("%w: %q", ErrNotFound, r.PathValue("id")))
+		return
+	}
+	item, err := strconv.Atoi(r.PathValue("item"))
+	if err != nil || item < 0 || item >= job.Spec().Items {
+		httpError(w, fmt.Errorf("%w: item %q out of range [0,%d)", ErrNotFound, r.PathValue("item"), job.Spec().Items))
+		return
+	}
+	snap := job.Snapshot()
+	if item >= len(snap.Consensus) {
+		// No fit round yet: an empty consensus for a valid item.
+		writeJSON(w, http.StatusOK, map[string]any{"round": snap.Round, "item": ItemSnapshot{Item: item}})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"round": snap.Round, "item": snap.Consensus[item]})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "num_jobs": len(s.reg.Jobs())})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.reg.Jobs()
+	stats := ServerStats{
+		UptimeSec: time.Since(s.start).Seconds(),
+		NumJobs:   len(jobs),
+		Jobs:      make([]JobStats, len(jobs)),
+	}
+	for i, j := range jobs {
+		stats.Jobs[i] = j.Stats()
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		status = http.StatusConflict
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrInvalid):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

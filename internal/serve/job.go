@@ -1,0 +1,400 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cpa/internal/answers"
+	"cpa/internal/core"
+)
+
+// Job is one tenant's consensus computation: a core.Model advanced by a
+// dedicated background fitter goroutine, fed through a bounded queue, and
+// read through atomically published snapshots. The model is owned by the
+// fitter; nothing else may touch it while the job is running.
+type Job struct {
+	spec JobSpec
+	dir  string // job directory, "" when the registry is ephemeral
+
+	// Ingestion state, guarded by mu. The journal is appended under mu by
+	// both ingesters (answers) and the fitter (fit markers), keeping the
+	// on-disk order consistent with the queue order. The queue is a
+	// head-indexed ring: dequeue advances head (amortised O(1)) instead of
+	// memmoving the tail, which would be O(depth) per mini-batch and
+	// quadratic under a deep backlog.
+	mu      sync.Mutex
+	queue   []answers.Answer
+	head    int
+	closed  bool
+	crashed bool // test hook: stop without draining or checkpointing
+	journal *journal
+
+	wake chan struct{} // 1-buffered ingest/close signal to the fitter
+
+	model *core.Model // fitter-owned while running
+
+	snap     atomic.Pointer[Snapshot]
+	snapTime atomic.Int64 // unixnano of the last publication
+
+	ingested atomic.Int64 // answers accepted (journaled + queued)
+	fitted   atomic.Int64 // answers consumed by PartialFit
+	rounds   atomic.Int64 // PartialFit calls
+	failure  atomic.Pointer[string]
+
+	queueLimit int
+	saveEvery  int
+	batchWait  time.Duration
+
+	wg sync.WaitGroup
+}
+
+// newJob wires a job around an existing model (fresh or recovered) without
+// starting the fitter.
+func newJob(spec JobSpec, model *core.Model, dir string, cfg Config) *Job {
+	j := &Job{
+		spec:       spec,
+		dir:        dir,
+		model:      model,
+		wake:       make(chan struct{}, 1),
+		queueLimit: cfg.QueueLimit,
+		saveEvery:  cfg.SaveEvery,
+		batchWait:  cfg.BatchWait,
+	}
+	j.snap.Store(emptySnapshot(spec, time.Now()))
+	j.snapTime.Store(time.Now().UnixNano())
+	j.ingested.Store(int64(model.NumAnswers()))
+	j.fitted.Store(int64(model.NumAnswers()))
+	j.rounds.Store(int64(model.BatchRounds()))
+	return j
+}
+
+func (j *Job) start() {
+	j.wg.Add(1)
+	go j.run()
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.spec.ID }
+
+// Spec returns the job's specification (with the effective model config).
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// Snapshot returns the latest published consensus snapshot. It never
+// blocks on fitting: the returned value is immutable and shared.
+func (j *Job) Snapshot() *Snapshot { return j.snap.Load() }
+
+// Ingest validates and accepts a batch of answers: journals them (when
+// persistent) and queues them for the background fitter. It applies
+// backpressure via ErrQueueFull and never blocks on fitting.
+func (j *Job) Ingest(batch []answers.Answer) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	for _, a := range batch {
+		if err := j.validate(a); err != nil {
+			return err
+		}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if msg := j.failure.Load(); msg != nil {
+		return fmt.Errorf("%w: job failed: %s", ErrClosed, *msg)
+	}
+	if depth := len(j.queue) - j.head; depth+len(batch) > j.queueLimit {
+		return fmt.Errorf("%w: %d queued + %d incoming > limit %d",
+			ErrQueueFull, depth, len(batch), j.queueLimit)
+	}
+	if j.journal != nil {
+		if err := j.journal.appendAnswers(batch); err != nil {
+			return fmt.Errorf("serve: journaling batch: %w", err)
+		}
+	}
+	j.queue = append(j.queue, batch...)
+	j.ingested.Add(int64(len(batch)))
+	j.signal()
+	return nil
+}
+
+func (j *Job) validate(a answers.Answer) error {
+	if a.Item < 0 || a.Item >= j.spec.Items {
+		return fmt.Errorf("%w: item %d out of range [0,%d)", ErrInvalid, a.Item, j.spec.Items)
+	}
+	if a.Worker < 0 || a.Worker >= j.spec.Workers {
+		return fmt.Errorf("%w: worker %d out of range [0,%d)", ErrInvalid, a.Worker, j.spec.Workers)
+	}
+	if a.Labels.IsEmpty() {
+		return fmt.Errorf("%w: empty answer for item %d worker %d", ErrInvalid, a.Item, a.Worker)
+	}
+	if mx := a.Labels.Max(); mx >= j.spec.Labels {
+		return fmt.Errorf("%w: label %d out of range [0,%d)", ErrInvalid, mx, j.spec.Labels)
+	}
+	return nil
+}
+
+// enqueueRecovered requeues journal answers that had not been fitted before
+// a crash. They are already in the journal and must not be re-journaled.
+func (j *Job) enqueueRecovered(pending []answers.Answer) {
+	if len(pending) == 0 {
+		return
+	}
+	j.mu.Lock()
+	j.queue = append(j.queue, pending...)
+	j.mu.Unlock()
+	j.signal()
+}
+
+func (j *Job) signal() {
+	select {
+	case j.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Stats summarises the job's live serving state.
+func (j *Job) Stats() JobStats {
+	j.mu.Lock()
+	depth := len(j.queue) - j.head
+	j.mu.Unlock()
+	snap := j.snap.Load()
+	st := JobStats{
+		ID:              j.spec.ID,
+		Items:           j.spec.Items,
+		Workers:         j.spec.Workers,
+		Labels:          j.spec.Labels,
+		IngestedAnswers: j.ingested.Load(),
+		FittedAnswers:   j.fitted.Load(),
+		QueueDepth:      depth,
+		FitRounds:       j.rounds.Load(),
+		SnapshotRound:   snap.Round,
+		SnapshotAgeSec:  time.Since(time.Unix(0, j.snapTime.Load())).Seconds(),
+	}
+	if msg := j.failure.Load(); msg != nil {
+		st.Error = *msg
+	}
+	return st
+}
+
+// JobStats is the JSON-ready serving state of one job (the /statsz shape).
+type JobStats struct {
+	ID              string  `json:"id"`
+	Items           int     `json:"items"`
+	Workers         int     `json:"workers"`
+	Labels          int     `json:"labels"`
+	IngestedAnswers int64   `json:"ingested_answers"`
+	FittedAnswers   int64   `json:"fitted_answers"`
+	QueueDepth      int     `json:"queue_depth"`
+	FitRounds       int64   `json:"fit_rounds"`
+	SnapshotRound   int     `json:"snapshot_round"`
+	SnapshotAgeSec  float64 `json:"snapshot_age_seconds"`
+	Error           string  `json:"error,omitempty"`
+}
+
+// Close stops ingestion, lets the fitter drain the queue, checkpoints the
+// model (persistent jobs), and closes the journal. Idempotent.
+func (j *Job) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		j.wg.Wait()
+		return nil
+	}
+	j.closed = true
+	j.mu.Unlock()
+	j.signal()
+	j.wg.Wait()
+
+	var err error
+	if j.dir != "" && j.failure.Load() == nil {
+		err = j.saveModel()
+	}
+	if j.journal != nil {
+		if cerr := j.journal.Close(); err == nil {
+			err = cerr
+		}
+		j.journal = nil
+	}
+	return err
+}
+
+// crash simulates a hard kill for recovery tests: the fitter stops without
+// draining the queue, and no final checkpoint or journal close runs (journal
+// appends are already flushed per batch, as they would be in a real crash).
+func (j *Job) crash() {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return
+	}
+	j.closed = true
+	j.crashed = true
+	j.mu.Unlock()
+	j.signal()
+	j.wg.Wait()
+	if j.journal != nil {
+		j.journal.f.Close()
+		j.journal = nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Background fitter
+// ---------------------------------------------------------------------------
+
+func (j *Job) run() {
+	defer j.wg.Done()
+	roundsSinceSave := 0
+	for {
+		batch, ok := j.nextBatch()
+		if !ok {
+			return
+		}
+		if err := j.fitBatch(batch, &roundsSinceSave); err != nil {
+			msg := err.Error()
+			j.failure.Store(&msg)
+			return
+		}
+	}
+}
+
+// nextBatch blocks until a mini-batch is available: a full BatchSize, or
+// whatever is queued once BatchWait has elapsed since data appeared (bounded
+// consensus staleness under trickle load), or the remainder at close. It
+// returns ok=false when the job is done.
+func (j *Job) nextBatch() ([]answers.Answer, bool) {
+	batchSize := j.model.Config().BatchSize
+	var deadline time.Time
+	for {
+		j.mu.Lock()
+		n := len(j.queue) - j.head
+		done := j.crashed || (j.closed && n == 0)
+		ripe := n >= batchSize ||
+			(n > 0 && j.closed) ||
+			(n > 0 && !deadline.IsZero() && !time.Now().Before(deadline))
+		if done {
+			j.mu.Unlock()
+			return nil, false
+		}
+		if ripe {
+			take := n
+			if take > batchSize {
+				take = batchSize
+			}
+			batch := make([]answers.Answer, take)
+			copy(batch, j.queue[j.head:j.head+take])
+			j.head += take
+			if j.head == len(j.queue) {
+				j.queue = j.queue[:0]
+				j.head = 0
+			} else if j.head >= 1024 && j.head*2 >= len(j.queue) {
+				// Compact once the dead prefix dominates, so a long-lived
+				// backlog doesn't pin memory for answers already fitted.
+				rest := copy(j.queue, j.queue[j.head:])
+				j.queue = j.queue[:rest]
+				j.head = 0
+			}
+			j.mu.Unlock()
+			return batch, true
+		}
+		if n > 0 && deadline.IsZero() {
+			deadline = time.Now().Add(j.batchWait)
+		}
+		j.mu.Unlock()
+		if deadline.IsZero() {
+			<-j.wake
+		} else {
+			select {
+			case <-j.wake:
+			case <-time.After(time.Until(deadline)):
+			}
+		}
+	}
+}
+
+// fitBatch advances the model one SVI round, journals the fit marker,
+// publishes a fresh snapshot, and periodically checkpoints.
+func (j *Job) fitBatch(batch []answers.Answer, roundsSinceSave *int) error {
+	if err := j.model.PartialFit(batch); err != nil {
+		return err
+	}
+	j.fitted.Add(int64(len(batch)))
+	j.rounds.Add(1)
+	if j.journal != nil {
+		j.mu.Lock()
+		err := j.journal.appendFit(len(batch))
+		j.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("serve: journaling fit marker: %w", err)
+		}
+	}
+	if err := j.publish(); err != nil {
+		return err
+	}
+	if j.dir != "" {
+		*roundsSinceSave++
+		if *roundsSinceSave >= j.saveEvery {
+			*roundsSinceSave = 0
+			if err := j.saveModel(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// publish builds and atomically swaps in a fresh consensus snapshot. The
+// live model keeps streaming untouched: the online-prediction posterior of
+// §4.1 (FinalizeOnline) is prepared on a clone, so the serve path and the
+// offline FitStream path produce identical posteriors for identical batch
+// sequences.
+func (j *Job) publish() error {
+	clone := j.model.Clone()
+	clone.FinalizeOnline()
+	view, err := clone.ConsensusView()
+	if err != nil {
+		return fmt.Errorf("serve: building snapshot: %w", err)
+	}
+	now := time.Now()
+	j.snap.Store(newSnapshot(j.spec.ID, view, now))
+	j.snapTime.Store(now.UnixNano())
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+const (
+	specFile    = "job.json"
+	journalFile = "journal.jsonl"
+	modelFile   = "model.gob"
+)
+
+// saveModel checkpoints the live posterior atomically (tmp + rename). Only
+// the fitter goroutine (or Close, after the fitter exited) calls this.
+func (j *Job) saveModel() error {
+	tmp := filepath.Join(j.dir, modelFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("serve: checkpointing model: %w", err)
+	}
+	if err := j.model.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serve: checkpointing model: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: checkpointing model: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, modelFile)); err != nil {
+		return fmt.Errorf("serve: checkpointing model: %w", err)
+	}
+	return nil
+}

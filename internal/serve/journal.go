@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"cpa/internal/answers"
+)
+
+// Journal line operations.
+const (
+	opAnswer = "ans" // one ingested answer
+	opFit    = "fit" // the fitter consumed the next N pending answers
+)
+
+// journalLine is the wire form of one journal record. Answer lines reuse
+// the canonical answers.JSONAnswer codec, so a journal is also a valid
+// answer stream for any JSONL consumer (modulo the envelope).
+type journalLine struct {
+	Op  string              `json:"op"`
+	Ans *answers.JSONAnswer `json:"a,omitempty"`
+	N   int                 `json:"n,omitempty"`
+}
+
+// journal is a job's append-only JSONL log. Every append is flushed to the
+// OS before returning, so the log survives a process kill; SyncJournal
+// additionally fsyncs for power-loss durability. The caller serialises
+// access (jobs append under their ingest mutex).
+type journal struct {
+	f    *os.File
+	w    *bufio.Writer
+	sync bool
+	// off is the durable length: the file size after the last fully
+	// flushed append. A failed append is rolled back by truncating to off,
+	// so a partially-flushed batch (the bufio buffer spills mid-batch
+	// before a later write fails) can never desynchronise the journal
+	// from the in-memory queue — orphaned answer lines would make fit
+	// markers consume the wrong answers on replay.
+	off    int64
+	broken bool
+}
+
+func openJournal(path string, sync bool) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("serve: opening journal: %w", err)
+	}
+	return &journal{f: f, w: bufio.NewWriter(f), sync: sync, off: st.Size()}, nil
+}
+
+func (j *journal) appendLine(line journalLine) (int, error) {
+	raw, err := json.Marshal(line)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := j.w.Write(raw); err != nil {
+		return 0, err
+	}
+	return len(raw) + 1, j.w.WriteByte('\n')
+}
+
+// rollback discards a failed append: drops whatever is still buffered and
+// truncates the file back to the last durable length. If the truncate
+// itself fails the journal is marked broken and every later append errors,
+// failing the job loudly rather than recovering from a corrupt log.
+func (j *journal) rollback(cause error) error {
+	j.w.Reset(j.f)
+	if err := j.f.Truncate(j.off); err != nil {
+		j.broken = true
+		return fmt.Errorf("serve: journal append failed (%v), rollback failed, journal disabled: %w", cause, err)
+	}
+	return cause
+}
+
+// appendAnswers journals a batch of accepted answers and flushes. On error
+// the batch is rolled back in full; the file never holds a partial batch.
+func (j *journal) appendAnswers(batch []answers.Answer) error {
+	if j.broken {
+		return fmt.Errorf("serve: journal in failed state")
+	}
+	var n int64
+	for _, a := range batch {
+		ja := answers.ToJSON(a)
+		m, err := j.appendLine(journalLine{Op: opAnswer, Ans: &ja})
+		if err != nil {
+			return j.rollback(err)
+		}
+		n += int64(m)
+	}
+	if err := j.flush(); err != nil {
+		return j.rollback(err)
+	}
+	j.off += n
+	return nil
+}
+
+// appendFit journals a fit marker: the fitter has consumed the next n
+// pending (journaled-but-unfitted) answers as one mini-batch.
+func (j *journal) appendFit(n int) error {
+	if j.broken {
+		return fmt.Errorf("serve: journal in failed state")
+	}
+	m, err := j.appendLine(journalLine{Op: opFit, N: n})
+	if err != nil {
+		return j.rollback(err)
+	}
+	if err := j.flush(); err != nil {
+		return j.rollback(err)
+	}
+	j.off += int64(m)
+	return nil
+}
+
+func (j *journal) flush() error {
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if j.sync {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+func (j *journal) Close() error {
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// replayJournal streams a journal file through fn in order. A torn final
+// line (crash mid-write) is tolerated and skipped; a malformed line in the
+// middle of the file is an error.
+func replayJournal(path string, fn func(journalLine) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("serve: opening journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var pendingErr error
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if pendingErr != nil {
+			// The malformed line was not the last one: real corruption.
+			return pendingErr
+		}
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line journalLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			pendingErr = fmt.Errorf("serve: journal line %d: %w", lineNo, err)
+			continue
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("serve: reading journal: %w", err)
+	}
+	return nil
+}

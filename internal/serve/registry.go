@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"cpa/internal/answers"
+	"cpa/internal/core"
+)
+
+// Registry is the multi-tenant job table: one CPA job per dataset/tenant.
+// With a persistent Config.Dir, Open recovers every job found on disk
+// (checkpoint load + journal replay) before returning.
+type Registry struct {
+	cfg Config
+
+	mu   sync.RWMutex
+	jobs map[string]*Job
+}
+
+// Open creates a registry and recovers any jobs persisted under
+// cfg.Dir/jobs. With an empty Dir the registry is fully in-memory.
+func Open(cfg Config) (*Registry, error) {
+	cfg = cfg.withDefaults()
+	r := &Registry{cfg: cfg, jobs: make(map[string]*Job)}
+	if cfg.Dir == "" {
+		return r, nil
+	}
+	jobsDir := filepath.Join(cfg.Dir, "jobs")
+	if err := os.MkdirAll(jobsDir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: creating data dir: %w", err)
+	}
+	entries, err := os.ReadDir(jobsDir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: scanning data dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		j, err := openExistingJob(filepath.Join(jobsDir, e.Name()), cfg)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("serve: recovering job %q: %w", e.Name(), err)
+		}
+		r.jobs[j.ID()] = j
+	}
+	return r, nil
+}
+
+// Create registers a new job and starts its fitter. The spec's model config
+// is validated by core and persisted in its effective (defaults-filled)
+// form, so a recovered job always rebuilds the exact same model.
+func (r *Registry) Create(spec JobSpec) (*Job, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	model, err := core.NewModel(spec.Model, spec.Items, spec.Workers, spec.Labels)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	spec.Model = model.Config()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.jobs[spec.ID]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, spec.ID)
+	}
+	dir := ""
+	var jr *journal
+	if r.cfg.Dir != "" {
+		dir = filepath.Join(r.cfg.Dir, "jobs", spec.ID)
+		// Refuse to adopt a directory with prior state: appending a new
+		// job's answers to a retained journal (or leaving a stale
+		// checkpoint) would fold the old tenant's data into the new
+		// consensus on the next recovery. Deleted jobs keep their state on
+		// disk by contract — restart recovers them; remove the directory
+		// to truly discard one.
+		if _, err := os.Stat(dir); err == nil {
+			return nil, fmt.Errorf("%w: %q has retained on-disk state at %s (restart recovers it; remove the directory to discard)",
+				ErrExists, spec.ID, dir)
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("serve: probing job dir: %w", err)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: creating job dir: %w", err)
+		}
+		raw, err := json.MarshalIndent(spec, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(filepath.Join(dir, specFile), raw, 0o644); err != nil {
+			return nil, fmt.Errorf("serve: writing job spec: %w", err)
+		}
+		if jr, err = openJournal(filepath.Join(dir, journalFile), r.cfg.SyncJournal); err != nil {
+			return nil, err
+		}
+	}
+	j := newJob(spec, model, dir, r.cfg)
+	j.journal = jr
+	j.start()
+	r.jobs[spec.ID] = j
+	return j, nil
+}
+
+// Get returns a job by id.
+func (r *Registry) Get(id string) (*Job, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every registered job, ordered by id.
+func (r *Registry) Jobs() []*Job {
+	r.mu.RLock()
+	out := make([]*Job, 0, len(r.jobs))
+	for _, j := range r.jobs {
+		out = append(out, j)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].ID() < out[b].ID() })
+	return out
+}
+
+// Delete closes a job (draining its queue and checkpointing) and removes it
+// from the registry. Its on-disk state is retained.
+func (r *Registry) Delete(id string) error {
+	r.mu.Lock()
+	j, ok := r.jobs[id]
+	if ok {
+		delete(r.jobs, id)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return j.Close()
+}
+
+// Close shuts every job down cleanly (drain, checkpoint, close journal).
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	jobs := make([]*Job, 0, len(r.jobs))
+	for _, j := range r.jobs {
+		jobs = append(jobs, j)
+	}
+	r.jobs = make(map[string]*Job)
+	r.mu.Unlock()
+	var first error
+	for _, j := range jobs {
+		if err := j.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// crashAll simulates a hard kill of every job (recovery tests).
+func (r *Registry) crashAll() {
+	for _, j := range r.Jobs() {
+		j.crash()
+	}
+}
+
+// openExistingJob recovers one job from its directory: load the spec,
+// restore the latest checkpoint (or a fresh model), replay the journal
+// suffix with the original mini-batch boundaries, requeue any answers that
+// were journaled but never fitted, and start the fitter.
+func openExistingJob(dir string, cfg Config) (*Job, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, specFile))
+	if err != nil {
+		return nil, fmt.Errorf("reading spec: %w", err)
+	}
+	var spec JobSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, fmt.Errorf("decoding spec: %w", err)
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+
+	var model *core.Model
+	if f, err := os.Open(filepath.Join(dir, modelFile)); err == nil {
+		model, err = core.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("loading checkpoint: %w", err)
+		}
+	} else if os.IsNotExist(err) {
+		if model, err = core.NewModel(spec.Model, spec.Items, spec.Workers, spec.Labels); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, fmt.Errorf("opening checkpoint: %w", err)
+	}
+
+	j := newJob(spec, model, dir, cfg)
+
+	// Replay the journal suffix. The checkpoint covers the first
+	// NumAnswers() answer lines and the first BatchRounds() fit markers;
+	// everything after is replayed with the recorded batch boundaries so
+	// the recovered posterior matches the pre-crash one exactly.
+	checkpointAns := model.NumAnswers()
+	skipAns, skipFit := checkpointAns, model.BatchRounds()
+	coveredBySkipped := 0
+	var pending []answers.Answer
+	err = replayJournal(filepath.Join(dir, journalFile), func(line journalLine) error {
+		switch line.Op {
+		case opAnswer:
+			if line.Ans == nil {
+				return fmt.Errorf("%w: answer line without payload", ErrInvalid)
+			}
+			if skipAns > 0 {
+				skipAns--
+				return nil
+			}
+			a := line.Ans.Answer()
+			if err := j.validate(a); err != nil {
+				return err
+			}
+			pending = append(pending, a)
+		case opFit:
+			if skipFit > 0 {
+				skipFit--
+				coveredBySkipped += line.N
+				return nil
+			}
+			if line.N <= 0 || line.N > len(pending) {
+				return fmt.Errorf("%w: fit marker n=%d with %d pending answers", ErrInvalid, line.N, len(pending))
+			}
+			if err := model.PartialFit(pending[:line.N]); err != nil {
+				return err
+			}
+			pending = pending[line.N:]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if skipAns > 0 || skipFit > 0 || coveredBySkipped != checkpointAns {
+		return nil, fmt.Errorf("%w: journal shorter than checkpoint (missing %d answers, %d markers; markers covered %d of %d)",
+			ErrInvalid, skipAns, skipFit, coveredBySkipped, checkpointAns)
+	}
+
+	j.ingested.Store(int64(model.NumAnswers() + len(pending)))
+	j.fitted.Store(int64(model.NumAnswers()))
+	j.rounds.Store(int64(model.BatchRounds()))
+	if model.Fitted() {
+		if err := j.publish(); err != nil {
+			return nil, err
+		}
+	}
+	if j.journal, err = openJournal(filepath.Join(dir, journalFile), cfg.SyncJournal); err != nil {
+		return nil, err
+	}
+	j.enqueueRecovered(pending)
+	j.start()
+	return j, nil
+}

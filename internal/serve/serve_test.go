@@ -1,0 +1,454 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cpa/internal/answers"
+	"cpa/internal/core"
+	"cpa/internal/datasets"
+	"cpa/internal/labelset"
+	"cpa/internal/metrics"
+)
+
+// testStream loads a small Table 3 profile for serving tests.
+func testStream(t testing.TB, scale float64, seed int64) *answers.Dataset {
+	t.Helper()
+	ds, _, err := datasets.Load("image", scale, seed)
+	if err != nil {
+		t.Fatalf("loading profile: %v", err)
+	}
+	return ds
+}
+
+func mustOpen(t testing.TB, cfg Config) *Registry {
+	t.Helper()
+	reg, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("opening registry: %v", err)
+	}
+	return reg
+}
+
+// postNDJSON ingests a chunk of answers over HTTP as an NDJSON stream.
+func postNDJSON(t testing.TB, client *http.Client, url string, batch []answers.Answer) {
+	t.Helper()
+	var body bytes.Buffer
+	for _, a := range batch {
+		line, err := answers.MarshalAnswerJSON(a)
+		if err != nil {
+			t.Fatalf("marshal answer: %v", err)
+		}
+		body.Write(line)
+		body.WriteByte('\n')
+	}
+	resp, err := client.Post(url, "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatalf("POST answers: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST answers: status %d", resp.StatusCode)
+	}
+}
+
+func createJobHTTP(t testing.TB, client *http.Client, base string, req CreateJobRequest) {
+	t.Helper()
+	raw, _ := json.Marshal(req)
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /v1/jobs: status %d", resp.StatusCode)
+	}
+}
+
+func getSnapshot(t testing.TB, client *http.Client, base, id string) *Snapshot {
+	t.Helper()
+	resp, err := client.Get(base + "/v1/jobs/" + id + "/consensus")
+	if err != nil {
+		t.Fatalf("GET consensus: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET consensus: status %d", resp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decoding snapshot: %v", err)
+	}
+	return &snap
+}
+
+func waitFitted(t testing.TB, j *Job, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for j.fitted.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d fitted answers (have %d)", want, j.fitted.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServeMatchesOffline is the end-to-end acceptance test: a LoadProfile
+// answer stream ingested over HTTP must yield the same consensus quality as
+// the offline cpa-online path (FitStream) on the same answers. With the
+// same mini-batch boundaries the two are the same deterministic
+// computation, so the tolerance check should pass with margin to spare.
+func TestServeMatchesOffline(t *testing.T) {
+	ds := testStream(t, 0.08, 7)
+	cfg := core.Config{Seed: 7, BatchSize: 64, Parallelism: 2}
+
+	// Offline reference: single-pass SVI over the same arrival order.
+	offline, err := core.NewModel(cfg, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := offline.FitStream(ds); err != nil {
+		t.Fatal(err)
+	}
+	offPred, err := offline.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offPR, err := metrics.Evaluate(ds, offPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Served: same answers, chunked to the model's batch size, over HTTP.
+	reg := mustOpen(t, Config{BatchWait: 20 * time.Millisecond})
+	defer reg.Close()
+	ts := httptest.NewServer(NewServer(reg))
+	defer ts.Close()
+	client := ts.Client()
+
+	createJobHTTP(t, client, ts.URL, CreateJobRequest{
+		ID: "image", Items: ds.NumItems, Workers: ds.NumWorkers, Labels: ds.NumLabels, Model: cfg,
+	})
+	job, ok := reg.Get("image")
+	if !ok {
+		t.Fatal("job not registered")
+	}
+	all := ds.Answers()
+	ingestURL := ts.URL + "/v1/jobs/image/answers"
+	for start := 0; start < len(all); start += cfg.BatchSize {
+		end := start + cfg.BatchSize
+		if end > len(all) {
+			end = len(all)
+		}
+		postNDJSON(t, client, ingestURL, all[start:end])
+		// Wait for the fitter to consume the chunk so the server's batch
+		// partition matches ds.Batches(BatchSize) exactly.
+		waitFitted(t, job, int64(end))
+	}
+
+	// The snapshot publication trails the fitted counter by one publish
+	// call; wait for the final round's snapshot before comparing.
+	waitSnapshot(t, job, len(all))
+	snap := getSnapshot(t, client, ts.URL, "image")
+	if snap.Round != offline.BatchRounds() {
+		t.Errorf("served %d fit rounds, offline %d", snap.Round, offline.BatchRounds())
+	}
+	if snap.Answers != ds.NumAnswers() {
+		t.Errorf("snapshot covers %d answers, want %d", snap.Answers, ds.NumAnswers())
+	}
+	pred := make([]labelset.Set, ds.NumItems)
+	for _, item := range snap.Consensus {
+		pred[item.Item] = labelset.FromSlice(item.Labels)
+	}
+	servePR, err := metrics.Evaluate(ds, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("offline P=%.4f R=%.4f; served P=%.4f R=%.4f", offPR.Precision, offPR.Recall, servePR.Precision, servePR.Recall)
+	if d := math.Abs(servePR.Precision - offPR.Precision); d > 0.02 {
+		t.Errorf("precision drift %.4f exceeds 2%%", d)
+	}
+	if d := math.Abs(servePR.Recall - offPR.Recall); d > 0.02 {
+		t.Errorf("recall drift %.4f exceeds 2%%", d)
+	}
+}
+
+// TestConcurrentReadsDuringFit hammers the read path from many goroutines
+// while ingestion and fitting run; under -race this verifies the lock-free
+// snapshot publication, and the monotone-round check verifies readers never
+// observe regressing consensus.
+func TestConcurrentReadsDuringFit(t *testing.T) {
+	ds := testStream(t, 0.08, 3)
+	reg := mustOpen(t, Config{BatchWait: 5 * time.Millisecond})
+	defer reg.Close()
+	ts := httptest.NewServer(NewServer(reg))
+	defer ts.Close()
+
+	job, err := reg.Create(JobSpec{
+		ID: "hot", Items: ds.NumItems, Workers: ds.NumWorkers, Labels: ds.NumLabels,
+		Model: core.Config{Seed: 3, BatchSize: 128, Parallelism: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lastRound := -1
+			for !stop.Load() {
+				snap := job.Snapshot()
+				if snap.Round < lastRound {
+					t.Errorf("snapshot round regressed: %d after %d", snap.Round, lastRound)
+					return
+				}
+				lastRound = snap.Round
+				_ = job.Stats()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		client := ts.Client()
+		for !stop.Load() {
+			resp, err := client.Get(ts.URL + "/v1/jobs/hot/consensus")
+			if err == nil {
+				resp.Body.Close()
+			}
+		}
+	}()
+
+	all := ds.Answers()
+	for start := 0; start < len(all); start += 200 {
+		end := start + 200
+		if end > len(all) {
+			end = len(all)
+		}
+		if err := job.Ingest(all[start:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFitted(t, job, int64(len(all)))
+	stop.Store(true)
+	wg.Wait()
+
+	if snap := job.Snapshot(); snap.Round == 0 || len(snap.Consensus) != ds.NumItems {
+		t.Fatalf("expected a full consensus snapshot, got round=%d items=%d", snap.Round, len(snap.Consensus))
+	}
+}
+
+func TestHTTPAPISurface(t *testing.T) {
+	reg := mustOpen(t, Config{})
+	defer reg.Close()
+	ts := httptest.NewServer(NewServer(reg))
+	defer ts.Close()
+	client := ts.Client()
+
+	post := func(path, body string) *http.Response {
+		t.Helper()
+		resp, err := client.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		return resp
+	}
+	expect := func(resp *http.Response, want int) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("status %d, want %d", resp.StatusCode, want)
+		}
+	}
+
+	expect(post("/v1/jobs", `{"id":"a","items":10,"workers":5,"labels":4}`), http.StatusCreated)
+	expect(post("/v1/jobs", `{"id":"a","items":10,"workers":5,"labels":4}`), http.StatusConflict)
+	expect(post("/v1/jobs", `{"id":"","items":10,"workers":5,"labels":4}`), http.StatusBadRequest)
+	expect(post("/v1/jobs", `{"id":"bad dims","items":0,"workers":5,"labels":4}`), http.StatusBadRequest)
+	expect(post("/v1/jobs", `not json`), http.StatusBadRequest)
+
+	// JSON-array ingestion form.
+	expect(post("/v1/jobs/a/answers", `{"answers":[{"i":0,"u":1,"x":[0,2]},{"i":1,"u":2,"x":[1]}]}`), http.StatusAccepted)
+	// Validation failures: out-of-range item / label, empty labels.
+	expect(post("/v1/jobs/a/answers", `{"answers":[{"i":99,"u":1,"x":[0]}]}`), http.StatusBadRequest)
+	expect(post("/v1/jobs/a/answers", `{"answers":[{"i":0,"u":1,"x":[99]}]}`), http.StatusBadRequest)
+	expect(post("/v1/jobs/a/answers", `{"answers":[{"i":0,"u":1,"x":[]}]}`), http.StatusBadRequest)
+	expect(post("/v1/jobs/nope/answers", `{"answers":[]}`), http.StatusNotFound)
+
+	for _, path := range []string{"/healthz", "/statsz", "/v1/jobs", "/v1/jobs/a", "/v1/jobs/a/consensus", "/v1/jobs/a/items/0"} {
+		resp, err := client.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		expect(resp, http.StatusOK)
+	}
+	resp, err := client.Get(ts.URL + "/v1/jobs/a/items/12345")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect(resp, http.StatusNotFound)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/a", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect(resp, http.StatusNoContent)
+	resp, err = client.Get(ts.URL + "/v1/jobs/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect(resp, http.StatusNotFound)
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	reg := mustOpen(t, Config{QueueLimit: 8, BatchWait: time.Hour})
+	defer reg.Close()
+	job, err := reg.Create(JobSpec{
+		ID: "tiny", Items: 100, Workers: 10, Labels: 5,
+		Model: core.Config{Seed: 1, BatchSize: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]answers.Answer, 16)
+	for i := range batch {
+		batch[i] = answers.Answer{Item: i, Worker: i % 10, Labels: labelset.Of(i % 5)}
+	}
+	// With BatchSize 512 and a huge BatchWait the fitter never drains the
+	// 8-slot queue, so an oversized batch must be rejected atomically.
+	if err := job.Ingest(batch); !errorsIs(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if err := job.Ingest(batch[:8]); err != nil {
+		t.Fatalf("batch within limit rejected: %v", err)
+	}
+	if err := job.Ingest(batch[8:]); !errorsIs(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull on full queue, got %v", err)
+	}
+	if got := job.Stats().QueueDepth; got != 8 {
+		t.Fatalf("queue depth %d, want 8", got)
+	}
+
+	// The HTTP layer maps backpressure to 429.
+	ts := httptest.NewServer(NewServer(reg))
+	defer ts.Close()
+	var body bytes.Buffer
+	for _, a := range batch {
+		line, _ := answers.MarshalAnswerJSON(a)
+		body.Write(line)
+		body.WriteByte('\n')
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/jobs/tiny/answers", "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+}
+
+func TestIngestAfterClose(t *testing.T) {
+	reg := mustOpen(t, Config{})
+	job, err := reg.Create(JobSpec{ID: "x", Items: 4, Workers: 2, Labels: 2, Model: core.Config{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = job.Ingest([]answers.Answer{{Item: 0, Worker: 0, Labels: labelset.Of(0)}})
+	if !errorsIs(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func errorsIs(err, target error) bool { return errors.Is(err, target) }
+
+// BenchmarkConsensusRead measures the GET /consensus read path with an idle
+// fitter; BenchmarkConsensusReadDuringFit measures the same read while the
+// fitter is continuously mid-round. The read path is a lock-free pointer
+// load, so with a core to spare the two are within noise of each other.
+// (On a single-CPU host the during-fit number instead measures scheduler
+// contention with the fitter's compute — lock-freedom itself is what
+// TestConcurrentReadsDuringFit verifies under -race.)
+func BenchmarkConsensusRead(b *testing.B)          { benchConsensusRead(b, false) }
+func BenchmarkConsensusReadDuringFit(b *testing.B) { benchConsensusRead(b, true) }
+
+func benchConsensusRead(b *testing.B, fitting bool) {
+	ds := testStream(b, 0.08, 11)
+	reg := mustOpen(b, Config{QueueLimit: 1 << 20, BatchWait: time.Millisecond})
+	defer reg.Close()
+	ts := httptest.NewServer(NewServer(reg))
+	defer ts.Close()
+
+	job, err := reg.Create(JobSpec{
+		ID: "bench", Items: ds.NumItems, Workers: ds.NumWorkers, Labels: ds.NumLabels,
+		Model: core.Config{Seed: 11, BatchSize: 128},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := ds.Answers()
+	if err := job.Ingest(all); err != nil {
+		b.Fatal(err)
+	}
+	waitFitted(b, job, int64(len(all)))
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	if fitting {
+		// Keep the fitter permanently mid-round by recycling the stream,
+		// paced by queue depth: an unbounded backlog would grow the model
+		// (and each round's cost) without limit during long measurements.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				for start := 0; start < len(all) && !stop.Load(); start += 128 {
+					end := start + 128
+					if end > len(all) {
+						end = len(all)
+					}
+					for job.Stats().QueueDepth > 512 && !stop.Load() {
+						time.Sleep(time.Millisecond)
+					}
+					if err := job.Ingest(all[start:end]); err != nil {
+						time.Sleep(time.Millisecond)
+					}
+				}
+			}
+		}()
+	}
+
+	client := ts.Client()
+	url := ts.URL + "/v1/jobs/bench/consensus"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
+}

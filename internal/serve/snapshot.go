@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"time"
+
+	"cpa/internal/core"
+)
+
+// Snapshot is one immutable, JSON-ready consensus publication. The fitter
+// builds a fresh Snapshot after each round and swaps it behind the job's
+// atomic pointer; readers share the value without copying, so nothing in a
+// published Snapshot may ever be mutated.
+type Snapshot struct {
+	JobID   string `json:"job_id"`
+	Round   int    `json:"round"`   // fit rounds behind this snapshot
+	Answers int    `json:"answers"` // answers the model had ingested
+	Items   int    `json:"items"`
+	Workers int    `json:"workers"`
+	Labels  int    `json:"labels"`
+
+	EffectiveCommunities int `json:"effective_communities"`
+	EffectiveClusters    int `json:"effective_clusters"`
+
+	CreatedAt time.Time `json:"created_at"`
+
+	// Consensus holds one entry per item (index == item id).
+	Consensus []ItemSnapshot `json:"consensus"`
+}
+
+// ItemSnapshot is one item's published consensus.
+type ItemSnapshot struct {
+	Item int `json:"item"`
+	// Labels is the instantiated consensus label set (paper §3.4).
+	Labels []int `json:"labels"`
+	// Candidates lists every voted label with the model's calibrated
+	// inclusion posterior, so clients can apply their own thresholds.
+	Candidates []CandidateSnapshot `json:"candidates,omitempty"`
+}
+
+// CandidateSnapshot is one voted label and its inclusion confidence.
+type CandidateSnapshot struct {
+	Label      int     `json:"label"`
+	Confidence float64 `json:"confidence"`
+}
+
+// emptySnapshot is published at job start so readers always see a snapshot
+// (round 0, no consensus) rather than a 404.
+func emptySnapshot(spec JobSpec, now time.Time) *Snapshot {
+	return &Snapshot{
+		JobID:     spec.ID,
+		Items:     spec.Items,
+		Workers:   spec.Workers,
+		Labels:    spec.Labels,
+		CreatedAt: now,
+		Consensus: []ItemSnapshot{},
+	}
+}
+
+// newSnapshot packages a core consensus view for publication.
+func newSnapshot(jobID string, view *core.ConsensusView, now time.Time) *Snapshot {
+	s := &Snapshot{
+		JobID:                jobID,
+		Round:                view.Stats.BatchRounds,
+		Answers:              view.Stats.Answers,
+		Items:                view.Stats.Items,
+		Workers:              view.Stats.Workers,
+		Labels:               view.Stats.Labels,
+		EffectiveCommunities: view.Stats.EffectiveCommunities,
+		EffectiveClusters:    view.Stats.EffectiveClusters,
+		CreatedAt:            now,
+		Consensus:            make([]ItemSnapshot, len(view.Items)),
+	}
+	for i, item := range view.Items {
+		is := ItemSnapshot{Item: i, Labels: item.Labels}
+		if len(item.Candidates) > 0 {
+			is.Candidates = make([]CandidateSnapshot, len(item.Candidates))
+			for k, c := range item.Candidates {
+				is.Candidates[k] = CandidateSnapshot{Label: c, Confidence: item.Confidence[k]}
+			}
+		}
+		s.Consensus[i] = is
+	}
+	return s
+}
