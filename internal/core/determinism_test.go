@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+
+	"cpa/internal/answers"
+	"cpa/internal/labelset"
+)
+
+// tieDataset builds a dataset engineered for equal-probability prediction
+// ties: labels 2 and 3 are perfectly exchangeable (every answer that
+// contains one contains the other, on every item, from every worker), so
+// their posterior inclusion scores are symmetric and the §3.4 instantiation
+// has to break the tie by pure iteration-order convention. Labels 4 and 5
+// exist in the vocabulary but are never voted by anyone.
+func tieDataset(t testing.TB) *answers.Dataset {
+	t.Helper()
+	ds, err := answers.NewDataset("ties", 8, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		for u := 0; u < 4; u++ {
+			var ans labelset.Set
+			if i%2 == 0 {
+				ans = labelset.Of(2, 3) // the exchangeable pair
+			} else {
+				ans = labelset.Of(0)
+			}
+			// One dissenter keeps the matrix from being fully degenerate
+			// without breaking the 2↔3 symmetry (it votes both or neither).
+			if u == 3 {
+				if i%4 == 0 {
+					ans = labelset.Of(1, 2, 3)
+				} else {
+					ans = labelset.Of(1)
+				}
+			}
+			if err := ds.Add(i, u, ans); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return ds
+}
+
+// predictAll fits a fresh model at the given parallelism and predicts.
+func predictAll(t testing.TB, ds *answers.Dataset, parallelism int, online bool) []labelset.Set {
+	t.Helper()
+	cfg := Config{Seed: 17, Parallelism: parallelism, BatchSize: 8}
+	model, err := NewModel(cfg, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if online {
+		if _, err := model.FitStream(ds); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if _, err := model.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pred, err := model.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pred
+}
+
+func samePredictions(t testing.TB, what string, a, b []labelset.Set) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d predictions", what, len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("%s: item %d predicted %v vs %v", what, i, a[i], b[i])
+		}
+	}
+}
+
+// TestTieBreakIdenticalAcrossParallelism pins that equal-probability ties
+// break identically for every Parallelism setting, on both inference paths.
+// Prediction is per-item work distributed over the Algorithm 3 shards; a
+// shard-dependent scratch reuse or ordering bug would surface exactly here,
+// where the greedy search's argmax margins are zero.
+func TestTieBreakIdenticalAcrossParallelism(t *testing.T) {
+	ds := tieDataset(t)
+	for _, online := range []bool{false, true} {
+		ref := predictAll(t, ds, 1, online)
+		// The exchangeable pair must be kept or dropped together: a
+		// prediction containing exactly one of {2,3} means the symmetric
+		// tie was broken by floating-point noise, not convention.
+		for i, p := range ref {
+			if p.Contains(2) != p.Contains(3) {
+				t.Fatalf("online=%v: item %d split the exchangeable pair: %v", online, i, p)
+			}
+		}
+		for _, par := range []int{2, 4, 8} {
+			got := predictAll(t, ds, par, online)
+			samePredictions(t, "parallelism", ref, got)
+		}
+	}
+}
+
+// TestPredictRepeatable pins that Predict is a pure read: repeated calls on
+// the same fitted model return identical sets (the serving layer predicts
+// once per round on clones and depends on this).
+func TestPredictRepeatable(t *testing.T) {
+	ds := tieDataset(t)
+	model, err := NewModel(Config{Seed: 3, Parallelism: 4}, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	first, err := model.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		again, err := model.Predict()
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePredictions(t, "repeat", first, again)
+	}
+	// PredictItem must agree with the bulk path item by item, ties included.
+	for i := range first {
+		single, err := model.PredictItem(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !single.Equal(first[i]) {
+			t.Fatalf("PredictItem(%d) = %v, bulk predicted %v", i, single, first[i])
+		}
+	}
+}
+
+// TestUnseenLabelDeterminism pins prediction behaviour for labels nobody
+// voted: candidates beyond the voted set enter only through the cluster
+// prior (predictCandidates), and whatever enters must do so identically
+// across Parallelism settings and repeated runs. With the tie dataset's
+// labels 4 and 5 wholly unvoted and evidence-free, they must never be
+// asserted into any consensus.
+func TestUnseenLabelDeterminism(t *testing.T) {
+	ds := tieDataset(t)
+	for _, online := range []bool{false, true} {
+		ref := predictAll(t, ds, 1, online)
+		for i, p := range ref {
+			if p.Contains(4) || p.Contains(5) {
+				t.Errorf("online=%v: item %d asserts a never-voted label: %v", online, i, p)
+			}
+		}
+		for _, par := range []int{3, 8} {
+			samePredictions(t, "unseen-label", ref, predictAll(t, ds, par, online))
+		}
+	}
+}
+
+// TestAggregatorDeterministicAcrossParallelism lifts the same contract to
+// the Aggregator facade (what cpacli/cpabench call): one config, any
+// parallelism, one answer.
+func TestAggregatorDeterministicAcrossParallelism(t *testing.T) {
+	ds := tieDataset(t)
+	for _, mk := range []struct {
+		name string
+		make func(Config) *Aggregator
+	}{
+		{"batch", NewAggregator},
+		{"online", NewOnlineAggregator},
+	} {
+		ref, err := mk.make(Config{Seed: 5, Parallelism: 1, BatchSize: 8}).Aggregate(ds)
+		if err != nil {
+			t.Fatalf("%s: %v", mk.name, err)
+		}
+		for _, par := range []int{2, 4} {
+			got, err := mk.make(Config{Seed: 5, Parallelism: par, BatchSize: 8}).Aggregate(ds)
+			if err != nil {
+				t.Fatalf("%s at P=%d: %v", mk.name, par, err)
+			}
+			samePredictions(t, mk.name, ref, got)
+		}
+		// Same aggregator, repeated calls: fresh model each time, same answer.
+		agg := mk.make(Config{Seed: 5, Parallelism: 2, BatchSize: 8})
+		a, err := agg.Aggregate(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := agg.Aggregate(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePredictions(t, mk.name+" repeat", a, b)
+	}
+}

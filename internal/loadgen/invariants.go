@@ -1,0 +1,134 @@
+package loadgen
+
+import (
+	"fmt"
+	"slices"
+
+	"cpa/internal/answers"
+	"cpa/internal/core"
+	"cpa/internal/serve"
+)
+
+// replayJournal rebuilds the consensus a job's journal encodes: a fresh
+// model advanced by PartialFit with the recorded mini-batch boundaries —
+// exactly the FitStream computation the daemon performed, in the arrival
+// order the journal persisted. It returns the post-replay consensus view
+// (nil when no fit marker was recorded yet), the full acked answer
+// sequence, and the answers journaled but not covered by any fit marker.
+func replayJournal(path string, spec serve.JobSpec) (*core.ConsensusView, []answers.Answer, []answers.Answer, error) {
+	model, err := core.NewModel(spec.Model, spec.Items, spec.Workers, spec.Labels)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var acked, pending []answers.Answer
+	err = serve.ReadJournal(path, func(e serve.JournalEntry) error {
+		if e.Answer != nil {
+			acked = append(acked, *e.Answer)
+			pending = append(pending, *e.Answer)
+			return nil
+		}
+		if e.FitN <= 0 || e.FitN > len(pending) {
+			return fmt.Errorf("fit marker n=%d with %d pending answers", e.FitN, len(pending))
+		}
+		if err := model.PartialFit(pending[:e.FitN]); err != nil {
+			return err
+		}
+		pending = pending[e.FitN:]
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if !model.Fitted() {
+		return nil, acked, pending, nil
+	}
+	// Mirror serve's publish(): the online-prediction posterior is prepared
+	// on a clone so the replay model itself could keep streaming.
+	clone := model.Clone()
+	clone.FinalizeOnline()
+	view, err := clone.ConsensusView()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return view, acked, pending, nil
+}
+
+// CheckReplay verifies the served-equals-replay invariant: the snapshot a
+// server published for a job must be bit-for-bit reproducible by an offline
+// replay of that job's journal (same arrival order, same recorded
+// mini-batch boundaries, same model config). A nil error means the served
+// consensus is exactly the deterministic function of the durable state —
+// the property that makes crash recovery exact and that the PR 2 class of
+// arrival-order persistence bugs violates.
+func CheckReplay(journalPath string, spec serve.JobSpec, snap *serve.Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("no served snapshot to check against")
+	}
+	view, _, _, err := replayJournal(journalPath, spec)
+	if err != nil {
+		return fmt.Errorf("replaying journal: %w", err)
+	}
+	if view == nil {
+		if snap.Round != 0 {
+			return fmt.Errorf("served round %d but journal has no fit markers", snap.Round)
+		}
+		return nil
+	}
+	return diffSnapshot(snap, view)
+}
+
+// diffSnapshot compares a served snapshot with a replayed consensus view,
+// element by element and bit for bit (float confidences included — Go's
+// JSON encoding round-trips float64 exactly, and the replay is the same
+// deterministic computation the server ran).
+func diffSnapshot(snap *serve.Snapshot, view *core.ConsensusView) error {
+	if snap.Round != view.Stats.BatchRounds {
+		return fmt.Errorf("served round %d, replay %d", snap.Round, view.Stats.BatchRounds)
+	}
+	if snap.Answers != view.Stats.Answers {
+		return fmt.Errorf("served snapshot covers %d answers, replay %d", snap.Answers, view.Stats.Answers)
+	}
+	if len(snap.Consensus) != len(view.Items) {
+		return fmt.Errorf("served %d items, replay %d", len(snap.Consensus), len(view.Items))
+	}
+	for i, item := range view.Items {
+		got := snap.Consensus[i]
+		if got.Item != i {
+			return fmt.Errorf("item %d: served snapshot indexes it as %d", i, got.Item)
+		}
+		if !slices.Equal(got.Labels, item.Labels) {
+			return fmt.Errorf("item %d: served labels %v, replay %v", i, got.Labels, item.Labels)
+		}
+		if len(got.Candidates) != len(item.Candidates) {
+			return fmt.Errorf("item %d: served %d candidates, replay %d", i, len(got.Candidates), len(item.Candidates))
+		}
+		for k, c := range item.Candidates {
+			if got.Candidates[k].Label != c {
+				return fmt.Errorf("item %d candidate %d: served label %d, replay %d", i, k, got.Candidates[k].Label, c)
+			}
+			if got.Candidates[k].Confidence != item.Confidence[k] {
+				return fmt.Errorf("item %d candidate %d (label %d): served confidence %v, replay %v",
+					i, k, c, got.Candidates[k].Confidence, item.Confidence[k])
+			}
+		}
+	}
+	return nil
+}
+
+// checkAckedDurable verifies the backpressure invariant: the journal's
+// answer sequence equals the client-side acked sequence exactly — same
+// answers, same order, nothing lost to a 429/retry cycle, nothing
+// duplicated by one.
+func checkAckedDurable(journaled, acked []answers.Answer) error {
+	if len(journaled) != len(acked) {
+		return fmt.Errorf("journal holds %d answers, client acked %d", len(journaled), len(acked))
+	}
+	for i := range acked {
+		j, a := journaled[i], acked[i]
+		if j.Item != a.Item || j.Worker != a.Worker || !j.Labels.Equal(a.Labels) {
+			return fmt.Errorf("position %d: journal has (item %d, worker %d, %v), client acked (item %d, worker %d, %v)",
+				i, j.Item, j.Worker, j.Labels, a.Item, a.Worker, a.Labels)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// trafficModel produces the inter-request gaps of a scenario's arrival
+// schedule. Gaps are deterministic under the plan seed and are slept
+// through the run's Clock — a VirtualClock makes the schedule shape the
+// request sequence (burst sizes, idle windows) at zero wall cost, a
+// RealClock paces real load.
+type trafficModel struct {
+	kind  ArrivalKind
+	rng   *rand.Rand
+	chunk int     // answers per request
+	rate  float64 // answers per second
+
+	// bursty state: requests remaining in the current burst.
+	burstLeft int
+}
+
+func newTrafficModel(sc Scenario, seed int64) *trafficModel {
+	return &trafficModel{
+		kind:  sc.Arrival,
+		rng:   rand.New(rand.NewSource(seed)),
+		chunk: sc.chunk(),
+		rate:  sc.rate(),
+	}
+}
+
+// burstSize is the number of back-to-back requests per bursty-mode burst.
+const burstSize = 12
+
+// gap returns the pause to insert after one ingestion request.
+func (t *trafficModel) gap() time.Duration {
+	mean := float64(t.chunk) / t.rate // seconds per request at the mean rate
+	switch t.kind {
+	case ArrivalPoisson:
+		u := t.rng.Float64()
+		for u == 0 {
+			u = t.rng.Float64()
+		}
+		return secs(-math.Log(u) * mean)
+	case ArrivalBursty:
+		if t.burstLeft <= 0 {
+			t.burstLeft = burstSize
+		}
+		t.burstLeft--
+		if t.burstLeft > 0 {
+			return 0 // within a burst: back-to-back
+		}
+		// Idle long enough that the mean rate still averages out.
+		return secs(mean * burstSize * (1 + t.rng.Float64()))
+	case ArrivalTrickle:
+		// Deliberately slower than the mean rate so queues stay shallow and
+		// the fitter's BatchWait path fires.
+		return secs(4 * mean)
+	default: // ArrivalSteady
+		return secs(mean)
+	}
+}
+
+func secs(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

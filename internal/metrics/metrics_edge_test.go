@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"cpa/internal/answers"
+	"cpa/internal/labelset"
+)
+
+// TestItemPREdgeCases is the table-driven sweep of the ItemPR corner
+// conventions: empty predictions, empty truth, partial overlap in both
+// directions, and singleton universes.
+func TestItemPREdgeCases(t *testing.T) {
+	cases := []struct {
+		name         string
+		truth, pred  []int
+		wantP, wantR float64
+	}{
+		{"empty prediction, non-empty truth", []int{1, 2}, nil, 0, 0},
+		{"empty prediction, empty truth", nil, nil, 1, 1},
+		{"non-empty prediction, empty truth", nil, []int{3}, 0, 1},
+		{"exact singleton match", []int{0}, []int{0}, 1, 1},
+		{"singleton mismatch", []int{0}, []int{1}, 0, 0},
+		{"prediction strictly inside truth", []int{1, 2, 3, 4}, []int{2, 3}, 1, 0.5},
+		{"truth strictly inside prediction", []int{2, 3}, []int{1, 2, 3, 4}, 0.5, 1},
+		{"half overlap both ways", []int{1, 2}, []int{2, 3}, 0.5, 0.5},
+		{"disjoint sets", []int{1, 2}, []int{3, 4}, 0, 0},
+		{"one-third precision", []int{7}, []int{5, 6, 7}, 1.0 / 3, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, r := ItemPR(labelset.FromSlice(c.truth), labelset.FromSlice(c.pred))
+			if math.Abs(p-c.wantP) > 1e-12 || math.Abs(r-c.wantR) > 1e-12 {
+				t.Fatalf("ItemPR = (%v, %v), want (%v, %v)", p, r, c.wantP, c.wantR)
+			}
+		})
+	}
+}
+
+// mustDataset builds a small dataset with explicit truth for Evaluate
+// edge-case tables.
+func mustDataset(t *testing.T, items, workers, labels int) *answers.Dataset {
+	t.Helper()
+	ds, err := answers.NewDataset("edge", items, workers, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestEvaluateEmptyPredictions pins that a nil (zero-value) prediction set
+// scores as an empty assertion: precision contributes the empty-prediction
+// convention, recall 0 on non-empty truth.
+func TestEvaluateEmptyPredictions(t *testing.T) {
+	ds := mustDataset(t, 2, 1, 3)
+	if err := ds.Add(0, 0, labelset.Of(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetTruth(0, labelset.Of(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetTruth(1, labelset.Of(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Both predictions are zero-value sets (never touched): an empty
+	// prediction against non-empty truth scores P=0, R=0.
+	pr, err := Evaluate(ds, make([]labelset.Set, ds.NumItems))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Items != 2 || pr.Precision != 0 || pr.Recall != 0 {
+		t.Fatalf("empty predictions: %+v, want P=0 R=0 over 2 items", pr)
+	}
+}
+
+// TestEvaluatePartialOverlap pins exact fractional averages over items with
+// different overlap ratios, including an item with no truth (skipped).
+func TestEvaluatePartialOverlap(t *testing.T) {
+	ds := mustDataset(t, 3, 1, 5)
+	if err := ds.Add(0, 0, labelset.Of(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetTruth(0, labelset.Of(0, 1)); err != nil { // pred {0,2}: P=1/2 R=1/2
+		t.Fatal(err)
+	}
+	if err := ds.SetTruth(2, labelset.Of(0, 1, 2, 3)); err != nil { // pred {0,1}: P=1 R=1/2
+		t.Fatal(err)
+	}
+	pred := []labelset.Set{labelset.Of(0, 2), labelset.Of(4), labelset.Of(0, 1)}
+	pr, err := Evaluate(ds, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Items != 2 {
+		t.Fatalf("covered %d items, want 2 (item 1 has no truth)", pr.Items)
+	}
+	// Item 0: P=1/2, R=1/2. Item 2: P=2/2, R=2/4. Averages: P=3/4, R=1/2.
+	if math.Abs(pr.Precision-0.75) > 1e-12 || math.Abs(pr.Recall-0.5) > 1e-12 {
+		t.Fatalf("partial overlap: P=%v R=%v, want P=0.75 R=0.5", pr.Precision, pr.Recall)
+	}
+	if math.Abs(pr.F1()-0.6) > 1e-12 {
+		t.Fatalf("F1 %v, want 0.6", pr.F1())
+	}
+}
+
+// TestEvaluateSingletonUniverse runs the full metric stack on the smallest
+// possible problem: one item, one worker, one label.
+func TestEvaluateSingletonUniverse(t *testing.T) {
+	ds := mustDataset(t, 1, 1, 1)
+	if err := ds.Add(0, 0, labelset.Of(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetTruth(0, labelset.Of(0)); err != nil {
+		t.Fatal(err)
+	}
+	pred := []labelset.Set{labelset.Of(0)}
+	pr, err := Evaluate(ds, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Precision != 1 || pr.Recall != 1 || pr.F1() != 1 || pr.Items != 1 {
+		t.Fatalf("singleton universe: %+v", pr)
+	}
+	if em, err := ExactMatchRate(ds, pred); err != nil || em != 1 {
+		t.Fatalf("exact match %v err %v", em, err)
+	}
+	if mj, err := MeanJaccard(ds, pred); err != nil || mj != 1 {
+		t.Fatalf("jaccard %v err %v", mj, err)
+	}
+	wq := OverallWorkerQuality(ds)
+	if len(wq) != 1 {
+		t.Fatalf("%d worker quality entries, want 1", len(wq))
+	}
+	// tp=1, fn=0, fp=0, tn=0 with add-one smoothing: sens 2/3, spec 1/2.
+	if math.Abs(wq[0].Sensitivity-2.0/3) > 1e-12 || math.Abs(wq[0].Specificity-0.5) > 1e-12 {
+		t.Fatalf("singleton worker quality %+v", wq[0])
+	}
+}
+
+// TestMetricsLengthMismatch pins the error contract shared by the three
+// dataset-level metrics when the prediction slice has the wrong length.
+func TestMetricsLengthMismatch(t *testing.T) {
+	ds := mustDataset(t, 2, 1, 2)
+	if err := ds.Add(0, 0, labelset.Of(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetTruth(0, labelset.Of(0)); err != nil {
+		t.Fatal(err)
+	}
+	short := []labelset.Set{labelset.Of(0)}
+	if _, err := Evaluate(ds, short); err == nil {
+		t.Error("Evaluate accepted a short prediction slice")
+	}
+	if _, err := ExactMatchRate(ds, short); err == nil {
+		t.Error("ExactMatchRate accepted a short prediction slice")
+	}
+	if _, err := MeanJaccard(ds, short); err == nil {
+		t.Error("MeanJaccard accepted a short prediction slice")
+	}
+}
+
+// TestWorkerQualityLabelRange pins the nil return for out-of-range labels.
+func TestWorkerQualityLabelRange(t *testing.T) {
+	ds := mustDataset(t, 1, 1, 2)
+	if err := ds.Add(0, 0, labelset.Of(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetTruth(0, labelset.Of(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := WorkerQuality(ds, -1); got != nil {
+		t.Errorf("label -1: got %v, want nil", got)
+	}
+	if got := WorkerQuality(ds, 2); got != nil {
+		t.Errorf("label 2 of 2: got %v, want nil", got)
+	}
+	if got := WorkerQuality(ds, 1); len(got) != 1 {
+		t.Errorf("valid unvoted label: got %d entries, want 1", len(got))
+	}
+}
+
+// TestSummarizeEdges covers the degenerate Summarize inputs.
+func TestSummarizeEdges(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Fatalf("empty input: %+v", s)
+	}
+	if s := Summarize([]float64{3}); s.N != 1 || s.Mean != 3 || s.Std != 0 {
+		t.Fatalf("single value: %+v", s)
+	}
+	if s := Summarize([]float64{-2, 2}); s.Mean != 0 || s.Std != 2 {
+		t.Fatalf("symmetric pair: %+v", s)
+	}
+}

@@ -89,8 +89,14 @@ type ServerStats struct {
 
 func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	var req CreateJobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, fmt.Errorf("%w: decoding body: %v", ErrInvalid, err))
+	r.Body = http.MaxBytesReader(w, r.Body, maxCreateBytes)
+	dec := json.NewDecoder(r.Body)
+	// Strict field checking: a typoed field (e.g. "modle" or a misspelled
+	// core.Config key) would otherwise be dropped silently and the job
+	// created with default settings.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, fmt.Errorf("%w: decoding body: %v", bodyErrKind(err), err))
 		return
 	}
 	job, err := s.reg.Create(JobSpec{
@@ -136,6 +142,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, fmt.Errorf("%w: %q", ErrNotFound, r.PathValue("id")))
 		return
 	}
+	// The whole request is decoded before Job.Ingest applies queue
+	// backpressure, so the body itself must be bounded or one oversized
+	// POST exhausts memory before the 429 path can fire. Chunk large
+	// streams into multiple requests.
+	r.Body = http.MaxBytesReader(w, r.Body, maxIngestBytes)
 	var batch []answers.Answer
 	ct := r.Header.Get("Content-Type")
 	if strings.HasPrefix(ct, "application/x-ndjson") || strings.HasPrefix(ct, "application/jsonl") {
@@ -144,13 +155,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return nil
 		})
 		if err != nil {
-			httpError(w, fmt.Errorf("%w: %v", ErrInvalid, err))
+			httpError(w, fmt.Errorf("%w: %v", bodyErrKind(err), err))
 			return
 		}
 	} else {
 		var req IngestRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, fmt.Errorf("%w: decoding body: %v", ErrInvalid, err))
+		dec := json.NewDecoder(r.Body)
+		// Strict field checking: an NDJSON stream posted with a JSON
+		// content type would otherwise decode as an IngestRequest with no
+		// answers and be acked as an empty batch, silently dropping
+		// everything the client sent.
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, fmt.Errorf("%w: decoding body: %v", bodyErrKind(err), err))
 			return
 		}
 		batch = make([]answers.Answer, len(req.Answers))
@@ -218,6 +235,24 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 // Helpers
 // ---------------------------------------------------------------------------
 
+// Request body caps. Ingestion is designed around chunked streams — the
+// queue's 429 backpressure bounds memory per job, so one request must not
+// be allowed to dwarf the queue itself. Create bodies are tiny by nature.
+const (
+	maxIngestBytes = 32 << 20
+	maxCreateBytes = 1 << 20
+)
+
+// bodyErrKind classifies a request-body decode failure: an overrun of the
+// MaxBytesReader cap maps to 413, everything else to 400.
+func bodyErrKind(err error) error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return ErrTooLarge
+	}
+	return ErrInvalid
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -235,6 +270,8 @@ func httpError(w http.ResponseWriter, err error) {
 		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrTooLarge):
+		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrInvalid):
 		status = http.StatusBadRequest
 	}

@@ -376,6 +376,15 @@ const (
 	modelFile   = "model.gob"
 )
 
+// JournalPath returns the path of a job's ingestion journal under a
+// registry data directory — the file ReadJournal consumes. The on-disk
+// layout is private to this package; external replay tooling (loadgen's
+// invariant checker) must resolve paths through this helper rather than
+// hardcoding it.
+func JournalPath(dataDir, jobID string) string {
+	return filepath.Join(dataDir, "jobs", jobID, journalFile)
+}
+
 // saveModel checkpoints the live posterior atomically (tmp + rename). Only
 // the fitter goroutine (or Close, after the fitter exited) calls this.
 func (j *Job) saveModel() error {

@@ -136,6 +136,37 @@ func (j *journal) Close() error {
 	return j.f.Close()
 }
 
+// JournalEntry is one decoded record of a job's ingestion journal, exposed
+// for external replay (the loadgen invariant checker rebuilds a job's
+// consensus from its journal and compares it with the served snapshot).
+// Exactly one of the two fields is meaningful per entry.
+type JournalEntry struct {
+	// Answer is non-nil for an ingested-answer record.
+	Answer *answers.Answer
+	// FitN is > 0 for a fit marker: the fitter consumed the next FitN
+	// pending answers as one mini-batch.
+	FitN int
+}
+
+// ReadJournal streams a job journal through fn in recorded order, with the
+// same tolerance rules as recovery: a torn final line is skipped, malformed
+// lines elsewhere are an error. A missing file yields no entries.
+func ReadJournal(path string, fn func(JournalEntry) error) error {
+	return replayJournal(path, func(line journalLine) error {
+		switch line.Op {
+		case opAnswer:
+			if line.Ans == nil {
+				return fmt.Errorf("%w: answer line without payload", ErrInvalid)
+			}
+			a := line.Ans.Answer()
+			return fn(JournalEntry{Answer: &a})
+		case opFit:
+			return fn(JournalEntry{FitN: line.N})
+		}
+		return nil
+	})
+}
+
 // replayJournal streams a journal file through fn in order. A torn final
 // line (crash mid-write) is tolerated and skipped; a malformed line in the
 // middle of the file is an error.

@@ -97,7 +97,7 @@ func TestCrashRecoveryReplaysJournal(t *testing.T) {
 	all := ds.Answers()
 	holdBack := 100 // keep a tail to ingest after recovery
 	ingestAll(t, job, all[:len(all)-holdBack], 64)
-	reg.crashAll() // kill -9: no drain, no final checkpoint, no journal close
+	reg.CrashAll() // kill -9: no drain, no final checkpoint, no journal close
 	// crashAll waited for the fitter's in-flight batch, so the snapshot
 	// pointer now holds the job's final pre-crash publication.
 	before := job.Snapshot()
@@ -160,7 +160,7 @@ func TestCrashRecoveryFromCheckpoint(t *testing.T) {
 		// runs after the round counter advances, so the counter is fresh.
 		waitSnapshot(t, job, int(job.ingested.Load()))
 	}
-	reg.crashAll()
+	reg.CrashAll()
 	before := job.Snapshot()
 
 	if _, err := os.Stat(filepath.Join(dir, "jobs", "ckpt", modelFile)); err != nil {
@@ -200,7 +200,7 @@ func TestCrashRecoveryRequeuesPending(t *testing.T) {
 	if got := job.fitted.Load(); got != 0 {
 		t.Fatalf("fitter consumed %d answers despite stall config", got)
 	}
-	reg.crashAll()
+	reg.CrashAll()
 
 	// Reopen with a fittable configuration override? The model config is
 	// persisted in the spec, so the batch size stays 1<<20 — but closing the
@@ -245,7 +245,7 @@ func TestRecoveryToleratesTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitFitted(t, job, 8)
-	reg.crashAll()
+	reg.CrashAll()
 	before := job.Snapshot()
 
 	journalPath := filepath.Join(dir, "jobs", "torn", journalFile)
@@ -279,6 +279,39 @@ func TestRecoveryToleratesTornTail(t *testing.T) {
 	f.Close()
 	if _, err := Open(Config{Dir: dir}); err == nil {
 		t.Fatal("expected mid-journal corruption to fail recovery")
+	}
+}
+
+// TestAbortedCreateDoesNotPoisonRecovery pins that a job directory without
+// a spec — what an aborted Create leaves behind — neither fails registry
+// recovery for every healthy tenant nor blocks the id from being created.
+func TestAbortedCreateDoesNotPoisonRecovery(t *testing.T) {
+	dir := t.TempDir()
+	reg := mustOpen(t, Config{Dir: dir, BatchWait: 5 * time.Millisecond})
+	spec := JobSpec{ID: "healthy", Items: 10, Workers: 4, Labels: 3, Model: core.Config{Seed: 1, BatchSize: 4}}
+	if _, err := reg.Create(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a Create that died between MkdirAll and the spec write.
+	if err := os.MkdirAll(filepath.Join(dir, "jobs", "aborted"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := mustOpen(t, Config{Dir: dir, BatchWait: 5 * time.Millisecond})
+	defer reg2.Close()
+	if _, ok := reg2.Get("healthy"); !ok {
+		t.Fatal("healthy job not recovered alongside an aborted directory")
+	}
+	if _, ok := reg2.Get("aborted"); ok {
+		t.Fatal("specless directory recovered as a job")
+	}
+	// The bare directory holds no durable state; the id is free to use.
+	abortedSpec := JobSpec{ID: "aborted", Items: 10, Workers: 4, Labels: 3, Model: core.Config{Seed: 1, BatchSize: 4}}
+	if _, err := reg2.Create(abortedSpec); err != nil {
+		t.Fatalf("creating over an aborted directory: %v", err)
 	}
 }
 

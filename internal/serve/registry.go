@@ -42,6 +42,12 @@ func Open(cfg Config) (*Registry, error) {
 		if !e.IsDir() {
 			continue
 		}
+		// A directory without a spec is an aborted Create (the journal is
+		// only opened after job.json lands, so no durable data can exist);
+		// skip it rather than poisoning recovery of every healthy tenant.
+		if _, err := os.Stat(filepath.Join(jobsDir, e.Name(), specFile)); os.IsNotExist(err) {
+			continue
+		}
 		j, err := openExistingJob(filepath.Join(jobsDir, e.Name()), cfg)
 		if err != nil {
 			r.Close()
@@ -74,29 +80,35 @@ func (r *Registry) Create(spec JobSpec) (*Job, error) {
 	var jr *journal
 	if r.cfg.Dir != "" {
 		dir = filepath.Join(r.cfg.Dir, "jobs", spec.ID)
-		// Refuse to adopt a directory with prior state: appending a new
-		// job's answers to a retained journal (or leaving a stale
-		// checkpoint) would fold the old tenant's data into the new
+		// Refuse to adopt a directory with prior durable state (spec,
+		// journal or checkpoint): appending a new job's answers to a
+		// retained journal would fold the old tenant's data into the new
 		// consensus on the next recovery. Deleted jobs keep their state on
 		// disk by contract — restart recovers them; remove the directory
-		// to truly discard one.
-		if _, err := os.Stat(dir); err == nil {
+		// to truly discard one. A bare directory (an aborted Create) holds
+		// nothing durable and is adopted.
+		if retained, err := hasJobState(dir); err != nil {
+			return nil, fmt.Errorf("serve: probing job dir: %w", err)
+		} else if retained {
 			return nil, fmt.Errorf("%w: %q has retained on-disk state at %s (restart recovers it; remove the directory to discard)",
 				ErrExists, spec.ID, dir)
-		} else if !os.IsNotExist(err) {
-			return nil, fmt.Errorf("serve: probing job dir: %w", err)
 		}
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("serve: creating job dir: %w", err)
 		}
+		// Any failure past this point removes the directory again: a
+		// half-created job must not 409 future Creates or trip recovery.
 		raw, err := json.MarshalIndent(spec, "", "  ")
 		if err != nil {
+			os.RemoveAll(dir)
 			return nil, err
 		}
-		if err := os.WriteFile(filepath.Join(dir, specFile), raw, 0o644); err != nil {
+		if err := writeFileAtomic(filepath.Join(dir, specFile), raw); err != nil {
+			os.RemoveAll(dir)
 			return nil, fmt.Errorf("serve: writing job spec: %w", err)
 		}
 		if jr, err = openJournal(filepath.Join(dir, journalFile), r.cfg.SyncJournal); err != nil {
+			os.RemoveAll(dir)
 			return nil, err
 		}
 	}
@@ -160,11 +172,44 @@ func (r *Registry) Close() error {
 	return first
 }
 
-// crashAll simulates a hard kill of every job (recovery tests).
-func (r *Registry) crashAll() {
+// CrashAll simulates a hard kill (kill -9) of every job: fitters stop
+// without draining their queues, no final checkpoint is written, and
+// journals are dropped without a clean close (appends are already flushed
+// per batch, exactly as they would be in a real crash). The registry is
+// unusable afterwards; Open the same data directory to recover. Exported
+// for the loadgen chaos harness and the recovery tests.
+func (r *Registry) CrashAll() {
 	for _, j := range r.Jobs() {
 		j.crash()
 	}
+}
+
+// hasJobState reports whether a job directory holds durable state (spec,
+// journal or checkpoint). A missing directory, or a bare one left by an
+// aborted Create, has none.
+func hasJobState(dir string) (bool, error) {
+	for _, name := range []string{specFile, journalFile, modelFile} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return true, nil
+		} else if !os.IsNotExist(err) {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// writeFileAtomic lands a file via tmp + rename so a crash mid-write never
+// leaves a torn spec for recovery to trip over.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // openExistingJob recovers one job from its directory: load the spec,

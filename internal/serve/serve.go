@@ -31,13 +31,14 @@ import (
 
 // Errors reported by the registry and jobs. HTTP handlers map them to
 // status codes (ErrNotFound → 404, ErrExists → 409, ErrQueueFull → 429,
-// ErrClosed → 503, validation → 400).
+// ErrClosed → 503, ErrTooLarge → 413, validation → 400).
 var (
 	ErrNotFound  = errors.New("serve: job not found")
 	ErrExists    = errors.New("serve: job already exists")
 	ErrQueueFull = errors.New("serve: ingestion queue full")
 	ErrClosed    = errors.New("serve: job closed")
 	ErrInvalid   = errors.New("serve: invalid request")
+	ErrTooLarge  = errors.New("serve: request body too large")
 )
 
 // Config tunes the serving subsystem. The zero value is usable: an
