@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
+	"cpa/internal/answers"
 	"cpa/internal/baselines"
 	"cpa/internal/core"
 	"cpa/internal/datasets"
@@ -131,6 +133,118 @@ func BenchmarkFitStream(b *testing.B) {
 		if _, err := model.FitStream(ds); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// publishBenchSetup streams `mul` copies of the image stream into a model
+// through the serving-shaped loop — PartialFit a mini-batch, publish a
+// snapshot — leaving a warm publisher at the target stream length.
+func publishBenchSetup(b *testing.B, mul int) (*core.Model, *core.Publisher, [][]answers.Answer) {
+	b.Helper()
+	ds, _, err := datasets.Load("image", 0.5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Seed: 1, BatchSize: 256}
+	model, err := core.NewModel(cfg, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := ds.Answers()
+	var batches [][]answers.Answer
+	for start := 0; start < len(all); start += cfg.BatchSize {
+		end := start + cfg.BatchSize
+		if end > len(all) {
+			end = len(all)
+		}
+		batches = append(batches, all[start:end])
+	}
+	pub := core.NewPublisher(model)
+	for rep := 0; rep < mul; rep++ {
+		for _, batch := range batches {
+			if err := model.PartialFit(batch); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := pub.Publish(false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return model, pub, batches
+}
+
+// BenchmarkPublish measures the serving layer's per-round snapshot cost
+// under backlog (incremental publication) at 1× and 10× stream length. The
+// headline metric is publish-ns/op — the publish call alone, excluding the
+// PartialFit that feeds it; flat across the sub-benchmarks is the tentpole
+// claim (per-round publish cost independent of stream length). Each timed
+// iteration ingests one more batch, so the model is re-derived (outside the
+// timer) every 8·mul iterations to keep the measured stream length within
+// ~20% of its nominal point at any -benchtime.
+func BenchmarkPublish(b *testing.B) {
+	for _, mul := range []int{1, 10} {
+		b.Run(fmt.Sprintf("stream=%dx", mul), func(b *testing.B) {
+			refreshEvery := 8 * mul
+			model, pub, batches := publishBenchSetup(b, mul)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var pubNs int64
+			for i := 0; i < b.N; i++ {
+				if i > 0 && i%refreshEvery == 0 {
+					b.StopTimer()
+					model, pub, batches = publishBenchSetup(b, mul)
+					b.StartTimer()
+				}
+				if err := model.PartialFit(batches[i%len(batches)]); err != nil {
+					b.Fatal(err)
+				}
+				start := time.Now()
+				if _, _, err := pub.Publish(false); err != nil {
+					b.Fatal(err)
+				}
+				pubNs += time.Since(start).Nanoseconds()
+			}
+			b.ReportMetric(float64(pubNs)/float64(b.N), "publish-ns/op")
+		})
+	}
+}
+
+// BenchmarkPublishFull is the caught-up (and pre-refactor) publication
+// path: the complete FinalizeOnline pipeline per round on the reusable
+// clone. O(stream) per round by construction — the comparison point that
+// shows what the incremental mode saves.
+func BenchmarkPublishFull(b *testing.B) {
+	for _, mul := range []int{1, 10} {
+		b.Run(fmt.Sprintf("stream=%dx", mul), func(b *testing.B) {
+			_, pub, _ := publishBenchSetup(b, mul)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := pub.Publish(true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPublishLegacy is the seed-era publish: a fresh deep
+// Clone + FinalizeOnline + ConsensusView every round, no reusable engine —
+// kept as the before/after baseline for the snapshot-engine refactor.
+func BenchmarkPublishLegacy(b *testing.B) {
+	for _, mul := range []int{1, 10} {
+		b.Run(fmt.Sprintf("stream=%dx", mul), func(b *testing.B) {
+			model, _, _ := publishBenchSetup(b, mul)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clone := model.Clone()
+				clone.FinalizeOnline()
+				if _, err := clone.ConsensusView(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -18,8 +18,10 @@ import (
 )
 
 // benchMethods lists the aggregation methods the -json perf sweep covers, in
-// report order.
-var benchMethods = []string{"cpa", "cpa-online", "mv", "em", "bcc", "cbcc"}
+// report order. The pseudo-method "publish" measures the serving layer's
+// per-round snapshot publication at 1× and 10× stream length instead of a
+// full aggregation (see benchPublish).
+var benchMethods = []string{"cpa", "cpa-online", "mv", "em", "bcc", "cbcc", "publish"}
 
 // BenchRecord is one (method, profile) perf measurement — the BENCH_*.json
 // row shape tracked across PRs.
@@ -83,6 +85,20 @@ func runPerfBench(path, scaleName string, s experiments.Settings, profileList, m
 		}
 		for _, method := range methods {
 			method = strings.TrimSpace(method)
+			if method == "publish" {
+				recs, err := benchPublish(ds, s, parallelism)
+				if err != nil {
+					return fmt.Errorf("publish on %s: %w", profile, err)
+				}
+				for _, rec := range recs {
+					rec.Profile = ds.Name
+					rec.Scale = s.DataScale
+					report.Results = append(report.Results, rec)
+					fmt.Printf("%-16s %-8s %9.3f ms/round (mean of %d rounds at %d answers)\n",
+						rec.Method, ds.Name, float64(rec.NsPerOp)/1e6, rec.Runs, rec.Answers)
+				}
+				continue
+			}
 			rec, err := benchOne(method, ds, s, parallelism)
 			if err != nil {
 				return fmt.Errorf("%s on %s: %w", method, profile, err)
@@ -149,6 +165,90 @@ func benchOne(method string, ds *answers.Dataset, s experiments.Settings, parall
 		Recall:      pr.Recall,
 		F1:          pr.F1(),
 	}, nil
+}
+
+// benchPublish measures the serving layer's per-round snapshot publication
+// in the fitter's shape — PartialFit a mini-batch, publish — at 1× and 10×
+// the profile's stream length. ns_per_op is the mean of the publish call
+// alone over the final rounds at the target length; a flat trajectory
+// across the two points is the O(batch) publication property the snapshot
+// engine guarantees (DESIGN.md §8). The publish-full rows measure the
+// caught-up full finalize pipeline at the same lengths for comparison
+// (O(stream) by construction).
+func benchPublish(ds *answers.Dataset, s experiments.Settings, parallelism int) ([]BenchRecord, error) {
+	const steadyRounds = 16
+	var out []BenchRecord
+	for _, mul := range []int{1, 10} {
+		model, err := core.NewModel(core.Config{Seed: s.Seed, Parallelism: parallelism},
+			ds.NumItems, ds.NumWorkers, ds.NumLabels)
+		if err != nil {
+			return nil, err
+		}
+		batchSize := model.Config().BatchSize
+		pub := core.NewPublisher(model)
+		all := ds.Answers()
+		total := len(all) * mul
+		// Measure only the trailing rounds at the target length, and never
+		// round 1: the cold publisher publishes the full pipeline there, so
+		// folding it into a short stream's mean would make the 1× point
+		// incomparable with the 10× one.
+		roundsPerRep := (len(all) + batchSize - 1) / batchSize
+		totalRounds := roundsPerRep * mul
+		window := steadyRounds
+		if window > totalRounds-1 {
+			window = totalRounds - 1
+		}
+		if window < 1 {
+			return nil, fmt.Errorf("stream too short for publish bench (%d answers, %d rounds)", total, totalRounds)
+		}
+		var tailNs int64
+		tailRounds, round := 0, 0
+		for rep := 0; rep < mul; rep++ {
+			for start := 0; start < len(all); start += batchSize {
+				end := start + batchSize
+				if end > len(all) {
+					end = len(all)
+				}
+				if err := model.PartialFit(all[start:end]); err != nil {
+					return nil, err
+				}
+				begin := time.Now()
+				if _, _, err := pub.Publish(false); err != nil {
+					return nil, err
+				}
+				d := time.Since(begin).Nanoseconds()
+				round++
+				if round > totalRounds-window {
+					tailNs += d
+					tailRounds++
+				}
+			}
+		}
+		dims := BenchRecord{
+			Items: ds.NumItems, Workers: ds.NumWorkers, Labels: ds.NumLabels, Answers: total,
+		}
+		inc := dims
+		inc.Method = fmt.Sprintf("publish-%dx", mul)
+		inc.Runs = tailRounds
+		inc.NsPerOp = tailNs / int64(tailRounds)
+		out = append(out, inc)
+
+		const fullRuns = 3
+		var fullNs int64
+		for k := 0; k < fullRuns; k++ {
+			begin := time.Now()
+			if _, _, err := pub.Publish(true); err != nil {
+				return nil, err
+			}
+			fullNs += time.Since(begin).Nanoseconds()
+		}
+		full := dims
+		full.Method = fmt.Sprintf("publish-full-%dx", mul)
+		full.Runs = fullRuns
+		full.NsPerOp = fullNs / fullRuns
+		out = append(out, full)
+	}
+	return out, nil
 }
 
 // benchAggregator mirrors cpacli's method table for the perf sweep.

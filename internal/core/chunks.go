@@ -1,0 +1,99 @@
+package core
+
+// Chunked append-only answer storage. The per-worker and per-item answer
+// reference lists are the model's largest state: they grow with the stream,
+// and the serving layer snapshots the model once per SVI round, so a deep
+// copy per clone makes snapshot publication O(total answers) and a
+// long-lived job O(N²/B) in aggregate (ROADMAP perf item).
+//
+// ansList stores its elements in fixed-capacity chunks with an append-only
+// discipline: once written, an element is never mutated, and filled chunks
+// are frozen. A clone therefore shares the source's storage structurally —
+// copying only slice headers, capacity-clamped so the clone's own appends
+// can never write into shared backing — making Clone O(lists), independent
+// of the stream length. The source may keep appending after a share: it only
+// writes slots at indices the share's headers cannot reach.
+
+// ansChunkCap is the chunk size. Chunks grow organically (append doubling)
+// up to this capacity and are then frozen, so short lists pay no
+// preallocation and long lists amortise to one frozen chunk per
+// ansChunkCap answers.
+const ansChunkCap = 64
+
+// ansList is an append-only list of ansRef in chunks: `full` holds frozen
+// chunks of exactly ansChunkCap elements, `tail` the growing final chunk.
+type ansList struct {
+	full [][]ansRef
+	tail []ansRef
+}
+
+// Len returns the number of stored references.
+func (l *ansList) Len() int { return len(l.full)*ansChunkCap + len(l.tail) }
+
+// empty reports whether the list holds no references.
+func (l *ansList) empty() bool { return len(l.full) == 0 && len(l.tail) == 0 }
+
+// append adds one reference, freezing the tail chunk when it fills.
+func (l *ansList) append(ar ansRef) {
+	l.tail = append(l.tail, ar)
+	if len(l.tail) == ansChunkCap {
+		l.full = append(l.full, l.tail)
+		l.tail = nil
+	}
+}
+
+// reset rebinds the list to empty storage. It must never truncate in place:
+// clones may still be reading the old chunks.
+func (l *ansList) reset() { l.full, l.tail = nil, nil }
+
+// at returns the k-th reference in append order.
+func (l *ansList) at(k int) ansRef {
+	if c := k / ansChunkCap; c < len(l.full) {
+		return l.full[c][k%ansChunkCap]
+	}
+	return l.tail[k-len(l.full)*ansChunkCap]
+}
+
+// segs returns the number of contiguous segments to iterate; seg returns
+// each in order. The idiom for the hot loops is
+//
+//	for s, n := 0, l.segs(); s < n; s++ {
+//	    for _, ar := range l.seg(s) { ... }
+//	}
+//
+// which visits references in exact append order with no closure overhead.
+func (l *ansList) segs() int {
+	if len(l.tail) == 0 {
+		return len(l.full)
+	}
+	return len(l.full) + 1
+}
+
+func (l *ansList) seg(s int) []ansRef {
+	if s < len(l.full) {
+		return l.full[s]
+	}
+	return l.tail
+}
+
+// each visits every reference in append order — the convenience form for
+// cold paths (persistence, dataset loading, seeding).
+func (l *ansList) each(fn func(ar ansRef)) {
+	for s, n := 0, l.segs(); s < n; s++ {
+		for _, ar := range l.seg(s) {
+			fn(ar)
+		}
+	}
+}
+
+// shareClone returns a structurally shared copy: frozen chunks and the tail
+// are shared by capacity-clamped header copies, so the clone is O(1) and
+// immune to the source's future appends (those land in slots beyond the
+// clamped headers), while the clone's own appends reallocate instead of
+// writing shared backing.
+func (l *ansList) shareClone() ansList {
+	return ansList{
+		full: l.full[:len(l.full):len(l.full)],
+		tail: l.tail[:len(l.tail):len(l.tail)],
+	}
+}

@@ -24,7 +24,7 @@ func (m *Model) ELBO() float64 {
 	// --- E[ln p(x | z, l, ψ)]: answers under community confusion.
 	for i := 0; i < m.numItems; i++ {
 		phiRow := m.phi.Row(i)
-		for _, ar := range m.perItem[i] {
+		m.perItem[i].each(func(ar ansRef) {
 			kappaRow := m.kappa.Row(ar.other)
 			for t := 0; t < T; t++ {
 				pt := phiRow[t]
@@ -39,7 +39,7 @@ func (m *Model) ELBO() float64 {
 					elbo += pt * km * m.answerScore(t, mm, ar.labels)
 				}
 			}
-		}
+		})
 	}
 
 	// --- E[ln p(y | l, φ)]: revealed or imputed truth under emissions.

@@ -114,7 +114,7 @@ func (m *Model) updateLocal() {
 // full answer list and scale 1.
 func (m *Model) updateKappaRow(u int) {
 	row := m.kappa.Row(u)
-	m.scoreKappaRow(m.perWorker[u], 1, row)
+	m.scoreKappaList(&m.perWorker[u], 1, row)
 	if m.temp > 1 {
 		mathx.Scale(row, 1/m.temp)
 	}
@@ -125,7 +125,7 @@ func (m *Model) updateKappaRow(u int) {
 // kernel (Eq. 3 + Appendix C answer evidence, DESIGN.md D1/D2).
 func (m *Model) updatePhiRow(i int) {
 	row := m.phi.Row(i)
-	m.scorePhiRow(i, m.perItem[i], 1, row)
+	m.scorePhiList(i, 1, row)
 	if m.temp > 1 {
 		mathx.Scale(row, 1/m.temp)
 	}
@@ -168,8 +168,11 @@ func (m *Model) updateLambda() {
 	m.accLambda.Accumulate(suff, 0, len(suff), m.numItems, m.shardCount(m.numItems),
 		func(buf []float64, lo, hi int) {
 			for i := lo; i < hi; i++ {
-				for _, ar := range m.perItem[i] {
-					m.lambdaAnswerStat(buf, i, ar.other, ar.labels)
+				l := &m.perItem[i]
+				for s, n := 0, l.segs(); s < n; s++ {
+					for _, ar := range l.seg(s) {
+						m.lambdaAnswerStat(buf, i, ar.other, ar.labels)
+					}
 				}
 			}
 		})
@@ -311,87 +314,116 @@ func (m *Model) deriveWorkerModel(tpNum, tpDen, fpNum, fpDen, agreeNum, agreeDen
 // every item is refreshed on the Algorithm 3 shards (each item's ŷ is
 // independent); otherwise only the listed items are, serially.
 func (m *Model) imputeTruth(items []int) {
-	var phiMean *mat.Dense
-	var nbar []float64
-	if m.haveRates {
-		phiMean = m.ws.phiMean
-		phiMean.CopyFrom(m.zeta)
-		for t := 0; t < m.T; t++ {
-			phiMean.NormalizeRow(t)
-		}
-		m.clusterTruthSizesInto(m.ws.nbar)
-		nbar = m.ws.nbar
+	m.imputePrep()
+	if items == nil {
+		m.parallelFor(m.numItems, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				m.imputeItem(i)
+			}
+		})
+		return
 	}
-	apply := func(i int) {
-		voted := m.votedList[i]
-		vals := m.yhatVals[i]
-		if truth := m.revealedTruth[i]; truth != nil {
-			// Revealed items carry exact expectations.
-			for k, c := range voted {
-				vals[k] = 0
-				for _, tc := range truth {
-					if tc == c {
-						vals[k] = 1
-						break
-					}
+	for _, i := range items {
+		m.imputeItem(i)
+	}
+}
+
+// imputePrep refreshes the shared imputation inputs (the posterior-mean
+// emissions ws.phiMean and the expected cluster truth-set sizes ws.nbar)
+// from the current global parameters. Split from imputeTruth so the
+// incremental publisher can freeze these inputs against the live ϕ before
+// refreshing individual items (publish.go): each imputeItem call is then a
+// pure per-item function of the prepared state.
+func (m *Model) imputePrep() {
+	if !m.haveRates {
+		return
+	}
+	phiMean := m.ws.phiMean
+	phiMean.CopyFrom(m.zeta)
+	for t := 0; t < m.T; t++ {
+		phiMean.NormalizeRow(t)
+	}
+	m.clusterTruthSizesInto(m.ws.nbar)
+}
+
+// imputeItem refreshes one item's ŷ from the inputs prepared by imputePrep.
+// It reads only the item's own state (ϕ row, votes, answers) plus shared
+// read-only inputs, so calls on distinct items are independent.
+func (m *Model) imputeItem(i int) {
+	voted := m.votedList[i]
+	vals := m.yhatVals[i]
+	if truth := m.revealedTruth[i]; truth != nil {
+		// Revealed items carry exact expectations.
+		for k, c := range voted {
+			vals[k] = 0
+			for _, tc := range truth {
+				if tc == c {
+					vals[k] = 1
+					break
 				}
 			}
-			return
 		}
-		if m.cfg.GroundTruthOnly {
-			// Literal Eq. 7 ablation: unobserved truth contributes nothing
-			// anywhere — demonstrating why grounding is required (D2).
-			for k := range vals {
-				vals[k] = 0
-			}
-			return
+		return
+	}
+	if m.cfg.GroundTruthOnly {
+		// Literal Eq. 7 ablation: unobserved truth contributes nothing
+		// anywhere — demonstrating why grounding is required (D2).
+		for k := range vals {
+			vals[k] = 0
 		}
-		if !m.haveRates {
-			// Bootstrap: reliability-weighted vote share.
-			for k := range vals {
-				vals[k] = 0
-			}
-			denom := 0.0
-			for _, ar := range m.perItem[i] {
+		return
+	}
+	l := &m.perItem[i]
+	if !m.haveRates {
+		// Bootstrap: reliability-weighted vote share.
+		for k := range vals {
+			vals[k] = 0
+		}
+		denom := 0.0
+		for s, sn := 0, l.segs(); s < sn; s++ {
+			for _, ar := range l.seg(s) {
 				w := m.workerRelW[ar.other]
 				denom += w
 				for _, c := range ar.labels {
 					vals[sort.SearchInts(voted, c)] += w
 				}
 			}
-			if denom > 0 {
-				inv := 1 / denom
-				for k := range vals {
-					vals[k] *= inv
-				}
-			}
-			return
 		}
-		// Calibrated path: prior log-odds combining the cluster-mixture
-		// prior (label co-occurrence, R3) with the per-label empirical
-		// prevalence (the class prior): clusters lift co-occurring labels
-		// where the clustering is informative, prevalence separates
-		// commonly-true labels from incidental votes everywhere else.
-		T := m.T
-		phiRow := m.phi.Row(i)
-		for k, c := range voted {
-			prior := 0.0
-			for t := 0; t < T; t++ {
-				pt := phiRow[t]
-				if pt < 1e-6 {
-					continue
-				}
-				prior += pt * mathx.Clamp(nbar[t]*phiMean.At(t, c), 0.02, 0.90)
+		if denom > 0 {
+			inv := 1 / denom
+			for k := range vals {
+				vals[k] *= inv
 			}
-			prior = math.Max(prior, m.labelPrev[c])
-			if m.expertCooc != nil {
-				// §6 extension: expert conditional probabilities floor the
-				// prior of labels implied by currently-believed ones.
-				prior = math.Max(prior, 0.9*m.expertPriorFloor(i, c))
+		}
+		return
+	}
+	// Calibrated path: prior log-odds combining the cluster-mixture
+	// prior (label co-occurrence, R3) with the per-label empirical
+	// prevalence (the class prior): clusters lift co-occurring labels
+	// where the clustering is informative, prevalence separates
+	// commonly-true labels from incidental votes everywhere else.
+	T := m.T
+	phiMean, nbar := m.ws.phiMean, m.ws.nbar
+	phiRow := m.phi.Row(i)
+	for k, c := range voted {
+		prior := 0.0
+		for t := 0; t < T; t++ {
+			pt := phiRow[t]
+			if pt < 1e-6 {
+				continue
 			}
-			prior = mathx.Clamp(prior, 0.05, 0.90)
-			logOdds := math.Log(prior) - math.Log1p(-prior)
-			for _, ar := range m.perItem[i] {
+			prior += pt * mathx.Clamp(nbar[t]*phiMean.At(t, c), 0.02, 0.90)
+		}
+		prior = math.Max(prior, m.labelPrev[c])
+		if m.expertCooc != nil {
+			// §6 extension: expert conditional probabilities floor the
+			// prior of labels implied by currently-believed ones.
+			prior = math.Max(prior, 0.9*m.expertPriorFloor(i, c))
+		}
+		prior = mathx.Clamp(prior, 0.05, 0.90)
+		logOdds := math.Log(prior) - math.Log1p(-prior)
+		for s, sn := 0, l.segs(); s < sn; s++ {
+			for _, ar := range l.seg(s) {
 				j := sort.SearchInts(ar.labels, c)
 				if j < len(ar.labels) && ar.labels[j] == c {
 					logOdds += m.voteLW[ar.other]
@@ -399,36 +431,25 @@ func (m *Model) imputeTruth(items []int) {
 					logOdds += m.missLW[ar.other]
 				}
 			}
-			vals[k] = 1 / (1 + math.Exp(-mathx.Clamp(logOdds, -30, 30)))
 		}
-		if m.expertCooc != nil {
-			// §6 extension, second stage: propagate belief along expert
-			// implications — "include label b whenever label a has been
-			// assigned" (the paper's §2.1 motivating rule). One pass over
-			// ordered pairs of voted labels.
-			for k, a := range voted {
-				if vals[k] <= 0.5 {
-					continue
-				}
-				row := m.expertCooc.Row(a)
-				for j, b := range voted {
-					if implied := row[b] * vals[k]; implied > vals[j] {
-						vals[j] = implied
-					}
+		vals[k] = 1 / (1 + math.Exp(-mathx.Clamp(logOdds, -30, 30)))
+	}
+	if m.expertCooc != nil {
+		// §6 extension, second stage: propagate belief along expert
+		// implications — "include label b whenever label a has been
+		// assigned" (the paper's §2.1 motivating rule). One pass over
+		// ordered pairs of voted labels.
+		for k, a := range voted {
+			if vals[k] <= 0.5 {
+				continue
+			}
+			row := m.expertCooc.Row(a)
+			for j, b := range voted {
+				if implied := row[b] * vals[k]; implied > vals[j] {
+					vals[j] = implied
 				}
 			}
 		}
-	}
-	if items == nil {
-		m.parallelFor(m.numItems, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				apply(i)
-			}
-		})
-		return
-	}
-	for _, i := range items {
-		apply(i)
 	}
 }
 
@@ -449,30 +470,33 @@ func (m *Model) dataLogLik() float64 {
 			sum := 0.0
 			for i := lo; i < hi; i++ {
 				phiRow := m.phi.Row(i)
-				for _, ar := range m.perItem[i] {
-					kappaRow := m.kappa.Row(ar.other)
-					lik := 0.0
-					for t := 0; t < T; t++ {
-						pt := phiRow[t]
-						if pt < 1e-10 {
-							continue
-						}
-						inner := 0.0
-						for mm := 0; mm < M; mm++ {
-							km := kappaRow[mm]
-							if km < 1e-10 {
+				l := &m.perItem[i]
+				for s, sn := 0, l.segs(); s < sn; s++ {
+					for _, ar := range l.seg(s) {
+						kappaRow := m.kappa.Row(ar.other)
+						lik := 0.0
+						for t := 0; t < T; t++ {
+							pt := phiRow[t]
+							if pt < 1e-10 {
 								continue
 							}
-							p := 1.0
-							base := (t*M + mm) * C
-							for _, c := range ar.labels {
-								p *= math.Max(psi[base+c], 1e-12)
+							inner := 0.0
+							for mm := 0; mm < M; mm++ {
+								km := kappaRow[mm]
+								if km < 1e-10 {
+									continue
+								}
+								p := 1.0
+								base := (t*M + mm) * C
+								for _, c := range ar.labels {
+									p *= math.Max(psi[base+c], 1e-12)
+								}
+								inner += km * p
 							}
-							inner += km * p
+							lik += pt * inner
 						}
-						lik += pt * inner
+						sum += math.Log(math.Max(lik, 1e-300))
 					}
-					sum += math.Log(math.Max(lik, 1e-300))
 				}
 			}
 			buf[0] += sum

@@ -24,16 +24,29 @@ const (
 	weightFloor = 1e-10
 )
 
-// scoreKappaRow fills dst (length M) with the unnormalised log-posterior of
-// Eq. 2 for one worker from the given answers:
+// scoreKappaList fills dst (length M) with the unnormalised log-posterior
+// of Eq. 2 for one worker from its full chunked answer list (the batch
+// case, scale 1, or the finalize pass):
 //
 //	dst_m = E[ln π_m] + scale · Σ_refs Σ_t ϕ_it E[ln p(x_iu | ψ_tm)]
-//
-// Batch passes the worker's full answer list with scale 1; SVI passes the
-// mini-batch slice with the population scale |answers_u| / |batch_u|.
-func (m *Model) scoreKappaRow(refs []ansRef, scale float64, dst []float64) {
-	T := m.T
+func (m *Model) scoreKappaList(l *ansList, scale float64, dst []float64) {
 	copy(dst, m.elogPi)
+	for s, n := 0, l.segs(); s < n; s++ {
+		m.scoreKappaRefs(l.seg(s), scale, dst)
+	}
+}
+
+// scoreKappaBatch is the SVI form: the worker's mini-batch answer slice
+// with the population scale |answers_u| / |batch_u|.
+func (m *Model) scoreKappaBatch(refs []ansRef, scale float64, dst []float64) {
+	copy(dst, m.elogPi)
+	m.scoreKappaRefs(refs, scale, dst)
+}
+
+// scoreKappaRefs accumulates the data term of Eq. 2 for one contiguous
+// answer segment into dst (no init — callers seed dst with E[ln π]).
+func (m *Model) scoreKappaRefs(refs []ansRef, scale float64, dst []float64) {
+	T := m.T
 	for _, ar := range refs {
 		phiRow := m.phi.Row(ar.other)
 		for t := 0; t < T; t++ {
@@ -49,14 +62,34 @@ func (m *Model) scoreKappaRow(refs []ansRef, scale float64, dst []float64) {
 	}
 }
 
-// scorePhiRow fills dst (length T) with the unnormalised log-posterior of
-// the item cluster update: the literal Eq. 3 terms (stick prior plus
-// truth-emission evidence, never scaled — the item's truth is one
-// observation regardless of batching) and, unless LiteralPhiUpdate is set,
-// the Appendix C answer-evidence term a_it scaled like the κ data term
-// (DESIGN.md D1). Unobserved truth contributes through its imputed
+// scorePhiList fills dst (length T) with the unnormalised log-posterior of
+// the item cluster update from the item's full chunked answer list (batch /
+// finalize case, scale 1). See scorePhiBase for the term structure.
+func (m *Model) scorePhiList(i int, scale float64, dst []float64) {
+	m.scorePhiBase(i, dst)
+	if !m.cfg.LiteralPhiUpdate {
+		l := &m.perItem[i]
+		for s, n := 0, l.segs(); s < n; s++ {
+			m.scorePhiRefs(l.seg(s), scale, dst)
+		}
+	}
+}
+
+// scorePhiBatch is the SVI form: the item's mini-batch answer slice with
+// the population scale |answers_i| / |batch_i|.
+func (m *Model) scorePhiBatch(i int, refs []ansRef, scale float64, dst []float64) {
+	m.scorePhiBase(i, dst)
+	if !m.cfg.LiteralPhiUpdate {
+		m.scorePhiRefs(refs, scale, dst)
+	}
+}
+
+// scorePhiBase seeds dst with the refs-independent terms of the item
+// cluster update: the literal Eq. 3 terms (stick prior plus truth-emission
+// evidence, never scaled — the item's truth is one observation regardless
+// of batching). Unobserved truth contributes through its imputed
 // expectation ŷ (DESIGN.md D2).
-func (m *Model) scorePhiRow(i int, refs []ansRef, scale float64, dst []float64) {
+func (m *Model) scorePhiBase(i int, dst []float64) {
 	T := m.T
 	copy(dst, m.elogTau)
 	if truth := m.revealedTruth[i]; truth != nil {
@@ -83,19 +116,24 @@ func (m *Model) scorePhiRow(i int, refs []ansRef, scale float64, dst []float64) 
 			dst[t] += s
 		}
 	}
-	if !m.cfg.LiteralPhiUpdate {
-		for _, ar := range refs {
-			kappaRow := m.kappa.Row(ar.other)
-			for t := 0; t < T; t++ {
-				s := 0.0
-				for mm, km := range kappaRow {
-					if km < respFloor {
-						continue
-					}
-					s += km * m.answerScore(t, mm, ar.labels)
+}
+
+// scorePhiRefs accumulates the Appendix C answer-evidence term a_it for one
+// contiguous answer segment into dst, scaled like the κ data term
+// (DESIGN.md D1).
+func (m *Model) scorePhiRefs(refs []ansRef, scale float64, dst []float64) {
+	T := m.T
+	for _, ar := range refs {
+		kappaRow := m.kappa.Row(ar.other)
+		for t := 0; t < T; t++ {
+			s := 0.0
+			for mm, km := range kappaRow {
+				if km < respFloor {
+					continue
 				}
-				dst[t] += scale * s
+				s += km * m.answerScore(t, mm, ar.labels)
 			}
+			dst[t] += scale * s
 		}
 	}
 }
@@ -283,14 +321,25 @@ func (m *Model) coinOffsets() (tp, tpD, fp, fpD, prevN, prevD, tpU, tpDU, fpU, f
 // community, plus the per-label prevalence numerators. Identical between
 // the batch pass (all items, sharded) and the SVI pass (batch items only).
 func (m *Model) itemCoinStats(i int, buf []float64) {
-	offTP, offTPD, offFP, offFPD, offPrevN, offPrevD, offTPU, offTPDU, offFPU, offFPDU := m.coinOffsets()
+	_, _, _, _, offPrevN, offPrevD, _, _, _, _ := m.coinOffsets()
 	voted := m.votedList[i]
 	vals := m.yhatVals[i]
 	for k, c := range voted {
 		buf[offPrevN+c] += vals[k]
 		buf[offPrevD+c]++
 	}
-	for _, ar := range m.perItem[i] {
+	l := &m.perItem[i]
+	for si, sn := 0, l.segs(); si < sn; si++ {
+		m.itemCoinRefs(i, l.seg(si), buf)
+	}
+}
+
+// itemCoinRefs accumulates the two-coin counts of one contiguous answer
+// segment of item i (see itemCoinStats).
+func (m *Model) itemCoinRefs(i int, refs []ansRef, buf []float64) {
+	offTP, offTPD, offFP, offFPD, _, _, offTPU, offTPDU, offFPU, offFPDU := m.coinOffsets()
+	voted := m.votedList[i]
+	for _, ar := range refs {
 		u := ar.other
 		kappaRow := m.kappa.Row(u)
 		for k := range voted {
@@ -334,11 +383,14 @@ func (m *Model) itemCoinStats(i int, buf []float64) {
 // community regardless of answer volume (requirement R1).
 func (m *Model) workerAgreeStats(u int, buf []float64) {
 	M := m.M
-	agree, n := 0.0, 0
-	for _, ar := range m.perWorker[u] {
-		agree += m.jaccardWithSig(ar.labels, ar.other)
-		n++
+	agree := 0.0
+	l := &m.perWorker[u]
+	for s, sn := 0, l.segs(); s < sn; s++ {
+		for _, ar := range l.seg(s) {
+			agree += m.jaccardWithSig(ar.labels, ar.other)
+		}
 	}
+	n := l.Len()
 	if n == 0 {
 		return
 	}
@@ -355,15 +407,18 @@ func (m *Model) workerAgreeStats(u int, buf []float64) {
 // contributes once (the stream never revisits a worker's history).
 func (m *Model) itemAgreeStats(i int, buf []float64) {
 	M := m.M
-	for _, ar := range m.perItem[i] {
-		a := m.jaccardWithSig(ar.labels, i)
-		kappaRow := m.kappa.Row(ar.other)
-		for mm, kw := range kappaRow {
-			if kw < respFloor {
-				continue
+	l := &m.perItem[i]
+	for s, sn := 0, l.segs(); s < sn; s++ {
+		for _, ar := range l.seg(s) {
+			a := m.jaccardWithSig(ar.labels, i)
+			kappaRow := m.kappa.Row(ar.other)
+			for mm, kw := range kappaRow {
+				if kw < respFloor {
+					continue
+				}
+				buf[mm] += kw * a
+				buf[M+mm] += kw
 			}
-			buf[mm] += kw * a
-			buf[M+mm] += kw
 		}
 	}
 }

@@ -216,16 +216,22 @@ type Model struct {
 	rng *rand.Rand
 
 	// Observed data in dense form (populated by Fit or accumulated by
-	// PartialFit).
-	perWorker [][]ansRef
-	perItem   [][]ansRef
+	// PartialFit), stored as append-only chunked lists so clones share the
+	// immutable prefix structurally (see chunks.go).
+	perWorker []ansList
+	perItem   []ansList
 	// arrival records global ingestion order as (item, index-in-perItem)
 	// pairs. Persistence flattens answers in this order so a restored
 	// model rebuilds perWorker/perItem with identical element order —
 	// float reductions over those lists, and therefore continued
 	// PartialFit rounds, stay bit-for-bit reproducible after a reload.
+	// Append-only: clones share it by capacity-clamped header copy.
 	arrival []arrivalRef
 	numAns  int
+	// dirtyFlags/dirtyItems track items touched by PartialFit since the
+	// last snapshot publication (consumed by Publisher.takeDirtySorted).
+	dirtyFlags []bool
+	dirtyItems []int
 	// seenWorkers/seenItems count workers/items with at least one ingested
 	// answer (the SVI population-scaling denominators), maintained
 	// incrementally by ingest.
@@ -366,8 +372,9 @@ func (m *Model) Truncations() (int, int) { return m.M, m.T }
 
 func (m *Model) allocate() {
 	U, I, C, M, T := m.numWorkers, m.numItems, m.numLabels, m.M, m.T
-	m.perWorker = make([][]ansRef, U)
-	m.perItem = make([][]ansRef, I)
+	m.perWorker = make([]ansList, U)
+	m.perItem = make([]ansList, I)
+	m.dirtyFlags = make([]bool, I)
 	m.revealedTruth = make([][]int, I)
 	m.kappa = mat.New(U, M)
 	m.phi = mat.New(I, T)
@@ -521,7 +528,7 @@ func (m *Model) seedFromData() {
 		member := make(map[int]bool)
 		for u := 0; u < m.numWorkers; u++ {
 			agree, n := 0.0, 0
-			for _, ar := range m.perWorker[u] {
+			m.perWorker[u].each(func(ar ansRef) {
 				for k := range member {
 					delete(member, k)
 				}
@@ -541,7 +548,7 @@ func (m *Model) seedFromData() {
 					agree++
 				}
 				n++
-			}
+			})
 			score := 0.5
 			if n > 0 {
 				score = agree / float64(n)
@@ -566,12 +573,13 @@ func (m *Model) loadDataset(ds *answers.Dataset) error {
 			ds.NumItems, ds.NumWorkers, ds.NumLabels, m.numItems, m.numWorkers, m.numLabels)
 	}
 	for u := range m.perWorker {
-		m.perWorker[u] = nil
+		m.perWorker[u].reset()
 	}
 	for i := range m.perItem {
-		m.perItem[i] = nil
+		m.perItem[i].reset()
 	}
-	m.arrival = m.arrival[:0]
+	// Rebind rather than truncate: clones share the old backing array.
+	m.arrival = nil
 	m.numAns = 0
 	m.seenWorkers, m.seenItems = 0, 0
 	for _, a := range ds.Answers() {
@@ -592,15 +600,15 @@ func (m *Model) loadDataset(ds *answers.Dataset) error {
 // and seen-item counts the SVI scaling depends on.
 func (m *Model) ingest(a answers.Answer) {
 	xs := a.Labels.Slice()
-	if len(m.perWorker[a.Worker]) == 0 {
+	if m.perWorker[a.Worker].empty() {
 		m.seenWorkers++
 	}
-	if len(m.perItem[a.Item]) == 0 {
+	if m.perItem[a.Item].empty() {
 		m.seenItems++
 	}
-	m.perWorker[a.Worker] = append(m.perWorker[a.Worker], ansRef{other: a.Item, labels: xs})
-	m.perItem[a.Item] = append(m.perItem[a.Item], ansRef{other: a.Worker, labels: xs})
-	m.arrival = append(m.arrival, arrivalRef{item: a.Item, idx: len(m.perItem[a.Item]) - 1})
+	m.perWorker[a.Worker].append(ansRef{other: a.Item, labels: xs})
+	m.perItem[a.Item].append(ansRef{other: a.Worker, labels: xs})
+	m.arrival = append(m.arrival, arrivalRef{item: a.Item, idx: m.perItem[a.Item].Len() - 1})
 	m.numAns++
 }
 
@@ -609,11 +617,11 @@ func (m *Model) ingest(a answers.Answer) {
 func (m *Model) rebuildVoted() {
 	for i := 0; i < m.numItems; i++ {
 		var s labelset.Set
-		for _, ar := range m.perItem[i] {
+		m.perItem[i].each(func(ar ansRef) {
 			for _, c := range ar.labels {
 				s.Add(c)
 			}
-		}
+		})
 		for _, c := range m.revealedTruth[i] {
 			s.Add(c)
 		}
@@ -690,25 +698,34 @@ func stickMeanWeights(a, b []float64, k int) []float64 {
 }
 
 // EffectiveCommunities counts communities whose expected proportion exceeds
-// threshold — the adaptivity diagnostic of requirement R4.
+// threshold — the adaptivity diagnostic of requirement R4. Allocation-free:
+// Stats() runs once per published snapshot, so this is on the serving hot
+// path.
 func (m *Model) EffectiveCommunities(threshold float64) int {
-	n := 0
-	for _, w := range m.CommunityWeights() {
-		if w > threshold {
-			n++
-		}
-	}
-	return n
+	return stickEffectiveCount(m.rho1, m.rho2, m.M, threshold)
 }
 
 // EffectiveClusters counts clusters whose expected proportion exceeds
 // threshold.
 func (m *Model) EffectiveClusters(threshold float64) int {
+	return stickEffectiveCount(m.ups1, m.ups2, m.T, threshold)
+}
+
+// stickEffectiveCount counts stick weights above threshold directly from
+// the Beta posteriors — the same weights stickMeanWeights materialises,
+// without the two allocations.
+func stickEffectiveCount(a, b []float64, k int, threshold float64) int {
 	n := 0
-	for _, w := range m.ClusterWeights() {
-		if w > threshold {
+	remaining := 1.0
+	for j := 0; j < k-1; j++ {
+		v := a[j] / (a[j] + b[j])
+		if v*remaining > threshold {
 			n++
 		}
+		remaining *= 1 - v
+	}
+	if remaining > threshold {
+		n++
 	}
 	return n
 }
@@ -749,8 +766,12 @@ func (m *Model) CommunityReliability(mm int) float64 {
 // Fitted reports whether the model has been trained.
 func (m *Model) Fitted() bool { return m.fitted }
 
-// Clone returns an independent deep copy of the model, used by the
-// experiment harness to snapshot online-learning trajectories.
+// Clone returns an independent copy of the model: the serving layer
+// snapshots online-learning trajectories on clones. Variational parameters
+// and per-item mutable state are deep-copied; the ingestion index
+// (perWorker/perItem/arrival) is shared structurally with the source under
+// the append-only discipline of chunks.go, so cloning costs O(items +
+// workers + parameters) — independent of how many answers have streamed in.
 func (m *Model) Clone() *Model {
 	c := *m
 	c.rng = rand.New(rand.NewSource(m.cfg.Seed + int64(m.batchIndex) + 1))
@@ -775,25 +796,28 @@ func (m *Model) Clone() *Model {
 		c.runAgree, c.runAgreeD = cpF(m.runAgree), cpF(m.runAgreeD)
 		c.runPrevN, c.runPrevD = cpF(m.runPrevN), cpF(m.runPrevD)
 	}
-	c.perWorker = make([][]ansRef, len(m.perWorker))
+	// Shared-prefix views of the append-only ingestion index: O(lists), not
+	// O(answers). Capacity-clamped headers keep both sides' future appends
+	// out of each other's storage.
+	c.perWorker = make([]ansList, len(m.perWorker))
 	for u := range m.perWorker {
-		c.perWorker[u] = append([]ansRef(nil), m.perWorker[u]...)
+		c.perWorker[u] = m.perWorker[u].shareClone()
 	}
-	c.perItem = make([][]ansRef, len(m.perItem))
+	c.perItem = make([]ansList, len(m.perItem))
 	for i := range m.perItem {
-		c.perItem[i] = append([]ansRef(nil), m.perItem[i]...)
+		c.perItem[i] = m.perItem[i].shareClone()
 	}
-	c.arrival = append([]arrivalRef(nil), m.arrival...)
-	c.revealedTruth = make([][]int, len(m.revealedTruth))
-	for i := range m.revealedTruth {
-		c.revealedTruth[i] = append([]int(nil), m.revealedTruth[i]...)
-	}
-	c.votedList = make([][]int, len(m.votedList))
+	c.arrival = m.arrival[:len(m.arrival):len(m.arrival)]
+	// Inner slices are rebind-only (never mutated in place): share them.
+	c.revealedTruth = append([][]int(nil), m.revealedTruth...)
+	c.votedList = append([][]int(nil), m.votedList...)
+	// yhatVals entries ARE mutated in place by imputeTruth: deep-copy.
 	c.yhatVals = make([][]float64, len(m.yhatVals))
-	for i := range m.votedList {
-		c.votedList[i] = append([]int(nil), m.votedList[i]...)
+	for i := range m.yhatVals {
 		c.yhatVals[i] = append([]float64(nil), m.yhatVals[i]...)
 	}
+	c.dirtyFlags = append([]bool(nil), m.dirtyFlags...)
+	c.dirtyItems = append([]int(nil), m.dirtyItems...)
 	// Reduction accumulators and working buffers must not be shared between
 	// models; reallocate the clone's privately.
 	c.accLambda, c.accZeta, c.accCoin, c.accAgree, c.accLogLik =

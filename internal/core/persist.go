@@ -84,7 +84,7 @@ func (m *Model) Save(w io.Writer) error {
 		Revealed: m.revealedTruth,
 	}
 	for _, at := range m.arrival {
-		ref := m.perItem[at.item][at.idx]
+		ref := m.perItem[at.item].at(at.idx)
 		st.AnsItems = append(st.AnsItems, at.item)
 		st.AnsWorkers = append(st.AnsWorkers, ref.other)
 		st.AnsLabels = append(st.AnsLabels, ref.labels)
@@ -205,15 +205,15 @@ func Load(r io.Reader) (*Model, error) {
 			return nil, fmt.Errorf("%w: saved answer (%d,%d) out of range", ErrConfig, item, worker)
 		}
 		xs := st.AnsLabels[k]
-		if len(m.perItem[item]) == 0 {
+		if m.perItem[item].empty() {
 			m.seenItems++
 		}
-		if len(m.perWorker[worker]) == 0 {
+		if m.perWorker[worker].empty() {
 			m.seenWorkers++
 		}
-		m.perItem[item] = append(m.perItem[item], ansRef{other: worker, labels: xs})
-		m.perWorker[worker] = append(m.perWorker[worker], ansRef{other: item, labels: xs})
-		m.arrival = append(m.arrival, arrivalRef{item: item, idx: len(m.perItem[item]) - 1})
+		m.perItem[item].append(ansRef{other: worker, labels: xs})
+		m.perWorker[worker].append(ansRef{other: item, labels: xs})
+		m.arrival = append(m.arrival, arrivalRef{item: item, idx: m.perItem[item].Len() - 1})
 		m.numAns++
 	}
 	m.haveRates = st.HaveRates

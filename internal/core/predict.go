@@ -54,8 +54,17 @@ func (m *Model) PredictItem(i int) (labelset.Set, error) {
 // falling back to the mean when any concentration is below one (no
 // interior mode).
 func (m *Model) dirichletModes(params *mat.Dense) []float64 {
+	return m.dirichletModesInto(params, nil)
+}
+
+// dirichletModesInto is the buffer-reusing form (the per-round snapshot
+// publisher calls it once per publication).
+func (m *Model) dirichletModesInto(params *mat.Dense, out []float64) []float64 {
 	C := m.numLabels
-	out := make([]float64, params.Size())
+	if cap(out) < params.Size() {
+		out = make([]float64, params.Size())
+	}
+	out = out[:params.Size()]
 	for r := 0; r < params.Rows(); r++ {
 		row := params.Row(r)
 		dst := out[r*C : (r+1)*C]
@@ -133,24 +142,27 @@ func (m *Model) predictItem(i int, psiMAP, phiMAP, nbar []float64, sc *predictSc
 
 	// Cluster posterior weights:
 	// ln w_it = ln ϕ_it + Σ_{u∈U_i} ln Σ_m κ_um p(x_iu | ψ_tm^MAP).
+	ansL := &m.perItem[i]
 	for t := 0; t < T; t++ {
 		w := math.Log(math.Max(m.phi.At(i, t), 1e-300))
-		for _, ar := range m.perItem[i] {
-			kappaRow := m.kappa.Row(ar.other)
-			inner := 0.0
-			for mm := 0; mm < M; mm++ {
-				km := kappaRow[mm]
-				if km < 1e-10 {
-					continue
+		for s, sn := 0, ansL.segs(); s < sn; s++ {
+			for _, ar := range ansL.seg(s) {
+				kappaRow := m.kappa.Row(ar.other)
+				inner := 0.0
+				for mm := 0; mm < M; mm++ {
+					km := kappaRow[mm]
+					if km < 1e-10 {
+						continue
+					}
+					p := 1.0
+					base := (t*M + mm) * C
+					for _, c := range ar.labels {
+						p *= math.Max(psiMAP[base+c], 1e-12)
+					}
+					inner += km * p
 				}
-				p := 1.0
-				base := (t*M + mm) * C
-				for _, c := range ar.labels {
-					p *= math.Max(psiMAP[base+c], 1e-12)
-				}
-				inner += km * p
+				w += math.Log(math.Max(inner, 1e-300))
 			}
-			w += math.Log(math.Max(inner, 1e-300))
 		}
 		sc.logW[t] = w
 	}
@@ -159,6 +171,32 @@ func (m *Model) predictItem(i int, psiMAP, phiMAP, nbar []float64, sc *predictSc
 	for t := range sc.logW {
 		sc.logW[t] -= shift
 	}
+	return m.instantiateItem(i, phiMAP, nbar, sc)
+}
+
+// predictItemLocal is the incremental publisher's instantiation: cluster
+// posterior weights come straight from the model's current responsibilities
+// (ln w_it = ln ϕ_it — ϕ already folds the answer evidence through the D1
+// update) instead of re-scoring the item's full answer history against
+// ψ^MAP, so the per-item cost is independent of how many answers the item
+// has accumulated. Caught-up (full) publications still use predictItem's
+// full-evidence weights.
+func (m *Model) predictItemLocal(i int, phiMAP, nbar []float64, sc *predictScratch) labelset.Set {
+	for t := 0; t < m.T; t++ {
+		sc.logW[t] = math.Log(math.Max(m.phi.At(i, t), 1e-300))
+	}
+	shift := mathx.LogSumExp(sc.logW)
+	for t := range sc.logW {
+		sc.logW[t] -= shift
+	}
+	return m.instantiateItem(i, phiMAP, nbar, sc)
+}
+
+// instantiateItem runs the shared tail of the §3.4 instantiation from the
+// cluster weights prepared in sc.logW: candidate assembly, per-cluster
+// inclusion deltas, and the greedy (or capped exhaustive) subset search.
+func (m *Model) instantiateItem(i int, phiMAP, nbar []float64, sc *predictScratch) labelset.Set {
+	T, C := m.T, m.numLabels
 
 	// Candidate labels: every voted label plus cluster labels with
 	// appreciable posterior-weighted inclusion probability (this is where
@@ -170,7 +208,7 @@ func (m *Model) predictItem(i int, psiMAP, phiMAP, nbar []float64, sc *predictSc
 	// shrunk toward the cluster prior max(n̄_t·φ_tc, labelPrev_c). ŷ is
 	// already prior-informed (imputeTruth), so the blend weight rises
 	// quickly with the item's answer count.
-	nAns := float64(len(m.perItem[i]))
+	nAns := float64(m.perItem[i].Len())
 	voteWeight := (nAns + 1) / (nAns + 3)
 	yvote := make(map[int]float64, len(m.votedList[i]))
 	for k, c := range m.votedList[i] {
@@ -220,11 +258,11 @@ func (m *Model) predictCandidates(i int, phiMAP, nbar []float64, sc *predictScra
 	// almost nothing, and flooding the search with speculative labels
 	// destroys precision exactly where the paper's Fig. 3 demands
 	// robustness.
-	maxExtra := 4 * len(m.perItem[i])
+	maxExtra := 4 * m.perItem[i].Len()
 	if maxExtra > 16 {
 		maxExtra = 16
 	}
-	if len(m.perItem[i]) < 2 {
+	if m.perItem[i].Len() < 2 {
 		maxExtra = 0
 	}
 	sc.cand = sc.cand[:0]

@@ -79,6 +79,14 @@ func (m *Model) PartialFit(batch []answers.Answer) error {
 	workers := sortedKeys(batchByWorker)
 	items := sortedKeys(batchByItem)
 	m.extendVoted(items)
+	// Record the touched items for the incremental snapshot publisher
+	// (publish.go): dirty items accumulate until the next takeDirtySorted.
+	for _, i := range items {
+		if !m.dirtyFlags[i] {
+			m.dirtyFlags[i] = true
+			m.dirtyItems = append(m.dirtyItems, i)
+		}
+	}
 
 	// Learning rate ω_b = (1+b)^{-r}.
 	m.batchIndex++
@@ -98,12 +106,12 @@ func (m *Model) PartialFit(batch []answers.Answer) error {
 			for wi := lo; wi < hi; wi++ {
 				u := workers[wi]
 				refs := batchByWorker[u]
-				scale := float64(len(m.perWorker[u])) / float64(len(refs))
-				m.scoreKappaRow(refs, scale, fresh)
+				scale := float64(m.perWorker[u].Len()) / float64(len(refs))
+				m.scoreKappaBatch(refs, scale, fresh)
 				mathx.SoftmaxInPlace(fresh)
 				row := m.kappa.Row(u)
 				copy(old, row)
-				first := len(m.perWorker[u]) == len(refs)
+				first := m.perWorker[u].Len() == len(refs)
 				blendRows(row, fresh, omega, first)
 				if d := mathx.MaxAbsDiff(old, row); d > maxD {
 					maxD = d
@@ -125,12 +133,12 @@ func (m *Model) PartialFit(batch []answers.Answer) error {
 			for ii := lo; ii < hi; ii++ {
 				i := items[ii]
 				refs := batchByItem[i]
-				scale := float64(len(m.perItem[i])) / float64(len(refs))
-				m.scorePhiRow(i, refs, scale, fresh)
+				scale := float64(m.perItem[i].Len()) / float64(len(refs))
+				m.scorePhiBatch(i, refs, scale, fresh)
 				mathx.SoftmaxInPlace(fresh)
 				row := m.phi.Row(i)
 				copy(old, row)
-				first := len(m.perItem[i]) == len(refs)
+				first := m.perItem[i].Len() == len(refs)
 				blendRows(row, fresh, omega, first)
 				if d := mathx.MaxAbsDiff(old, row); d > maxD {
 					maxD = d
@@ -319,13 +327,13 @@ func (m *Model) extendVoted(items []int) {
 		for _, c := range m.votedList[i] {
 			need[c] = false
 		}
-		for _, ar := range m.perItem[i] {
+		m.perItem[i].each(func(ar ansRef) {
 			for _, c := range ar.labels {
 				if _, ok := need[c]; !ok {
 					need[c] = true
 				}
 			}
-		}
+		})
 		for _, c := range m.revealedTruth[i] {
 			if _, ok := need[c]; !ok {
 				need[c] = true

@@ -110,3 +110,23 @@ func (h *hist) resetSummary() HistSummary {
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// summaryFromCounts digests externally collected log₂ bucket counters into
+// a HistSummary. The serve layer exports its publish-latency histogram in
+// the same bucket family (50µs base, doubling — serve.PublishStats), so a
+// phase report can diff the cumulative counters at the phase boundaries and
+// summarise the difference here. Buckets beyond histBuckets fold into the
+// last bucket; max is whatever the caller can attribute to the window.
+func summaryFromCounts(counts []int64, n int64, sum, max time.Duration) HistSummary {
+	h := hist{n: n, sum: sum, max: max}
+	for b, c := range counts {
+		if c < 0 {
+			c = 0 // counter reset (chaos restart) mid-window
+		}
+		if b >= histBuckets {
+			b = histBuckets - 1
+		}
+		h.counts[b] += c
+	}
+	return h.summaryLocked()
+}

@@ -12,43 +12,77 @@ import (
 // replayJournal rebuilds the consensus a job's journal encodes: a fresh
 // model advanced by PartialFit with the recorded mini-batch boundaries —
 // exactly the FitStream computation the daemon performed, in the arrival
-// order the journal persisted. It returns the post-replay consensus view
-// (nil when no fit marker was recorded yet), the full acked answer
-// sequence, and the answers journaled but not covered by any fit marker.
+// order the journal persisted — and a mirrored core.Publisher driven by the
+// recorded publish modes, so incremental publications (which carry
+// untouched items' entries forward across rounds) reproduce bit-for-bit
+// too. It returns the post-replay consensus view (nil when no fit marker
+// was recorded yet), the full acked answer sequence, and the answers
+// journaled but not covered by any fit marker.
 func replayJournal(path string, spec serve.JobSpec) (*core.ConsensusView, []answers.Answer, []answers.Answer, error) {
 	model, err := core.NewModel(spec.Model, spec.Items, spec.Workers, spec.Labels)
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	var entries []serve.JournalEntry
+	if err := serve.ReadJournal(path, func(e serve.JournalEntry) error {
+		entries = append(entries, e)
+		return nil
+	}); err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Every full publication (and every restart re-anchor, and the very
+	// first round, which a cold publisher always publishes full) rebuilds
+	// the whole view from the model state of its round, superseding all
+	// earlier snapshot history. The mirrored publisher therefore only needs
+	// to publish from the last such anchor onward; fit rounds before it
+	// replay the model alone.
+	lastAnchor := -1
+	for k, e := range entries {
+		if e.FitN > 0 && lastAnchor == -1 {
+			lastAnchor = k // first round: published full by the cold publisher
+		}
+		if (e.FitN > 0 && e.FitFull) || e.Restart {
+			lastAnchor = k
+		}
+	}
+
+	pub := core.NewPublisher(model)
+	var view *core.ConsensusView
 	var acked, pending []answers.Answer
-	err = serve.ReadJournal(path, func(e serve.JournalEntry) error {
-		if e.Answer != nil {
+	for k, e := range entries {
+		switch {
+		case e.Answer != nil:
 			acked = append(acked, *e.Answer)
 			pending = append(pending, *e.Answer)
-			return nil
+		case e.Restart:
+			if k == lastAnchor && model.Fitted() {
+				if view, _, err = pub.Publish(true); err != nil {
+					return nil, nil, nil, err
+				}
+			}
+		default: // fit marker
+			if e.FitN <= 0 || e.FitN > len(pending) {
+				return nil, nil, nil, fmt.Errorf("fit marker n=%d with %d pending answers", e.FitN, len(pending))
+			}
+			if err := model.PartialFit(pending[:e.FitN]); err != nil {
+				return nil, nil, nil, err
+			}
+			pending = pending[e.FitN:]
+			if k == lastAnchor {
+				view, _, err = pub.Publish(true)
+			} else if k > lastAnchor {
+				view, _, err = pub.Publish(false)
+			} else {
+				continue
+			}
+			if err != nil {
+				return nil, nil, nil, err
+			}
 		}
-		if e.FitN <= 0 || e.FitN > len(pending) {
-			return fmt.Errorf("fit marker n=%d with %d pending answers", e.FitN, len(pending))
-		}
-		if err := model.PartialFit(pending[:e.FitN]); err != nil {
-			return err
-		}
-		pending = pending[e.FitN:]
-		return nil
-	})
-	if err != nil {
-		return nil, nil, nil, err
 	}
 	if !model.Fitted() {
 		return nil, acked, pending, nil
-	}
-	// Mirror serve's publish(): the online-prediction posterior is prepared
-	// on a clone so the replay model itself could keep streaming.
-	clone := model.Clone()
-	clone.FinalizeOnline()
-	view, err := clone.ConsensusView()
-	if err != nil {
-		return nil, nil, nil, err
 	}
 	return view, acked, pending, nil
 }

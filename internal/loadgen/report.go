@@ -40,14 +40,21 @@ type TenantPhasePR struct {
 
 // PhaseStats aggregates one phase of the run.
 type PhaseStats struct {
-	Name          string          `json:"name"`
-	Answers       int             `json:"answers"`
-	Requests      int64           `json:"requests"`
-	DurationSec   float64         `json:"duration_seconds"`
-	AnswersPerSec float64         `json:"answers_per_second"`
-	Ingest        HistSummary     `json:"ingest_latency"`
-	Reads         HistSummary     `json:"read_latency"`
-	PR            []TenantPhasePR `json:"pr"`
+	Name          string      `json:"name"`
+	Answers       int         `json:"answers"`
+	Requests      int64       `json:"requests"`
+	DurationSec   float64     `json:"duration_seconds"`
+	AnswersPerSec float64     `json:"answers_per_second"`
+	Ingest        HistSummary `json:"ingest_latency"`
+	Reads         HistSummary `json:"read_latency"`
+	// Publish summarises the server-side snapshot-publication latencies of
+	// the phase, diffed from the cumulative per-job log₂ bucket counters the
+	// serve layer exports — the behavioural witness that publish cost stays
+	// O(batch) as streams grow (a linear-cost regression shows up here as
+	// bucket drift across phases). MaxMs is the run-wide maximum observed so
+	// far, not a per-phase value (the exported counters are cumulative).
+	Publish HistSummary     `json:"publish_latency"`
+	PR      []TenantPhasePR `json:"pr"`
 }
 
 // KillEvent records one chaos kill point.
@@ -148,9 +155,9 @@ func (r *Report) Summary() string {
 	}
 	for _, p := range r.Phases {
 		for _, pr := range p.PR {
-			fmt.Fprintf(&b, "\n  phase %-12s %-16s round %4d  P=%.3f R=%.3f F1=%.3f drift=%d  p50=%.2fms p99=%.2fms",
+			fmt.Fprintf(&b, "\n  phase %-12s %-16s round %4d  P=%.3f R=%.3f F1=%.3f drift=%d  p50=%.2fms p99=%.2fms pub50=%.2fms",
 				p.Name, pr.Job, pr.Round, pr.Precision, pr.Recall, pr.F1, pr.DriftItems,
-				p.Ingest.P50Ms, p.Ingest.P99Ms)
+				p.Ingest.P50Ms, p.Ingest.P99Ms, p.Publish.P50Ms)
 		}
 	}
 	for _, iv := range r.Failed() {

@@ -191,7 +191,16 @@ func (s *Server) handleConsensus(w http.ResponseWriter, r *http.Request) {
 		httpError(w, fmt.Errorf("%w: %q", ErrNotFound, r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Snapshot())
+	// The snapshot caches its encoding: concurrent readers of the same
+	// publication share one marshal instead of re-encoding O(items) each.
+	body, err := job.Snapshot().encodedBody()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
 }
 
 func (s *Server) handleItem(w http.ResponseWriter, r *http.Request) {

@@ -36,9 +36,14 @@ type Job struct {
 	wake chan struct{} // 1-buffered ingest/close signal to the fitter
 
 	model *core.Model // fitter-owned while running
+	// pub is the reusable snapshot engine (core.Publisher): caught-up
+	// rounds publish the full finalize pipeline, backlogged rounds refresh
+	// only the batch-dirty items (O(batch), not O(stream)). Fitter-owned.
+	pub *core.Publisher
 
 	snap     atomic.Pointer[Snapshot]
 	snapTime atomic.Int64 // unixnano of the last publication
+	pubHist  publishHist  // publish-latency histogram (log₂ buckets)
 
 	ingested atomic.Int64 // answers accepted (journaled + queued)
 	fitted   atomic.Int64 // answers consumed by PartialFit
@@ -59,6 +64,7 @@ func newJob(spec JobSpec, model *core.Model, dir string, cfg Config) *Job {
 		spec:       spec,
 		dir:        dir,
 		model:      model,
+		pub:        core.NewPublisher(model),
 		wake:       make(chan struct{}, 1),
 		queueLimit: cfg.QueueLimit,
 		saveEvery:  cfg.SaveEvery,
@@ -157,23 +163,29 @@ func (j *Job) signal() {
 	}
 }
 
-// Stats summarises the job's live serving state.
+// Stats summarises the job's live serving state. The adaptivity diagnostics
+// (effective communities/clusters) are read from the published snapshot —
+// they were computed once at publication; a /statsz hit must not touch the
+// model or recompute anything per request.
 func (j *Job) Stats() JobStats {
 	j.mu.Lock()
 	depth := len(j.queue) - j.head
 	j.mu.Unlock()
 	snap := j.snap.Load()
 	st := JobStats{
-		ID:              j.spec.ID,
-		Items:           j.spec.Items,
-		Workers:         j.spec.Workers,
-		Labels:          j.spec.Labels,
-		IngestedAnswers: j.ingested.Load(),
-		FittedAnswers:   j.fitted.Load(),
-		QueueDepth:      depth,
-		FitRounds:       j.rounds.Load(),
-		SnapshotRound:   snap.Round,
-		SnapshotAgeSec:  time.Since(time.Unix(0, j.snapTime.Load())).Seconds(),
+		ID:                   j.spec.ID,
+		Items:                j.spec.Items,
+		Workers:              j.spec.Workers,
+		Labels:               j.spec.Labels,
+		IngestedAnswers:      j.ingested.Load(),
+		FittedAnswers:        j.fitted.Load(),
+		QueueDepth:           depth,
+		FitRounds:            j.rounds.Load(),
+		SnapshotRound:        snap.Round,
+		SnapshotAgeSec:       time.Since(time.Unix(0, j.snapTime.Load())).Seconds(),
+		EffectiveCommunities: snap.EffectiveCommunities,
+		EffectiveClusters:    snap.EffectiveClusters,
+		Publish:              j.pubHist.summary(),
 	}
 	if msg := j.failure.Load(); msg != nil {
 		st.Error = *msg
@@ -193,7 +205,70 @@ type JobStats struct {
 	FitRounds       int64   `json:"fit_rounds"`
 	SnapshotRound   int     `json:"snapshot_round"`
 	SnapshotAgeSec  float64 `json:"snapshot_age_seconds"`
-	Error           string  `json:"error,omitempty"`
+	// EffectiveCommunities/EffectiveClusters mirror the published snapshot's
+	// adaptivity diagnostics (computed at publication, never per request).
+	EffectiveCommunities int `json:"effective_communities"`
+	EffectiveClusters    int `json:"effective_clusters"`
+	// Publish is the job's cumulative snapshot-publication latency
+	// histogram.
+	Publish PublishStats `json:"publish"`
+	Error   string       `json:"error,omitempty"`
+}
+
+// publishBuckets is the log₂ bucket count of the publish-latency histogram;
+// publishBase the upper bound of the first bucket. The family matches
+// loadgen's latency histograms (50µs base, doubling), so soak reports can
+// diff the exported counters phase over phase.
+const (
+	publishBuckets = 32
+	publishBase    = 50 * time.Microsecond
+)
+
+// PublishStats is the JSON-ready cumulative publish-latency histogram.
+type PublishStats struct {
+	Count int64 `json:"count"`
+	SumNs int64 `json:"sum_ns"`
+	MaxNs int64 `json:"max_ns"`
+	// Log2Buckets counts publications per latency bucket: bucket b covers
+	// (50µs·2^(b-1), 50µs·2^b], with bucket 0 covering (0, 50µs].
+	Log2Buckets []int64 `json:"log2_buckets"`
+}
+
+// publishHist accumulates publish latencies. The fitter is the only writer;
+// Stats readers are concurrent, so a small mutex guards the counters (one
+// lock per round and per /statsz hit — nowhere near a hot path).
+type publishHist struct {
+	mu     sync.Mutex
+	counts [publishBuckets]int64
+	n      int64
+	sumNs  int64
+	maxNs  int64
+}
+
+func (h *publishHist) observe(d time.Duration) {
+	b := 0
+	for bound := publishBase; b < publishBuckets-1 && d > bound; bound *= 2 {
+		b++
+	}
+	h.mu.Lock()
+	h.counts[b]++
+	h.n++
+	h.sumNs += int64(d)
+	if int64(d) > h.maxNs {
+		h.maxNs = int64(d)
+	}
+	h.mu.Unlock()
+}
+
+func (h *publishHist) summary() PublishStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return PublishStats{
+		Count:       h.n,
+		SumNs:       h.sumNs,
+		MaxNs:       h.maxNs,
+		Log2Buckets: append([]int64(nil), h.counts[:]...),
+	}
 }
 
 // Close stops ingestion, lets the fitter drain the queue, checkpoints the
@@ -247,15 +322,27 @@ func (j *Job) crash() {
 // Background fitter
 // ---------------------------------------------------------------------------
 
+// batchPool recycles mini-batch slices across fit rounds (and across jobs):
+// a fresh []answers.Answer per round was one allocation per round forever.
+var batchPool = sync.Pool{New: func() any { return new([]answers.Answer) }}
+
 func (j *Job) run() {
 	defer j.wg.Done()
 	roundsSinceSave := 0
 	for {
-		batch, ok := j.nextBatch()
+		bp, ok := j.nextBatch()
 		if !ok {
 			return
 		}
-		if err := j.fitBatch(batch, &roundsSinceSave); err != nil {
+		err := j.fitBatch(*bp, &roundsSinceSave)
+		// PartialFit copies what it keeps (label sets are flattened into the
+		// model's own storage), so the batch recycles as soon as the round
+		// is done. Clear the entries so pooled memory doesn't pin label
+		// sets.
+		clear(*bp)
+		*bp = (*bp)[:0]
+		batchPool.Put(bp)
+		if err != nil {
 			msg := err.Error()
 			j.failure.Store(&msg)
 			return
@@ -266,8 +353,9 @@ func (j *Job) run() {
 // nextBatch blocks until a mini-batch is available: a full BatchSize, or
 // whatever is queued once BatchWait has elapsed since data appeared (bounded
 // consensus staleness under trickle load), or the remainder at close. It
-// returns ok=false when the job is done.
-func (j *Job) nextBatch() ([]answers.Answer, bool) {
+// returns ok=false when the job is done. The returned slice comes from
+// batchPool; the caller returns it after the round.
+func (j *Job) nextBatch() (*[]answers.Answer, bool) {
 	batchSize := j.model.Config().BatchSize
 	var deadline time.Time
 	for {
@@ -286,8 +374,8 @@ func (j *Job) nextBatch() ([]answers.Answer, bool) {
 			if take > batchSize {
 				take = batchSize
 			}
-			batch := make([]answers.Answer, take)
-			copy(batch, j.queue[j.head:j.head+take])
+			bp := batchPool.Get().(*[]answers.Answer)
+			*bp = append((*bp)[:0], j.queue[j.head:j.head+take]...)
 			j.head += take
 			if j.head == len(j.queue) {
 				j.queue = j.queue[:0]
@@ -300,7 +388,7 @@ func (j *Job) nextBatch() ([]answers.Answer, bool) {
 				j.head = 0
 			}
 			j.mu.Unlock()
-			return batch, true
+			return bp, true
 		}
 		if n > 0 && deadline.IsZero() {
 			deadline = time.Now().Add(j.batchWait)
@@ -317,23 +405,33 @@ func (j *Job) nextBatch() ([]answers.Answer, bool) {
 	}
 }
 
-// fitBatch advances the model one SVI round, journals the fit marker,
-// publishes a fresh snapshot, and periodically checkpoints.
+// fitBatch advances the model one SVI round, journals the fit marker (with
+// the round's publish mode), publishes a snapshot, and periodically
+// checkpoints. The mode is chosen by backlog: a caught-up round publishes
+// the full finalize pipeline — so every quiesced snapshot is bit-identical
+// to the offline FitStream+FinalizeOnline computation — while a backlogged
+// round publishes incrementally, refreshing only the items this batch
+// touched (plus a bounded sweep) in O(batch) instead of O(stream). Because
+// the mode lands in the journal before the publication, any published
+// snapshot — including a mid-backlog one a crash pins — is reproducible by
+// replay.
 func (j *Job) fitBatch(batch []answers.Answer, roundsSinceSave *int) error {
 	if err := j.model.PartialFit(batch); err != nil {
 		return err
 	}
 	j.fitted.Add(int64(len(batch)))
 	j.rounds.Add(1)
+	j.mu.Lock()
+	full := len(j.queue)-j.head == 0
+	var jerr error
 	if j.journal != nil {
-		j.mu.Lock()
-		err := j.journal.appendFit(len(batch))
-		j.mu.Unlock()
-		if err != nil {
-			return fmt.Errorf("serve: journaling fit marker: %w", err)
-		}
+		jerr = j.journal.appendFit(len(batch), full)
 	}
-	if err := j.publish(); err != nil {
+	j.mu.Unlock()
+	if jerr != nil {
+		return fmt.Errorf("serve: journaling fit marker: %w", jerr)
+	}
+	if err := j.publish(full); err != nil {
 		return err
 	}
 	if j.dir != "" {
@@ -348,21 +446,22 @@ func (j *Job) fitBatch(batch []answers.Answer, roundsSinceSave *int) error {
 	return nil
 }
 
-// publish builds and atomically swaps in a fresh consensus snapshot. The
-// live model keeps streaming untouched: the online-prediction posterior of
-// §4.1 (FinalizeOnline) is prepared on a clone, so the serve path and the
-// offline FitStream path produce identical posteriors for identical batch
-// sequences.
-func (j *Job) publish() error {
-	clone := j.model.Clone()
-	clone.FinalizeOnline()
-	view, err := clone.ConsensusView()
+// publish builds and atomically swaps in a fresh consensus snapshot through
+// the reusable core.Publisher. The live model keeps streaming untouched:
+// finalize runs on the publisher's shared-prefix clone, so a caught-up
+// (full) publication and the offline FitStream path produce identical
+// posteriors for identical batch sequences. Incremental publications share
+// the untouched items' snapshot entries with the previous publication.
+func (j *Job) publish(full bool) error {
+	start := time.Now()
+	view, dirty, err := j.pub.Publish(full)
 	if err != nil {
 		return fmt.Errorf("serve: building snapshot: %w", err)
 	}
 	now := time.Now()
-	j.snap.Store(newSnapshot(j.spec.ID, view, now))
+	j.snap.Store(nextSnapshot(j.spec.ID, j.snap.Load(), view, dirty, now))
 	j.snapTime.Store(now.UnixNano())
+	j.pubHist.observe(time.Since(start))
 	return nil
 }
 

@@ -11,17 +11,33 @@ import (
 
 // Journal line operations.
 const (
-	opAnswer = "ans" // one ingested answer
-	opFit    = "fit" // the fitter consumed the next N pending answers
+	opAnswer  = "ans"     // one ingested answer
+	opFit     = "fit"     // the fitter consumed the next N pending answers
+	opRestart = "restart" // the job was recovered and republished from cold
+)
+
+// Fit-marker publish modes. Snapshot publication is part of the journaled
+// computation: an interim round under backlog publishes incrementally
+// (refreshing only the batch-dirty items), a caught-up round publishes the
+// full finalize pipeline. Recording the mode per marker — and a restart
+// line when recovery re-anchors a cold publisher — makes every published
+// snapshot, not just quiesced ones, a deterministic function of the journal
+// (the loadgen served-equals-replay invariant mirrors the modes on replay).
+const (
+	pubModeFull = "full"
+	pubModeInc  = "inc"
 )
 
 // journalLine is the wire form of one journal record. Answer lines reuse
 // the canonical answers.JSONAnswer codec, so a journal is also a valid
-// answer stream for any JSONL consumer (modulo the envelope).
+// answer stream for any JSONL consumer (modulo the envelope). Fit lines
+// written before publish modes existed carry no "pub" field and replay as
+// full publications, which is exactly what that code did.
 type journalLine struct {
-	Op  string              `json:"op"`
-	Ans *answers.JSONAnswer `json:"a,omitempty"`
-	N   int                 `json:"n,omitempty"`
+	Op   string              `json:"op"`
+	Ans  *answers.JSONAnswer `json:"a,omitempty"`
+	N    int                 `json:"n,omitempty"`
+	Mode string              `json:"pub,omitempty"`
 }
 
 // journal is a job's append-only JSONL log. Every append is flushed to the
@@ -79,16 +95,17 @@ func (j *journal) rollback(cause error) error {
 	return cause
 }
 
-// appendAnswers journals a batch of accepted answers and flushes. On error
-// the batch is rolled back in full; the file never holds a partial batch.
-func (j *journal) appendAnswers(batch []answers.Answer) error {
+// commit is the single durability protocol every append goes through:
+// refuse a broken journal, write the lines, flush, and only then advance
+// the durable offset — rolling the whole group back on any failure so the
+// file never holds a partial record group.
+func (j *journal) commit(lines []journalLine) error {
 	if j.broken {
 		return fmt.Errorf("serve: journal in failed state")
 	}
 	var n int64
-	for _, a := range batch {
-		ja := answers.ToJSON(a)
-		m, err := j.appendLine(journalLine{Op: opAnswer, Ans: &ja})
+	for _, line := range lines {
+		m, err := j.appendLine(line)
 		if err != nil {
 			return j.rollback(err)
 		}
@@ -101,21 +118,35 @@ func (j *journal) appendAnswers(batch []answers.Answer) error {
 	return nil
 }
 
+// appendAnswers journals a batch of accepted answers and flushes. On error
+// the batch is rolled back in full; the file never holds a partial batch.
+func (j *journal) appendAnswers(batch []answers.Answer) error {
+	lines := make([]journalLine, len(batch))
+	jas := make([]answers.JSONAnswer, len(batch))
+	for i, a := range batch {
+		jas[i] = answers.ToJSON(a)
+		lines[i] = journalLine{Op: opAnswer, Ans: &jas[i]}
+	}
+	return j.commit(lines)
+}
+
 // appendFit journals a fit marker: the fitter has consumed the next n
-// pending (journaled-but-unfitted) answers as one mini-batch.
-func (j *journal) appendFit(n int) error {
-	if j.broken {
-		return fmt.Errorf("serve: journal in failed state")
+// pending (journaled-but-unfitted) answers as one mini-batch, and the
+// round's snapshot was published full (caught up) or incrementally
+// (backlogged).
+func (j *journal) appendFit(n int, full bool) error {
+	mode := pubModeInc
+	if full {
+		mode = pubModeFull
 	}
-	m, err := j.appendLine(journalLine{Op: opFit, N: n})
-	if err != nil {
-		return j.rollback(err)
-	}
-	if err := j.flush(); err != nil {
-		return j.rollback(err)
-	}
-	j.off += int64(m)
-	return nil
+	return j.commit([]journalLine{{Op: opFit, N: n, Mode: mode}})
+}
+
+// appendRestart journals a recovery re-anchor: the job was reopened, its
+// publisher restarted cold, and a full snapshot republished at the current
+// round. Replay resets its mirrored publisher at this point.
+func (j *journal) appendRestart() error {
+	return j.commit([]journalLine{{Op: opRestart}})
 }
 
 func (j *journal) flush() error {
@@ -139,13 +170,21 @@ func (j *journal) Close() error {
 // JournalEntry is one decoded record of a job's ingestion journal, exposed
 // for external replay (the loadgen invariant checker rebuilds a job's
 // consensus from its journal and compares it with the served snapshot).
-// Exactly one of the two fields is meaningful per entry.
+// Exactly one of Answer, FitN and Restart is meaningful per entry.
 type JournalEntry struct {
 	// Answer is non-nil for an ingested-answer record.
 	Answer *answers.Answer
 	// FitN is > 0 for a fit marker: the fitter consumed the next FitN
 	// pending answers as one mini-batch.
 	FitN int
+	// FitFull reports the publish mode of a fit marker: true when the
+	// round's snapshot ran the full finalize pipeline (caught-up round, and
+	// every marker written before modes were recorded), false when it
+	// refreshed only the batch-dirty items (backlogged round).
+	FitFull bool
+	// Restart marks a recovery re-anchor: the job's publisher restarted
+	// cold and republished a full snapshot at the round reached so far.
+	Restart bool
 }
 
 // ReadJournal streams a job journal through fn in recorded order, with the
@@ -161,7 +200,9 @@ func ReadJournal(path string, fn func(JournalEntry) error) error {
 			a := line.Ans.Answer()
 			return fn(JournalEntry{Answer: &a})
 		case opFit:
-			return fn(JournalEntry{FitN: line.N})
+			return fn(JournalEntry{FitN: line.N, FitFull: line.Mode != pubModeInc})
+		case opRestart:
+			return fn(JournalEntry{Restart: true})
 		}
 		return nil
 	})

@@ -282,6 +282,9 @@ func openExistingJob(dir string, cfg Config) (*Job, error) {
 				return err
 			}
 			pending = pending[line.N:]
+		case opRestart:
+			// A previous recovery's re-anchor: only the snapshot publisher
+			// cares (replay mirrors it); the model replay is unaffected.
 		}
 		return nil
 	})
@@ -296,13 +299,22 @@ func openExistingJob(dir string, cfg Config) (*Job, error) {
 	j.ingested.Store(int64(model.NumAnswers() + len(pending)))
 	j.fitted.Store(int64(model.NumAnswers()))
 	j.rounds.Store(int64(model.BatchRounds()))
-	if model.Fitted() {
-		if err := j.publish(); err != nil {
-			return nil, err
-		}
-	}
 	if j.journal, err = openJournal(filepath.Join(dir, journalFile), cfg.SyncJournal); err != nil {
 		return nil, err
+	}
+	if model.Fitted() {
+		// Re-anchor: the recovered publisher starts cold, so the first
+		// publication is a full one. The restart marker records that for
+		// replay — without it, an offline replay would carry incremental
+		// snapshot state across the crash that the server no longer has.
+		if err := j.journal.appendRestart(); err != nil {
+			j.journal.Close()
+			return nil, err
+		}
+		if err := j.publish(true); err != nil {
+			j.journal.Close()
+			return nil, err
+		}
 	}
 	j.enqueueRecovered(pending)
 	j.start()

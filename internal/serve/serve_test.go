@@ -251,6 +251,107 @@ func TestConcurrentReadsDuringFit(t *testing.T) {
 	}
 }
 
+// TestConcurrentCachedBodyReads hammers the cached-encoding read path while
+// the fitter publishes round after round: direct encodedBody() readers and
+// HTTP /consensus readers race the publisher's snapshot swaps. Under -race
+// this pins that the lazily-cached body is safe to fill from many readers
+// at once; the content checks pin that every reader sees a complete,
+// self-consistent encoding of whatever snapshot it loaded.
+func TestConcurrentCachedBodyReads(t *testing.T) {
+	ds := testStream(t, 0.08, 19)
+	reg := mustOpen(t, Config{BatchWait: 2 * time.Millisecond})
+	defer reg.Close()
+	ts := httptest.NewServer(NewServer(reg))
+	defer ts.Close()
+
+	job, err := reg.Create(JobSpec{
+		ID: "cached", Items: ds.NumItems, Workers: ds.NumWorkers, Labels: ds.NumLabels,
+		Model: core.Config{Seed: 19, BatchSize: 64, Parallelism: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lastRound := -1
+			for !stop.Load() {
+				snap := job.Snapshot()
+				body, err := snap.encodedBody()
+				if err != nil {
+					t.Errorf("encodedBody: %v", err)
+					return
+				}
+				var decoded Snapshot
+				if err := json.Unmarshal(body, &decoded); err != nil {
+					t.Errorf("cached body is not valid JSON: %v", err)
+					return
+				}
+				if decoded.Round != snap.Round || len(decoded.Consensus) != len(snap.Consensus) {
+					t.Errorf("cached body decodes to round=%d items=%d, snapshot says round=%d items=%d",
+						decoded.Round, len(decoded.Consensus), snap.Round, len(snap.Consensus))
+					return
+				}
+				if snap.Round < lastRound {
+					t.Errorf("snapshot round regressed: %d after %d", snap.Round, lastRound)
+					return
+				}
+				lastRound = snap.Round
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		client := ts.Client()
+		for !stop.Load() {
+			resp, err := client.Get(ts.URL + "/v1/jobs/cached/consensus")
+			if err != nil {
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	all := ds.Answers()
+	for start := 0; start < len(all); start += 100 {
+		end := start + 100
+		if end > len(all) {
+			end = len(all)
+		}
+		if err := job.Ingest(all[start:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFitted(t, job, int64(len(all)))
+	waitSnapshot(t, job, len(all))
+	stop.Store(true)
+	wg.Wait()
+
+	// Cached and freshly marshaled bytes must agree for the final snapshot.
+	snap := job.Snapshot()
+	cached, err := snap.encodedBody()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cached) != string(fresh)+"\n" {
+		t.Fatal("cached body differs from a fresh marshal of the same snapshot")
+	}
+	if st := job.Stats(); st.Publish.Count == 0 || st.SnapshotRound == 0 ||
+		st.EffectiveCommunities == 0 || st.EffectiveClusters == 0 {
+		t.Fatalf("stats missing publish/adaptivity fields: %+v", st)
+	}
+}
+
 func TestHTTPAPISurface(t *testing.T) {
 	reg := mustOpen(t, Config{})
 	defer reg.Close()

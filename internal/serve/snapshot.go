@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"encoding/json"
+	"sync/atomic"
 	"time"
 
 	"cpa/internal/core"
@@ -9,7 +11,10 @@ import (
 // Snapshot is one immutable, JSON-ready consensus publication. The fitter
 // builds a fresh Snapshot after each round and swaps it behind the job's
 // atomic pointer; readers share the value without copying, so nothing in a
-// published Snapshot may ever be mutated.
+// published Snapshot may ever be mutated. Across incremental rounds,
+// ItemSnapshot entries for untouched items are shared with the previous
+// Snapshot (nextSnapshot) — the same immutability contract, extended
+// backwards in time.
 type Snapshot struct {
 	JobID   string `json:"job_id"`
 	Round   int    `json:"round"`   // fit rounds behind this snapshot
@@ -25,6 +30,39 @@ type Snapshot struct {
 
 	// Consensus holds one entry per item (index == item id).
 	Consensus []ItemSnapshot `json:"consensus"`
+
+	// enc caches the encoded JSON of this snapshot so concurrent
+	// GET /consensus readers marshal O(items) once per publication, not
+	// once per request. Held by pointer so Snapshot values stay copyable;
+	// copies share the cache, which is safe because published snapshots
+	// are immutable. Nil on snapshots not built by this package (e.g.
+	// client-side decodes): those marshal per call.
+	enc *snapshotEnc
+}
+
+// snapshotEnc is the lazily filled encoding cache. A racing double-encode
+// is benign (identical bytes, last store wins).
+type snapshotEnc struct {
+	body atomic.Pointer[[]byte]
+}
+
+// encodedBody returns the snapshot's JSON encoding (newline-terminated,
+// matching json.Encoder output), computing and caching it on first use.
+func (s *Snapshot) encodedBody() ([]byte, error) {
+	if s.enc != nil {
+		if b := s.enc.body.Load(); b != nil {
+			return *b, nil
+		}
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	raw = append(raw, '\n')
+	if s.enc != nil {
+		s.enc.body.Store(&raw)
+	}
+	return raw, nil
 }
 
 // ItemSnapshot is one item's published consensus.
@@ -53,11 +91,28 @@ func emptySnapshot(spec JobSpec, now time.Time) *Snapshot {
 		Labels:    spec.Labels,
 		CreatedAt: now,
 		Consensus: []ItemSnapshot{},
+		enc:       &snapshotEnc{},
 	}
 }
 
-// newSnapshot packages a core consensus view for publication.
-func newSnapshot(jobID string, view *core.ConsensusView, now time.Time) *Snapshot {
+// itemSnapshot packages one item's consensus entry.
+func itemSnapshot(i int, item core.ItemConsensus) ItemSnapshot {
+	is := ItemSnapshot{Item: i, Labels: item.Labels}
+	if len(item.Candidates) > 0 {
+		is.Candidates = make([]CandidateSnapshot, len(item.Candidates))
+		for k, c := range item.Candidates {
+			is.Candidates[k] = CandidateSnapshot{Label: c, Confidence: item.Confidence[k]}
+		}
+	}
+	return is
+}
+
+// nextSnapshot packages a consensus view for publication. With a non-nil
+// dirty set (incremental round) it rebuilds only the refreshed items'
+// entries and shares every other ItemSnapshot — including its Candidates
+// backing — with the previous publication; a nil dirty set rebuilds
+// everything.
+func nextSnapshot(jobID string, prev *Snapshot, view *core.ConsensusView, dirty []int, now time.Time) *Snapshot {
 	s := &Snapshot{
 		JobID:                jobID,
 		Round:                view.Stats.BatchRounds,
@@ -69,16 +124,17 @@ func newSnapshot(jobID string, view *core.ConsensusView, now time.Time) *Snapsho
 		EffectiveClusters:    view.Stats.EffectiveClusters,
 		CreatedAt:            now,
 		Consensus:            make([]ItemSnapshot, len(view.Items)),
+		enc:                  &snapshotEnc{},
+	}
+	if dirty != nil && prev != nil && len(prev.Consensus) == len(view.Items) {
+		copy(s.Consensus, prev.Consensus)
+		for _, i := range dirty {
+			s.Consensus[i] = itemSnapshot(i, view.Items[i])
+		}
+		return s
 	}
 	for i, item := range view.Items {
-		is := ItemSnapshot{Item: i, Labels: item.Labels}
-		if len(item.Candidates) > 0 {
-			is.Candidates = make([]CandidateSnapshot, len(item.Candidates))
-			for k, c := range item.Candidates {
-				is.Candidates[k] = CandidateSnapshot{Label: c, Confidence: item.Confidence[k]}
-			}
-		}
-		s.Consensus[i] = is
+		s.Consensus[i] = itemSnapshot(i, item)
 	}
 	return s
 }
