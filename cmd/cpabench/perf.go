@@ -20,8 +20,11 @@ import (
 // benchMethods lists the aggregation methods the -json perf sweep covers, in
 // report order. The pseudo-method "publish" measures the serving layer's
 // per-round snapshot publication at 1× and 10× stream length instead of a
-// full aggregation (see benchPublish).
-var benchMethods = []string{"cpa", "cpa-online", "mv", "em", "bcc", "cbcc", "publish"}
+// full aggregation (see benchPublish); "kernels" times the inference hot
+// loops in isolation — batch fit, single-pass stream, best steady-state
+// per-round PartialFit latency, and the finalize pass — without the prediction stage
+// (see benchKernels).
+var benchMethods = []string{"cpa", "cpa-online", "mv", "em", "bcc", "cbcc", "publish", "kernels"}
 
 // BenchRecord is one (method, profile) perf measurement — the BENCH_*.json
 // row shape tracked across PRs.
@@ -53,12 +56,93 @@ type BenchReport struct {
 	Results     []BenchRecord `json:"results"`
 }
 
+// gatedMethods are the method families the -baseline regression gate
+// compares: the CPA fit/stream aggregations, the isolated kernel rows, and
+// the publish costs — both the per-round incremental rows (usually under
+// the gate floor: sub-millisecond is the snapshot engine's design point)
+// and the full finalize pipeline, whose O(stream) runtime is the gateable
+// proxy for the same kernels. Baselines (mv, em, …) are informational.
+var gatedMethods = map[string]bool{
+	"cpa": true, "cpa-online": true,
+	"kernels-fit": true, "kernels-stream": true, "kernels-round": true, "kernels-finalize": true,
+	"publish-1x": true, "publish-10x": true, "publish-full-1x": true, "publish-full-10x": true,
+}
+
+// checkBaseline compares the fresh report against a committed baseline and
+// returns an error listing every gated (method, profile) row whose ns/op
+// regressed by more than maxRegress (e.g. 0.15 = +15%). Rows absent from
+// the baseline are reported as informational and never fail the gate, so
+// adding a method or profile doesn't require a flag day.
+func checkBaseline(report *BenchReport, baselinePath string, maxRegress float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base BenchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline: %w", err)
+	}
+	// ns/op is only comparable between runs on the same machine shape and
+	// workload: refuse to gate against a baseline recorded under a
+	// different GOMAXPROCS or scale (e.g. the committed reference file on
+	// foreign hardware) rather than fail PRs on an apples-to-oranges diff.
+	// CI sidesteps this by regenerating the baseline from the base commit
+	// on the same runner within the job.
+	if base.GOMAXPROCS != report.GOMAXPROCS || base.ScaleName != report.ScaleName {
+		fmt.Printf("gate: baseline environment mismatch (gomaxprocs %d vs %d, scale %q vs %q): skipping regression gate\n",
+			base.GOMAXPROCS, report.GOMAXPROCS, base.ScaleName, report.ScaleName)
+		return nil
+	}
+	old := make(map[string]int64, len(base.Results))
+	for _, r := range base.Results {
+		old[r.Method+"/"+r.Profile] = r.NsPerOp
+	}
+	// Rows shorter than this cannot be gated at a 15%-class threshold:
+	// timer granularity, cache state, and a single scheduler stall inside a
+	// handful of sub-millisecond samples swamp real regressions. Such rows
+	// stay informational; run a larger -scale to gate them.
+	const gateFloorNs = 2_000_000
+	var regressions []string
+	for _, r := range report.Results {
+		if !gatedMethods[r.Method] {
+			continue
+		}
+		key := r.Method + "/" + r.Profile
+		was, ok := old[key]
+		if !ok || was <= 0 {
+			fmt.Printf("gate: %-26s no baseline row, skipping\n", key)
+			continue
+		}
+		if was < gateFloorNs || r.NsPerOp < gateFloorNs {
+			fmt.Printf("gate: %-26s %8.2fms under the %.0fms gate floor, informational only\n",
+				key, float64(r.NsPerOp)/1e6, float64(gateFloorNs)/1e6)
+			continue
+		}
+		ratio := float64(r.NsPerOp) / float64(was)
+		status := "ok"
+		if ratio > 1+maxRegress {
+			status = "REGRESSED"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1fms -> %.1fms (%+.1f%%)", key, float64(was)/1e6, float64(r.NsPerOp)/1e6, (ratio-1)*100))
+		}
+		fmt.Printf("gate: %-26s %8.1fms vs %8.1fms baseline (%+6.1f%%) %s\n",
+			key, float64(r.NsPerOp)/1e6, float64(was)/1e6, (ratio-1)*100, status)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("ns/op regression above %.0f%% on %d row(s):\n  %s",
+			maxRegress*100, len(regressions), strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
 // runPerfBench measures every requested method on every requested Table 3
 // profile (wall time, allocations, and consensus P/R against the simulated
 // ground truth) and writes the report as JSON. Each op is one full
 // aggregation of the dataset — the same unit as BenchmarkFit/FitStream — so
-// ns_per_op is directly comparable across PRs on the same machine.
-func runPerfBench(path, scaleName string, s experiments.Settings, profileList, methodList string) error {
+// ns_per_op is directly comparable across PRs on the same machine. When
+// baselinePath is non-empty the report is then diffed against it
+// (checkBaseline) and the run fails on regression.
+func runPerfBench(path, scaleName string, s experiments.Settings, profileList, methodList, baselinePath string, maxRegress float64) error {
 	parallelism := runtime.GOMAXPROCS(0)
 	report := BenchReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -85,16 +169,22 @@ func runPerfBench(path, scaleName string, s experiments.Settings, profileList, m
 		}
 		for _, method := range methods {
 			method = strings.TrimSpace(method)
-			if method == "publish" {
-				recs, err := benchPublish(ds, s, parallelism)
+			if method == "publish" || method == "kernels" {
+				var recs []BenchRecord
+				var err error
+				if method == "publish" {
+					recs, err = benchPublish(ds, s, parallelism)
+				} else {
+					recs, err = benchKernels(ds, s, parallelism)
+				}
 				if err != nil {
-					return fmt.Errorf("publish on %s: %w", profile, err)
+					return fmt.Errorf("%s on %s: %w", method, profile, err)
 				}
 				for _, rec := range recs {
 					rec.Profile = ds.Name
 					rec.Scale = s.DataScale
 					report.Results = append(report.Results, rec)
-					fmt.Printf("%-16s %-8s %9.3f ms/round (mean of %d rounds at %d answers)\n",
+					fmt.Printf("%-16s %-8s %9.3f ms/op (runs %d at %d answers)\n",
 						rec.Method, ds.Name, float64(rec.NsPerOp)/1e6, rec.Runs, rec.Answers)
 				}
 				continue
@@ -119,17 +209,23 @@ func runPerfBench(path, scaleName string, s experiments.Settings, profileList, m
 		return err
 	}
 	fmt.Printf("wrote %s (%d results)\n", path, len(report.Results))
+	if baselinePath != "" {
+		return checkBaseline(&report, baselinePath, maxRegress)
+	}
 	return nil
 }
 
 // benchOne times s.Runs full aggregations of ds with the given method and
-// evaluates the (deterministic) consensus of the last run.
+// evaluates the (deterministic) consensus of the last run. ns_per_op is
+// the best (minimum) run: the computation is deterministic, so the minimum
+// estimates the true cost with scheduler and neighbour noise filtered out,
+// which is what makes the -baseline regression gate stable at quick scale.
 func benchOne(method string, ds *answers.Dataset, s experiments.Settings, parallelism int) (BenchRecord, error) {
 	agg, err := benchAggregator(method, s.Seed, parallelism)
 	if err != nil {
 		return BenchRecord{}, err
 	}
-	var totalNs, totalAllocs, totalBytes int64
+	var minNs, totalAllocs, totalBytes int64
 	var ms runtime.MemStats
 	var pred []labelset.Set
 	for run := 0; run < s.Runs; run++ {
@@ -141,7 +237,9 @@ func benchOne(method string, ds *answers.Dataset, s experiments.Settings, parall
 		if err != nil {
 			return BenchRecord{}, err
 		}
-		totalNs += time.Since(start).Nanoseconds()
+		if ns := time.Since(start).Nanoseconds(); run == 0 || ns < minNs {
+			minNs = ns
+		}
 		runtime.ReadMemStats(&ms)
 		totalAllocs += int64(ms.Mallocs - startAllocs)
 		totalBytes += int64(ms.TotalAlloc - startBytes)
@@ -158,7 +256,7 @@ func benchOne(method string, ds *answers.Dataset, s experiments.Settings, parall
 		Workers:     ds.NumWorkers,
 		Labels:      ds.NumLabels,
 		Answers:     ds.NumAnswers(),
-		NsPerOp:     totalNs / int64(s.Runs),
+		NsPerOp:     minNs,
 		AllocsPerOp: totalAllocs / int64(s.Runs),
 		BytesPerOp:  totalBytes / int64(s.Runs),
 		Precision:   pr.Precision,
@@ -169,7 +267,7 @@ func benchOne(method string, ds *answers.Dataset, s experiments.Settings, parall
 
 // benchPublish measures the serving layer's per-round snapshot publication
 // in the fitter's shape — PartialFit a mini-batch, publish — at 1× and 10×
-// the profile's stream length. ns_per_op is the mean of the publish call
+// the profile's stream length. ns_per_op is the best publish call
 // alone over the final rounds at the target length; a flat trajectory
 // across the two points is the O(batch) publication property the snapshot
 // engine guarantees (DESIGN.md §8). The publish-full rows measure the
@@ -201,7 +299,15 @@ func benchPublish(ds *answers.Dataset, s experiments.Settings, parallelism int) 
 		if window < 1 {
 			return nil, fmt.Errorf("stream too short for publish bench (%d answers, %d rounds)", total, totalRounds)
 		}
-		var tailNs int64
+		// Like benchOne, ns_per_op is the best tail round — per-round
+		// publish work at the target stream length is deterministic, so the
+		// minimum filters the noise that makes a small tail-window mean
+		// flap through the regression gate. Runt final batches are excluded
+		// from the sample (publish cost is O(dirty) = O(batch), so the runt
+		// would systematically be the cheapest round, not a representative
+		// one); they still run to keep the stream shape intact.
+		hasFull := len(all) >= batchSize
+		var tailMinNs int64
 		tailRounds, round := 0, 0
 		for rep := 0; rep < mul; rep++ {
 			for start := 0; start < len(all); start += batchSize {
@@ -218,11 +324,16 @@ func benchPublish(ds *answers.Dataset, s experiments.Settings, parallelism int) 
 				}
 				d := time.Since(begin).Nanoseconds()
 				round++
-				if round > totalRounds-window {
-					tailNs += d
+				if round > totalRounds-window && (end-start == batchSize || !hasFull) {
+					if tailRounds == 0 || d < tailMinNs {
+						tailMinNs = d
+					}
 					tailRounds++
 				}
 			}
+		}
+		if tailRounds == 0 {
+			return nil, fmt.Errorf("publish tail window sampled no full rounds (%d answers, batch %d)", total, batchSize)
 		}
 		dims := BenchRecord{
 			Items: ds.NumItems, Workers: ds.NumWorkers, Labels: ds.NumLabels, Answers: total,
@@ -230,24 +341,161 @@ func benchPublish(ds *answers.Dataset, s experiments.Settings, parallelism int) 
 		inc := dims
 		inc.Method = fmt.Sprintf("publish-%dx", mul)
 		inc.Runs = tailRounds
-		inc.NsPerOp = tailNs / int64(tailRounds)
+		inc.NsPerOp = tailMinNs
 		out = append(out, inc)
 
 		const fullRuns = 3
-		var fullNs int64
+		var fullMinNs int64
 		for k := 0; k < fullRuns; k++ {
 			begin := time.Now()
 			if _, _, err := pub.Publish(true); err != nil {
 				return nil, err
 			}
-			fullNs += time.Since(begin).Nanoseconds()
+			if ns := time.Since(begin).Nanoseconds(); k == 0 || ns < fullMinNs {
+				fullMinNs = ns
+			}
 		}
 		full := dims
 		full.Method = fmt.Sprintf("publish-full-%dx", mul)
 		full.Runs = fullRuns
-		full.NsPerOp = fullNs / fullRuns
+		full.NsPerOp = fullMinNs
 		out = append(out, full)
 	}
+	return out, nil
+}
+
+// benchKernels times the inference hot loops in isolation — exactly the
+// paths the label-set score-panel engine accelerates — with no prediction
+// stage, so the rows move only when the kernels do:
+//
+//	kernels-fit       one batch Fit (Algorithm 1) per op
+//	kernels-stream    one single-pass FitStream (Algorithm 2) per op
+//	kernels-round     best full-size tail-round PartialFit latency
+//	kernels-finalize  one FinalizeOnline pass on the streamed model per op
+func benchKernels(ds *answers.Dataset, s experiments.Settings, parallelism int) ([]BenchRecord, error) {
+	dims := BenchRecord{
+		Runs: s.Runs, Items: ds.NumItems, Workers: ds.NumWorkers,
+		Labels: ds.NumLabels, Answers: ds.NumAnswers(),
+	}
+	cfg := core.Config{Seed: s.Seed, Parallelism: parallelism}
+
+	// ns_per_op is the best (minimum) run, like benchOne: deterministic
+	// work plus noise, so the minimum is the stable estimator the
+	// regression gate needs.
+	timed := func(method string, runs int, op func() error) (BenchRecord, error) {
+		var ms runtime.MemStats
+		var minNs, totalAllocs, totalBytes int64
+		for r := 0; r < runs; r++ {
+			runtime.GC()
+			runtime.ReadMemStats(&ms)
+			startAllocs, startBytes := ms.Mallocs, ms.TotalAlloc
+			start := time.Now()
+			if err := op(); err != nil {
+				return BenchRecord{}, err
+			}
+			if ns := time.Since(start).Nanoseconds(); r == 0 || ns < minNs {
+				minNs = ns
+			}
+			runtime.ReadMemStats(&ms)
+			totalAllocs += int64(ms.Mallocs - startAllocs)
+			totalBytes += int64(ms.TotalAlloc - startBytes)
+		}
+		rec := dims
+		rec.Method = method
+		rec.Runs = runs
+		rec.NsPerOp = minNs
+		rec.AllocsPerOp = totalAllocs / int64(runs)
+		rec.BytesPerOp = totalBytes / int64(runs)
+		return rec, nil
+	}
+
+	var out []BenchRecord
+	rec, err := timed("kernels-fit", s.Runs, func() error {
+		m, err := core.NewModel(cfg, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+		if err != nil {
+			return err
+		}
+		_, err = m.Fit(ds)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, rec)
+
+	rec, err = timed("kernels-stream", s.Runs, func() error {
+		m, err := core.NewModel(cfg, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+		if err != nil {
+			return err
+		}
+		_, err = m.FitStream(ds)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, rec)
+
+	// Per-round PartialFit latency plus the finalize pass, on one streamed
+	// model.
+	m, err := core.NewModel(cfg, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+	if err != nil {
+		return nil, err
+	}
+	// Per-round latency: rounds are NOT identical ops (cost grows with the
+	// accumulated state a round's items drag in, and the final round is a
+	// runt batch), so the row is the best round within the trailing window
+	// of full-size rounds — steady-state cost at the stream's length, with
+	// noise filtered, never the runt.
+	all := ds.Answers()
+	batchSize := m.Config().BatchSize
+	fullRounds := len(all) / batchSize
+	window := 8
+	if window > fullRounds {
+		window = fullRounds
+	}
+	var roundMinNs int64
+	sampled, fullRound := 0, 0
+	for start := 0; start < len(all); start += batchSize {
+		end := start + batchSize
+		if end > len(all) {
+			end = len(all)
+		}
+		begin := time.Now()
+		if err := m.PartialFit(all[start:end]); err != nil {
+			return nil, err
+		}
+		ns := time.Since(begin).Nanoseconds()
+		if end-start == batchSize {
+			fullRound++
+			if fullRound > fullRounds-window {
+				if sampled == 0 || ns < roundMinNs {
+					roundMinNs = ns
+				}
+				sampled++
+			}
+		} else if fullRounds == 0 {
+			// Stream smaller than one batch: the runt is all there is.
+			if sampled == 0 || ns < roundMinNs {
+				roundMinNs = ns
+			}
+			sampled++
+		}
+	}
+	round := dims
+	round.Method = "kernels-round"
+	round.Runs = sampled
+	round.NsPerOp = roundMinNs
+	out = append(out, round)
+
+	fin, err := timed("kernels-finalize", s.Runs, func() error {
+		m.FinalizeOnline()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, fin)
 	return out, nil
 }
 

@@ -317,6 +317,10 @@ type Stats struct {
 	MeanAnswerSize                  float64
 	MeanTruthSize                   float64
 	TruthItems                      int
+	// DistinctLabelSets counts the distinct answer label sets — the reuse
+	// diagnostic behind the inference engines' interned score panels: the
+	// lower this is relative to Answers, the more per-set caching pays.
+	DistinctLabelSets int
 }
 
 // ComputeStats scans the dataset once and returns its Stats.
@@ -340,9 +344,12 @@ func (d *Dataset) ComputeStats() Stats {
 		}
 	}
 	sizeSum := 0
+	intern := labelset.NewInterner()
 	for _, a := range d.answers {
 		sizeSum += a.Labels.Len()
+		intern.Intern(a.Labels)
 	}
+	s.DistinctLabelSets = intern.Len()
 	if len(d.answers) > 0 {
 		s.MeanAnswerSize = float64(sizeSum) / float64(len(d.answers))
 	}

@@ -21,11 +21,18 @@ func (m *Model) ELBO() float64 {
 	M, T := m.M, m.T
 	var elbo float64
 
-	// --- E[ln p(x | z, l, ψ)]: answers under community confusion.
+	// --- E[ln p(x | z, l, ψ)]: answers under community confusion, read from
+	// the per-set score panels where cached (bit-identical to answerScore).
+	m.ensureScorePanels()
 	for i := 0; i < m.numItems; i++ {
 		phiRow := m.phi.Row(i)
 		m.perItem[i].each(func(ar ansRef) {
 			kappaRow := m.kappa.Row(ar.other)
+			panel := m.scorePanel(ar.set)
+			var xs []int
+			if panel == nil {
+				xs = m.intern.Canon(ar.set)
+			}
 			for t := 0; t < T; t++ {
 				pt := phiRow[t]
 				if pt < 1e-12 {
@@ -36,7 +43,11 @@ func (m *Model) ELBO() float64 {
 					if km < 1e-12 {
 						continue
 					}
-					elbo += pt * km * m.answerScore(t, mm, ar.labels)
+					if panel != nil {
+						elbo += pt * km * panel[t*M+mm]
+					} else {
+						elbo += pt * km * m.answerScore(t, mm, xs)
+					}
 				}
 			}
 		})

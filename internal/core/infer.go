@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"cpa/internal/answers"
 	"cpa/internal/mat"
@@ -93,6 +92,9 @@ func (m *Model) Fit(ds *answers.Dataset) (*TrainStats, error) {
 // Algorithm 3 map shards (each shard writes only its own responsibility
 // rows).
 func (m *Model) updateLocal() {
+	// Serial sync point: bring the per-set score panels up to date with the
+	// current expectations before the shards start reading them.
+	m.ensureScorePanels()
 	if !m.cfg.DisableCommunities {
 		m.parallelFor(m.numWorkers, func(lo, hi int) {
 			for u := lo; u < hi; u++ {
@@ -171,7 +173,7 @@ func (m *Model) updateLambda() {
 				l := &m.perItem[i]
 				for s, n := 0, l.segs(); s < n; s++ {
 					for _, ar := range l.seg(s) {
-						m.lambdaAnswerStat(buf, i, ar.other, ar.labels)
+						m.lambdaAnswerStat(buf, i, ar.other, m.intern.Canon(ar.set))
 					}
 				}
 			}
@@ -384,8 +386,14 @@ func (m *Model) imputeItem(i int) {
 			for _, ar := range l.seg(s) {
 				w := m.workerRelW[ar.other]
 				denom += w
-				for _, c := range ar.labels {
-					vals[sort.SearchInts(voted, c)] += w
+				// Both slices are sorted: advance a cursor instead of a
+				// binary search per label.
+				k := 0
+				for _, c := range m.intern.Canon(ar.set) {
+					for voted[k] < c {
+						k++
+					}
+					vals[k] += w
 				}
 			}
 		}
@@ -414,7 +422,9 @@ func (m *Model) imputeItem(i int) {
 			}
 			prior += pt * mathx.Clamp(nbar[t]*phiMean.At(t, c), 0.02, 0.90)
 		}
-		prior = math.Max(prior, m.labelPrev[c])
+		if lp := m.labelPrev[c]; prior < lp {
+			prior = lp
+		}
 		if m.expertCooc != nil {
 			// §6 extension: expert conditional probabilities floor the
 			// prior of labels implied by currently-believed ones.
@@ -424,8 +434,7 @@ func (m *Model) imputeItem(i int) {
 		logOdds := math.Log(prior) - math.Log1p(-prior)
 		for s, sn := 0, l.segs(); s < sn; s++ {
 			for _, ar := range l.seg(s) {
-				j := sort.SearchInts(ar.labels, c)
-				if j < len(ar.labels) && ar.labels[j] == c {
+				if m.intern.Contains(ar.set, c) {
 					logOdds += m.voteLW[ar.other]
 				} else {
 					logOdds += m.missLW[ar.other]
@@ -455,7 +464,10 @@ func (m *Model) imputeItem(i int) {
 
 // dataLogLik computes the ELBO surrogate Σ_{(i,u)} ln Σ_t ϕ_it Σ_m κ_um
 // p(x_iu | ψ̄_tm) under the posterior-mean confusion vectors — cheap,
-// monotone-ish during training, used by tests and diagnostics.
+// monotone-ish during training, used by tests and diagnostics. Reused label
+// sets read their likelihood p(x | ψ̄_tm) from a product panel built once
+// per call; sets without a panel recompute the product per answer with the
+// identical float-operation order.
 func (m *Model) dataLogLik() float64 {
 	M, T, C := m.M, m.T, m.numLabels
 	psiMean := m.ws.psiMean
@@ -464,6 +476,7 @@ func (m *Model) dataLogLik() float64 {
 		psiMean.NormalizeRow(r)
 	}
 	psi := psiMean.Data()
+	pp := m.buildProductPanels(psi)
 	var total [1]float64
 	m.accLogLik.Accumulate(total[:], 0, 1, m.numItems, m.shardCount(m.numItems),
 		func(buf []float64, lo, hi int) {
@@ -474,28 +487,59 @@ func (m *Model) dataLogLik() float64 {
 				for s, sn := 0, l.segs(); s < sn; s++ {
 					for _, ar := range l.seg(s) {
 						kappaRow := m.kappa.Row(ar.other)
+						var panel []float64
+						if pp != nil {
+							panel = pp.panel(ar.set, T*M)
+						}
 						lik := 0.0
-						for t := 0; t < T; t++ {
-							pt := phiRow[t]
-							if pt < 1e-10 {
-								continue
-							}
-							inner := 0.0
-							for mm := 0; mm < M; mm++ {
-								km := kappaRow[mm]
-								if km < 1e-10 {
+						if panel != nil {
+							for t := 0; t < T; t++ {
+								pt := phiRow[t]
+								if pt < 1e-10 {
 									continue
 								}
-								p := 1.0
-								base := (t*M + mm) * C
-								for _, c := range ar.labels {
-									p *= math.Max(psi[base+c], 1e-12)
+								row := panel[t*M : t*M+M]
+								inner := 0.0
+								for mm, km := range kappaRow {
+									if km < 1e-10 {
+										continue
+									}
+									inner += km * row[mm]
 								}
-								inner += km * p
+								lik += pt * inner
 							}
-							lik += pt * inner
+						} else {
+							xs := m.intern.Canon(ar.set)
+							for t := 0; t < T; t++ {
+								pt := phiRow[t]
+								if pt < 1e-10 {
+									continue
+								}
+								inner := 0.0
+								tBase := t * M * C
+								for mm := 0; mm < M; mm++ {
+									km := kappaRow[mm]
+									if km < 1e-10 {
+										continue
+									}
+									p := 1.0
+									base := tBase + mm*C
+									for _, c := range xs {
+										v := psi[base+c]
+										if v < 1e-12 {
+											v = 1e-12
+										}
+										p *= v
+									}
+									inner += km * p
+								}
+								lik += pt * inner
+							}
 						}
-						sum += math.Log(math.Max(lik, 1e-300))
+						if lik < 1e-300 {
+							lik = 1e-300
+						}
+						sum += math.Log(lik)
 					}
 				}
 			}

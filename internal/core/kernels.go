@@ -1,8 +1,7 @@
 package core
 
 import (
-	"sort"
-
+	"cpa/internal/labelset"
 	"cpa/internal/mat"
 )
 
@@ -44,19 +43,42 @@ func (m *Model) scoreKappaBatch(refs []ansRef, scale float64, dst []float64) {
 }
 
 // scoreKappaRefs accumulates the data term of Eq. 2 for one contiguous
-// answer segment into dst (no init — callers seed dst with E[ln π]).
+// answer segment into dst (no init — callers seed dst with E[ln π]). With a
+// cached score panel the inner loop is one contiguous AXPY per surviving
+// cluster row; the scalar fallback (no panel) produces identical bits.
 func (m *Model) scoreKappaRefs(refs []ansRef, scale float64, dst []float64) {
-	T := m.T
+	T, M := m.T, m.M
 	for _, ar := range refs {
 		phiRow := m.phi.Row(ar.other)
+		if panel := m.scorePanel(ar.set); panel != nil {
+			for t := 0; t < T; t++ {
+				pt := phiRow[t]
+				if pt < respFloor {
+					continue
+				}
+				mat.Axpy(scale*pt, panel[t*M:t*M+M], dst)
+			}
+			continue
+		}
+		// Scalar fallback: answerScore inlined with the cube base hoisted
+		// (identical float-operation order).
+		xs := m.intern.Canon(ar.set)
+		psi := m.elogPsi.Data()
+		C := m.numLabels
 		for t := 0; t < T; t++ {
 			pt := phiRow[t]
 			if pt < respFloor {
 				continue
 			}
 			w := scale * pt
+			base := t * M * C
 			for mm := range dst {
-				dst[mm] += w * m.answerScore(t, mm, ar.labels)
+				b := base + mm*C
+				s := 0.0
+				for _, c := range xs {
+					s += psi[b+c]
+				}
+				dst[mm] += w * s
 			}
 		}
 	}
@@ -120,18 +142,35 @@ func (m *Model) scorePhiBase(i int, dst []float64) {
 
 // scorePhiRefs accumulates the Appendix C answer-evidence term a_it for one
 // contiguous answer segment into dst, scaled like the κ data term
-// (DESIGN.md D1).
+// (DESIGN.md D1). With a cached panel each cluster's community reduction is
+// a floored dot over one contiguous panel row, bit-identical to the scalar
+// skip-loop fallback.
 func (m *Model) scorePhiRefs(refs []ansRef, scale float64, dst []float64) {
-	T := m.T
+	T, M := m.T, m.M
 	for _, ar := range refs {
 		kappaRow := m.kappa.Row(ar.other)
+		if panel := m.scorePanel(ar.set); panel != nil {
+			for t := 0; t < T; t++ {
+				dst[t] += scale * mat.FlooredDot(kappaRow, panel[t*M:t*M+M], respFloor)
+			}
+			continue
+		}
+		xs := m.intern.Canon(ar.set)
+		psi := m.elogPsi.Data()
+		C := m.numLabels
 		for t := 0; t < T; t++ {
 			s := 0.0
+			base := t * M * C
 			for mm, km := range kappaRow {
 				if km < respFloor {
 					continue
 				}
-				s += km * m.answerScore(t, mm, ar.labels)
+				b := base + mm*C
+				sc := 0.0
+				for _, c := range xs {
+					sc += psi[b+c]
+				}
+				s += km * sc
 			}
 			dst[t] += scale * s
 		}
@@ -241,16 +280,27 @@ func applySticks(a, b, colSum []float64, conc, scale, omega float64) {
 
 // refreshHardSig recomputes the hardened consensus signature summaries for
 // the listed items (nil = all): per item, the number of voted labels whose
-// imputed (or revealed) expectation exceeds ½, and the index of the single
-// strongest label used as fallback when none does — so every answered item
-// has a non-empty signature without materialising label lists.
+// imputed (or revealed) expectation exceeds ½, the index of the single
+// strongest label used as fallback when none does (so every answered item
+// has a non-empty signature), and the signature itself as a bitset so the
+// agreement kernels can intersect answers against it in O(words).
 func (m *Model) refreshHardSig(items []int) {
+	if m.ws.sigSet == nil {
+		m.ws.sigSet = make([]labelset.Set, m.numItems)
+		for i := range m.ws.sigSet {
+			m.ws.sigSet[i] = labelset.New(m.numLabels)
+		}
+	}
 	apply := func(i int) {
 		vals := m.yhatVals[i]
+		voted := m.votedList[i]
+		sig := &m.ws.sigSet[i]
+		sig.Clear()
 		cnt, bestK, bestV := 0, -1, 0.0
 		for k, v := range vals {
 			if v > 0.5 {
 				cnt++
+				sig.Add(voted[k])
 			}
 			if v > bestV {
 				bestK, bestV = k, v
@@ -260,6 +310,7 @@ func (m *Model) refreshHardSig(items []int) {
 		if cnt == 0 && bestK >= 0 {
 			fall = bestK
 			cnt = 1
+			sig.Add(voted[bestK])
 		}
 		m.ws.sigFall[i], m.ws.sigLen[i] = fall, cnt
 	}
@@ -274,25 +325,13 @@ func (m *Model) refreshHardSig(items []int) {
 	}
 }
 
-// inHardSig reports whether voted label index k of item i is in the
-// hardened signature (per refreshHardSig).
-func (m *Model) inHardSig(i, k int) bool {
-	return m.yhatVals[i][k] > 0.5 || k == m.ws.sigFall[i]
-}
-
-// jaccardWithSig returns the Jaccard agreement between an answer's label
+// jaccardWithSig returns the Jaccard agreement between an interned answer
 // set and item i's hardened signature (1 when both are empty, the harmless
-// convention for unanswerable comparisons).
-func (m *Model) jaccardWithSig(labels []int, i int) float64 {
-	voted := m.votedList[i]
-	inter := 0
-	for _, c := range labels {
-		k := sort.SearchInts(voted, c)
-		if k < len(voted) && voted[k] == c && m.inHardSig(i, k) {
-			inter++
-		}
-	}
-	union := len(labels) + m.ws.sigLen[i] - inter
+// convention for unanswerable comparisons). Both sides are bitsets, so the
+// intersection is a word-wise popcount instead of a per-label walk.
+func (m *Model) jaccardWithSig(set int32, i int) float64 {
+	inter := m.intern.At(set).IntersectLen(m.ws.sigSet[i])
+	union := len(m.intern.Canon(set)) + m.ws.sigLen[i] - inter
 	if union > 0 {
 		return float64(inter) / float64(union)
 	}
@@ -335,46 +374,67 @@ func (m *Model) itemCoinStats(i int, buf []float64) {
 }
 
 // itemCoinRefs accumulates the two-coin counts of one contiguous answer
-// segment of item i (see itemCoinStats).
+// segment of item i (see itemCoinStats). Bit-exactness note: for a fixed
+// answer, each accumulator slot receives some number of additions of the
+// same value (kw, or 1 for the raw counts) — the order of *identical*
+// addends doesn't change the result, so the loop is free to count the
+// (pos, vote) combinations first (via one sorted sweep of the answer's
+// canonical labels against the voted list) and then apply each slot's
+// additions in a register, as long as the addition *count* per slot matches
+// the per-voted-label walk it replaces.
 func (m *Model) itemCoinRefs(i int, refs []ansRef, buf []float64) {
 	offTP, offTPD, offFP, offFPD, _, _, offTPU, offTPDU, offFPU, offFPDU := m.coinOffsets()
 	voted := m.votedList[i]
+	vals := m.yhatVals[i]
+	fall := m.ws.sigFall[i]
+	// Hardened-signature sizes are per-item constants: every answer asserts
+	// or misses against the same nPos positive and nNeg negative slots.
+	nPos := m.ws.sigLen[i]
+	nNeg := len(voted) - nPos
 	for _, ar := range refs {
 		u := ar.other
 		kappaRow := m.kappa.Row(u)
-		for k := range voted {
-			pos := m.inHardSig(i, k)
-			j := sort.SearchInts(ar.labels, voted[k])
-			vote := j < len(ar.labels) && ar.labels[j] == voted[k]
-			if pos {
-				buf[offTPDU+u]++
-				if vote {
-					buf[offTPU+u]++
-				}
-			} else {
-				buf[offFPDU+u]++
-				if vote {
-					buf[offFPU+u]++
-				}
+		// Count this answer's votes that land on positive / negative slots.
+		nTP, nFP := 0, 0
+		k := 0
+		for _, c := range m.intern.Canon(ar.set) {
+			for k < len(voted) && voted[k] < c {
+				k++
 			}
-			for mm, kw := range kappaRow {
-				if kw < respFloor {
-					continue
-				}
-				if pos {
-					buf[offTPD+mm] += kw
-					if vote {
-						buf[offTP+mm] += kw
-					}
+			if k < len(voted) && voted[k] == c {
+				if vals[k] > 0.5 || k == fall {
+					nTP++
 				} else {
-					buf[offFPD+mm] += kw
-					if vote {
-						buf[offFP+mm] += kw
-					}
+					nFP++
 				}
+				k++
 			}
 		}
+		buf[offTPDU+u] += float64(nPos)
+		buf[offTPU+u] += float64(nTP)
+		buf[offFPDU+u] += float64(nNeg)
+		buf[offFPU+u] += float64(nFP)
+		for mm, kw := range kappaRow {
+			if kw < respFloor {
+				continue
+			}
+			addN(buf, offTPD+mm, kw, nPos)
+			addN(buf, offTP+mm, kw, nTP)
+			addN(buf, offFPD+mm, kw, nNeg)
+			addN(buf, offFP+mm, kw, nFP)
+		}
 	}
+}
+
+// addN adds v to buf[idx] n times through a register — the bit-exact
+// replacement for n interleaved in-memory additions of the same value (it
+// must stay n additions: v*n would round differently).
+func addN(buf []float64, idx int, v float64, n int) {
+	s := buf[idx]
+	for r := 0; r < n; r++ {
+		s += v
+	}
+	buf[idx] = s
 }
 
 // workerAgreeStats adds worker u's κ-weighted mean agreement with the
@@ -387,7 +447,7 @@ func (m *Model) workerAgreeStats(u int, buf []float64) {
 	l := &m.perWorker[u]
 	for s, sn := 0, l.segs(); s < sn; s++ {
 		for _, ar := range l.seg(s) {
-			agree += m.jaccardWithSig(ar.labels, ar.other)
+			agree += m.jaccardWithSig(ar.set, ar.other)
 		}
 	}
 	n := l.Len()
@@ -410,7 +470,7 @@ func (m *Model) itemAgreeStats(i int, buf []float64) {
 	l := &m.perItem[i]
 	for s, sn := 0, l.segs(); s < sn; s++ {
 		for _, ar := range l.seg(s) {
-			a := m.jaccardWithSig(ar.labels, i)
+			a := m.jaccardWithSig(ar.set, i)
 			kappaRow := m.kappa.Row(ar.other)
 			for mm, kw := range kappaRow {
 				if kw < respFloor {

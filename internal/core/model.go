@@ -191,10 +191,16 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// ansRef is one answer in the model's dense internal form.
+// ansRef is one answer in the model's dense internal form. The label set is
+// carried as an id into the model's label-set interner rather than an owned
+// slice: partial-agreement crowds reuse a small universe of answer sets, so
+// interning halves the reference size and gives every kernel O(1) access to
+// both the canonical sorted member slice (intern.Canon) and the bitset
+// membership test (intern.Contains), and lets the score-panel cache key
+// per-set work by id (panels.go).
 type ansRef struct {
-	other  int   // the item (in perWorker) or the worker (in perItem)
-	labels []int // sorted member labels of x_iu
+	other int   // the item (in perWorker) or the worker (in perItem)
+	set   int32 // interned label-set id of x_iu
 }
 
 // arrivalRef locates one ingested answer by arrival order: perItem[item][idx].
@@ -214,6 +220,16 @@ type Model struct {
 	M, T int
 
 	rng *rand.Rand
+
+	// intern is the label-set table every ansRef's set id points into.
+	// Append-only: ids are stable, canonical slices immutable, so clones
+	// share the table contents (Interner.Clone copies only the id map).
+	intern *labelset.Interner
+	// expGen counts expectation refreshes; the score-panel cache
+	// (panels.go) is valid only for panels built at the current generation.
+	expGen uint64
+	// panels is the per-set T×M score-panel cache over elogPsi.
+	panels panelCache
 
 	// Observed data in dense form (populated by Fit or accumulated by
 	// PartialFit), stored as append-only chunked lists so clones share the
@@ -313,19 +329,38 @@ type Model struct {
 // so steady-state iterations allocate nothing. None of it is model state:
 // every buffer is recomputed before use.
 type workScratch struct {
-	lambdaSuff []float64  // (T·M·C) Eq. 6 sufficient statistics
-	zetaSuff   []float64  // (T·C) Eq. 7 sufficient statistics
-	colSumM    []float64  // M responsibility column sums
-	colSumT    []float64  // T
-	agreeStats []float64  // 2M community agreement accumulators
-	coinStats  []float64  // coin-stat layout, see coinLen
-	psiMean    *mat.Dense // (T·M)×C posterior-mean confusion (dataLogLik)
-	phiMean    *mat.Dense // T×C posterior-mean emissions (imputeTruth)
-	nbar       []float64  // T expected cluster truth-set sizes
-	sigFall    []int      // per item: fallback index into votedList, or -1
-	sigLen     []int      // per item: hardened-signature size
-	prevKappa  *mat.Dense // convergence snapshots (Fit)
+	lambdaSuff []float64      // (T·M·C) Eq. 6 sufficient statistics
+	zetaSuff   []float64      // (T·C) Eq. 7 sufficient statistics
+	colSumM    []float64      // M responsibility column sums
+	colSumT    []float64      // T
+	agreeStats []float64      // 2M community agreement accumulators
+	coinStats  []float64      // coin-stat layout, see coinLen
+	psiMean    *mat.Dense     // (T·M)×C posterior-mean confusion (dataLogLik)
+	phiMean    *mat.Dense     // T×C posterior-mean emissions (imputeTruth)
+	nbar       []float64      // T expected cluster truth-set sizes
+	sigFall    []int          // per item: fallback index into votedList, or -1
+	sigLen     []int          // per item: hardened-signature size
+	sigSet     []labelset.Set // per item: the signature as a bitset (lazily allocated)
+	prevKappa  *mat.Dense     // convergence snapshots (Fit)
 	prevPhi    *mat.Dense
+
+	// prod holds the call-scoped product panels (dataLogLik, Predict).
+	prod prodCache
+
+	// PartialFit round scratch: the per-round grouping, blending, and merge
+	// buffers that used to be allocated fresh every round (maps, per-shard
+	// slices). All are rebuilt from scratch each round; none is model state.
+	batchAns    []batchAns
+	groupCount  []int32 // max(U, I) counting array, zero outside a group call
+	gWorkers    batchGroups
+	gItems      batchGroups
+	shardDeltas []float64
+	freshK      *mat.Dense // Parallelism × M blend rows (one per shard)
+	oldK        *mat.Dense
+	freshT      *mat.Dense // Parallelism × T
+	oldT        *mat.Dense
+	mergeA      []int // extendVoted sorted-union double buffers
+	mergeB      []int
 }
 
 // NewModel allocates a CPA model for the given problem dimensions.
@@ -344,6 +379,7 @@ func NewModel(cfg Config, numItems, numWorkers, numLabels int) (*Model, error) {
 		numLabels:  numLabels,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		temp:       1,
+		intern:     labelset.NewInterner(),
 	}
 	m.M = cfg.MaxCommunities
 	if cfg.DisableCommunities {
@@ -535,13 +571,14 @@ func (m *Model) seedFromData() {
 				for _, c := range signatures[ar.other] {
 					member[c] = true
 				}
+				labels := m.intern.Canon(ar.set)
 				inter := 0
-				for _, c := range ar.labels {
+				for _, c := range labels {
 					if member[c] {
 						inter++
 					}
 				}
-				union := len(ar.labels) + len(member) - inter
+				union := len(labels) + len(member) - inter
 				if union > 0 {
 					agree += float64(inter) / float64(union)
 				} else {
@@ -596,20 +633,22 @@ func (m *Model) loadDataset(ds *answers.Dataset) error {
 	return nil
 }
 
-// ingest adds one answer to the dense views, maintaining the seen-worker
-// and seen-item counts the SVI scaling depends on.
-func (m *Model) ingest(a answers.Answer) {
-	xs := a.Labels.Slice()
+// ingest adds one answer to the dense views, interning its label set and
+// maintaining the seen-worker and seen-item counts the SVI scaling depends
+// on. It returns the interned set id.
+func (m *Model) ingest(a answers.Answer) int32 {
+	id := m.intern.Intern(a.Labels)
 	if m.perWorker[a.Worker].empty() {
 		m.seenWorkers++
 	}
 	if m.perItem[a.Item].empty() {
 		m.seenItems++
 	}
-	m.perWorker[a.Worker].append(ansRef{other: a.Item, labels: xs})
-	m.perItem[a.Item].append(ansRef{other: a.Worker, labels: xs})
+	m.perWorker[a.Worker].append(ansRef{other: a.Item, set: id})
+	m.perItem[a.Item].append(ansRef{other: a.Worker, set: id})
 	m.arrival = append(m.arrival, arrivalRef{item: a.Item, idx: m.perItem[a.Item].Len() - 1})
 	m.numAns++
+	return id
 }
 
 // rebuildVoted recomputes, per item, the sorted union of voted labels and
@@ -618,7 +657,7 @@ func (m *Model) rebuildVoted() {
 	for i := 0; i < m.numItems; i++ {
 		var s labelset.Set
 		m.perItem[i].each(func(ar ansRef) {
-			for _, c := range ar.labels {
+			for _, c := range m.intern.Canon(ar.set) {
 				s.Add(c)
 			}
 		})
@@ -631,7 +670,11 @@ func (m *Model) rebuildVoted() {
 }
 
 // refreshExpectations recomputes every cached digamma expectation from the
-// current variational parameters.
+// current variational parameters. The T×M×C λ cube walk runs on the
+// Algorithm 3 shards (rows are independent, so results are identical for
+// every Parallelism). Bumping expGen invalidates the score-panel cache:
+// panels built against the previous expectations are never served again
+// (panels.go).
 func (m *Model) refreshExpectations() {
 	M, T := m.M, m.T
 	// Stick expectations E[ln π_m], E[ln τ_t].
@@ -646,12 +689,15 @@ func (m *Model) refreshExpectations() {
 		m.elogTau[0] = 0
 	}
 	// Dirichlet expectations for ψ and φ.
-	for r := 0; r < T*M; r++ {
-		dirELog(m.lambda.Row(r), m.elogPsi.Row(r))
-	}
+	m.parallelFor(T*M, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			dirELog(m.lambda.Row(r), m.elogPsi.Row(r))
+		}
+	})
 	for t := 0; t < T; t++ {
 		dirELog(m.zeta.Row(t), m.elogPhi.Row(t))
 	}
+	m.expGen++
 }
 
 // stickELog fills dst (length len(a)+1) with E[ln π_k] for the truncated
@@ -666,11 +712,13 @@ func stickELog(a, b, dst []float64) {
 	dst[len(a)] = acc
 }
 
-// dirELog fills dst with ψ(α_c) − ψ(Σα) for the Dirichlet parameters alpha.
+// dirELog fills dst with ψ(α_c) − ψ(Σα) for the Dirichlet parameters alpha,
+// through the vectorised digamma walk (bit-identical to the scalar loop).
 func dirELog(alpha, dst []float64) {
+	mathx.DigammaRow(alpha, dst)
 	total := mathx.Digamma(mathx.Sum(alpha))
-	for c, a := range alpha {
-		dst[c] = mathx.Digamma(a) - total
+	for c := range dst {
+		dst[c] -= total
 	}
 }
 
@@ -775,6 +823,11 @@ func (m *Model) Fitted() bool { return m.fitted }
 func (m *Model) Clone() *Model {
 	c := *m
 	c.rng = rand.New(rand.NewSource(m.cfg.Seed + int64(m.batchIndex) + 1))
+	// The interner's id table is shared history; the clone gets its own id
+	// map so both sides can intern new sets independently. The panel cache
+	// is private per model (it aliases the model's own elogPsi): start empty.
+	c.intern = m.intern.Clone()
+	c.panels = panelCache{disabled: m.panels.disabled}
 	cpF := func(v []float64) []float64 { return append([]float64(nil), v...) }
 	c.kappa = m.kappa.Clone()
 	c.phi = m.phi.Clone()
@@ -830,6 +883,11 @@ func (m *Model) Clone() *Model {
 // model's dimensions.
 func (m *Model) newWorkScratch() workScratch {
 	U, I, C, M, T := m.numWorkers, m.numItems, m.numLabels, m.M, m.T
+	P := m.cfg.Parallelism
+	countLen := U
+	if I > countLen {
+		countLen = I
+	}
 	return workScratch{
 		lambdaSuff: make([]float64, T*M*C),
 		zetaSuff:   make([]float64, T*C),
@@ -844,12 +902,19 @@ func (m *Model) newWorkScratch() workScratch {
 		sigLen:     make([]int, I),
 		prevKappa:  mat.New(U, M),
 		prevPhi:    mat.New(I, T),
+		groupCount: make([]int32, countLen),
+		freshK:     mat.New(P, M),
+		oldK:       mat.New(P, M),
+		freshT:     mat.New(P, T),
+		oldT:       mat.New(P, T),
 	}
 }
 
 // answerScore computes Σ_{c∈xs} elogPsi[t][m][c] for a given (t, m), the
 // data term E[ln p(x_iu | ψ_tm)] up to the count-factorial constant that
-// cancels in all softmax normalisations.
+// cancels in all softmax normalisations. xs must be the canonical sorted
+// member slice: the score-panel cache (panels.go) sums in the same order,
+// which is what makes cached panels bit-identical to this function.
 func (m *Model) answerScore(t, mm int, xs []int) float64 {
 	psi := m.elogPsi.Data()
 	base := (t*m.M + mm) * m.numLabels

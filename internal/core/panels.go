@@ -1,0 +1,284 @@
+package core
+
+// Label-set score panels.
+//
+// Every score kernel's data term depends on an answer only through its
+// label set: E[ln p(x_iu | ψ_tm)] = Σ_{c∈x_iu} E[ln ψ_tmc]. Interning label
+// sets (labelset.Interner) therefore lets the model cache, per distinct
+// set, the full T×M panel S[t·M+m] = Σ_{c∈set} elogPsi[t][m][c] — after
+// which the inference inner loops stop gathering |set| strided entries per
+// (answer, t, m) and become contiguous row AXPYs / dots over the panel.
+//
+// Two cache families exist:
+//
+//   - The sum-panel cache over elogPsi (panelCache, a Model field). Panels
+//     are valid per expectation generation: refreshExpectations bumps
+//     Model.expGen, and scorePanel refuses to serve a slot whose build
+//     generation differs — a stale panel can never be read, even if a
+//     caller forgets the ensure step. Builds happen at serial sync points,
+//     demand-driven: the batch engine brings every admitted set current
+//     before a full pass (ensureScorePanels), while the SVI engine brings
+//     only the round's label sets current (ensureScorePanelsFor) — a
+//     PartialFit round scores just its mini-batch, so rebuilding the whole
+//     universe each round would cost O(distinct sets), not O(batch).
+//
+//   - Product panels over a posterior-mean or MAP cube (prodCache, in
+//     workScratch): P[t·M+m] = Π_{c∈set} max(cube[t][m][c], 1e-12), used by
+//     the data-log-lik diagnostic and the §3.4 prediction weights. The cube
+//     changes per call, so these are rebuilt by buildProductPanels at each
+//     call site and valid only until the next build.
+//
+// Bit-exactness: panels accumulate over the canonical sorted member slice
+// in order — exactly answerScore's (and the legacy product loops')
+// float-operation order — so a kernel reading a panel produces the same
+// bits as the scalar fallback it replaces. Cache admission is therefore
+// value-transparent: any set without a panel (below the reuse threshold,
+// over the memory budget, or cache disabled) takes the scalar path and
+// yields identical results, just slower. The panelsDisabled test hook
+// exploits this to pin enabled ≡ disabled equivalence.
+const (
+	// panelBudgetFloats bounds each cache's backing array (64 MB of
+	// float64s). Sets beyond the budget fall back to the scalar path.
+	panelBudgetFloats = (64 << 20) / 8
+	// sumPanelMinCount gates sum-panel admission by reuse, on both engines:
+	// a panel build costs a full T·M·|set| walk with no responsibility
+	// floors, so it pays off against the floored scalar loops only once
+	// several answers share the set (within a batch iteration, or within a
+	// streaming round — a round's panels are stale by the next round, so
+	// they too must amortise inside the round that builds them). Low-reuse
+	// sets stay on the scalar path permanently, by design.
+	sumPanelMinCount = 3
+	// prodPanelMinCount is the same gate for product panels (read once per
+	// answer per call, so they need a repeat to amortise).
+	prodPanelMinCount = 2
+)
+
+// panelCache is the generation-guarded sum-panel cache over elogPsi.
+type panelCache struct {
+	slot     []int32   // set id → slot index, -1 when not admitted
+	ids      []int32   // slot → set id
+	gens     []uint64  // slot → expGen its contents were built from
+	buf      []float64 // slot-major [slots][T·M] panels
+	slots    int
+	scratch  []int32 // stale-slot worklist reused across builds
+	disabled bool    // test hook: force every kernel onto the scalar path
+}
+
+// admit assigns a slot to set id if it has none and the budget allows.
+func (p *panelCache) admit(id int32, maxSlots int) {
+	for int(id) >= len(p.slot) {
+		p.slot = append(p.slot, -1)
+	}
+	if p.slot[id] >= 0 || p.slots >= maxSlots {
+		return
+	}
+	p.slot[id] = int32(p.slots)
+	p.ids = append(p.ids, id)
+	p.gens = append(p.gens, 0) // generation 0 is never current (expGen ≥ 1)
+	p.slots++
+}
+
+// ensureScorePanels brings every admitted (and admissible) set's panel up
+// to date with the current expectations — the batch-engine sync point,
+// called before a full pass over the stored answers. Admission is gated by
+// reuse (sumPanelMinCount). Must run serially; afterwards scorePanel is
+// safe for concurrent readers. Fills shard per slot — disjoint writes, so
+// results are identical for every Parallelism.
+func (m *Model) ensureScorePanels() {
+	p := &m.panels
+	if p.disabled {
+		return
+	}
+	maxSlots := panelBudgetFloats / (m.T * m.M)
+	n := m.intern.Len()
+	for id := 0; id < n && p.slots < maxSlots; id++ {
+		if m.intern.Count(int32(id)) >= sumPanelMinCount {
+			p.admit(int32(id), maxSlots)
+		}
+	}
+	m.buildStalePanels()
+}
+
+// ensureScorePanelsFor is the SVI sync point: it admits and refreshes
+// panels only for the given round's answers, keeping per-round panel work
+// O(batch) regardless of how many distinct sets the stream has seen.
+// Panels of sets outside the round stay at their old generation and simply
+// fall back to the scalar path if read before their next refresh.
+func (m *Model) ensureScorePanelsFor(tuples []batchAns) {
+	p := &m.panels
+	if p.disabled {
+		return
+	}
+	maxSlots := panelBudgetFloats / (m.T * m.M)
+	stale := p.scratch[:0]
+	for _, ba := range tuples {
+		// Same reuse gate as the batch path: a panel built this round is
+		// stale by the next (expectations refresh every round), so it must
+		// amortise within the round — across repeats of the set in this
+		// batch and the two local passes.
+		if m.intern.Count(ba.set) >= sumPanelMinCount {
+			p.admit(ba.set, maxSlots)
+		}
+		if int(ba.set) >= len(p.slot) {
+			continue
+		}
+		if s := p.slot[ba.set]; s >= 0 && p.gens[s] != m.expGen {
+			stale = append(stale, s)
+			p.gens[s] = m.expGen // also dedupes repeats within the round
+		}
+	}
+	p.scratch = stale
+	m.buildPanelSlots(stale)
+}
+
+// buildStalePanels refills every admitted slot whose build generation is
+// behind the current expectations — the batch-engine worklist, where the
+// following pass reads every stored answer.
+func (m *Model) buildStalePanels() {
+	p := &m.panels
+	stale := p.scratch[:0]
+	for s := 0; s < p.slots; s++ {
+		if p.gens[s] != m.expGen {
+			stale = append(stale, int32(s))
+			p.gens[s] = m.expGen
+		}
+	}
+	p.scratch = stale
+	m.buildPanelSlots(stale)
+}
+
+// buildPanelSlots fills the listed slots from the current expectations, in
+// parallel (disjoint writes — identical results for every Parallelism).
+// Callers have already stamped the slots' generations.
+func (m *Model) buildPanelSlots(slots []int32) {
+	if len(slots) == 0 {
+		return
+	}
+	p := &m.panels
+	p.buf = growFloats(p.buf, p.slots*(m.T*m.M))
+	m.parallelFor(len(slots), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			m.fillScorePanel(int(slots[k]))
+		}
+	})
+}
+
+// fillScorePanel computes slot s's panel: for every row r of the elogPsi
+// cube, the sum over the set's canonical members in canonical order (the
+// answerScore order — the bit-exactness contract).
+func (m *Model) fillScorePanel(s int) {
+	p := &m.panels
+	TM := m.T * m.M
+	canon := m.intern.Canon(p.ids[s])
+	dst := p.buf[s*TM : (s+1)*TM]
+	for r := 0; r < TM; r++ {
+		row := m.elogPsi.Row(r)
+		sum := 0.0
+		for _, c := range canon {
+			sum += row[c]
+		}
+		dst[r] = sum
+	}
+}
+
+// scorePanel returns the set's T×M sum panel, or nil when the set has no
+// current-generation panel (not admitted, over budget, stale generation, or
+// cache disabled) — the caller then takes the scalar answerScore path,
+// which produces identical bits.
+func (m *Model) scorePanel(id int32) []float64 {
+	p := &m.panels
+	if p.disabled || int(id) >= len(p.slot) {
+		return nil
+	}
+	s := p.slot[id]
+	if s < 0 || p.gens[s] != m.expGen {
+		return nil
+	}
+	TM := m.T * m.M
+	return p.buf[int(s)*TM : (int(s)+1)*TM]
+}
+
+// growFloats resizes buf to n entries, preserving the existing prefix and
+// doubling the backing array so amortised growth stays O(1) per entry.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		newCap := 2 * cap(buf)
+		if newCap < n {
+			newCap = n
+		}
+		nb := make([]float64, n, newCap)
+		copy(nb, buf)
+		return nb
+	}
+	return buf[:n]
+}
+
+// prodCache caches per-set product panels against a caller-supplied cube.
+// It lives in workScratch: per model, single-writer, rebuilt per call site.
+type prodCache struct {
+	slot  []int32
+	ids   []int32
+	buf   []float64
+	slots int
+}
+
+// panel returns the set's product panel from the latest build, or nil.
+func (pc *prodCache) panel(id int32, TM int) []float64 {
+	if int(id) >= len(pc.slot) {
+		return nil
+	}
+	s := pc.slot[id]
+	if s < 0 {
+		return nil
+	}
+	return pc.buf[int(s)*TM : (int(s)+1)*TM]
+}
+
+// buildProductPanels fills the scratch product-panel cache against cube, a
+// (T·M)×C row-major matrix body (posterior-mean ψ̄ for the log-lik
+// diagnostic, ψ^MAP for prediction): panel[r] = Π_{c∈set} max(cube[r·C+c],
+// 1e-12), multiplied in canonical order — the legacy per-answer product
+// order. Returns nil when the cache is disabled. Must be called from a
+// serial sync point; the returned cache is read-only until the next build.
+func (m *Model) buildProductPanels(cube []float64) *prodCache {
+	if m.panels.disabled {
+		return nil
+	}
+	pc := &m.ws.prod
+	TM := m.T * m.M
+	C := m.numLabels
+	maxSlots := panelBudgetFloats / TM
+	n := m.intern.Len()
+	for len(pc.slot) < n {
+		pc.slot = append(pc.slot, -1)
+	}
+	for id := 0; id < n && pc.slots < maxSlots; id++ {
+		if pc.slot[id] >= 0 || m.intern.Count(int32(id)) < prodPanelMinCount {
+			continue
+		}
+		pc.slot[id] = int32(pc.slots)
+		pc.ids = append(pc.ids, int32(id))
+		pc.slots++
+	}
+	pc.buf = growFloats(pc.buf, pc.slots*TM)
+	// The cube differs between calls, so every slot refills every build.
+	m.parallelFor(pc.slots, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			canon := m.intern.Canon(pc.ids[s])
+			dst := pc.buf[s*TM : (s+1)*TM]
+			for r := 0; r < TM; r++ {
+				row := cube[r*C : (r+1)*C]
+				p := 1.0
+				for _, c := range canon {
+					v := row[c]
+					if v < 1e-12 {
+						v = 1e-12
+					}
+					p *= v
+				}
+				dst[r] = p
+			}
+		}
+	})
+	return pc
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cpa/internal/answers"
+	"cpa/internal/datasets"
+)
+
+// streamInBatches drives PartialFit over the dataset's answers with the
+// model's batch size and publishes a snapshot after every round, returning
+// the final incremental view (the serving-shaped loop).
+func streamInBatches(t *testing.T, m *Model, pub *Publisher, ans []answers.Answer) *ConsensusView {
+	t.Helper()
+	size := m.Config().BatchSize
+	var view *ConsensusView
+	for start := 0; start < len(ans); start += size {
+		end := start + size
+		if end > len(ans) {
+			end = len(ans)
+		}
+		if err := m.PartialFit(ans[start:end]); err != nil {
+			t.Fatal(err)
+		}
+		v, _, err := pub.Publish(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view = v
+	}
+	return view
+}
+
+func sameMatrix(t *testing.T, what string, a, b [][]float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d rows", what, len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("%s: row %d has %d vs %d entries", what, i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("%s: entry (%d,%d) differs: %v vs %v (must be bit-identical)", what, i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+func sameViews(t *testing.T, what string, a, b *ConsensusView) {
+	t.Helper()
+	if len(a.Items) != len(b.Items) {
+		t.Fatalf("%s: %d vs %d items", what, len(a.Items), len(b.Items))
+	}
+	for i := range a.Items {
+		if !reflect.DeepEqual(a.Items[i].Labels, b.Items[i].Labels) {
+			t.Fatalf("%s: item %d labels %v vs %v", what, i, a.Items[i].Labels, b.Items[i].Labels)
+		}
+		if !reflect.DeepEqual(a.Items[i].Candidates, b.Items[i].Candidates) {
+			t.Fatalf("%s: item %d candidates differ", what, i)
+		}
+		av, bv := a.Items[i].Confidence, b.Items[i].Confidence
+		if len(av) != len(bv) {
+			t.Fatalf("%s: item %d confidence lengths differ", what, i)
+		}
+		for k := range av {
+			if av[k] != bv[k] {
+				t.Fatalf("%s: item %d confidence[%d] %v vs %v (must be bit-identical)", what, i, k, av[k], bv[k])
+			}
+		}
+	}
+}
+
+// TestPanelCacheEquivalence is the tentpole pin: inference with the
+// label-set score-panel cache force-disabled must be bit-identical to the
+// cached path — same κ/ϕ, same imputed ŷ, same published snapshots — on
+// identical shuffled streams, across Parallelism 1/4/8, on both engines.
+// The movie profile has a small label vocabulary, so its streams reuse
+// label sets heavily and genuinely exercise the cached fast path.
+func TestPanelCacheEquivalence(t *testing.T) {
+	base, _, err := datasets.Load("movie", 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := base.Shuffled(rand.New(rand.NewSource(41)))
+	for _, par := range []int{1, 4, 8} {
+		newModel := func(disabled bool) *Model {
+			m, err := NewModel(Config{Seed: 9, Parallelism: par, BatchSize: 96, MaxIter: 8},
+				ds.NumItems, ds.NumWorkers, ds.NumLabels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.panels.disabled = disabled
+			return m
+		}
+
+		// Streaming engine, serving-shaped: PartialFit + per-round publish
+		// (incremental snapshots), then a final full publication.
+		mOn, mOff := newModel(false), newModel(true)
+		pubOn, pubOff := NewPublisher(mOn), NewPublisher(mOff)
+		viewOn := streamInBatches(t, mOn, pubOn, ds.Answers())
+		viewOff := streamInBatches(t, mOff, pubOff, ds.Answers())
+		if mOn.panels.slots == 0 {
+			t.Fatal("panel cache never admitted a set: the equivalence test is vacuous")
+		}
+		sameMatrix(t, "stream kappa", [][]float64{mOn.kappa.Data()}, [][]float64{mOff.kappa.Data()})
+		sameMatrix(t, "stream phi", [][]float64{mOn.phi.Data()}, [][]float64{mOff.phi.Data()})
+		sameMatrix(t, "stream yhat", mOn.yhatVals, mOff.yhatVals)
+		sameViews(t, "incremental snapshot", viewOn, viewOff)
+		fullOn, _, err := pubOn.Publish(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullOff, _, err := pubOff.Publish(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameViews(t, "full snapshot", fullOn, fullOff)
+
+		// Batch engine.
+		bOn, bOff := newModel(false), newModel(true)
+		if _, err := bOn.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bOff.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		sameMatrix(t, "fit kappa", [][]float64{bOn.kappa.Data()}, [][]float64{bOff.kappa.Data()})
+		sameMatrix(t, "fit phi", [][]float64{bOn.phi.Data()}, [][]float64{bOff.phi.Data()})
+		sameMatrix(t, "fit lambda", [][]float64{bOn.lambda.Data()}, [][]float64{bOff.lambda.Data()})
+		sameMatrix(t, "fit yhat", bOn.yhatVals, bOff.yhatVals)
+		predOn, err := bOn.Predict()
+		if err != nil {
+			t.Fatal(err)
+		}
+		predOff, err := bOff.Predict()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range predOn {
+			if !predOn[i].Equal(predOff[i]) {
+				t.Fatalf("P=%d: item %d predicted %v with panels, %v without", par, i, predOn[i], predOff[i])
+			}
+		}
+	}
+}
+
+// TestScorePanelMatchesAnswerScore pins the bit-exactness contract at the
+// unit level: an admitted panel's entries equal answerScore on the same
+// canonical slice, bit for bit.
+func TestScorePanelMatchesAnswerScore(t *testing.T) {
+	ds, _, err := datasets.Load("movie", 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(Config{Seed: 2, BatchSize: 64}, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FitStream(ds); err != nil {
+		t.Fatal(err)
+	}
+	m.ensureScorePanels()
+	checked := 0
+	for id := int32(0); int(id) < m.intern.Len(); id++ {
+		panel := m.scorePanel(id)
+		if panel == nil {
+			continue
+		}
+		canon := m.intern.Canon(id)
+		for tt := 0; tt < m.T; tt++ {
+			for mm := 0; mm < m.M; mm++ {
+				if got, want := panel[tt*m.M+mm], m.answerScore(tt, mm, canon); got != want {
+					t.Fatalf("panel[set %d][%d,%d] = %v, answerScore = %v (must be bit-identical)", id, tt, mm, got, want)
+				}
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no panels admitted: test is vacuous")
+	}
+}
+
+// TestScorePanelStaleGenerationNeverServed pins the invalidation protocol:
+// after refreshExpectations, a panel built against the previous
+// expectations must not be readable until the next ensure pass rebuilds it.
+func TestScorePanelStaleGenerationNeverServed(t *testing.T) {
+	ds, _, err := datasets.Load("movie", 0.1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(Config{Seed: 4, BatchSize: 64}, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FitStream(ds); err != nil {
+		t.Fatal(err)
+	}
+	m.ensureScorePanels()
+	var admitted int32 = -1
+	for id := int32(0); int(id) < m.intern.Len(); id++ {
+		if m.scorePanel(id) != nil {
+			admitted = id
+			break
+		}
+	}
+	if admitted < 0 {
+		t.Fatal("no panels admitted")
+	}
+	// Move the parameters and refresh: the old panel content is stale.
+	m.lambda.Set(0, 0, m.lambda.At(0, 0)*1.5)
+	m.refreshExpectations()
+	if m.scorePanel(admitted) != nil {
+		t.Fatal("stale-generation panel served after refreshExpectations")
+	}
+	// The ensure pass rebuilds against the new expectations.
+	m.ensureScorePanels()
+	panel := m.scorePanel(admitted)
+	if panel == nil {
+		t.Fatal("panel not rebuilt by ensureScorePanels")
+	}
+	canon := m.intern.Canon(admitted)
+	if got, want := panel[0], m.answerScore(0, 0, canon); got != want {
+		t.Fatalf("rebuilt panel[0] = %v, want fresh answerScore %v", got, want)
+	}
+}

@@ -87,7 +87,7 @@ func (m *Model) Save(w io.Writer) error {
 		ref := m.perItem[at.item].at(at.idx)
 		st.AnsItems = append(st.AnsItems, at.item)
 		st.AnsWorkers = append(st.AnsWorkers, ref.other)
-		st.AnsLabels = append(st.AnsLabels, ref.labels)
+		st.AnsLabels = append(st.AnsLabels, m.intern.Canon(ref.set))
 	}
 	if err := gob.NewEncoder(w).Encode(&st); err != nil {
 		return fmt.Errorf("core: saving model: %w", err)
@@ -204,15 +204,25 @@ func Load(r io.Reader) (*Model, error) {
 		if item < 0 || item >= m.numItems || worker < 0 || worker >= m.numWorkers {
 			return nil, fmt.Errorf("%w: saved answer (%d,%d) out of range", ErrConfig, item, worker)
 		}
-		xs := st.AnsLabels[k]
+		for _, c := range st.AnsLabels[k] {
+			if c < 0 || c >= m.numLabels {
+				return nil, fmt.Errorf("%w: saved answer label %d out of range", ErrConfig, c)
+			}
+		}
+		// Re-intern the persisted canonical slice: the restored refs carry
+		// the same set ids in the same order as a model that ingested the
+		// stream live (ids are assigned first-seen, and the wire form
+		// preserves arrival order), so every id-keyed read — panels,
+		// membership tests — behaves bit-identically after a reload.
+		id := m.intern.InternSlice(st.AnsLabels[k])
 		if m.perItem[item].empty() {
 			m.seenItems++
 		}
 		if m.perWorker[worker].empty() {
 			m.seenWorkers++
 		}
-		m.perItem[item].append(ansRef{other: worker, labels: xs})
-		m.perWorker[worker].append(ansRef{other: item, labels: xs})
+		m.perItem[item].append(ansRef{other: worker, set: id})
+		m.perWorker[worker].append(ansRef{other: item, set: id})
 		m.arrival = append(m.arrival, arrivalRef{item: item, idx: m.perItem[item].Len() - 1})
 		m.numAns++
 	}

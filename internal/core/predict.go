@@ -21,14 +21,17 @@ func (m *Model) Predict() ([]labelset.Set, error) {
 	}
 	pred := make([]labelset.Set, m.numItems)
 	// Posterior-mode (MAP) estimates ψ^MAP, φ^MAP of the Dirichlet
-	// posteriors, shared read-only across shards.
+	// posteriors, shared read-only across shards, plus the per-set
+	// likelihood panels Π_c ψ^MAP (built once per call, read-only in the
+	// shards; nil entries fall back to the identical per-answer product).
 	psiMAP := m.dirichletModes(m.lambda)
 	phiMAP := m.dirichletModes(m.zeta)
 	nbar := m.clusterTruthSizes()
+	pp := m.buildProductPanels(psiMAP)
 	m.parallelFor(m.numItems, func(lo, hi int) {
 		sc := newPredictScratch(m)
 		for i := lo; i < hi; i++ {
-			pred[i] = m.predictItem(i, psiMAP, phiMAP, nbar, sc)
+			pred[i] = m.predictItem(i, psiMAP, phiMAP, nbar, pp, sc)
 		}
 	})
 	return pred, nil
@@ -46,7 +49,9 @@ func (m *Model) PredictItem(i int) (labelset.Set, error) {
 	psiMAP := m.dirichletModes(m.lambda)
 	phiMAP := m.dirichletModes(m.zeta)
 	nbar := m.clusterTruthSizes()
-	return m.predictItem(i, psiMAP, phiMAP, nbar, newPredictScratch(m)), nil
+	// No product panels for a single item: building the full per-set cache
+	// would dwarf the one item's work, and the nil path is bit-identical.
+	return m.predictItem(i, psiMAP, phiMAP, nbar, nil, newPredictScratch(m)), nil
 }
 
 // dirichletModes returns the row-wise MAP points of a matrix of Dirichlet
@@ -123,8 +128,18 @@ type predictScratch struct {
 	logW    []float64   // T: ln w_it (cluster posterior incl. answer evidence)
 	runLogS []float64   // T: running ln S_t(y) during greedy
 	trial   []float64   // T
+	wt      []float64   // T: mixture weights in probability space
 	delta   [][]float64 // per candidate: T-vector of per-cluster gains
 	cand    []int
+	yv      []float64    // per candidate: imputed truth expectation (0 for extras)
+	used    []bool       // greedy-search committed flags
+	seen    labelset.Set // candidate dedup bitset
+	extras  []scoredCand // prior-driven candidate buffer
+}
+
+type scoredCand struct {
+	c int
+	p float64
 }
 
 func newPredictScratch(m *Model) *predictScratch {
@@ -132,12 +147,17 @@ func newPredictScratch(m *Model) *predictScratch {
 		logW:    make([]float64, m.T),
 		runLogS: make([]float64, m.T),
 		trial:   make([]float64, m.T),
+		wt:      make([]float64, m.T),
+		seen:    labelset.New(m.numLabels),
 	}
 }
 
 // predictItem implements the §3.4 instantiation for one item (DESIGN.md D3
-// documents the multinomial→Bernoulli conversion of the set score).
-func (m *Model) predictItem(i int, psiMAP, phiMAP, nbar []float64, sc *predictScratch) labelset.Set {
+// documents the multinomial→Bernoulli conversion of the set score). pp, when
+// non-nil, supplies per-set likelihood panels over ψ^MAP so the community
+// mixture per (answer, cluster) is a contiguous floored dot; answers without
+// a panel recompute the product with identical float-operation order.
+func (m *Model) predictItem(i int, psiMAP, phiMAP, nbar []float64, pp *prodCache, sc *predictScratch) labelset.Set {
 	M, T, C := m.M, m.T, m.numLabels
 
 	// Cluster posterior weights:
@@ -149,19 +169,42 @@ func (m *Model) predictItem(i int, psiMAP, phiMAP, nbar []float64, sc *predictSc
 			for _, ar := range ansL.seg(s) {
 				kappaRow := m.kappa.Row(ar.other)
 				inner := 0.0
-				for mm := 0; mm < M; mm++ {
-					km := kappaRow[mm]
-					if km < 1e-10 {
-						continue
-					}
-					p := 1.0
-					base := (t*M + mm) * C
-					for _, c := range ar.labels {
-						p *= math.Max(psiMAP[base+c], 1e-12)
-					}
-					inner += km * p
+				var panel []float64
+				if pp != nil {
+					panel = pp.panel(ar.set, T*M)
 				}
-				w += math.Log(math.Max(inner, 1e-300))
+				if panel != nil {
+					row := panel[t*M : t*M+M]
+					for mm, km := range kappaRow {
+						if km < 1e-10 {
+							continue
+						}
+						inner += km * row[mm]
+					}
+				} else {
+					xs := m.intern.Canon(ar.set)
+					tBase := t * M * C
+					for mm := 0; mm < M; mm++ {
+						km := kappaRow[mm]
+						if km < 1e-10 {
+							continue
+						}
+						p := 1.0
+						base := tBase + mm*C
+						for _, c := range xs {
+							v := psiMAP[base+c]
+							if v < 1e-12 {
+								v = 1e-12
+							}
+							p *= v
+						}
+						inner += km * p
+					}
+				}
+				if inner < 1e-300 {
+					inner = 1e-300
+				}
+				w += math.Log(inner)
 			}
 		}
 		sc.logW[t] = w
@@ -210,10 +253,20 @@ func (m *Model) instantiateItem(i int, phiMAP, nbar []float64, sc *predictScratc
 	// quickly with the item's answer count.
 	nAns := float64(m.perItem[i].Len())
 	voteWeight := (nAns + 1) / (nAns + 3)
-	yvote := make(map[int]float64, len(m.votedList[i]))
-	for k, c := range m.votedList[i] {
-		yvote[c] = m.yhatVals[i][k]
+	// Candidate k's imputed expectation: predictCandidates places the voted
+	// labels first, in voted order, so the alignment is positional; the
+	// prior-driven extras carry 0 (nobody voted them), as the old per-item
+	// map defaulted.
+	voted := m.votedList[i]
+	yv := sc.yv[:0]
+	for k := range candidates {
+		if k < len(voted) {
+			yv = append(yv, m.yhatVals[i][k])
+		} else {
+			yv = append(yv, 0)
+		}
 	}
+	sc.yv = yv
 	if cap(sc.delta) < len(candidates) {
 		sc.delta = make([][]float64, len(candidates))
 		for k := range sc.delta {
@@ -233,7 +286,7 @@ func (m *Model) instantiateItem(i int, phiMAP, nbar []float64, sc *predictScratc
 			if m.labelPrev[c] > prior {
 				prior = m.labelPrev[c]
 			}
-			p := mathx.Clamp(voteWeight*yvote[c]+(1-voteWeight)*prior, 1e-6, 0.99)
+			p := mathx.Clamp(voteWeight*yv[k]+(1-voteWeight)*prior, 1e-6, 0.99)
 			base += math.Log1p(-p)
 			sc.delta[k][t] = math.Log(p) - math.Log1p(-p)
 		}
@@ -266,36 +319,33 @@ func (m *Model) predictCandidates(i int, phiMAP, nbar []float64, sc *predictScra
 		maxExtra = 0
 	}
 	sc.cand = sc.cand[:0]
-	seen := make(map[int]bool, len(m.votedList[i])+maxExtra)
+	sc.seen.Clear()
 	for _, c := range m.votedList[i] {
 		sc.cand = append(sc.cand, c)
-		seen[c] = true
+		sc.seen.Add(c)
 	}
 	// Mixture weights in probability space.
-	wt := make([]float64, T)
+	wt := sc.wt
 	for t := 0; t < T; t++ {
 		wt[t] = math.Exp(sc.logW[t])
 	}
-	type scored struct {
-		c int
-		p float64
-	}
-	var extras []scored
+	extras := sc.extras[:0]
 	for t := 0; t < T; t++ {
 		if wt[t] < 0.05 {
 			continue
 		}
 		for c := 0; c < C; c++ {
-			if seen[c] {
+			if sc.seen.Contains(c) {
 				continue
 			}
 			p := wt[t] * mathx.Clamp(nbar[t]*phiMAP[t*C+c], 0, 0.95)
 			if p > inclusionThreshold {
-				extras = append(extras, scored{c, p})
-				seen[c] = true
+				extras = append(extras, scoredCand{c, p})
+				sc.seen.Add(c)
 			}
 		}
 	}
+	sc.extras = extras
 	sort.Slice(extras, func(a, b int) bool { return extras[a].p > extras[b].p })
 	if len(extras) > maxExtra {
 		extras = extras[:maxExtra]
@@ -314,7 +364,13 @@ func (m *Model) predictCandidates(i int, phiMAP, nbar []float64, sc *predictScra
 // co-occurrence mechanism of requirement R3.
 func (m *Model) greedySearch(candidates []int, sc *predictScratch) labelset.Set {
 	out := labelset.New(m.numLabels)
-	used := make([]bool, len(candidates))
+	if cap(sc.used) < len(candidates) {
+		sc.used = make([]bool, len(candidates))
+	}
+	used := sc.used[:len(candidates)]
+	for k := range used {
+		used[k] = false
+	}
 	current := mathx.LogSumExp(sc.runLogS)
 	for {
 		bestK, bestScore := -1, current

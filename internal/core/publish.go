@@ -144,6 +144,15 @@ func (p *Publisher) ensureClone() {
 	p.clone = c
 }
 
+// syncIntern points the clone at the live model's interner. The table is
+// append-only with stable ids and both models are driven from the fitter
+// goroutine, so sharing is safe and keeps the clone's shared answer refs
+// (whose set ids index the live table) resolvable.
+func (p *Publisher) syncIntern() {
+	p.clone.intern = p.src.intern
+	p.clone.panels.disabled = p.src.panels.disabled
+}
+
 // syncPublishState refills the clone from the live model: parameters and
 // per-item mutable state are copied into the clone's retained buffers, the
 // answer index is shared structurally. Cost is O(items + workers +
@@ -203,6 +212,10 @@ func (c *Model) syncPublishState(src *Model) {
 		copy(c.runPrevN, src.runPrevN)
 		copy(c.runPrevD, src.runPrevD)
 	}
+	// The clone's elogPsi was just replaced wholesale: advance its
+	// expectation generation so any score panels built against the previous
+	// round's copy are invalidated (the generation guard in scorePanel).
+	c.expGen++
 	c.expertCooc = src.expertCooc
 	c.haveRates = src.haveRates
 	c.streamFitted = src.streamFitted
@@ -215,6 +228,7 @@ func (c *Model) syncPublishState(src *Model) {
 // publishFull syncs the clone and runs the legacy finalize pipeline on it.
 func (p *Publisher) publishFull() (*ConsensusView, error) {
 	p.ensureClone()
+	p.syncIntern()
 	p.clone.syncPublishState(p.src)
 	p.cursor = 0
 	p.clone.FinalizeOnline()

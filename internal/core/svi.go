@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"cpa/internal/answers"
 	"cpa/internal/mat"
@@ -45,6 +44,69 @@ func (m *Model) FitStream(ds *answers.Dataset) (*TrainStats, error) {
 	return stats, nil
 }
 
+// batchAns is one validated, ingested answer of the current PartialFit
+// round: dense ids plus the interned label set.
+type batchAns struct {
+	item, worker int
+	set          int32
+}
+
+// batchGroups buckets a round's answers by key (worker or item) without a
+// map: keys are collected and insertion-sorted, offsets built by counting,
+// refs placed grouped-contiguously with batch order preserved inside each
+// key — exactly the iteration order the per-key map-append used to produce.
+// All storage is reused across rounds.
+type batchGroups struct {
+	keys []int
+	off  []int32
+	refs []ansRef
+}
+
+// group rebuilds the grouping from the round's answers. count must be a
+// zeroed array indexable by every key; it is restored to zero before
+// returning, touching only the round's keys.
+func (g *batchGroups) group(tuples []batchAns, byWorker bool, count []int32) {
+	g.keys = g.keys[:0]
+	for _, t := range tuples {
+		k := t.item
+		if byWorker {
+			k = t.worker
+		}
+		if count[k] == 0 {
+			g.keys = append(g.keys, k)
+		}
+		count[k]++
+	}
+	sortInts(g.keys)
+	if cap(g.off) < len(g.keys)+1 {
+		g.off = make([]int32, len(g.keys)+1)
+	}
+	g.off = g.off[:len(g.keys)+1]
+	g.off[0] = 0
+	for j, k := range g.keys {
+		g.off[j+1] = g.off[j] + count[k]
+		count[k] = g.off[j] // becomes the write cursor for the placement pass
+	}
+	if cap(g.refs) < len(tuples) {
+		g.refs = make([]ansRef, len(tuples))
+	}
+	g.refs = g.refs[:len(tuples)]
+	for _, t := range tuples {
+		k, other := t.item, t.worker
+		if byWorker {
+			k, other = t.worker, t.item
+		}
+		g.refs[count[k]] = ansRef{other: other, set: t.set}
+		count[k]++
+	}
+	for _, k := range g.keys {
+		count[k] = 0
+	}
+}
+
+// seg returns the grouped refs of the j-th key.
+func (g *batchGroups) seg(j int) []ansRef { return g.refs[g.off[j]:g.off[j+1]] }
+
 // PartialFit performs one stochastic variational inference step on a batch
 // of newly arrived answers (paper Algorithm 2). The model accumulates the
 // answers (needed for prediction and for scaling the stochastic gradients)
@@ -53,14 +115,16 @@ func (m *Model) FitStream(ds *answers.Dataset) (*TrainStats, error) {
 // geometric blend, and global parameters along the scaled natural gradient.
 // Every score, suffstat, and blending kernel is shared with the batch path
 // (see kernels.go); Algorithm 2 differs from Algorithm 1 only in the answer
-// subsets, population scaling, and the learning rate ω.
+// subsets, population scaling, and the learning rate ω. Steady-state rounds
+// allocate only for genuine state growth (answer chunks, new label sets):
+// grouping, blending, and reduction scratch live in workScratch.
 func (m *Model) PartialFit(batch []answers.Answer) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	// Validate and ingest, tracking the touched workers and items.
-	batchByWorker := make(map[int][]ansRef)
-	batchByItem := make(map[int][]ansRef)
+	ws := &m.ws
+	// Validate and ingest, interning each answer's label set.
+	tuples := ws.batchAns[:0]
 	for _, a := range batch {
 		if a.Item < 0 || a.Item >= m.numItems || a.Worker < 0 || a.Worker >= m.numWorkers {
 			return fmt.Errorf("%w: answer (%d,%d) out of range", ErrConfig, a.Item, a.Worker)
@@ -71,14 +135,14 @@ func (m *Model) PartialFit(batch []answers.Answer) error {
 		if mx := a.Labels.Max(); mx >= m.numLabels {
 			return fmt.Errorf("%w: label %d out of range", ErrConfig, mx)
 		}
-		m.ingest(a)
-		xs := a.Labels.Slice()
-		batchByWorker[a.Worker] = append(batchByWorker[a.Worker], ansRef{other: a.Item, labels: xs})
-		batchByItem[a.Item] = append(batchByItem[a.Item], ansRef{other: a.Worker, labels: xs})
+		id := m.ingest(a)
+		tuples = append(tuples, batchAns{item: a.Item, worker: a.Worker, set: id})
 	}
-	workers := sortedKeys(batchByWorker)
-	items := sortedKeys(batchByItem)
-	m.extendVoted(items)
+	ws.batchAns = tuples
+	ws.gWorkers.group(tuples, true, ws.groupCount)
+	ws.gItems.group(tuples, false, ws.groupCount)
+	workers, items := ws.gWorkers.keys, ws.gItems.keys
+	m.extendVoted(&ws.gItems)
 	// Record the touched items for the incremental snapshot publisher
 	// (publish.go): dirty items accumulate until the next takeDirtySorted.
 	for _, i := range items {
@@ -92,20 +156,29 @@ func (m *Model) PartialFit(batch []answers.Answer) error {
 	m.batchIndex++
 	omega := math.Pow(1+float64(m.batchIndex), -m.cfg.ForgettingRate)
 
+	// Serial sync point: panels for the round's label sets only (O(batch)
+	// panel work per round), at the generation the local steps will read.
+	m.ensureScorePanelsFor(tuples)
+
 	// Local step, workers: stochastic Eq. 2 from batch evidence, scaled to
 	// the worker's full answer volume, geometric blend with weight ω
 	// (first-touch rows take the fresh estimate directly). The per-worker
 	// and per-item loops run on the Algorithm 3 map shards — each writes
-	// only its own responsibility row.
-	shardDeltas := make([]float64, m.shardCount(len(workers))+m.shardCount(len(items)))
+	// only its own responsibility row, blending through its own scratch row.
+	sw, si := m.shardCount(len(workers)), m.shardCount(len(items))
+	if cap(ws.shardDeltas) < sw+si {
+		ws.shardDeltas = make([]float64, sw+si)
+	}
+	shardDeltas := ws.shardDeltas[:sw+si]
+	mat.Fill(shardDeltas, 0)
 	if !m.cfg.DisableCommunities {
-		mat.ParallelFor(len(workers), m.shardCount(len(workers)), func(shard, lo, hi int) {
-			fresh := make([]float64, m.M)
-			old := make([]float64, m.M)
+		mat.ParallelFor(len(workers), sw, func(shard, lo, hi int) {
+			fresh := ws.freshK.Row(shard)
+			old := ws.oldK.Row(shard)
 			maxD := 0.0
 			for wi := lo; wi < hi; wi++ {
 				u := workers[wi]
-				refs := batchByWorker[u]
+				refs := ws.gWorkers.seg(wi)
 				scale := float64(m.perWorker[u].Len()) / float64(len(refs))
 				m.scoreKappaBatch(refs, scale, fresh)
 				mathx.SoftmaxInPlace(fresh)
@@ -125,14 +198,13 @@ func (m *Model) PartialFit(batch []answers.Answer) error {
 	// Local step, items: stochastic cluster responsibilities, same blending
 	// (the paper's µ-space natural gradient, Eqs. 15–17, 20).
 	if !m.cfg.DisableClusters {
-		off := m.shardCount(len(workers))
-		mat.ParallelFor(len(items), m.shardCount(len(items)), func(shard, lo, hi int) {
-			fresh := make([]float64, m.T)
-			old := make([]float64, m.T)
+		mat.ParallelFor(len(items), si, func(shard, lo, hi int) {
+			fresh := ws.freshT.Row(shard)
+			old := ws.oldT.Row(shard)
 			maxD := 0.0
 			for ii := lo; ii < hi; ii++ {
 				i := items[ii]
-				refs := batchByItem[i]
+				refs := ws.gItems.seg(ii)
 				scale := float64(m.perItem[i].Len()) / float64(len(refs))
 				m.scorePhiBatch(i, refs, scale, fresh)
 				mathx.SoftmaxInPlace(fresh)
@@ -144,7 +216,7 @@ func (m *Model) PartialFit(batch []answers.Answer) error {
 					maxD = d
 				}
 			}
-			shardDeltas[off+shard] = maxD
+			shardDeltas[sw+shard] = maxD
 		})
 	}
 	maxDelta := 0.0
@@ -156,7 +228,7 @@ func (m *Model) PartialFit(batch []answers.Answer) error {
 
 	// Global step: natural-gradient targets from the batch scaled to the
 	// population seen so far, blended with weight ω (Eqs. 9–14, 18–19).
-	m.sviGlobalStep(batch, items, workers, omega)
+	m.sviGlobalStep(tuples, items, workers, omega)
 	// Worker-model statistics from the batch, blended into the running
 	// accumulators (ratios are scale-free, so raw batch counts suffice).
 	m.sviWorkerModelStep(items, omega)
@@ -206,18 +278,16 @@ func blendRows(row, fresh []float64, omega float64, first bool) {
 // natural-gradient Eqs. (9)–(14) aggregated per Eqs. (18)–(19). The
 // suffstat and blending kernels are exactly the batch ones (kernels.go)
 // with scale ≠ 1 and ω < 1.
-func (m *Model) sviGlobalStep(batch []answers.Answer, items, workers []int, omega float64) {
+func (m *Model) sviGlobalStep(batch []batchAns, items, workers []int, omega float64) {
 	M, T := m.M, m.T
 
-	// --- λ̂ from the batch answers (Eq. 9 / 18).
+	// --- λ̂ from the batch answers (Eq. 9 / 18), in batch arrival order,
+	// reading each answer's canonical interned label slice.
 	scaleA := float64(m.numAns) / float64(len(batch))
 	lhat := m.ws.lambdaSuff
 	mat.Fill(lhat, 0)
-	var buf []int
-	for _, a := range batch {
-		xs := a.Labels.AppendTo(buf[:0])
-		buf = xs
-		m.lambdaAnswerStat(lhat, a.Item, a.Worker, xs)
+	for _, ba := range batch {
+		m.lambdaAnswerStat(lhat, ba.item, ba.worker, m.intern.Canon(ba.set))
 	}
 	applyDirichlet(m.lambda.Data(), lhat, m.cfg.GammaPrior, scaleA, omega)
 
@@ -300,15 +370,6 @@ func (m *Model) sviWorkerModelStep(items []int, omega float64) {
 	m.deriveWorkerModel(m.runTP, m.runTPD, m.runFP, m.runFPD, m.runAgree, m.runAgreeD)
 }
 
-func sortedKeys[V any](set map[int]V) []int {
-	out := make([]int, 0, len(set))
-	for k := range set {
-		out = append(out, k)
-	}
-	sortInts(out)
-	return out
-}
-
 // sortInts is an insertion sort adequate for the short per-batch key lists;
 // it avoids pulling package sort into a hot path with interface conversions.
 func sortInts(s []int) {
@@ -319,50 +380,77 @@ func sortInts(s []int) {
 	}
 }
 
-// extendVoted merges newly voted labels of the given items into the
-// voted-label lists, preserving existing imputed values.
-func (m *Model) extendVoted(items []int) {
-	for _, i := range items {
-		need := map[int]bool{}
-		for _, c := range m.votedList[i] {
-			need[c] = false
-		}
-		m.perItem[i].each(func(ar ansRef) {
-			for _, c := range ar.labels {
-				if _, ok := need[c]; !ok {
-					need[c] = true
-				}
-			}
-		})
-		for _, c := range m.revealedTruth[i] {
-			if _, ok := need[c]; !ok {
-				need[c] = true
-			}
-		}
-		added := false
-		for _, isNew := range need {
-			if isNew {
-				added = true
-				break
-			}
-		}
-		if !added {
-			continue
-		}
-		old := m.votedList[i]
-		oldVals := m.yhatVals[i]
-		merged := make([]int, 0, len(need))
-		for c := range need {
-			merged = append(merged, c)
-		}
-		sortInts(merged)
-		vals := make([]float64, len(merged))
-		for k, c := range merged {
-			if j := sort.SearchInts(old, c); j < len(old) && old[j] == c {
-				vals[k] = oldVals[j]
-			}
-		}
-		m.votedList[i] = merged
-		m.yhatVals[i] = vals
+// extendVoted merges the round's newly voted labels into the touched items'
+// voted-label lists, preserving existing imputed values. It relies on the
+// voted-list invariant — votedList[i] already contains every label of every
+// previously ingested answer on i (rebuildVoted for batch loads, this
+// function for every earlier streaming round, persistence for reloads) — so
+// only the batch refs and the revealed truth need merging: O(batch labels)
+// per round via sorted-slice unions over the interned canonical sets, with
+// no per-item map and no walk of the item's answer history.
+func (m *Model) extendVoted(g *batchGroups) {
+	for j, i := range g.keys {
+		m.extendVotedItem(i, g.seg(j))
 	}
+}
+
+func (m *Model) extendVotedItem(i int, refs []ansRef) {
+	cur := m.votedList[i]
+	a := append(m.ws.mergeA[:0], cur...)
+	b := m.ws.mergeB[:0]
+	merge := func(src []int) {
+		if len(src) == 0 {
+			return
+		}
+		b = unionSorted(b[:0], a, src)
+		if len(b) != len(a) {
+			a, b = b, a
+		}
+	}
+	for _, ar := range refs {
+		merge(m.intern.Canon(ar.set))
+	}
+	merge(m.revealedTruth[i])
+	m.ws.mergeA, m.ws.mergeB = a[:0], b[:0] // hand the buffers back, grown
+	if len(a) == len(cur) {
+		return // nothing new voted
+	}
+	oldVals := m.yhatVals[i]
+	merged := append([]int(nil), a...)
+	vals := make([]float64, len(merged))
+	// Carry existing imputations across: cur ⊆ merged and both are sorted,
+	// so one linear sweep aligns them. New labels start at 0, like the map
+	// version did.
+	k := 0
+	for idx, c := range merged {
+		if k < len(cur) && cur[k] == c {
+			vals[idx] = oldVals[k]
+			k++
+		}
+	}
+	// Rebind, never mutate: clones may share the old slices.
+	m.votedList[i] = merged
+	m.yhatVals[i] = vals
+}
+
+// unionSorted appends the sorted-set union of a and b to dst. Both inputs
+// must be sorted and duplicate-free; the output is too.
+func unionSorted(dst, a, b []int) []int {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
 }

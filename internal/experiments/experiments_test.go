@@ -65,7 +65,8 @@ func TestRunTable3(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Rows) != 8 || len(r.Headers) != 6 {
+	// 8 paper rows plus the distinct-answer-sets reuse diagnostic.
+	if len(r.Rows) != 9 || len(r.Headers) != 6 {
 		t.Fatalf("table3 shape: %d rows, %d headers", len(r.Rows), len(r.Headers))
 	}
 	// Labels row must carry the paper's vocabulary sizes regardless of scale.

@@ -117,6 +117,7 @@ func RunTable3DatasetStats(s Settings) (*Result, error) {
 	row("mean answer size", func(st answers.Stats) string { return fmt.Sprintf("%.1f", st.MeanAnswerSize) })
 	row("mean truth size", func(st answers.Stats) string { return fmt.Sprintf("%.1f", st.MeanTruthSize) })
 	row("density", func(st answers.Stats) string { return fmt.Sprintf("%.3f", st.Density) })
+	row("distinct answer sets", func(st answers.Stats) string { return fmt.Sprintf("%d", st.DistinctLabelSets) })
 	return res, nil
 }
 

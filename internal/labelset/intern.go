@@ -1,0 +1,163 @@
+package labelset
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Interner assigns a stable small integer id to every distinct label set it
+// sees. Partial-agreement crowds reuse a small universe of answer sets
+// heavily, so interning lets the inference engines key per-set caches (the
+// score panels of internal/core) by id and replace per-answer label slices
+// with a 4-byte reference into one shared canonical table.
+//
+// Ids are dense, assigned in first-seen order, and never change: the table
+// is append-only. For every id the Interner keeps both the canonical sorted
+// member slice (the exact slice the old per-answer []int carried, shared by
+// every reference to the set) and the bitset itself for O(1) membership
+// tests in the consensus-counting loops.
+//
+// An Interner is owned by a single goroutine for writes (Intern); the
+// lookup side (Canon, Contains, Count) is safe for concurrent readers as
+// long as no Intern call runs at the same time — the discipline under which
+// the inference shards operate (interning happens only at ingestion, a
+// serial phase).
+type Interner struct {
+	ids    map[string]int32
+	canon  [][]int // id → sorted members; shared, never mutated
+	sets   []Set   // id → bitset for O(1) membership
+	counts []int32 // id → how many times the set was interned
+	keyBuf []byte  // scratch for map keys (single-writer)
+
+	// Arenas backing the canonical slices and bitset words: new sets carve
+	// capacity-clamped views out of large blocks instead of allocating per
+	// set, so interning a long tail of distinct sets stays O(1) allocations
+	// amortised. Blocks are abandoned (still referenced by their views) when
+	// full; clones start fresh arenas (Clone) so they never append into
+	// blocks shared with the source.
+	intArena  []int
+	wordArena []uint64
+}
+
+// NewInterner returns an empty table.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]int32)}
+}
+
+// Len returns the number of distinct sets interned so far.
+func (in *Interner) Len() int { return len(in.canon) }
+
+// key serialises the set's occupied words into the reusable scratch buffer.
+// Trailing zero words are dropped so sets that differ only in bitset width
+// key identically.
+func (in *Interner) key(s Set) []byte {
+	words := s.words
+	for len(words) > 0 && words[len(words)-1] == 0 {
+		words = words[:len(words)-1]
+	}
+	buf := in.keyBuf[:0]
+	for _, w := range words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	in.keyBuf = buf
+	return buf
+}
+
+// Intern returns the id of s, assigning the next id on first sight. The
+// empty set interns like any other (id'd once). Steady-state repeats are
+// allocation-free; new sets cost one map-key allocation plus amortised
+// arena growth.
+func (in *Interner) Intern(s Set) int32 {
+	k := in.key(s)
+	if id, ok := in.ids[string(k)]; ok {
+		in.counts[id]++
+		return id
+	}
+	id := int32(len(in.canon))
+	in.ids[string(k)] = id
+	in.canon = append(in.canon, in.arenaSlice(s))
+	in.sets = append(in.sets, in.arenaSet(k))
+	in.counts = append(in.counts, 1)
+	return id
+}
+
+// arenaSlice materialises s's sorted members as a capacity-clamped view
+// into the int arena.
+func (in *Interner) arenaSlice(s Set) []int {
+	n := s.Len()
+	start := len(in.intArena)
+	if cap(in.intArena)-start < n {
+		blk := 4096
+		if n > blk {
+			blk = n
+		}
+		in.intArena = make([]int, 0, blk)
+		start = 0
+	}
+	in.intArena = s.AppendTo(in.intArena)
+	return in.intArena[start:len(in.intArena):len(in.intArena)]
+}
+
+// arenaSet materialises the set's occupied words (the map key bytes, which
+// key() already trimmed) as a bitset over a capacity-clamped word-arena
+// view.
+func (in *Interner) arenaSet(key []byte) Set {
+	n := len(key) / 8
+	start := len(in.wordArena)
+	if cap(in.wordArena)-start < n {
+		blk := 1024
+		if n > blk {
+			blk = n
+		}
+		in.wordArena = make([]uint64, 0, blk)
+		start = 0
+	}
+	for i := 0; i < n; i++ {
+		in.wordArena = append(in.wordArena, binary.LittleEndian.Uint64(key[i*8:]))
+	}
+	return Set{words: in.wordArena[start:len(in.wordArena):len(in.wordArena)]}
+}
+
+// InternSlice interns the set with the given sorted members (the
+// persistence-restore path). It panics on negative members like Set.Add.
+func (in *Interner) InternSlice(xs []int) int32 {
+	return in.Intern(FromSlice(xs))
+}
+
+// Canon returns the canonical sorted member slice of the interned set.
+// Callers must not mutate it: the slice is shared by every reference.
+func (in *Interner) Canon(id int32) []int { return in.canon[id] }
+
+// Contains reports whether label c is a member of the interned set — the
+// O(1) replacement for a binary search over the canonical slice.
+func (in *Interner) Contains(id int32, c int) bool { return in.sets[id].Contains(c) }
+
+// At returns the interned set's bitset. Callers must treat it as read-only.
+func (in *Interner) At(id int32) Set { return in.sets[id] }
+
+// Count returns how many times the set has been interned — the reuse factor
+// that cache-admission policies key on.
+func (in *Interner) Count(id int32) int32 { return in.counts[id] }
+
+// Clone returns an interner that shares the immutable canonical slices and
+// bitsets with the receiver but can accept new sets independently: ids
+// assigned by either side after the clone do not leak into the other.
+func (in *Interner) Clone() *Interner {
+	out := &Interner{
+		ids:    make(map[string]int32, len(in.ids)),
+		canon:  in.canon[:len(in.canon):len(in.canon)],
+		sets:   in.sets[:len(in.sets):len(in.sets)],
+		counts: append([]int32(nil), in.counts...),
+		// Fresh arenas: the clone must never append into blocks whose tails
+		// the source may still be handing out.
+	}
+	for k, v := range in.ids {
+		out.ids[k] = v
+	}
+	return out
+}
+
+// String renders a small table summary for diagnostics.
+func (in *Interner) String() string {
+	return fmt.Sprintf("labelset.Interner{%d sets}", len(in.canon))
+}

@@ -1,0 +1,117 @@
+package labelset
+
+import (
+	"testing"
+)
+
+func TestInternerAssignsStableIds(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern(Of(1, 4, 5))
+	b := in.Intern(Of(0))
+	if a == b {
+		t.Fatalf("distinct sets share id %d", a)
+	}
+	if got := in.Intern(Of(5, 4, 1)); got != a {
+		t.Errorf("re-interning {1,4,5} gave id %d, want %d", got, a)
+	}
+	if got := in.Len(); got != 2 {
+		t.Errorf("Len() = %d, want 2", got)
+	}
+	if got := in.Count(a); got != 2 {
+		t.Errorf("Count(a) = %d, want 2", got)
+	}
+	if got := in.Count(b); got != 1 {
+		t.Errorf("Count(b) = %d, want 1", got)
+	}
+}
+
+func TestInternerCanonAndContains(t *testing.T) {
+	in := NewInterner()
+	id := in.Intern(Of(7, 2, 64, 3))
+	canon := in.Canon(id)
+	want := []int{2, 3, 7, 64}
+	if len(canon) != len(want) {
+		t.Fatalf("canon %v, want %v", canon, want)
+	}
+	for i, c := range want {
+		if canon[i] != c {
+			t.Fatalf("canon %v, want %v", canon, want)
+		}
+		if !in.Contains(id, c) {
+			t.Errorf("Contains(%d) = false, want true", c)
+		}
+	}
+	for _, c := range []int{0, 1, 4, 63, 65, 128, -1} {
+		if in.Contains(id, c) {
+			t.Errorf("Contains(%d) = true, want false", c)
+		}
+	}
+}
+
+// TestInternerWidthInsensitive pins that a set whose bitset carries trailing
+// zero words (e.g. after Remove) interns identically to its narrow twin.
+func TestInternerWidthInsensitive(t *testing.T) {
+	in := NewInterner()
+	narrow := Of(3)
+	wide := Of(3, 200)
+	wide.Remove(200)
+	a := in.Intern(narrow)
+	if b := in.Intern(wide); b != a {
+		t.Fatalf("width-differing equal sets got ids %d and %d", a, b)
+	}
+	if in.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", in.Len())
+	}
+}
+
+func TestInternerEmptySet(t *testing.T) {
+	in := NewInterner()
+	id := in.Intern(Set{})
+	if got := in.Intern(New(64)); got != id {
+		t.Errorf("empty sets intern to ids %d and %d", id, got)
+	}
+	if len(in.Canon(id)) != 0 {
+		t.Errorf("canon of empty set = %v", in.Canon(id))
+	}
+}
+
+// TestInternerCloneDiverges pins the clone discipline the model relies on:
+// shared history, independent growth.
+func TestInternerCloneDiverges(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern(Of(1))
+	cl := in.Clone()
+	if got := cl.Intern(Of(1)); got != a {
+		t.Fatalf("clone lost existing id: %d vs %d", got, a)
+	}
+	// Divergent appends on both sides must not corrupt each other.
+	x := in.Intern(Of(2))
+	y := cl.Intern(Of(3))
+	if x != y {
+		t.Fatalf("expected both sides to assign the same next id, got %d and %d", x, y)
+	}
+	if got := in.Canon(x); len(got) != 1 || got[0] != 2 {
+		t.Errorf("source canon(%d) = %v, want [2]", x, got)
+	}
+	if got := cl.Canon(y); len(got) != 1 || got[0] != 3 {
+		t.Errorf("clone canon(%d) = %v, want [3]", y, got)
+	}
+}
+
+func TestInternSliceMatchesIntern(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern(Of(9, 1))
+	if b := in.InternSlice([]int{1, 9}); b != a {
+		t.Errorf("InternSlice gave %d, want %d", b, a)
+	}
+}
+
+func TestInternSteadyStateAllocFree(t *testing.T) {
+	in := NewInterner()
+	s := Of(1, 5, 9)
+	in.Intern(s)
+	allocs := testing.AllocsPerRun(100, func() { in.Intern(s) })
+	if allocs > 0 {
+		t.Errorf("steady-state Intern allocates %.1f times per call", allocs)
+	}
+}

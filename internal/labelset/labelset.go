@@ -60,6 +60,15 @@ func (s *Set) ensure(word int) {
 	}
 }
 
+// Clear removes every member, retaining the backing storage so the set can
+// be refilled without allocating (the consensus-signature caches rebuild
+// per-item sets every refresh).
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
 // Add inserts label c.
 func (s *Set) Add(c int) {
 	if c < 0 {

@@ -207,3 +207,66 @@ func TestShardedBufferReuse(t *testing.T) {
 		t.Fatal("Buffers ignored size change")
 	}
 }
+
+func TestAxpyMatchesScalarBitExact(t *testing.T) {
+	x := []float64{0.1, -2.5, 3.75, 1e-9, 4, 5, 6, 7, 8.125, -9}
+	for n := 0; n <= len(x); n++ {
+		want := make([]float64, n)
+		got := make([]float64, n)
+		for i := 0; i < n; i++ {
+			want[i] = float64(i) * 0.3
+			got[i] = want[i]
+		}
+		a := 1.7
+		for i := 0; i < n; i++ {
+			want[i] += a * x[i]
+		}
+		Axpy(a, x[:n], got)
+		for i := 0; i < n; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: Axpy[%d] = %v, want %v (bit-exact)", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAddScaledMatchesScalarBitExact(t *testing.T) {
+	x := []float64{0.1, -2.5, 3.75, 1e-9, 4, 5, 6}
+	for n := 0; n <= len(x); n++ {
+		want := make([]float64, n)
+		got := make([]float64, n)
+		for i := 0; i < n; i++ {
+			want[i] = 1.1 * float64(i+1)
+			got[i] = want[i]
+		}
+		b, a := 0.25, -1.5
+		for i := 0; i < n; i++ {
+			want[i] = want[i]*b + a*x[i]
+		}
+		AddScaled(b, a, x[:n], got)
+		for i := 0; i < n; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: AddScaled[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFlooredDotMatchesSkipLoop(t *testing.T) {
+	w := []float64{0.5, 1e-12, 0.25, 0, 1e-8, 0.125, 0.3}
+	x := []float64{2, 3, 4, 5, 6, 7, 8}
+	const floor = 1e-8
+	want := 0.0
+	for i, wi := range w {
+		if wi < floor {
+			continue
+		}
+		want += wi * x[i]
+	}
+	if got := FlooredDot(w, x, floor); got != want {
+		t.Errorf("FlooredDot = %v, want %v (bit-exact)", got, want)
+	}
+	if got := FlooredDot(nil, x, floor); got != 0 {
+		t.Errorf("empty FlooredDot = %v, want 0", got)
+	}
+}

@@ -50,6 +50,21 @@ func Digamma(x float64) float64 {
 	return result + math.Log(x) - 0.5*inv - series
 }
 
+// DigammaRow fills dst[i] = ψ(x[i]) over the shorter of the two slices —
+// the vectorised form the expectation refresh walks the λ cube with. Each
+// entry is computed by the same scalar evaluation as Digamma, so results
+// are bit-identical to a caller-side loop; batching exists to keep the walk
+// in one tight loop (and give the scheduler a row-granular unit to shard).
+func DigammaRow(x, dst []float64) {
+	n := len(x)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = Digamma(x[i])
+	}
+}
+
 // Trigamma returns ψ'(x), the derivative of the digamma function, for x > 0.
 // It is used by tests as an independent consistency check on Digamma and by
 // the ELBO curvature diagnostics.

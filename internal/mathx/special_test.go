@@ -323,3 +323,22 @@ func BenchmarkLogSumExp(b *testing.B) {
 		_ = LogSumExp(v)
 	}
 }
+
+func TestDigammaRowMatchesScalar(t *testing.T) {
+	xs := []float64{1e-6, 0.1, 0.5, 1, 2.5, 7, 42, 1e6}
+	dst := make([]float64, len(xs))
+	DigammaRow(xs, dst)
+	for i, x := range xs {
+		if want := Digamma(x); dst[i] != want {
+			t.Errorf("DigammaRow(%v) = %v, want %v (bit-exact)", x, dst[i], want)
+		}
+	}
+	// Length mismatch: fills only the overlap, no panic.
+	short := make([]float64, 3)
+	DigammaRow(xs, short)
+	for i := range short {
+		if want := Digamma(xs[i]); short[i] != want {
+			t.Errorf("short DigammaRow[%d] = %v, want %v", i, short[i], want)
+		}
+	}
+}
