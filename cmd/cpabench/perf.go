@@ -11,9 +11,11 @@ import (
 	"cpa/internal/answers"
 	"cpa/internal/baselines"
 	"cpa/internal/core"
+	"cpa/internal/cpufeat"
 	"cpa/internal/datasets"
 	"cpa/internal/experiments"
 	"cpa/internal/labelset"
+	"cpa/internal/mathx"
 	"cpa/internal/metrics"
 )
 
@@ -23,8 +25,11 @@ import (
 // full aggregation (see benchPublish); "kernels" times the inference hot
 // loops in isolation — batch fit, single-pass stream, best steady-state
 // per-round PartialFit latency, and the finalize pass — without the prediction stage
-// (see benchKernels).
-var benchMethods = []string{"cpa", "cpa-online", "mv", "em", "bcc", "cbcc", "publish", "kernels"}
+// (see benchKernels). "microkernels" times the dispatched mathx vector
+// kernels themselves, per backend and per length, independent of any
+// dataset (see benchMicroKernels); it runs once per report, not per
+// profile.
+var benchMethods = []string{"cpa", "cpa-online", "mv", "em", "bcc", "cbcc", "publish", "kernels", "microkernels"}
 
 // BenchRecord is one (method, profile) perf measurement — the BENCH_*.json
 // row shape tracked across PRs.
@@ -45,7 +50,10 @@ type BenchRecord struct {
 	F1          float64 `json:"f1"`
 }
 
-// BenchReport is the envelope written by cpabench -json.
+// BenchReport is the envelope written by cpabench -json. CPU records the
+// detected vector features and the kernel backend the run dispatched to
+// (e.g. "avx,avx2,fma backend=avx2"), so bench artifacts from different
+// machines are never silently compared as like-for-like.
 type BenchReport struct {
 	GeneratedAt string        `json:"generated_at"`
 	ScaleName   string        `json:"scale_name"`
@@ -53,6 +61,7 @@ type BenchReport struct {
 	GoVersion   string        `json:"go_version"`
 	GOMAXPROCS  int           `json:"gomaxprocs"`
 	Parallelism int           `json:"parallelism"`
+	CPU         string        `json:"cpu"`
 	Results     []BenchRecord `json:"results"`
 }
 
@@ -151,6 +160,7 @@ func runPerfBench(path, scaleName string, s experiments.Settings, profileList, m
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  parallelism,
 		Parallelism: parallelism,
+		CPU:         fmt.Sprintf("%s backend=%s", cpufeat.Summary(), mathx.ActiveBackend()),
 	}
 
 	profiles := datasets.Names()
@@ -161,6 +171,21 @@ func runPerfBench(path, scaleName string, s experiments.Settings, profileList, m
 	if methodList != "" {
 		methods = strings.Split(methodList, ",")
 	}
+
+	// The microkernel rows are dataset-independent: run them once up front
+	// and drop the pseudo-method from the per-profile sweep.
+	perProfile := methods[:0:0]
+	for _, method := range methods {
+		if strings.TrimSpace(method) == "microkernels" {
+			for _, rec := range benchMicroKernels() {
+				report.Results = append(report.Results, rec)
+				fmt.Printf("%-22s %-14s %10.1f ns/op\n", rec.Method, rec.Profile, float64(rec.NsPerOp))
+			}
+			continue
+		}
+		perProfile = append(perProfile, method)
+	}
+	methods = perProfile
 
 	for _, profile := range profiles {
 		ds, _, err := datasets.Load(strings.TrimSpace(profile), s.DataScale, s.Seed)
@@ -497,6 +522,99 @@ func benchKernels(ds *answers.Dataset, s experiments.Settings, parallelism int) 
 	}
 	out = append(out, fin)
 	return out, nil
+}
+
+// benchMicroKernels times the dispatched mathx kernels in isolation, per
+// registered backend and per length — the same shapes as the
+// internal/mathx Benchmark* micro-benchmarks, folded into the BENCH json
+// envelope so kernel-level wins and regressions are tracked alongside the
+// end-to-end rows. Rows are ns per single kernel call (method
+// "micro-<kernel>", profile "<backend>/n<len>"); they sit far below the
+// regression gate's floor, so they are informational in the gate but
+// refreshed in bench_baseline.json with every intentional perf shift.
+func benchMicroKernels() []BenchRecord {
+	restore := mathx.ActiveBackend()
+	defer mathx.ForceBackend(restore)
+
+	lens := []int{4, 16, 64, 256, 4096}
+	rng := func(seed int64, n int, lo, span float64) []float64 {
+		r := newDetRand(seed)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = lo + span*r()
+		}
+		return v
+	}
+
+	// Min-of-reps over a batched inner loop: single calls are nanoseconds,
+	// so each sample times `iters` calls and divides.
+	sample := func(iters int, op func()) int64 {
+		const reps = 5
+		var minNs int64
+		for rep := 0; rep < reps; rep++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				op()
+			}
+			ns := time.Since(start).Nanoseconds() / int64(iters)
+			if rep == 0 || ns < minNs {
+				minNs = ns
+			}
+		}
+		return minNs
+	}
+
+	var out []BenchRecord
+	var sink float64
+	for _, backend := range mathx.Backends() {
+		if err := mathx.ForceBackend(backend); err != nil {
+			continue
+		}
+		for _, n := range lens {
+			iters := 1 + 1<<17/(n+16) // ~constant total work per row
+			w := rng(3, n, -1, 2)
+			x := rng(4, n, -1, 2)
+			y := rng(5, n, -1, 2)
+			pos := rng(6, n, 0.1, 20)
+			logs := rng(7, n, -40, 40)
+			dst := make([]float64, n)
+			profile := fmt.Sprintf("%s/n%d", backend, n)
+			for _, k := range []struct {
+				kernel string
+				op     func()
+			}{
+				{"micro-axpy", func() { mathx.Axpy(1.0009765625, x, y) }},
+				{"micro-flooreddot", func() { sink += mathx.FlooredDot(w, x, 0.0) }},
+				{"micro-sum", func() { sink += mathx.Sum(w) }},
+				{"micro-digammarow", func() { mathx.DigammaRow(pos, dst) }},
+				{"micro-logsumexp", func() { sink += mathx.LogSumExp(logs) }},
+			} {
+				out = append(out, BenchRecord{
+					Method:  k.kernel,
+					Profile: profile,
+					Runs:    iters,
+					NsPerOp: sample(iters, k.op),
+				})
+			}
+		}
+	}
+	_ = sink
+	return out
+}
+
+// newDetRand is a tiny deterministic generator (SplitMix64-derived) for the
+// microkernel inputs — fixed inputs keep rows comparable across runs
+// without dragging math/rand's global state into the report.
+func newDetRand(seed int64) func() float64 {
+	s := uint64(seed)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	return func() float64 {
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		return float64(z>>11) / (1 << 53)
+	}
 }
 
 // benchAggregator mirrors cpacli's method table for the perf sweep.

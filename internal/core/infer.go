@@ -466,8 +466,11 @@ func (m *Model) imputeItem(i int) {
 // p(x_iu | ψ̄_tm) under the posterior-mean confusion vectors — cheap,
 // monotone-ish during training, used by tests and diagnostics. Reused label
 // sets read their likelihood p(x | ψ̄_tm) from a product panel built once
-// per call; sets without a panel recompute the product per answer with the
-// identical float-operation order.
+// per call and reduce it with FlooredDot; sets without a panel run the
+// fused gather-prod kernel over a transposed copy of the cube. Both paths
+// use the canonical 4-lane reduction with the same κ floor and per-factor
+// clamp, so panel vs fallback (and panels disabled vs enabled) move zero
+// bits, on every backend.
 func (m *Model) dataLogLik() float64 {
 	M, T, C := m.M, m.T, m.numLabels
 	psiMean := m.ws.psiMean

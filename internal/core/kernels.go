@@ -3,6 +3,7 @@ package core
 import (
 	"cpa/internal/labelset"
 	"cpa/internal/mat"
+	"cpa/internal/mathx"
 )
 
 // This file is the shared sufficient-statistics layer of the two inference
@@ -48,6 +49,7 @@ func (m *Model) scoreKappaBatch(refs []ansRef, scale float64, dst []float64) {
 // cluster row; the scalar fallback (no panel) produces identical bits.
 func (m *Model) scoreKappaRefs(refs []ansRef, scale float64, dst []float64) {
 	T, M := m.T, m.M
+	var scratch *panelScratch
 	for _, ar := range refs {
 		phiRow := m.phi.Row(ar.other)
 		if panel := m.scorePanel(ar.set); panel != nil {
@@ -60,9 +62,35 @@ func (m *Model) scoreKappaRefs(refs []ansRef, scale float64, dst []float64) {
 			}
 			continue
 		}
-		// Scalar fallback: answerScore inlined with the cube base hoisted
-		// (identical float-operation order).
 		xs := m.intern.Canon(ar.set)
+		if offs := m.scratchOffs(&scratch, len(xs)); offs != nil {
+			// No cached slot: one fused gather-sum pass per surviving
+			// cluster straight off the transposed cube — the kernel sums
+			// the set's |offs| contiguous psiT runs per community in
+			// canonical member order (the panel-fill order) and rounds
+			// a·sum once, exactly the scalar fallback's float64(w*s), so
+			// the bits match both the panel path and the fallback. No
+			// intermediate panel row: a separate fill+add+AXPY sequence
+			// measured slower (three memory passes against one).
+			psiT := m.panels.psiT
+			TM := T * M
+			for t := 0; t < T; t++ {
+				pt := phiRow[t]
+				if pt < respFloor {
+					continue
+				}
+				base := t * M
+				for j, c := range xs {
+					offs[j] = c*TM + base
+				}
+				mathx.AxpyGatherSum(scale*pt, psiT, offs, dst)
+			}
+			continue
+		}
+		// Scalar fallback: answerScore inlined with the cube base hoisted
+		// (identical float-operation order to Axpy over a panel row: the
+		// per-set sum matches the panel fill, the product's intermediate
+		// rounding is pinned like the kernel's — no FMA contraction).
 		psi := m.elogPsi.Data()
 		C := m.numLabels
 		for t := 0; t < T; t++ {
@@ -78,10 +106,11 @@ func (m *Model) scoreKappaRefs(refs []ansRef, scale float64, dst []float64) {
 				for _, c := range xs {
 					s += psi[b+c]
 				}
-				dst[mm] += w * s
+				dst[mm] += float64(w * s)
 			}
 		}
 	}
+	m.putScratchPanel(scratch)
 }
 
 // scorePhiList fills dst (length T) with the unnormalised log-posterior of
@@ -147,8 +176,15 @@ func (m *Model) scorePhiBase(i int, dst []float64) {
 // skip-loop fallback.
 func (m *Model) scorePhiRefs(refs []ansRef, scale float64, dst []float64) {
 	T, M := m.T, m.M
+	var scratch *panelScratch
 	for _, ar := range refs {
 		kappaRow := m.kappa.Row(ar.other)
+		// All T cluster reductions share one κ row, so its floor structure
+		// is scanned once per answer (FloorGroups) and every reduction
+		// visits only the surviving 4-lane groups — bit-neutral by the
+		// groups-kernel contract, and the big win on late-fit near-one-hot
+		// κ rows, where T full-width floor scans per answer would dwarf
+		// the surviving work.
 		if panel := m.scorePanel(ar.set); panel != nil {
 			for t := 0; t < T; t++ {
 				dst[t] += scale * mat.FlooredDot(kappaRow, panel[t*M:t*M+M], respFloor)
@@ -156,25 +192,89 @@ func (m *Model) scorePhiRefs(refs []ansRef, scale float64, dst []float64) {
 			continue
 		}
 		xs := m.intern.Canon(ar.set)
+		offs := m.scratchOffs(&scratch, len(xs))
+		if offs == nil {
+			m.poolOffs(&scratch, len(xs)) // groups scratch for the scalar path
+		}
+		scratch.groups = mathx.FloorGroups(kappaRow, respFloor, scratch.groups)
+		groups := scratch.groups
+		if offs != nil && 16*len(groups) >= 3*M {
+			// Dense κ row with the transposed cube current: fused gather
+			// floored-dot — the same canonical 4-lane reduction as
+			// FlooredDot over a panel row, with the member gather-sum in
+			// the panel entry's role, restricted to the surviving groups
+			// (bit-neutral omission). The ≥75%-group-coverage gate keeps
+			// the vector kernel off scattered-sparse rows, where it pays
+			// for all four lanes of every surviving group while the scalar
+			// loop below touches only the live entries — measured ~2×
+			// slower there despite the vector width.
+			psiT := m.panels.psiT
+			TM := T * M
+			for t := 0; t < T; t++ {
+				base := t * M
+				for j, c := range xs {
+					offs[j] = c*TM + base
+				}
+				dst[t] += scale * mathx.FlooredDotGatherSumGroups(kappaRow, psiT, offs, groups, respFloor)
+			}
+			continue
+		}
 		psi := m.elogPsi.Data()
 		C := m.numLabels
+		// Sparse rows (and the panels-disabled hook): survivor-local scalar
+		// walk over the row-major cube — each live community reads its
+		// |set| members from one ψ row, the friendliest layout when
+		// survivors are scattered. The loop reproduces FlooredDot's
+		// canonical 4-lane-strided reduction order bit-for-bit (mat/mathx
+		// contract): four lane accumulators over communities mm ≡ lane
+		// (mod 4), floored entries contributing an explicit +0.0, lanes
+		// combined (s0+s2)+(s1+s3), remainder folded in sequentially —
+		// visiting only the surviving groups, which is bit-neutral by the
+		// same omission argument the kernels rely on. setSum(b) plays the
+		// panel entry's role, summed in the same canonical member order.
+		setSum := func(b int) float64 {
+			sc := 0.0
+			for _, c := range xs {
+				sc += psi[b+c]
+			}
+			return sc
+		}
 		for t := 0; t < T; t++ {
-			s := 0.0
 			base := t * M * C
-			for mm, km := range kappaRow {
-				if km < respFloor {
-					continue
-				}
+			var s0, s1, s2, s3 float64
+			for _, g := range groups {
+				mm := int(g) * 4
+				p0, p1, p2, p3 := 0.0, 0.0, 0.0, 0.0
 				b := base + mm*C
-				sc := 0.0
-				for _, c := range xs {
-					sc += psi[b+c]
+				if km := kappaRow[mm]; km >= respFloor {
+					p0 = float64(km * setSum(b))
 				}
-				s += km * sc
+				if km := kappaRow[mm+1]; km >= respFloor {
+					p1 = float64(km * setSum(b+C))
+				}
+				if km := kappaRow[mm+2]; km >= respFloor {
+					p2 = float64(km * setSum(b+2*C))
+				}
+				if km := kappaRow[mm+3]; km >= respFloor {
+					p3 = float64(km * setSum(b+3*C))
+				}
+				s0 += p0
+				s1 += p1
+				s2 += p2
+				s3 += p3
+			}
+			s := (s0 + s2) + (s1 + s3)
+			for mm := M &^ 3; mm < M; mm++ {
+				p := 0.0
+				if km := kappaRow[mm]; km >= respFloor {
+					p = float64(km * setSum(base+mm*C))
+				}
+				s += p
 			}
 			dst[t] += scale * s
 		}
 	}
+	m.putScratchPanel(scratch)
 }
 
 // lambdaAnswerStat adds one answer's Eq. 6 sufficient statistic into buf

@@ -1,5 +1,11 @@
 package core
 
+import (
+	"sync"
+
+	"cpa/internal/mathx"
+)
+
 // Label-set score panels.
 //
 // Every score kernel's data term depends on an answer only through its
@@ -41,28 +47,49 @@ const (
 	// float64s). Sets beyond the budget fall back to the scalar path.
 	panelBudgetFloats = (64 << 20) / 8
 	// sumPanelMinCount gates sum-panel admission by reuse, on both engines:
-	// a panel build costs a full T·M·|set| walk with no responsibility
-	// floors, so it pays off against the floored scalar loops only once
-	// several answers share the set (within a batch iteration, or within a
-	// streaming round — a round's panels are stale by the next round, so
-	// they too must amortise inside the round that builds them). Low-reuse
-	// sets stay on the scalar path permanently, by design.
+	// a cached slot is rebuilt every expectation generation whether or not
+	// its answers are rescored that often, so it must amortise against
+	// several fallback walks. Low-reuse sets don't get slots — but they no
+	// longer pay the scalar gather price either: the score kernels run the
+	// fused gather-sum kernels straight off the transposed cube
+	// (scratchOffs), identical bits, no persistent memory. Measured across
+	// the bench profiles, admitting singletons (threshold 1) loses to the
+	// fused path: the per-generation rebuild of thousands of one-shot
+	// slots plus the cache-thrash of a panels working set outweighs the
+	// build it saves.
 	sumPanelMinCount = 3
-	// prodPanelMinCount is the same gate for product panels (read once per
-	// answer per call, so they need a repeat to amortise).
+	// prodPanelMinCount keeps the reuse gate for product panels: unlike sum
+	// panels (read by two score kernels per occurrence), a product panel is
+	// read once per occurrence, so a count-1 set's build (|set|·T·M
+	// multiplies via mathx.MulStridedFloor) costs exactly the fallback walk
+	// it would replace and saves nothing.
 	prodPanelMinCount = 2
 )
 
 // panelCache is the generation-guarded sum-panel cache over elogPsi.
 type panelCache struct {
-	slot     []int32   // set id → slot index, -1 when not admitted
-	ids      []int32   // slot → set id
-	gens     []uint64  // slot → expGen its contents were built from
-	buf      []float64 // slot-major [slots][T·M] panels
-	slots    int
-	scratch  []int32 // stale-slot worklist reused across builds
-	disabled bool    // test hook: force every kernel onto the scalar path
+	slot    []int32   // set id → slot index, -1 when not admitted
+	ids     []int32   // slot → set id
+	gens    []uint64  // slot → expGen its contents were built from
+	buf     []float64 // slot-major [slots][T·M] panels
+	slots   int
+	scratch []int32 // stale-slot worklist reused across builds
+	// psiT is a column-major copy of the elogPsi body — psiT[c·TM+r] =
+	// elogPsi[r·C+c] — rebuilt once per expectation generation (psiTGen)
+	// when panels need filling. It turns each panel fill from |set|
+	// stride-C gather passes over the cube into |set| contiguous vector
+	// adds; the transpose itself is one O(TM·C) pass, amortised across
+	// every set built that generation.
+	psiT     []float64
+	psiTGen  uint64
+	disabled bool // test hook: force every kernel onto the scalar path
 }
+
+// panelScratchPool recycles the score kernels' per-call gather-offset
+// scratch (scratchOffs/poolOffs) across goroutines, sweeps, and models —
+// the buffers carry no model state, so one package pool serves all. Kept
+// out of panelCache so Model stays trivially copyable (Clone's c := *m).
+var panelScratchPool sync.Pool
 
 // admit assigns a slot to set id if it has none and the budget allows.
 func (p *panelCache) admit(id int32, maxSlots int) {
@@ -151,6 +178,7 @@ func (m *Model) buildStalePanels() {
 // parallel (disjoint writes — identical results for every Parallelism).
 // Callers have already stamped the slots' generations.
 func (m *Model) buildPanelSlots(slots []int32) {
+	m.ensurePsiT()
 	if len(slots) == 0 {
 		return
 	}
@@ -163,21 +191,53 @@ func (m *Model) buildPanelSlots(slots []int32) {
 	})
 }
 
+// ensurePsiT brings the transposed cube current with the expectations.
+// Called from the serial ensure* sync points (directly and via
+// buildPanelSlots), so the parallel panel fills and the score kernels'
+// gather-sum fallbacks always read a current psiT; scratchOffs still
+// checks the generation to stay safe outside that window.
+func (m *Model) ensurePsiT() {
+	p := &m.panels
+	if p.disabled || p.psiTGen == m.expGen {
+		return
+	}
+	m.transposePsi()
+	p.psiTGen = m.expGen
+}
+
+// transposePsi refreshes the column-major elogPsi copy the panel fills
+// read. Serial (called from the serial sync points before the parallel
+// fill); values are copied verbatim, so downstream sums see exactly the
+// cube's bits.
+func (m *Model) transposePsi() {
+	p := &m.panels
+	TM := m.T * m.M
+	C := m.numLabels
+	psi := m.elogPsi.Data()
+	p.psiT = growFloats(p.psiT, TM*C)
+	for r := 0; r < TM; r++ {
+		row := psi[r*C : (r+1)*C]
+		for c, v := range row {
+			p.psiT[c*TM+r] = v
+		}
+	}
+}
+
 // fillScorePanel computes slot s's panel: for every row r of the elogPsi
 // cube, the sum over the set's canonical members in canonical order (the
-// answerScore order — the bit-exactness contract).
+// answerScore order — the bit-exactness contract). The fill reads the
+// transposed cube (psiT, refreshed by buildPanelSlots): one contiguous
+// vector-add pass per member, so dst[r] accumulates the members in exactly
+// the canonical order answerScore uses — the loop interchange moves zero
+// bits, it only turns the inner loop into a full-width kernel.
 func (m *Model) fillScorePanel(s int) {
 	p := &m.panels
 	TM := m.T * m.M
 	canon := m.intern.Canon(p.ids[s])
 	dst := p.buf[s*TM : (s+1)*TM]
-	for r := 0; r < TM; r++ {
-		row := m.elogPsi.Row(r)
-		sum := 0.0
-		for _, c := range canon {
-			sum += row[c]
-		}
-		dst[r] = sum
+	mathx.Fill(dst, 0)
+	for _, c := range canon {
+		mathx.AddStrided(dst, p.psiT[c*TM:(c+1)*TM], 1)
 	}
 }
 
@@ -196,6 +256,60 @@ func (m *Model) scorePanel(id int32) []float64 {
 	}
 	TM := m.T * m.M
 	return p.buf[int(s)*TM : (int(s)+1)*TM]
+}
+
+// scratchOffs hands the score kernels a pool-recycled n-length offset
+// slice for the fused gather-sum kernels (mathx.AxpyGatherSum /
+// FlooredDotGatherSum) when the transposed cube is current. Sets without a
+// cached slot (below the reuse threshold or over budget) then still run
+// full-width vector kernels: the gather kernel reads the set's |offs|
+// contiguous psiT runs directly — one fused pass, no intermediate panel
+// row — in the canonical member order, so the bits match both the cached
+// panel and the scalar fallback. Returns nil when the cache is disabled
+// (the truly-scalar test hook) or psiT is stale (kernel call outside the
+// ensure window); the caller then takes the scalar path.
+func (m *Model) scratchOffs(scratch **panelScratch, n int) []int {
+	p := &m.panels
+	if p.disabled || p.psiTGen != m.expGen {
+		return nil
+	}
+	return m.poolOffs(scratch, n)
+}
+
+// poolOffs is scratchOffs without the generation/disabled gate, for callers
+// that gather from their own call-scoped transposed cube (dataLogLik's
+// psiMeanT) rather than the panels' elogPsi transpose — those reads are
+// always current by construction, so no gate applies.
+func (m *Model) poolOffs(scratch **panelScratch, n int) []int {
+	if *scratch == nil {
+		s, _ := panelScratchPool.Get().(*panelScratch)
+		if s == nil {
+			s = new(panelScratch)
+		}
+		*scratch = s
+	}
+	s := *scratch
+	if cap(s.offs) < n {
+		s.offs = make([]int, n)
+	}
+	return s.offs[:n]
+}
+
+// panelScratch is the pool unit for scratchOffs: pooling the container
+// (not the slice) keeps Get/Put allocation-free in steady state. groups is
+// the companion survivor-group worklist (mathx.FloorGroups) scorePhiRefs
+// computes once per answer and reuses across all T cluster reductions.
+type panelScratch struct {
+	offs   []int
+	groups []int32
+}
+
+// putScratchPanel returns a scratch panel to the pool; nil-safe so callers
+// can release unconditionally.
+func (m *Model) putScratchPanel(scratch *panelScratch) {
+	if scratch != nil {
+		panelScratchPool.Put(scratch)
+	}
 }
 
 // growFloats resizes buf to n entries, preserving the existing prefix and
@@ -262,21 +376,16 @@ func (m *Model) buildProductPanels(cube []float64) *prodCache {
 	}
 	pc.buf = growFloats(pc.buf, pc.slots*TM)
 	// The cube differs between calls, so every slot refills every build.
+	// Same loop interchange as fillScorePanel: each dst[r] multiplies the
+	// floored members in canonical order, one strided kernel pass per
+	// member — bit-identical to the legacy per-row product loop.
 	m.parallelFor(pc.slots, func(lo, hi int) {
 		for s := lo; s < hi; s++ {
 			canon := m.intern.Canon(pc.ids[s])
 			dst := pc.buf[s*TM : (s+1)*TM]
-			for r := 0; r < TM; r++ {
-				row := cube[r*C : (r+1)*C]
-				p := 1.0
-				for _, c := range canon {
-					v := row[c]
-					if v < 1e-12 {
-						v = 1e-12
-					}
-					p *= v
-				}
-				dst[r] = p
+			mathx.Fill(dst, 1)
+			for _, c := range canon {
+				mathx.MulStridedFloor(dst, cube[c:], C, 1e-12)
 			}
 		}
 	})

@@ -1,0 +1,9 @@
+//go:build arm64 && !purego
+
+package cpufeat
+
+func init() {
+	// ASIMD (NEON) with double-precision lanes is part of the arm64
+	// baseline architecture profile Go targets — no probing required.
+	ARM64.HasNEON = true
+}

@@ -1,0 +1,39 @@
+//go:build amd64 && !purego
+
+package cpufeat
+
+// cpuid executes the CPUID instruction with the given leaf (EAX) and
+// sub-leaf (ECX). Implemented in cpuid_amd64.s.
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register XCR0 (OS-enabled processor state
+// components). Only meaningful once CPUID reports OSXSAVE.
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		cpuidFMA     = 1 << 12
+		cpuidOSXSAVE = 1 << 27
+		cpuidAVX     = 1 << 28
+	)
+	// AVX requires the CPU flag AND the OS to have enabled XMM+YMM state
+	// saving (XCR0 bits 1 and 2) — advertising AVX without the OS half
+	// faults on the first VEX-256 instruction.
+	osAVX := false
+	if ecx1&cpuidOSXSAVE != 0 {
+		xcr0, _ := xgetbv()
+		osAVX = xcr0&0x6 == 0x6
+	}
+	X86.HasAVX = osAVX && ecx1&cpuidAVX != 0
+	X86.HasFMA = osAVX && ecx1&cpuidFMA != 0
+	if maxLeaf >= 7 && X86.HasAVX {
+		_, ebx7, _, _ := cpuid(7, 0)
+		const cpuidAVX2 = 1 << 5
+		X86.HasAVX2 = ebx7&cpuidAVX2 != 0
+	}
+}

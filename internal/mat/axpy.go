@@ -1,62 +1,31 @@
 package mat
 
-// Axpy computes y[i] += a*x[i] over the shorter of the two slices, with the
-// inner loop unrolled 4-way. Because the update is element-wise (no
-// cross-element accumulation) the unrolled form is bit-identical to the
-// scalar loop — the property the panel-cached score kernels rely on. The
-// inference hot loops call it with equal-length row views.
-func Axpy(a float64, x, y []float64) {
-	n := len(x)
-	if len(y) < n {
-		n = len(y)
-	}
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		y[i] += a * x[i]
-		y[i+1] += a * x[i+1]
-		y[i+2] += a * x[i+2]
-		y[i+3] += a * x[i+3]
-	}
-	for ; i < n; i++ {
-		y[i] += a * x[i]
-	}
-}
+import "cpa/internal/mathx"
+
+// The row/vector kernels the inference hot loops are written in. Since the
+// SIMD kernel layer (ISSUE 6) there is exactly one implementation of each
+// kernel — the runtime-dispatched entry points in internal/mathx — and
+// these wrappers exist so core's call sites keep reading mat.Axpy /
+// mat.FlooredDot next to the Dense they operate on. Each wrapper is a
+// single call and inlines away.
+
+// Axpy computes y[i] += a*x[i] over the shorter of the two slices. Element-
+// wise, hence bit-identical across every kernel backend — the property the
+// panel-cached score kernels rely on. The inference hot loops call it with
+// equal-length row views.
+func Axpy(a float64, x, y []float64) { mathx.Axpy(a, x, y) }
 
 // AddScaled computes y[i] = y[i]*b + a*x[i] element-wise (the fused form of
-// the SVI blending updates), unrolled like Axpy and equally bit-stable.
-func AddScaled(b, a float64, x, y []float64) {
-	n := len(x)
-	if len(y) < n {
-		n = len(y)
-	}
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		y[i] = y[i]*b + a*x[i]
-		y[i+1] = y[i+1]*b + a*x[i+1]
-		y[i+2] = y[i+2]*b + a*x[i+2]
-		y[i+3] = y[i+3]*b + a*x[i+3]
-	}
-	for ; i < n; i++ {
-		y[i] = y[i]*b + a*x[i]
-	}
+// the SVI blending updates), equally bit-stable.
+func AddScaled(b, a float64, x, y []float64) { mathx.AddScaled(b, a, x, y) }
+
+// FlooredDot returns Σ_i w[i]·x[i] over entries with w[i] >= floor (the
+// respFloor-guarded community reductions of the score kernels), accumulated
+// in the canonical 4-lane-strided reduction order shared by every backend —
+// results are bit-identical across platforms and Parallelism settings.
+func FlooredDot(w, x []float64, floor float64) float64 {
+	return mathx.FlooredDot(w, x, floor)
 }
 
-// FlooredDot returns Σ_i w[i]·x[i] over entries with w[i] >= floor,
-// accumulated strictly left to right into a single accumulator so the
-// result is bit-identical to the scalar skip-loops it replaces (the
-// respFloor-guarded community reductions of the score kernels). It must NOT
-// use parallel partial accumulators: float addition is order-sensitive and
-// the callers pin bit-exact determinism.
-func FlooredDot(w, x []float64, floor float64) float64 {
-	n := len(w)
-	if len(x) < n {
-		n = len(x)
-	}
-	s := 0.0
-	for i := 0; i < n; i++ {
-		if wi := w[i]; wi >= floor {
-			s += wi * x[i]
-		}
-	}
-	return s
-}
+// Sum returns the sum of v in the canonical kernel reduction order.
+func Sum(v []float64) float64 { return mathx.Sum(v) }

@@ -142,19 +142,17 @@ func (d *Dense) ColSumsInto(dst []float64, rows []int) {
 	if len(dst) != d.cols {
 		panic("mat: ColSumsInto length mismatch")
 	}
+	// Each row folds in element-wise via the dispatched Axpy kernel with
+	// a = 1 (1·v ≡ v bit-for-bit, including NaN and signed zeros), so the
+	// row-by-row accumulation order — and hence the result — is unchanged
+	// from the scalar loops this replaces.
 	if rows == nil {
 		for i := 0; i < d.rows; i++ {
-			row := d.Row(i)
-			for j, v := range row {
-				dst[j] += v
-			}
+			mathx.Axpy(1, d.Row(i), dst)
 		}
 		return
 	}
 	for _, i := range rows {
-		row := d.Row(i)
-		for j, v := range row {
-			dst[j] += v
-		}
+		mathx.Axpy(1, d.Row(i), dst)
 	}
 }

@@ -1,0 +1,221 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// NEON (ASIMD) kernels for the six pure-arithmetic entry points. Layout
+// mirrors kernels_amd64.s: element-wise kernels process the whole slice
+// (vector body + in-asm scalar tail); the reduction kernels process only
+// the 4-aligned prefix and the Go wrappers fold tails in sequentially.
+//
+// The canonical 4-lane-strided reduction order (see kernels.go) maps onto
+// 2-lane NEON as two Q-register accumulators per step-4 iteration:
+// V0 = [s0, s1], V1 = [s2, s3]. The combine FADD V1, V0 yields
+// [s0+s2, s1+s3] and the scalar FADDP collapses it to (s0+s2)+(s1+s3) —
+// exactly the canonical lane combine, so results are bit-identical to the
+// scalar reference.
+//
+// The Go assembler has no unfused vector FP mnemonics on arm64 (only the
+// fused VFMLA/VFMLS, which the no-FMA contract forbids), so the four FP
+// vector instructions are emitted as raw encodings through the macros
+// below and verified by `go tool objdump` (whose arm64 decoder is
+// independent of the assembler). Operand convention matches Go arm64
+// order: (Vm, Vn, Vd) with Vd = Vn OP Vm.
+
+// Vd.2D = Vn.2D + Vm.2D
+#define VFADD2D(m, n, d) WORD $(0x4E60D400 | (m)<<16 | (n)<<5 | (d))
+// Vd.2D = Vn.2D * Vm.2D
+#define VFMUL2D(m, n, d) WORD $(0x6E60DC00 | (m)<<16 | (n)<<5 | (d))
+// Vd.2D = all-ones mask where Vn.2D >= Vm.2D (false on NaN), else zero
+#define VFCMGE2D(m, n, d) WORD $(0x6E60E400 | (m)<<16 | (n)<<5 | (d))
+// Dd = Vn.D[0] + Vn.D[1] (scalar pairwise add)
+#define FADDP2D(n, d) WORD $(0x7E70D800 | (n)<<5 | (d))
+
+// func axpyAsm(a float64, x, y []float64)
+// y[i] += a*x[i]; vector mul then add, never fused.
+TEXT ·axpyAsm(SB), NOSPLIT, $0-56
+	FMOVD a+0(FP), F0
+	VDUP  V0.D[0], V0.D2
+	MOVD  x_base+8(FP), R1
+	MOVD  x_len+16(FP), R3
+	MOVD  y_base+32(FP), R2
+
+axpy_loop4:
+	CMP   $4, R3
+	BLT   axpy_tail
+	VLD1.P 32(R1), [V1.D2, V2.D2]
+	VLD1  (R2), [V3.D2, V4.D2]
+	VFMUL2D(0, 1, 5)              // V5 = x01 * a
+	VFMUL2D(0, 2, 6)              // V6 = x23 * a
+	VFADD2D(5, 3, 3)              // V3 = y01 + V5
+	VFADD2D(6, 4, 4)              // V4 = y23 + V6
+	VST1.P [V3.D2, V4.D2], 32(R2)
+	SUB   $4, R3
+	B     axpy_loop4
+
+axpy_tail:
+	CBZ   R3, axpy_done
+	FMOVD (R1), F1
+	FMOVD (R2), F2
+	FMULD F0, F1, F1
+	FADDD F1, F2, F2
+	FMOVD F2, (R2)
+	ADD   $8, R1
+	ADD   $8, R2
+	SUB   $1, R3
+	B     axpy_tail
+
+axpy_done:
+	RET
+
+// func addScaledAsm(b, a float64, x, y []float64)
+// y[i] = y[i]*b + a*x[i]; two rounded products, one add.
+TEXT ·addScaledAsm(SB), NOSPLIT, $0-64
+	FMOVD b+0(FP), F0
+	VDUP  V0.D[0], V0.D2
+	FMOVD a+8(FP), F1
+	VDUP  V1.D[0], V1.D2
+	MOVD  x_base+16(FP), R1
+	MOVD  x_len+24(FP), R3
+	MOVD  y_base+40(FP), R2
+
+as_loop4:
+	CMP   $4, R3
+	BLT   as_tail
+	VLD1.P 32(R1), [V2.D2, V3.D2]
+	VLD1  (R2), [V4.D2, V5.D2]
+	VFMUL2D(1, 2, 6)              // V6 = x01 * a
+	VFMUL2D(1, 3, 7)              // V7 = x23 * a
+	VFMUL2D(0, 4, 4)              // V4 = y01 * b
+	VFMUL2D(0, 5, 5)              // V5 = y23 * b
+	VFADD2D(6, 4, 4)              // V4 = y01*b + a*x01
+	VFADD2D(7, 5, 5)
+	VST1.P [V4.D2, V5.D2], 32(R2)
+	SUB   $4, R3
+	B     as_loop4
+
+as_tail:
+	CBZ   R3, as_done
+	FMOVD (R1), F2
+	FMOVD (R2), F3
+	FMULD F1, F2, F2              // a*x
+	FMULD F0, F3, F3              // y*b
+	FADDD F2, F3, F3
+	FMOVD F3, (R2)
+	ADD   $8, R1
+	ADD   $8, R2
+	SUB   $1, R3
+	B     as_tail
+
+as_done:
+	RET
+
+// func fillAsm(v []float64, x float64)
+TEXT ·fillAsm(SB), NOSPLIT, $0-32
+	MOVD  v_base+0(FP), R1
+	MOVD  v_len+8(FP), R3
+	FMOVD x+24(FP), F0
+	VDUP  V0.D[0], V0.D2
+	VMOV  V0.B16, V1.B16
+
+fill_loop4:
+	CMP   $4, R3
+	BLT   fill_tail
+	VST1.P [V0.D2, V1.D2], 32(R1)
+	SUB   $4, R3
+	B     fill_loop4
+
+fill_tail:
+	CBZ   R3, fill_done
+	FMOVD F0, (R1)
+	ADD   $8, R1
+	SUB   $1, R3
+	B     fill_tail
+
+fill_done:
+	RET
+
+// func scaleAsm(v []float64, s float64)
+TEXT ·scaleAsm(SB), NOSPLIT, $0-32
+	MOVD  v_base+0(FP), R1
+	MOVD  v_len+8(FP), R3
+	FMOVD s+24(FP), F0
+	VDUP  V0.D[0], V0.D2
+
+scale_loop4:
+	CMP   $4, R3
+	BLT   scale_tail
+	VLD1  (R1), [V1.D2, V2.D2]
+	VFMUL2D(0, 1, 1)              // V1 = v01 * s
+	VFMUL2D(0, 2, 2)
+	VST1.P [V1.D2, V2.D2], 32(R1)
+	SUB   $4, R3
+	B     scale_loop4
+
+scale_tail:
+	CBZ   R3, scale_done
+	FMOVD (R1), F1
+	FMULD F0, F1, F1
+	FMOVD F1, (R1)
+	ADD   $8, R1
+	SUB   $1, R3
+	B     scale_tail
+
+scale_done:
+	RET
+
+// func sumBlockAsm(v []float64) float64
+// len(v) is a multiple of 4 (the wrapper passes v[:n&^3]). Canonical
+// 4-lane-strided sum over the block; the wrapper folds any tail.
+TEXT ·sumBlockAsm(SB), NOSPLIT, $0-32
+	MOVD  v_base+0(FP), R1
+	MOVD  v_len+8(FP), R3
+	VEOR  V0.B16, V0.B16, V0.B16  // [s0, s1]
+	VEOR  V1.B16, V1.B16, V1.B16  // [s2, s3]
+
+sum_loop4:
+	CBZ   R3, sum_combine
+	VLD1.P 32(R1), [V2.D2, V3.D2]
+	VFADD2D(2, 0, 0)              // V0 += v[i:i+2]
+	VFADD2D(3, 1, 1)              // V1 += v[i+2:i+4]
+	SUB   $4, R3
+	B     sum_loop4
+
+sum_combine:
+	VFADD2D(1, 0, 0)              // [s0+s2, s1+s3]
+	FADDP2D(0, 0)                 // (s0+s2) + (s1+s3)
+	FMOVD F0, ret+24(FP)
+	RET
+
+// func flooredDotBlockAsm(w, x []float64, floor float64) float64
+// len(w) == len(x), a multiple of 4. Masked lanes (w < floor, or w NaN —
+// FCMGE is false on unordered) contribute +0.0 via the AND-to-zero blend,
+// matching the scalar reference's explicit +0.0 adds.
+TEXT ·flooredDotBlockAsm(SB), NOSPLIT, $0-64
+	MOVD  w_base+0(FP), R1
+	MOVD  w_len+8(FP), R3
+	MOVD  x_base+24(FP), R2
+	FMOVD floor+48(FP), F15
+	VDUP  V15.D[0], V15.D2
+	VEOR  V0.B16, V0.B16, V0.B16  // [s0, s1]
+	VEOR  V1.B16, V1.B16, V1.B16  // [s2, s3]
+
+fdot_loop4:
+	CBZ   R3, fdot_combine
+	VLD1.P 32(R1), [V2.D2, V3.D2] // w
+	VLD1.P 32(R2), [V4.D2, V5.D2] // x
+	VFMUL2D(4, 2, 6)              // V6 = w01 * x01
+	VFMUL2D(5, 3, 7)              // V7 = w23 * x23
+	VFCMGE2D(15, 2, 8)            // V8 = w01 >= floor
+	VFCMGE2D(15, 3, 9)
+	VAND  V8.B16, V6.B16, V6.B16
+	VAND  V9.B16, V7.B16, V7.B16
+	VFADD2D(6, 0, 0)
+	VFADD2D(7, 1, 1)
+	SUB   $4, R3
+	B     fdot_loop4
+
+fdot_combine:
+	VFADD2D(1, 0, 0)
+	FADDP2D(0, 0)
+	FMOVD F0, ret+56(FP)
+	RET

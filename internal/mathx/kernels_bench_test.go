@@ -1,0 +1,131 @@
+package mathx
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// Micro-benchmarks for the dispatched kernels (ISSUE 6) at the lengths the
+// inference loops actually see: tiny label-set rows (4, 16), typical score
+// panels (64, 256), and the λ-cube walks (4096). Each benchmark runs once
+// per registered backend so `go test -bench 'BenchmarkFlooredDot'` prints
+// the scalar-vs-SIMD ratio directly; cpabench's `microkernels`
+// pseudo-method reports the same shapes into the BENCH json envelope.
+
+var benchLens = []int{4, 16, 64, 256, 4096}
+
+func benchVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// forEachBackendB runs fn once per registered backend with that backend
+// forced, restoring the active backend afterwards.
+func forEachBackendB(b *testing.B, fn func(b *testing.B)) {
+	restore := ActiveBackend()
+	defer ForceBackend(restore)
+	for _, name := range Backends() {
+		b.Run(name, func(b *testing.B) {
+			if err := ForceBackend(name); err != nil {
+				b.Fatal(err)
+			}
+			fn(b)
+		})
+	}
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	for _, n := range benchLens {
+		x := benchVec(n, 1)
+		y := benchVec(n, 2)
+		b.Run("n"+strconv.Itoa(n), func(b *testing.B) {
+			forEachBackendB(b, func(b *testing.B) {
+				b.SetBytes(int64(16 * n))
+				for i := 0; i < b.N; i++ {
+					Axpy(1.0009765625, x, y)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkFlooredDot(b *testing.B) {
+	for _, n := range benchLens {
+		w := benchVec(n, 3)
+		x := benchVec(n, 4)
+		b.Run("n"+strconv.Itoa(n), func(b *testing.B) {
+			forEachBackendB(b, func(b *testing.B) {
+				b.SetBytes(int64(16 * n))
+				var sink float64
+				for i := 0; i < b.N; i++ {
+					sink += FlooredDot(w, x, 0.0)
+				}
+				_ = sink
+			})
+		})
+	}
+}
+
+func BenchmarkSum(b *testing.B) {
+	for _, n := range benchLens {
+		v := benchVec(n, 5)
+		b.Run("n"+strconv.Itoa(n), func(b *testing.B) {
+			forEachBackendB(b, func(b *testing.B) {
+				b.SetBytes(int64(8 * n))
+				var sink float64
+				for i := 0; i < b.N; i++ {
+					sink += Sum(v)
+				}
+				_ = sink
+			})
+		})
+	}
+}
+
+func BenchmarkDigammaRow(b *testing.B) {
+	for _, n := range benchLens {
+		// Dirichlet-posterior-typical positive arguments: the recurrence
+		// runs a few masked iterations per lane, like the real λ walks.
+		rng := rand.New(rand.NewSource(6))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 0.1 + 20*rng.Float64()
+		}
+		dst := make([]float64, n)
+		b.Run("n"+strconv.Itoa(n), func(b *testing.B) {
+			forEachBackendB(b, func(b *testing.B) {
+				b.SetBytes(int64(8 * n))
+				for i := 0; i < b.N; i++ {
+					DigammaRow(x, dst)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkLogSumExp(b *testing.B) {
+	for _, n := range benchLens {
+		// Log-score-shaped inputs: negative, a few tens apart, the shape
+		// SoftmaxRow normalises every round.
+		rng := rand.New(rand.NewSource(7))
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = -40 * rng.Float64()
+		}
+		b.Run("n"+strconv.Itoa(n), func(b *testing.B) {
+			forEachBackendB(b, func(b *testing.B) {
+				b.SetBytes(int64(8 * n))
+				var sink float64
+				for i := 0; i < b.N; i++ {
+					sink += LogSumExp(v)
+				}
+				_ = sink
+			})
+		})
+	}
+}

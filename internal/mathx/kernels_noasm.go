@@ -1,0 +1,8 @@
+//go:build purego || !(amd64 || arm64)
+
+package mathx
+
+// registerSIMDBackends is a no-op when the SIMD backends are compiled out:
+// under the purego build tag (the scalar-only CI leg) and on architectures
+// without a kernel backend. Dispatch then pins the scalar reference.
+func registerSIMDBackends() {}

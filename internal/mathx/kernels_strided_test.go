@@ -1,0 +1,233 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Equivalence suite for the panel-layer kernels: the strided cube walks
+// (AddStrided, MulStridedFloor) and the fused gather-sum kernels
+// (AxpyGatherSum, FlooredDotGatherSum). Same contract as kernels_test.go:
+// every backend bit-identical to the scalar reference at every length
+// 0..130, on well-behaved and adversarial data.
+
+func TestBackendEquivalenceStrided(t *testing.T) {
+	forEachSIMDBackend(t, func(t *testing.T, name string) {
+		rng := rand.New(rand.NewSource(47))
+		for n := 0; n <= 130; n++ {
+			for _, stride := range []int{1, 2, 3, 7} {
+				for trial := 0; trial < 3; trial++ {
+					specialEvery := 0
+					if trial >= 1 {
+						specialEvery = 3
+					}
+					srcLen := 1
+					if n > 0 {
+						srcLen = (n-1)*stride + 1
+					}
+					src := make([]float64, srcLen)
+					dst := make([]float64, n)
+					fillVec(rng, src, specialEvery)
+					fillVec(rng, dst, specialEvery)
+
+					ds := append([]float64(nil), dst...)
+					db := append([]float64(nil), dst...)
+					ForceBackend("scalar")
+					AddStrided(ds, src, stride)
+					ForceBackend(name)
+					AddStrided(db, src, stride)
+					eqBits(t, "AddStrided", n, ds, db)
+
+					// Floor edges: exact tie with a src value, ±Inf, NaN,
+					// signed zeros, and the production floor.
+					floors := []float64{1e-12, 0.0, math.Copysign(0, -1), math.Inf(-1), math.Inf(1), math.NaN()}
+					if n > 0 {
+						floors = append(floors, src[rng.Intn(srcLen)])
+					}
+					for _, floor := range floors {
+						ds = append(ds[:0], dst...)
+						db = append(db[:0], dst...)
+						ForceBackend("scalar")
+						MulStridedFloor(ds, src, stride, floor)
+						ForceBackend(name)
+						MulStridedFloor(db, src, stride, floor)
+						eqBits(t, "MulStridedFloor", n, ds, db)
+					}
+				}
+			}
+		}
+	})
+}
+
+// gatherCase builds a src plane of nOffs rows of length n (plus slack so
+// offsets are non-trivial) and a shuffled offset per row — the shape the
+// score kernels read the transposed ψ cube with.
+func gatherCase(rng *rand.Rand, n, nOffs, specialEvery int) (src []float64, offs []int) {
+	rowLen := n + rng.Intn(3)
+	if rowLen == 0 {
+		rowLen = 1
+	}
+	src = make([]float64, nOffs*rowLen+1)
+	fillVec(rng, src, specialEvery)
+	offs = make([]int, nOffs)
+	perm := rng.Perm(nOffs)
+	for j := range offs {
+		off := perm[j] * rowLen
+		if off+n > len(src) {
+			off = len(src) - n
+		}
+		offs[j] = off
+	}
+	return src, offs
+}
+
+func TestBackendEquivalenceGatherSum(t *testing.T) {
+	forEachSIMDBackend(t, func(t *testing.T, name string) {
+		rng := rand.New(rand.NewSource(48))
+		for n := 0; n <= 130; n++ {
+			for _, nOffs := range []int{0, 1, 2, 5, 9} {
+				for trial := 0; trial < 3; trial++ {
+					specialEvery := 0
+					if trial >= 1 {
+						specialEvery = 3
+					}
+					src, offs := gatherCase(rng, n, nOffs, specialEvery)
+					w := make([]float64, n)
+					y := make([]float64, n)
+					fillVec(rng, w, specialEvery)
+					fillVec(rng, y, specialEvery)
+					a := rng.NormFloat64() * 5
+					if trial == 2 {
+						a = specials[rng.Intn(len(specials))]
+					}
+
+					ys := append([]float64(nil), y...)
+					yb := append([]float64(nil), y...)
+					ForceBackend("scalar")
+					AxpyGatherSum(a, src, offs, ys)
+					ForceBackend(name)
+					AxpyGatherSum(a, src, offs, yb)
+					eqBits(t, "AxpyGatherSum", n, ys, yb)
+
+					floors := []float64{1e-8, 0.0, math.Copysign(0, -1), math.Inf(-1), math.Inf(1), math.NaN()}
+					if n > 0 {
+						floors = append(floors, w[rng.Intn(n)])
+					}
+					for _, floor := range floors {
+						ForceBackend("scalar")
+						d1 := FlooredDotGatherSum(w, src, offs, floor)
+						groups := FloorGroups(w, floor, nil)
+						g1 := FlooredDotGatherSumGroups(w, src, offs, groups, floor)
+						ForceBackend(name)
+						d2 := FlooredDotGatherSum(w, src, offs, floor)
+						g2 := FlooredDotGatherSumGroups(w, src, offs, groups, floor)
+						eqBit(t, "FlooredDotGatherSum", n, d1, d2)
+						eqBit(t, "FlooredDotGatherSumGroups", n, g1, g2)
+						// Omission neutrality: restricting to the surviving
+						// groups must not move a bit versus the full row.
+						eqBit(t, "FlooredDotGatherSumGroups-vs-full", n, d1, g1)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestGatherSumMatchesComposition pins the fused kernels to the operations
+// they fuse, on the active backend: AxpyGatherSum ≡ build the summed row
+// with AddStrided(stride 1) then Axpy it; FlooredDotGatherSum ≡ FlooredDot
+// against that row. This is the bit-exactness bridge the score kernels rely
+// on — cached panel, fused fallback, and scalar fallback all agree.
+func TestGatherSumMatchesComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	for _, n := range []int{1, 3, 4, 8, 37, 128} {
+		for _, nOffs := range []int{1, 2, 6} {
+			src, offs := gatherCase(rng, n, nOffs, 0)
+			row := make([]float64, n)
+			Fill(row, 0)
+			for _, o := range offs {
+				AddStrided(row, src[o:o+n], 1)
+			}
+
+			w := make([]float64, n)
+			y := make([]float64, n)
+			fillVec(rng, w, 0)
+			fillVec(rng, y, 0)
+			a := rng.NormFloat64()
+
+			want := append([]float64(nil), y...)
+			Axpy(a, row, want)
+			got := append([]float64(nil), y...)
+			AxpyGatherSum(a, src, offs, got)
+			eqBits(t, "AxpyGatherSum-vs-composed", n, want, got)
+
+			d1 := FlooredDot(w, row, 0.5)
+			d2 := FlooredDotGatherSum(w, src, offs, 0.5)
+			eqBit(t, "FlooredDotGatherSum-vs-composed", n, d1, d2)
+		}
+	}
+}
+
+func TestGatherSumBounds(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic on out-of-range offset", name)
+			}
+		}()
+		f()
+	}
+	src := make([]float64, 16)
+	y := make([]float64, 8)
+	expectPanic("AxpyGatherSum high", func() { AxpyGatherSum(1, src, []int{9}, y) })
+	expectPanic("AxpyGatherSum negative", func() { AxpyGatherSum(1, src, []int{-1}, y) })
+	expectPanic("FlooredDotGatherSum high", func() { FlooredDotGatherSum(y, src, []int{9}, 0) })
+	expectPanic("FlooredDotGatherSum negative", func() { FlooredDotGatherSum(y, src, []int{-1}, 0) })
+	expectPanic("FlooredDotGatherSumGroups group", func() { FlooredDotGatherSumGroups(y, src, []int{0}, []int32{2}, 0) })
+	// In-range offsets at the exact boundary must not panic.
+	AxpyGatherSum(1, src, []int{8, 0}, y)
+	FlooredDotGatherSum(y, src, []int{8, 0}, 0)
+}
+
+func FuzzGatherSumEquivalence(f *testing.F) {
+	f.Add(make([]byte, 8*12), 3, 1e-8, 2.0)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, 1, math.Inf(-1), -0.5)
+	f.Fuzz(func(t *testing.T, raw []byte, nOffs int, floor, a float64) {
+		v := bytesToFloats(raw)
+		if nOffs < 0 || nOffs > 8 || len(v) < 2 {
+			t.Skip()
+		}
+		// Carve w (and the axpy y) from the front, leave the rest as the
+		// gather plane; derive offsets deterministically from the data.
+		n := len(v) / 3
+		w, src := v[:n], v[n:]
+		if len(src) < n+1 {
+			t.Skip()
+		}
+		offs := make([]int, nOffs)
+		for j := range offs {
+			offs[j] = (j * 7 % (len(src) - n + 1))
+		}
+		restore := ActiveBackend()
+		defer ForceBackend(restore)
+		ForceBackend("scalar")
+		wantDot := FlooredDotGatherSum(w, src, offs, floor)
+		wantY := append([]float64(nil), w...)
+		AxpyGatherSum(a, src, offs, wantY)
+		for _, name := range Backends() {
+			ForceBackend(name)
+			gotDot := FlooredDotGatherSum(w, src, offs, floor)
+			if !sameFloat(wantDot, gotDot) {
+				t.Fatalf("backend %s dot: %v vs scalar %v", name, gotDot, wantDot)
+			}
+			gotY := append([]float64(nil), w...)
+			AxpyGatherSum(a, src, offs, gotY)
+			for i := range wantY {
+				if !sameFloat(wantY[i], gotY[i]) {
+					t.Fatalf("backend %s axpy entry %d: %v vs scalar %v", name, i, gotY[i], wantY[i])
+				}
+			}
+		}
+	})
+}

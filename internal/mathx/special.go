@@ -50,21 +50,6 @@ func Digamma(x float64) float64 {
 	return result + math.Log(x) - 0.5*inv - series
 }
 
-// DigammaRow fills dst[i] = ψ(x[i]) over the shorter of the two slices —
-// the vectorised form the expectation refresh walks the λ cube with. Each
-// entry is computed by the same scalar evaluation as Digamma, so results
-// are bit-identical to a caller-side loop; batching exists to keep the walk
-// in one tight loop (and give the scheduler a row-granular unit to shard).
-func DigammaRow(x, dst []float64) {
-	n := len(x)
-	if len(dst) < n {
-		n = len(dst)
-	}
-	for i := 0; i < n; i++ {
-		dst[i] = Digamma(x[i])
-	}
-}
-
 // Trigamma returns ψ'(x), the derivative of the digamma function, for x > 0.
 // It is used by tests as an independent consistency check on Digamma and by
 // the ELBO curvature diagnostics.
@@ -112,28 +97,6 @@ func LogFactorial(n int) float64 {
 	return LogGamma(float64(n) + 1)
 }
 
-// LogSumExp returns ln Σ exp(v_i) computed stably. An empty slice yields
-// negative infinity (the log of an empty sum).
-func LogSumExp(v []float64) float64 {
-	if len(v) == 0 {
-		return math.Inf(-1)
-	}
-	maxv := math.Inf(-1)
-	for _, x := range v {
-		if x > maxv {
-			maxv = x
-		}
-	}
-	if math.IsInf(maxv, -1) {
-		return maxv
-	}
-	sum := 0.0
-	for _, x := range v {
-		sum += math.Exp(x - maxv)
-	}
-	return maxv + math.Log(sum)
-}
-
 // LogSumExp2 returns ln(exp(a) + exp(b)) computed stably.
 func LogSumExp2(a, b float64) float64 {
 	if a < b {
@@ -168,12 +131,10 @@ func SoftmaxInPlace(v []float64) {
 
 // NormalizeInPlace scales the non-negative vector v to sum to one. If the sum
 // is zero or not finite the vector is set to uniform. It returns the original
-// sum so callers can detect degeneracy.
+// sum so callers can detect degeneracy. The sum uses the canonical kernel
+// reduction order (Sum), so normalisation is bit-identical across backends.
 func NormalizeInPlace(v []float64) float64 {
-	sum := 0.0
-	for _, x := range v {
-		sum += x
-	}
+	sum := Sum(v)
 	if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
 		u := 1 / float64(len(v))
 		for i := range v {
@@ -186,17 +147,6 @@ func NormalizeInPlace(v []float64) float64 {
 		v[i] *= inv
 	}
 	return sum
-}
-
-// Sum returns the ordinary sum of v. Inference accumulators use plain
-// summation; Kahan compensation is available via KahanSum where the extra
-// accuracy matters (ELBO bookkeeping).
-func Sum(v []float64) float64 {
-	s := 0.0
-	for _, x := range v {
-		s += x
-	}
-	return s
 }
 
 // KahanSum returns the compensated (Kahan–Babuška) sum of v, which keeps the
@@ -250,31 +200,6 @@ func Clamp(x, lo, hi float64) float64 {
 		return hi
 	}
 	return x
-}
-
-// Fill sets every element of v to x and returns v for chaining.
-func Fill(v []float64, x float64) []float64 {
-	for i := range v {
-		v[i] = x
-	}
-	return v
-}
-
-// Scale multiplies every element of v by s in place.
-func Scale(v []float64, s float64) {
-	for i := range v {
-		v[i] *= s
-	}
-}
-
-// AXPY computes v += a*x element-wise in place. It panics on length mismatch.
-func AXPY(a float64, x, v []float64) {
-	if len(x) != len(v) {
-		panic("mathx: AXPY length mismatch")
-	}
-	for i, xi := range x {
-		v[i] += a * xi
-	}
 }
 
 // MaxAbsDiff returns max_i |a_i - b_i|, the convergence criterion used by

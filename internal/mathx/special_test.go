@@ -313,17 +313,6 @@ func BenchmarkDigamma(b *testing.B) {
 	_ = x
 }
 
-func BenchmarkLogSumExp(b *testing.B) {
-	v := make([]float64, 64)
-	for i := range v {
-		v[i] = float64(i%7) - 3
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = LogSumExp(v)
-	}
-}
-
 func TestDigammaRowMatchesScalar(t *testing.T) {
 	xs := []float64{1e-6, 0.1, 0.5, 1, 2.5, 7, 42, 1e6}
 	dst := make([]float64, len(xs))
