@@ -46,8 +46,10 @@ func main() {
 
 	if *list {
 		for _, sc := range loadgen.Scenarios() {
-			fmt.Printf("%-15s %s\n", sc.Name, sc.Description)
+			fmt.Printf("%-16s %s\n", sc.Name, sc.Description)
 		}
+		fmt.Printf("%-16s primary hard-killed mid-stream; the router promotes the most-caught-up follower losslessly\n", loadgen.ClusterFailoverScenario)
+		fmt.Printf("%-16s planned zero-downtime ownership transfer under live ingestion\n", loadgen.ClusterHandoffScenario)
 		return
 	}
 	if *scenario == "" {
@@ -56,7 +58,11 @@ func main() {
 	}
 	names := strings.Split(*scenario, ",")
 	if *scenario == "all" {
-		names = loadgen.ScenarioNames()
+		names = append(loadgen.ScenarioNames(), loadgen.ClusterScenarioNames()...)
+	}
+	isCluster := map[string]bool{}
+	for _, name := range loadgen.ClusterScenarioNames() {
+		isCluster[name] = true
 	}
 
 	logf := func(format string, args ...any) {
@@ -67,11 +73,35 @@ func main() {
 	}
 
 	// Non-nil so -json writes a valid (possibly empty) array even when
-	// every scenario errors out before producing a report.
-	reports := []*loadgen.Report{}
+	// every scenario errors out before producing a report. Cluster reports
+	// share the array (the schema carries its own scenario name).
+	reports := []any{}
 	failed := false
 	for _, name := range names {
 		name = strings.TrimSpace(name)
+		if isCluster[name] {
+			// Cluster scenarios build their own in-process cluster; -addr
+			// does not apply (there is no external router to chaos-test).
+			if *addr != "" {
+				fmt.Fprintf(os.Stderr, "cpaload: %s: cluster scenarios require the in-process target, ignoring -addr\n", name)
+			}
+			ccfg := loadgen.ClusterConfig{Scenario: name, Scale: *scale, Seed: *seed, Logf: logf}
+			if *rate {
+				ccfg.Clock = loadgen.RealClock{}
+			}
+			rep, err := loadgen.RunCluster(ccfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cpaload: %s: %v\n", name, err)
+				failed = true
+				continue
+			}
+			reports = append(reports, rep)
+			fmt.Println(rep.Summary())
+			if len(rep.Failed()) > 0 {
+				failed = true
+			}
+			continue
+		}
 		cfg := loadgen.Config{
 			Scenario: name,
 			Scale:    *scale,

@@ -1,0 +1,81 @@
+// Command cpanode runs one member of a sharded cpaserve cluster: the full
+// cpaserve HTTP API for the jobs it owns as primary, plus the replication
+// control surface a cparouter drives — journal-shipping follower replicas,
+// replica promotion, and per-job replication stats (internal/cluster;
+// DESIGN.md §11).
+//
+// Usage:
+//
+//	cpanode -name a -addr :8081 -data ./node-a
+//
+// A node is a superset of cpaserve: pointing clients straight at it works,
+// but in a cluster the router is the front door (it stamps ownership
+// epochs and enforces the replication ack barrier).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cpa/internal/cluster"
+	"cpa/internal/serve"
+)
+
+func main() {
+	var (
+		name      = flag.String("name", "node", "cluster node name (must match the router's roster)")
+		addr      = flag.String("addr", ":8081", "HTTP listen address")
+		data      = flag.String("data", "cpanode-data", "data directory for journals, checkpoints and replica staging")
+		queue     = flag.Int("queue", 0, "per-job ingestion queue limit (0 = default 65536)")
+		saveEvery = flag.Int("save-every", 0, "checkpoint the model every N fit rounds (0 = default 16)")
+		batchWait = flag.Duration("batch-wait", 0, "max wait for a mini-batch to fill before fitting a partial one (0 = default 100ms)")
+		syncJrnl  = flag.Bool("sync-journal", false, "fsync the journal after every ingested batch")
+	)
+	flag.Parse()
+
+	node, err := cluster.NewNode(*name, *data, serve.Config{
+		QueueLimit:  *queue,
+		SaveEvery:   *saveEvery,
+		BatchWait:   *batchWait,
+		SyncJournal: *syncJrnl,
+	})
+	if err != nil {
+		log.Fatalf("cpanode: %v", err)
+	}
+	if n := len(node.Registry().Jobs()); n > 0 {
+		log.Printf("cpanode %s: recovered %d job(s) from %q", *name, n, *data)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: node}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("cpanode %s: serving on %s (data: %q)", *name, *addr, *data)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("cpanode %s: %s, shutting down", *name, sig)
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("cpanode %s: serve error: %v", *name, err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("cpanode %s: HTTP shutdown: %v", *name, err)
+	}
+	if err := node.Close(); err != nil {
+		log.Fatalf("cpanode %s: closing node: %v", *name, err)
+	}
+	log.Printf("cpanode %s: clean shutdown", *name)
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxErrBody bounds how much of an error response is read back into a Go
+// error message.
+const maxErrBody = 8 << 10
+
+// apiError carries a non-2xx upstream status so callers (the router's
+// proxy paths) can forward it instead of flattening everything to 502.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string { return fmt.Sprintf("upstream %d: %s", e.Status, e.Msg) }
+
+// readAPIError drains a non-2xx response into an *apiError, decoding the
+// serve error envelope when present.
+func readAPIError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrBody))
+	var env struct {
+		Error string `json:"error"`
+	}
+	msg := string(bytes.TrimSpace(raw))
+	if json.Unmarshal(raw, &env) == nil && env.Error != "" {
+		msg = env.Error
+	}
+	return &apiError{Status: resp.StatusCode, Msg: msg}
+}
+
+// getJSON fetches url and decodes the JSON response into out (out may be
+// nil to discard the body).
+func getJSON(c *http.Client, url string, out any) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return readAPIError(resp)
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// postJSON posts in (JSON-encoded, nil for an empty object) to url and
+// decodes the response into out (nil to discard).
+func postJSON(c *http.Client, url string, in, out any) error {
+	body := []byte("{}")
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return readAPIError(resp)
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

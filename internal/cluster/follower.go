@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"cpa/internal/serve"
+)
+
+// tailWaitMS is the long-poll window a follower asks the primary to park
+// for when it is at the tail; tailRetryBackoff paces retries when the
+// source is unreachable (it may be dead — the router decides).
+const (
+	tailWaitMS       = 500
+	tailRetryBackoff = 50 * time.Millisecond
+)
+
+// follower replicates one job by tailing its primary's journal endpoint:
+// every shipped chunk is appended verbatim to a local journal file (so the
+// local file is byte-for-byte a prefix of the primary's — plus possibly a
+// torn tail when the stream died mid-record, which adoption truncates) and
+// every complete line is applied through a serve.Applier, giving the
+// follower a live, bit-identical snapshot chain to serve reads from. The
+// staged directory (spec + journal + epoch, checkpoint on handoff) is what
+// promotion renames into the registry's jobs tree for AdoptJob.
+type follower struct {
+	jobID  string
+	source string // primary node base URL
+	dir    string // staging dir (node's replicas tree)
+	client *http.Client
+	ap     *serve.Applier
+	file   *os.File
+
+	mu          sync.Mutex
+	shipped     int64  // bytes received and written locally
+	applied     int64  // bytes covered by complete, applied lines
+	appliedRecs int64  // complete records applied
+	buf         []byte // trailing partial line (shipped − applied bytes)
+	srcDurable  int64  // primary's durable length at last contact
+	srcEpoch    int64
+	srcDeposed  bool
+	lastErr     string
+	applyBroken bool // a record failed to apply; replication is wedged
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// startFollower stages the replica directory (spec fetched from the source,
+// fenced epoch record, empty journal) and starts the tail loop. Any prior
+// staging at dir is discarded: replication restarts from offset 0, which is
+// always correct — the shipped stream is the journal itself.
+func startFollower(jobID, source, dir string, client *http.Client) (*follower, error) {
+	var spec serve.JobSpec
+	if err := getJSON(client, source+"/v1/jobs/"+jobID+"/spec", &spec); err != nil {
+		return nil, fmt.Errorf("cluster: fetching spec for %q from %s: %w", jobID, source, err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, fmt.Errorf("cluster: clearing replica dir: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: creating replica dir: %w", err)
+	}
+	rawSpec, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, serve.SpecFileName), rawSpec, 0o644); err != nil {
+		return nil, fmt.Errorf("cluster: staging spec: %w", err)
+	}
+	// Stage the directory deposed: if the node crashes with the staging
+	// half-adopted, recovery must not bring the replica up as a writable
+	// primary the cluster never elected.
+	if err := serve.WriteEpochState(dir, 0, true); err != nil {
+		return nil, fmt.Errorf("cluster: staging epoch: %w", err)
+	}
+	ap, err := serve.NewApplier(spec)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building applier for %q: %w", jobID, err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, serve.JournalFileName),
+		os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: staging journal: %w", err)
+	}
+	fo := &follower{
+		jobID: jobID, source: source, dir: dir, client: client,
+		ap: ap, file: f,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	go fo.loop()
+	return fo, nil
+}
+
+func (fo *follower) loop() {
+	defer close(fo.done)
+	for {
+		select {
+		case <-fo.stop:
+			return
+		default:
+		}
+		if err := fo.shipOnce(tailWaitMS); err != nil {
+			fo.mu.Lock()
+			fo.lastErr = err.Error()
+			broken := fo.applyBroken
+			fo.mu.Unlock()
+			if broken {
+				return
+			}
+			select {
+			case <-fo.stop:
+				return
+			case <-time.After(tailRetryBackoff):
+			}
+		}
+	}
+}
+
+// shipOnce performs one tail request from the current shipped offset,
+// persists whatever arrives, and applies the complete lines.
+func (fo *follower) shipOnce(waitMS int) error {
+	fo.mu.Lock()
+	from := fo.shipped
+	fo.mu.Unlock()
+	url := fmt.Sprintf("%s/v1/jobs/%s/journal?from=%d&wait_ms=%d", fo.source, fo.jobID, from, waitMS)
+	resp, err := fo.client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return readAPIError(resp)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, (8<<20)+(1<<20)))
+	if err != nil {
+		return err
+	}
+	durable, _ := strconv.ParseInt(resp.Header.Get("X-CPA-Journal-Durable"), 10, 64)
+	epoch, _ := strconv.ParseInt(resp.Header.Get("X-CPA-Epoch"), 10, 64)
+	deposed := resp.Header.Get("X-CPA-Deposed") == "1"
+
+	if len(body) > 0 {
+		// Persist first, apply second: a crash between the two replays the
+		// persisted lines on adoption, so apply-after-persist can never lose
+		// a record the local file claims to have.
+		if _, err := fo.file.Write(body); err != nil {
+			return fmt.Errorf("cluster: writing shipped chunk: %w", err)
+		}
+	}
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+	fo.srcDurable, fo.srcEpoch, fo.srcDeposed = durable, epoch, deposed
+	if len(body) == 0 {
+		fo.lastErr = ""
+		return nil
+	}
+	fo.shipped += int64(len(body))
+	fo.buf = append(fo.buf, body...)
+	for {
+		idx := bytes.IndexByte(fo.buf, '\n')
+		if idx < 0 {
+			break
+		}
+		line := fo.buf[:idx]
+		if len(bytes.TrimSpace(line)) > 0 {
+			e, err := serve.DecodeJournalLine(line)
+			if err == nil {
+				err = fo.ap.Apply(e)
+			}
+			if err != nil {
+				// A shipped record that fails to decode or apply wedges the
+				// replica permanently: skipping it would silently fork the
+				// follower's state from the primary's.
+				fo.applyBroken = true
+				return fmt.Errorf("cluster: applying shipped record for %q: %w", fo.jobID, err)
+			}
+			fo.appliedRecs++
+		}
+		fo.applied += int64(idx + 1)
+		fo.buf = fo.buf[idx+1:]
+	}
+	fo.lastErr = ""
+	return nil
+}
+
+// shutdown stops the tail loop and closes the staged journal file.
+func (fo *follower) shutdown() {
+	fo.stopOnce.Do(func() { close(fo.stop) })
+	<-fo.done
+	fo.file.Close()
+}
+
+// drainTo waits until the applied offset reaches min — tailing continues in
+// the background loop — or the timeout expires. Promotion after a primary
+// death passes the follower's own offset (nothing more can arrive); planned
+// handoff passes the fenced primary's final durable length.
+func (fo *follower) drainTo(min int64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		fo.mu.Lock()
+		applied, broken, lastErr := fo.applied, fo.applyBroken, fo.lastErr
+		fo.mu.Unlock()
+		if broken {
+			return fmt.Errorf("cluster: replica %q wedged: %s", fo.jobID, lastErr)
+		}
+		if applied >= min {
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("cluster: replica %q drained to %d of %d before timeout (last error: %s)",
+				fo.jobID, applied, min, lastErr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// ReplicaStats is the JSON shape of one follower's replication state (the
+// node /statsz and /v1/replicate/{id} responses). LagBytes is the journal
+// offset delta to the primary's durable length as of last contact.
+type ReplicaStats struct {
+	ID             string `json:"id"`
+	Source         string `json:"source"`
+	ShippedBytes   int64  `json:"shipped_bytes"`
+	AppliedBytes   int64  `json:"applied_bytes"`
+	AppliedRecords int64  `json:"applied_records"`
+	SourceDurable  int64  `json:"source_durable_bytes"`
+	LagBytes       int64  `json:"lag_bytes"`
+	SourceEpoch    int64  `json:"source_epoch"`
+	SourceDeposed  bool   `json:"source_deposed,omitempty"`
+	SnapshotRound  int    `json:"snapshot_round"`
+	// Error is the last tail/apply error. A source-fetch error is
+	// transient (and expected while the primary is down); Wedged means a
+	// shipped record failed to apply and the replica must not be promoted.
+	Error  string `json:"error,omitempty"`
+	Wedged bool   `json:"wedged,omitempty"`
+}
+
+func (fo *follower) stats() ReplicaStats {
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+	lag := fo.srcDurable - fo.applied
+	if lag < 0 {
+		lag = 0
+	}
+	return ReplicaStats{
+		ID:             fo.jobID,
+		Source:         fo.source,
+		ShippedBytes:   fo.shipped,
+		AppliedBytes:   fo.applied,
+		AppliedRecords: fo.appliedRecs,
+		SourceDurable:  fo.srcDurable,
+		LagBytes:       lag,
+		SourceEpoch:    fo.srcEpoch,
+		SourceDeposed:  fo.srcDeposed,
+		SnapshotRound:  fo.ap.Snapshot().Round,
+		Error:          fo.lastErr,
+		Wedged:         fo.applyBroken,
+	}
+}

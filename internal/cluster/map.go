@@ -1,0 +1,66 @@
+// Package cluster turns single-process cpaserve nodes into a sharded,
+// replicated deployment: a router owns the cluster map (job → shard via
+// rendezvous hashing, shard → primary + followers), followers tail the
+// primary's journal over HTTP and apply it through the serve replay path
+// (bit-identical state), and ownership epochs fence deposed primaries so
+// failover and planned handoff never lose an acked answer. DESIGN.md §11
+// describes the protocol.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// ShardSpec names one shard's replica set: the node that owns the write
+// path and the nodes that tail its journals.
+type ShardSpec struct {
+	Primary   string   `json:"primary"`
+	Followers []string `json:"followers"`
+}
+
+// MapSpec is the bootstrap topology the router is configured with: the node
+// roster (name → base URL) and the shard layout. Per-job deviations
+// (failover promotions, handoffs) are tracked by the router on top.
+type MapSpec struct {
+	Nodes  map[string]string `json:"nodes"`
+	Shards []ShardSpec       `json:"shards"`
+}
+
+// Validate checks the topology references only known nodes.
+func (m MapSpec) Validate() error {
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("cluster: no shards configured")
+	}
+	for i, sh := range m.Shards {
+		if _, ok := m.Nodes[sh.Primary]; !ok {
+			return fmt.Errorf("cluster: shard %d primary %q not in node roster", i, sh.Primary)
+		}
+		for _, f := range sh.Followers {
+			if _, ok := m.Nodes[f]; !ok {
+				return fmt.Errorf("cluster: shard %d follower %q not in node roster", i, f)
+			}
+			if f == sh.Primary {
+				return fmt.Errorf("cluster: shard %d lists %q as both primary and follower", i, f)
+			}
+		}
+	}
+	return nil
+}
+
+// ShardFor places a job on a shard by rendezvous (highest-random-weight)
+// hashing: hash (job, shard) for every shard and take the argmax. Unlike
+// mod-N placement, adding or removing one shard reassigns only the jobs
+// that land on it, and the choice needs no coordination — any router
+// instance computes the same owner from the same shard count.
+func ShardFor(jobID string, numShards int) int {
+	best, bestScore := 0, uint64(0)
+	for s := 0; s < numShards; s++ {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s#%d", jobID, s)
+		if score := h.Sum64(); s == 0 || score > bestScore {
+			best, bestScore = s, score
+		}
+	}
+	return best
+}

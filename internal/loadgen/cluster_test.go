@@ -1,0 +1,39 @@
+package loadgen
+
+import "testing"
+
+// TestClusterScenarios runs the cluster scenario library — a sharded
+// deployment (router + primary + two journal-shipping followers) driven
+// through a mid-stream ownership change — on the virtual clock, as plain
+// test cases. Every cluster invariant must hold.
+func TestClusterScenarios(t *testing.T) {
+	for _, name := range ClusterScenarioNames() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := RunCluster(ClusterConfig{Scenario: name, Scale: 0.04, Seed: 5, Logf: t.Logf})
+			if err != nil {
+				t.Fatalf("running %s: %v", name, err)
+			}
+			for _, iv := range rep.Failed() {
+				t.Errorf("invariant %s[%s] failed: %s", iv.Name, iv.Job, iv.Detail)
+			}
+			if rep.TotalAnswers == 0 {
+				t.Fatal("scenario planned no answers")
+			}
+			if rep.Event.Kind == "" || rep.Event.NewPrimary == "a" || rep.Event.Epoch == 0 {
+				t.Fatalf("ownership change did not happen: %+v", rep.Event)
+			}
+			if name == ClusterHandoffScenario && rep.Retried != 0 {
+				t.Errorf("handoff retried %d requests; a planned transfer must park writes, not fail them", rep.Retried)
+			}
+			t.Log(rep.Summary())
+		})
+	}
+}
+
+// TestRunClusterRejectsUnknownScenario pins the dispatch error path.
+func TestRunClusterRejectsUnknownScenario(t *testing.T) {
+	if _, err := RunCluster(ClusterConfig{Scenario: "no-such-cluster"}); err == nil {
+		t.Fatal("RunCluster accepted an unknown scenario")
+	}
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"cpa/internal/answers"
+	"cpa/internal/core"
+)
+
+// Applier is the follower half of journal-shipping replication: it applies
+// a primary's journal record by record — answers buffer as pending, fit
+// markers advance the model with the recorded mini-batch boundary and
+// publish with the recorded mode, restart re-anchors republish full — which
+// is exactly the computation the primary's fitter performed. A follower
+// that has applied the same journal prefix therefore holds bit-identical
+// model state and a bit-identical snapshot chain (modulo CreatedAt
+// timestamps), so consensus reads can be served from any caught-up replica.
+//
+// Apply is single-goroutine (the tail loop); Snapshot and the counters are
+// safe for concurrent readers.
+type Applier struct {
+	spec    JobSpec
+	model   *core.Model
+	pub     *core.Publisher
+	pending []answers.Answer
+
+	snap     atomic.Pointer[Snapshot]
+	ingested atomic.Int64 // answer records applied
+	fitted   atomic.Int64 // answers consumed by fit markers
+	rounds   atomic.Int64 // fit markers applied
+}
+
+// NewApplier builds a cold applier for a job spec (as served by
+// GET /v1/jobs/{id}/spec — the effective, defaults-filled form, so the
+// follower's model is configured exactly like the primary's).
+func NewApplier(spec JobSpec) (*Applier, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	model, err := core.NewModel(spec.Model, spec.Items, spec.Workers, spec.Labels)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	spec.Model = model.Config()
+	ap := &Applier{spec: spec, model: model, pub: core.NewPublisher(model)}
+	ap.snap.Store(emptySnapshot(spec, time.Now()))
+	return ap, nil
+}
+
+// Spec returns the applier's effective job spec.
+func (ap *Applier) Spec() JobSpec { return ap.spec }
+
+// Apply consumes one decoded journal record in order.
+func (ap *Applier) Apply(e JournalEntry) error {
+	switch {
+	case e.Answer != nil:
+		if err := ap.spec.validateAnswer(*e.Answer); err != nil {
+			return err
+		}
+		ap.pending = append(ap.pending, *e.Answer)
+		ap.ingested.Add(1)
+	case e.FitN > 0:
+		if e.FitN > len(ap.pending) {
+			return fmt.Errorf("%w: fit marker n=%d with %d pending answers", ErrInvalid, e.FitN, len(ap.pending))
+		}
+		if err := ap.model.PartialFit(ap.pending[:e.FitN]); err != nil {
+			return err
+		}
+		ap.pending = ap.pending[e.FitN:]
+		ap.fitted.Add(int64(e.FitN))
+		ap.rounds.Add(1)
+		return ap.publish(e.FitFull)
+	case e.Restart:
+		// The primary recovered and re-anchored its cold publisher with a
+		// full publication; mirror it so the incremental chain stays in
+		// lockstep.
+		if ap.model.Fitted() {
+			return ap.publish(true)
+		}
+	}
+	return nil
+}
+
+func (ap *Applier) publish(full bool) error {
+	view, dirty, err := ap.pub.Publish(full)
+	if err != nil {
+		return fmt.Errorf("serve: follower publishing snapshot: %w", err)
+	}
+	ap.snap.Store(nextSnapshot(ap.spec.ID, ap.snap.Load(), view, dirty, time.Now()))
+	return nil
+}
+
+// Snapshot returns the follower's latest replicated consensus snapshot.
+func (ap *Applier) Snapshot() *Snapshot { return ap.snap.Load() }
+
+// Counters reports the applier's replication progress: answer records
+// applied, answers consumed by fit markers, and fit rounds replayed.
+func (ap *Applier) Counters() (ingested, fitted, rounds int64) {
+	return ap.ingested.Load(), ap.fitted.Load(), ap.rounds.Load()
+}

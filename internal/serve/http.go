@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -24,6 +27,15 @@ import (
 //	GET    /v1/jobs/{id}/items/{item} one item's consensus
 //	GET    /healthz                    liveness
 //	GET    /statsz                     queue depths, fit rounds, snapshot ages
+//
+// Cluster-facing endpoints (consumed by internal/cluster, harmless to
+// expose on a single node):
+//
+//	GET    /v1/jobs/{id}/journal      tail the journal from ?from=N (long-poll ?wait_ms=M)
+//	GET    /v1/jobs/{id}/checkpoint   latest model checkpoint (gob)
+//	GET    /v1/jobs/{id}/spec         effective job spec (defaults filled)
+//	POST   /v1/jobs/{id}/fence        depose the job at {"epoch":N}
+//	POST   /v1/jobs/{id}/promote      (re-)establish ownership at {"epoch":N}
 type Server struct {
 	reg   *Registry
 	mux   *http.ServeMux
@@ -40,6 +52,11 @@ func NewServer(reg *Registry) *Server {
 	s.mux.HandleFunc("POST /v1/jobs/{id}/answers", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/consensus", s.handleConsensus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/items/{item}", s.handleItem)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/journal", s.handleJournalTail)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/spec", s.handleJobSpec)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/fence", s.handleFence)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/promote", s.handlePromote)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return s
@@ -71,9 +88,14 @@ type IngestRequest struct {
 }
 
 // IngestResponse reports how much was accepted and the current backlog.
+// JournalBytes is the durable journal length after the batch landed — the
+// router's replication ack barrier compares it against follower shipped
+// offsets so a client ack implies the batch is replicated, not merely
+// journaled on one node. 0 for ephemeral (journal-less) jobs.
 type IngestResponse struct {
-	Accepted   int `json:"accepted"`
-	QueueDepth int `json:"queue_depth"`
+	Accepted     int   `json:"accepted"`
+	QueueDepth   int   `json:"queue_depth"`
+	JournalBytes int64 `json:"journal_bytes"`
 }
 
 // ServerStats is the /statsz shape.
@@ -175,13 +197,31 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			batch[i] = ja.Answer()
 		}
 	}
-	if err := job.Ingest(batch); err != nil {
+	// X-CPA-Epoch stamps the write with the ownership epoch the sender
+	// believes is current (the router sets it on every proxied write); a
+	// mismatch or a deposed replica fences the batch with 409. Unstamped
+	// writes (single-node clients) skip the equality check.
+	epoch := int64(-1)
+	if h := r.Header.Get(epochHeader); h != "" {
+		v, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || v < 0 {
+			httpError(w, fmt.Errorf("%w: bad %s header %q", ErrInvalid, epochHeader, h))
+			return
+		}
+		epoch = v
+	}
+	if err := job.IngestAt(batch, epoch); err != nil {
 		httpError(w, err)
 		return
 	}
+	// The offsets are read after the ack, so they are ≥ the batch's end
+	// offset even if a concurrent ingest landed in between — conservative,
+	// which is the safe direction for the router's replication barrier.
+	jb, _ := job.JournalOffsets()
 	writeJSON(w, http.StatusAccepted, IngestResponse{
-		Accepted:   len(batch),
-		QueueDepth: job.Stats().QueueDepth,
+		Accepted:     len(batch),
+		QueueDepth:   job.Stats().QueueDepth,
+		JournalBytes: jb,
 	})
 }
 
@@ -241,6 +281,200 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // ---------------------------------------------------------------------------
+// Cluster-facing handlers
+// ---------------------------------------------------------------------------
+
+// Replication wire headers.
+const (
+	// epochHeader stamps a write (or reports, on reads) the ownership epoch.
+	epochHeader = "X-CPA-Epoch"
+	// journalOffHeader is the byte offset just past the served chunk — the
+	// next request's ?from.
+	journalOffHeader = "X-CPA-Journal-Off"
+	// journalDurableHeader is the primary's durable journal length at serve
+	// time (≥ the off header; the chunk cap can leave a remainder).
+	journalDurableHeader = "X-CPA-Journal-Durable"
+	// deposedHeader is "1" when the serving replica is fenced out of the
+	// write path. Tailing a deposed primary stays legal — failover drains
+	// the shipped suffix from exactly such a node — but the router must not
+	// route client reads to it.
+	deposedHeader = "X-CPA-Deposed"
+)
+
+// maxShipChunk caps one journal-tail response. A follower bootstrapping
+// from offset 0 against a long-lived journal pages through it instead of
+// buffering the whole file server-side.
+const maxShipChunk = 8 << 20
+
+// maxTailWait caps the ?wait_ms long-poll parameter.
+const maxTailWait = 30 * time.Second
+
+// handleJournalTail serves raw journal bytes [from, durable) — at most
+// maxShipChunk per response, only ever complete flushed lines, because the
+// durable offset by construction covers nothing else. With ?wait_ms=M a
+// request at the current tail parks until new bytes land (or the wait
+// elapses), so followers ship with one cheap long-poll loop instead of
+// hammering. The response is bit-identical journal content: a follower that
+// concatenates chunks in order holds byte-for-byte the primary's file.
+func (s *Server) handleJournalTail(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, fmt.Errorf("%w: %q", ErrNotFound, r.PathValue("id")))
+		return
+	}
+	if job.dir == "" {
+		httpError(w, fmt.Errorf("%w: job %q is ephemeral (no journal to ship)", ErrInvalid, job.ID()))
+		return
+	}
+	q := r.URL.Query()
+	from := int64(0)
+	if v := q.Get("from"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			httpError(w, fmt.Errorf("%w: bad from %q", ErrInvalid, v))
+			return
+		}
+		from = n
+	}
+	var wait time.Duration
+	if v := q.Get("wait_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms < 0 {
+			httpError(w, fmt.Errorf("%w: bad wait_ms %q", ErrInvalid, v))
+			return
+		}
+		if wait = time.Duration(ms) * time.Millisecond; wait > maxTailWait {
+			wait = maxTailWait
+		}
+	}
+
+	// Long-poll by polling the durable offset: appends are frequent under
+	// load (the poll rarely spins) and absent under idle (the client asked
+	// to park). A 5ms period bounds added shipping latency well below any
+	// fit round.
+	durable, _ := job.JournalOffsets()
+	deadline := time.Now().Add(wait)
+	for durable <= from && wait > 0 && time.Now().Before(deadline) {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+		durable, _ = job.JournalOffsets()
+	}
+	if durable < from {
+		httpError(w, fmt.Errorf("%w: from %d beyond durable offset %d", ErrInvalid, from, durable))
+		return
+	}
+
+	end := durable
+	if end > from+maxShipChunk {
+		end = from + maxShipChunk
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set(journalOffHeader, strconv.FormatInt(end, 10))
+	w.Header().Set(journalDurableHeader, strconv.FormatInt(durable, 10))
+	w.Header().Set(epochHeader, strconv.FormatInt(job.Epoch(), 10))
+	if job.Deposed() {
+		w.Header().Set(deposedHeader, "1")
+	}
+	if end == from {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	// The file is opened independently of the job's append handle; bytes
+	// below the durable offset are immutable (rollback and torn-tail
+	// truncation only ever cut above it), so this read races nothing.
+	f, err := os.Open(filepath.Join(job.dir, journalFile))
+	if err != nil {
+		httpError(w, fmt.Errorf("serve: opening journal for shipping: %w", err))
+		return
+	}
+	defer f.Close()
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.Copy(w, io.NewSectionReader(f, from, end-from))
+}
+
+// handleCheckpoint serves the job's latest model checkpoint (the gob the
+// fitter saves every SaveEvery rounds). 404 until the first save. The file
+// lands by rename, so an open handle always reads one consistent
+// checkpoint.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, fmt.Errorf("%w: %q", ErrNotFound, r.PathValue("id")))
+		return
+	}
+	if job.dir == "" {
+		httpError(w, fmt.Errorf("%w: job %q is ephemeral (no checkpoint)", ErrInvalid, job.ID()))
+		return
+	}
+	f, err := os.Open(filepath.Join(job.dir, modelFile))
+	if os.IsNotExist(err) {
+		httpError(w, fmt.Errorf("%w: job %q has no checkpoint yet", ErrNotFound, job.ID()))
+		return
+	}
+	if err != nil {
+		httpError(w, fmt.Errorf("serve: opening checkpoint: %w", err))
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.Copy(w, f)
+}
+
+// handleJobSpec returns the effective (defaults-filled) JobSpec — what a
+// follower must persist as job.json so its recovered model is built with
+// exactly the primary's configuration.
+func (s *Server) handleJobSpec(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, fmt.Errorf("%w: %q", ErrNotFound, r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Spec())
+}
+
+// epochRequest is the body of the fence/promote endpoints.
+type epochRequest struct {
+	Epoch int64 `json:"epoch"`
+}
+
+func (s *Server) handleFence(w http.ResponseWriter, r *http.Request) {
+	s.handleEpochChange(w, r, (*Job).Fence)
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	s.handleEpochChange(w, r, (*Job).Promote)
+}
+
+func (s *Server) handleEpochChange(w http.ResponseWriter, r *http.Request, apply func(*Job, int64) error) {
+	job, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, fmt.Errorf("%w: %q", ErrNotFound, r.PathValue("id")))
+		return
+	}
+	var req epochRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxCreateBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, fmt.Errorf("%w: decoding body: %v", bodyErrKind(err), err))
+		return
+	}
+	if req.Epoch < 0 {
+		httpError(w, fmt.Errorf("%w: negative epoch %d", ErrInvalid, req.Epoch))
+		return
+	}
+	if err := apply(job, req.Epoch); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Stats())
+}
+
+// ---------------------------------------------------------------------------
 // Helpers
 // ---------------------------------------------------------------------------
 
@@ -273,7 +507,7 @@ func httpError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrExists):
+	case errors.Is(err, ErrExists), errors.Is(err, ErrFenced):
 		status = http.StatusConflict
 	case errors.Is(err, ErrQueueFull):
 		status = http.StatusTooManyRequests

@@ -32,6 +32,9 @@ type Job struct {
 	closed  bool
 	crashed bool // test hook: stop without draining or checkpointing
 	journal *journal
+	// epoch is the cluster-ownership record (epoch.go). Zero value — primary
+	// at epoch 0 — for single-node jobs that never see a Fence/Promote.
+	epoch epochState
 
 	wake chan struct{} // 1-buffered ingest/close signal to the fitter
 
@@ -95,8 +98,18 @@ func (j *Job) Snapshot() *Snapshot { return j.snap.Load() }
 
 // Ingest validates and accepts a batch of answers: journals them (when
 // persistent) and queues them for the background fitter. It applies
-// backpressure via ErrQueueFull and never blocks on fitting.
+// backpressure via ErrQueueFull and never blocks on fitting. The batch
+// carries no ownership stamp: it is rejected only if the job is deposed.
 func (j *Job) Ingest(batch []answers.Answer) error {
+	return j.IngestAt(batch, -1)
+}
+
+// IngestAt is Ingest with a cluster-ownership stamp: the write is rejected
+// with ErrFenced unless epoch matches the job's current ownership epoch
+// (epoch < 0 skips the equality check but still rejects a deposed job).
+// The router stamps every proxied write so a deposed primary can never ack
+// an answer behind a newer owner's back.
+func (j *Job) IngestAt(batch []answers.Answer, epoch int64) error {
 	if len(batch) == 0 {
 		return nil
 	}
@@ -107,6 +120,9 @@ func (j *Job) Ingest(batch []answers.Answer) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if err := j.checkEpochLocked(epoch); err != nil {
+		return err
+	}
 	if j.closed {
 		return ErrClosed
 	}
@@ -128,18 +144,22 @@ func (j *Job) Ingest(batch []answers.Answer) error {
 	return nil
 }
 
-func (j *Job) validate(a answers.Answer) error {
-	if a.Item < 0 || a.Item >= j.spec.Items {
-		return fmt.Errorf("%w: item %d out of range [0,%d)", ErrInvalid, a.Item, j.spec.Items)
+func (j *Job) validate(a answers.Answer) error { return j.spec.validateAnswer(a) }
+
+// validateAnswer checks one answer against the spec's dimensions. Shared by
+// the live ingest path and the cluster follower's journal applier.
+func (s JobSpec) validateAnswer(a answers.Answer) error {
+	if a.Item < 0 || a.Item >= s.Items {
+		return fmt.Errorf("%w: item %d out of range [0,%d)", ErrInvalid, a.Item, s.Items)
 	}
-	if a.Worker < 0 || a.Worker >= j.spec.Workers {
-		return fmt.Errorf("%w: worker %d out of range [0,%d)", ErrInvalid, a.Worker, j.spec.Workers)
+	if a.Worker < 0 || a.Worker >= s.Workers {
+		return fmt.Errorf("%w: worker %d out of range [0,%d)", ErrInvalid, a.Worker, s.Workers)
 	}
 	if a.Labels.IsEmpty() {
 		return fmt.Errorf("%w: empty answer for item %d worker %d", ErrInvalid, a.Item, a.Worker)
 	}
-	if mx := a.Labels.Max(); mx >= j.spec.Labels {
-		return fmt.Errorf("%w: label %d out of range [0,%d)", ErrInvalid, mx, j.spec.Labels)
+	if mx := a.Labels.Max(); mx >= s.Labels {
+		return fmt.Errorf("%w: label %d out of range [0,%d)", ErrInvalid, mx, s.Labels)
 	}
 	return nil
 }
@@ -170,6 +190,11 @@ func (j *Job) signal() {
 func (j *Job) Stats() JobStats {
 	j.mu.Lock()
 	depth := len(j.queue) - j.head
+	var jb, jr int64
+	if j.journal != nil {
+		jb, jr = j.journal.offsets()
+	}
+	epoch := j.epoch
 	j.mu.Unlock()
 	snap := j.snap.Load()
 	st := JobStats{
@@ -186,11 +211,27 @@ func (j *Job) Stats() JobStats {
 		EffectiveCommunities: snap.EffectiveCommunities,
 		EffectiveClusters:    snap.EffectiveClusters,
 		Publish:              j.pubHist.summary(),
+		JournalBytes:         jb,
+		JournalRecords:       jr,
+		Epoch:                epoch.Epoch,
+		Deposed:              epoch.Deposed,
 	}
 	if msg := j.failure.Load(); msg != nil {
 		st.Error = *msg
 	}
 	return st
+}
+
+// JournalOffsets returns the durable (byte, record) position of the job's
+// journal — the replication coordinates the cluster layer ships and
+// compares. Both are 0 for ephemeral (journal-less) jobs.
+func (j *Job) JournalOffsets() (bytes, recs int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.journal == nil {
+		return 0, 0
+	}
+	return j.journal.offsets()
 }
 
 // JobStats is the JSON-ready serving state of one job (the /statsz shape).
@@ -212,7 +253,18 @@ type JobStats struct {
 	// Publish is the job's cumulative snapshot-publication latency
 	// histogram.
 	Publish PublishStats `json:"publish"`
-	Error   string       `json:"error,omitempty"`
+	// JournalBytes/JournalRecords are the durable journal position: the byte
+	// length and record count covered by fully flushed, complete lines. They
+	// are the replication coordinates of the cluster layer — a follower whose
+	// shipped byte offset equals the primary's journal_bytes holds a
+	// bit-identical journal — and 0/0 for ephemeral (journal-less) jobs.
+	JournalBytes   int64 `json:"journal_bytes"`
+	JournalRecords int64 `json:"journal_records"`
+	// Epoch/Deposed expose the cluster-ownership record: writes are fenced
+	// (409) on a deposed replica or under a mismatched epoch stamp.
+	Epoch   int64  `json:"epoch"`
+	Deposed bool   `json:"deposed,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // publishBuckets is the log₂ bucket count of the publish-latency histogram;
@@ -473,6 +525,16 @@ const (
 	specFile    = "job.json"
 	journalFile = "journal.jsonl"
 	modelFile   = "model.gob"
+)
+
+// Canonical job-directory file names, exported for the cluster layer: a
+// follower stages a shipped journal (plus the spec and, on planned handoff,
+// the primary's checkpoint) under these names so Registry.AdoptJob can run
+// the standard recovery path over the staged directory.
+const (
+	SpecFileName       = specFile
+	JournalFileName    = journalFile
+	CheckpointFileName = modelFile
 )
 
 // JournalPath returns the path of a job's ingestion journal under a

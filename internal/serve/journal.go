@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 
 	"cpa/internal/answers"
@@ -54,11 +55,21 @@ type journal struct {
 	// before a later write fails) can never desynchronise the journal
 	// from the in-memory queue — orphaned answer lines would make fit
 	// markers consume the wrong answers on replay.
-	off    int64
+	off int64
+	// recs counts durable records (answer lines + fit markers + restart
+	// re-anchors). Together with off it is the replication position the
+	// cluster layer ships and compares: a follower whose shipped byte
+	// offset equals the primary's off holds a bit-identical journal.
+	recs   int64
 	broken bool
 }
 
-func openJournal(path string, sync bool) (*journal, error) {
+// openJournal opens a journal for appending. recs is the number of durable
+// records already in the file (0 for a fresh journal; recovery counts them
+// during replay). The file must already be truncated to its durable length
+// — recovery truncates a torn tail before reopening for append, so a new
+// record can never concatenate onto a half-written one.
+func openJournal(path string, sync bool, recs int64) (*journal, error) {
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("serve: opening journal: %w", err)
@@ -68,7 +79,7 @@ func openJournal(path string, sync bool) (*journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("serve: opening journal: %w", err)
 	}
-	return &journal{f: f, w: bufio.NewWriter(f), sync: sync, off: st.Size()}, nil
+	return &journal{f: f, w: bufio.NewWriter(f), sync: sync, off: st.Size(), recs: recs}, nil
 }
 
 func (j *journal) appendLine(line journalLine) (int, error) {
@@ -115,8 +126,13 @@ func (j *journal) commit(lines []journalLine) error {
 		return j.rollback(err)
 	}
 	j.off += n
+	j.recs += int64(len(lines))
 	return nil
 }
+
+// offsets reports the durable (byte, record) position — everything at or
+// below it is fully flushed, complete lines.
+func (j *journal) offsets() (bytes, recs int64) { return j.off, j.recs }
 
 // appendAnswers journals a batch of accepted answers and flushes. On error
 // the batch is rolled back in full; the file never holds a partial batch.
@@ -187,64 +203,107 @@ type JournalEntry struct {
 	Restart bool
 }
 
+// DecodeJournalLine decodes one complete journal line (newline stripped or
+// not) into its entry form. It is the incremental counterpart of
+// ReadJournal, used by the cluster layer to apply a shipped journal stream
+// record by record. Unknown ops decode to a zero JournalEntry (forward
+// compatibility — replay ignores them too).
+func DecodeJournalLine(raw []byte) (JournalEntry, error) {
+	var line journalLine
+	if err := json.Unmarshal(raw, &line); err != nil {
+		return JournalEntry{}, fmt.Errorf("serve: decoding journal line: %w", err)
+	}
+	return line.entry()
+}
+
+// entry converts a wire-form line to its exported JournalEntry.
+func (line journalLine) entry() (JournalEntry, error) {
+	switch line.Op {
+	case opAnswer:
+		if line.Ans == nil {
+			return JournalEntry{}, fmt.Errorf("%w: answer line without payload", ErrInvalid)
+		}
+		a := line.Ans.Answer()
+		return JournalEntry{Answer: &a}, nil
+	case opFit:
+		return JournalEntry{FitN: line.N, FitFull: line.Mode != pubModeInc}, nil
+	case opRestart:
+		return JournalEntry{Restart: true}, nil
+	}
+	return JournalEntry{}, nil
+}
+
 // ReadJournal streams a job journal through fn in recorded order, with the
 // same tolerance rules as recovery: a torn final line is skipped, malformed
 // lines elsewhere are an error. A missing file yields no entries.
 func ReadJournal(path string, fn func(JournalEntry) error) error {
-	return replayJournal(path, func(line journalLine) error {
-		switch line.Op {
-		case opAnswer:
-			if line.Ans == nil {
-				return fmt.Errorf("%w: answer line without payload", ErrInvalid)
-			}
-			a := line.Ans.Answer()
-			return fn(JournalEntry{Answer: &a})
-		case opFit:
-			return fn(JournalEntry{FitN: line.N, FitFull: line.Mode != pubModeInc})
-		case opRestart:
-			return fn(JournalEntry{Restart: true})
+	_, _, err := replayJournal(path, func(line journalLine) error {
+		e, err := line.entry()
+		if err != nil {
+			return err
 		}
-		return nil
+		if e.Answer == nil && e.FitN == 0 && !e.Restart {
+			return nil // unknown op
+		}
+		return fn(e)
 	})
+	return err
 }
 
-// replayJournal streams a journal file through fn in order. A torn final
-// line (crash mid-write) is tolerated and skipped; a malformed line in the
-// middle of the file is an error.
-func replayJournal(path string, fn func(journalLine) error) error {
+// replayJournal streams a journal file through fn in order and returns the
+// durable (byte, record) position: the offset just past the last complete,
+// well-formed line. A torn final line — unterminated, or malformed with
+// nothing after it — is tolerated, skipped, and excluded from the durable
+// offset (a crash can tear a record mid-write; it was never acked, and a
+// shipped stream can end mid-record when the primary dies mid-send). A
+// malformed line in the middle of the file is an error. A missing file
+// yields no entries at offset 0.
+func replayJournal(path string, fn func(journalLine) error) (int64, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil
+			return 0, 0, nil
 		}
-		return fmt.Errorf("serve: opening journal: %w", err)
+		return 0, 0, fmt.Errorf("serve: opening journal: %w", err)
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	rd := bufio.NewReaderSize(f, 64*1024)
+	var off, recs int64
 	var pendingErr error
 	lineNo := 0
-	for sc.Scan() {
+	for {
+		raw, err := rd.ReadBytes('\n')
+		if err == io.EOF {
+			// Any unterminated trailing bytes are a torn tail: the final
+			// newline never reached the disk (or the shipped stream), so the
+			// record was never durable — even if the fragment happens to
+			// parse as JSON, recovery must not apply it, or a deposed
+			// primary's replay could run one round ahead of every ack.
+			break
+		}
+		if err != nil {
+			return off, recs, fmt.Errorf("serve: reading journal: %w", err)
+		}
 		lineNo++
 		if pendingErr != nil {
 			// The malformed line was not the last one: real corruption.
-			return pendingErr
+			return off, recs, pendingErr
 		}
-		raw := sc.Bytes()
-		if len(raw) == 0 {
+		trimmed := raw[:len(raw)-1]
+		if len(trimmed) == 0 {
+			off += int64(len(raw))
 			continue
 		}
 		var line journalLine
-		if err := json.Unmarshal(raw, &line); err != nil {
+		if err := json.Unmarshal(trimmed, &line); err != nil {
 			pendingErr = fmt.Errorf("serve: journal line %d: %w", lineNo, err)
 			continue
 		}
 		if err := fn(line); err != nil {
-			return err
+			return off, recs, err
 		}
+		off += int64(len(raw))
+		recs++
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("serve: reading journal: %w", err)
-	}
-	return nil
+	return off, recs, nil
 }

@@ -107,7 +107,7 @@ func (r *Registry) Create(spec JobSpec) (*Job, error) {
 			os.RemoveAll(dir)
 			return nil, fmt.Errorf("serve: writing job spec: %w", err)
 		}
-		if jr, err = openJournal(filepath.Join(dir, journalFile), r.cfg.SyncJournal); err != nil {
+		if jr, err = openJournal(filepath.Join(dir, journalFile), r.cfg.SyncJournal, 0); err != nil {
 			os.RemoveAll(dir)
 			return nil, err
 		}
@@ -116,6 +116,29 @@ func (r *Registry) Create(spec JobSpec) (*Job, error) {
 	j.journal = jr
 	j.start()
 	r.jobs[spec.ID] = j
+	return j, nil
+}
+
+// AdoptJob opens a job whose directory was materialised out of band — a
+// cluster follower promoting its shipped journal (plus spec and optional
+// checkpoint) into a live, fitting job. It runs the standard recovery path
+// (checkpoint load + journal suffix replay, torn tail truncated), so the
+// adopted job's state is bit-for-bit what replaying the shipped journal
+// yields. Requires a persistent registry and an unregistered id.
+func (r *Registry) AdoptJob(id string) (*Job, error) {
+	if r.cfg.Dir == "" {
+		return nil, fmt.Errorf("%w: adopting a job requires a persistent registry", ErrInvalid)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.jobs[id]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	j, err := openExistingJob(filepath.Join(r.cfg.Dir, "jobs", id), r.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: adopting job %q: %w", id, err)
+	}
+	r.jobs[id] = j
 	return j, nil
 }
 
@@ -245,6 +268,12 @@ func openExistingJob(dir string, cfg Config) (*Job, error) {
 	}
 
 	j := newJob(spec, model, dir, cfg)
+	// A deposed primary that crashes and recovers must stay deposed: the
+	// cluster has moved ownership on, and un-fencing on restart would let it
+	// ack writes behind the new owner's back.
+	if j.epoch, err = loadEpochState(dir); err != nil {
+		return nil, err
+	}
 
 	// Replay the journal suffix. The checkpoint covers the first
 	// NumAnswers() answer lines and the first BatchRounds() fit markers;
@@ -254,7 +283,8 @@ func openExistingJob(dir string, cfg Config) (*Job, error) {
 	skipAns, skipFit := checkpointAns, model.BatchRounds()
 	coveredBySkipped := 0
 	var pending []answers.Answer
-	err = replayJournal(filepath.Join(dir, journalFile), func(line journalLine) error {
+	journalPath := filepath.Join(dir, journalFile)
+	durableOff, durableRecs, err := replayJournal(journalPath, func(line journalLine) error {
 		switch line.Op {
 		case opAnswer:
 			if line.Ans == nil {
@@ -299,7 +329,16 @@ func openExistingJob(dir string, cfg Config) (*Job, error) {
 	j.ingested.Store(int64(model.NumAnswers() + len(pending)))
 	j.fitted.Store(int64(model.NumAnswers()))
 	j.rounds.Store(int64(model.BatchRounds()))
-	if j.journal, err = openJournal(filepath.Join(dir, journalFile), cfg.SyncJournal); err != nil {
+	// Truncate any torn tail (a crash mid-append, or a shipped journal whose
+	// stream died mid-record) back to the durable offset before reopening
+	// for append: a new record must never concatenate onto a half-written
+	// one, which the next recovery would reject as mid-file corruption.
+	if st, serr := os.Stat(journalPath); serr == nil && st.Size() > durableOff {
+		if terr := os.Truncate(journalPath, durableOff); terr != nil {
+			return nil, fmt.Errorf("truncating torn journal tail: %w", terr)
+		}
+	}
+	if j.journal, err = openJournal(journalPath, cfg.SyncJournal, durableRecs); err != nil {
 		return nil, err
 	}
 	if model.Fitted() {
