@@ -40,15 +40,19 @@ func main() {
 		saveEvery = flag.Int("save-every", 0, "checkpoint the model every N fit rounds (0 = default 16)")
 		batchWait = flag.Duration("batch-wait", 0, "max wait for a mini-batch to fill before fitting a partial one (0 = default 100ms)")
 		syncJrnl  = flag.Bool("sync-journal", false, "fsync the journal after every ingested batch")
+		truncate  = flag.Bool("truncate-journal", false, "drop the journal prefix behind each durable checkpoint (bounded disk for long-lived jobs)")
+		truncMin  = flag.Int64("truncate-min", 0, "minimum droppable prefix in bytes before a truncation fires (0 = default 64KiB)")
 	)
 	flag.Parse()
 
 	reg, err := serve.Open(serve.Config{
-		Dir:         *data,
-		QueueLimit:  *queue,
-		SaveEvery:   *saveEvery,
-		BatchWait:   *batchWait,
-		SyncJournal: *syncJrnl,
+		Dir:             *data,
+		QueueLimit:      *queue,
+		SaveEvery:       *saveEvery,
+		BatchWait:       *batchWait,
+		SyncJournal:     *syncJrnl,
+		TruncateJournal: *truncate,
+		TruncateMin:     *truncMin,
 	})
 	if err != nil {
 		log.Fatalf("cpaserve: %v", err)

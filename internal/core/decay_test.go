@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cpa/internal/datasets"
+)
+
+// streamFit feeds the shuffled movie stream through a fresh model in
+// BatchSize chunks and returns the model.
+func streamFit(t *testing.T, cfg Config, split int) *Model {
+	t.Helper()
+	base, _, err := datasets.Load("movie", 0.2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := base.Shuffled(rand.New(rand.NewSource(11)))
+	m, err := NewModel(cfg, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range ds.Batches(cfg.BatchSize)[:split] {
+		if err := m.PartialFit(b.Answers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// TestDecayGate pins both sides of the ReliabilityHalfLife switch: zero
+// leaves the worker-reliability accumulators on the legacy undiscounted
+// path (two runs are bit-identical, and a copy of the config with the
+// field explicitly zeroed is the same config), while a finite half-life
+// actually discounts — no accumulator may exceed its undiscounted
+// counterpart, and at least one must fall strictly below it.
+func TestDecayGate(t *testing.T) {
+	cfg := Config{Seed: 4, BatchSize: 150, Parallelism: 2}
+	off := streamFit(t, cfg, 6)
+	off2 := streamFit(t, cfg, 6)
+	if !reflect.DeepEqual(off.tpDenU, off2.tpDenU) || !reflect.DeepEqual(off.fpDenU, off2.fpDenU) {
+		t.Fatal("two decay-off runs diverged: legacy path is not deterministic")
+	}
+
+	// Two rounds isolate the discount from posterior feedback: the first
+	// round is identical either way (decaying a zero accumulator is a
+	// no-op), so the second round's batch evidence matches too and the only
+	// difference is the 2^(-1/H) factor on round one's counts — every
+	// accumulator must come out no larger, and any worker with first-round
+	// evidence strictly smaller.
+	off = streamFit(t, cfg, 2)
+	cfgOn := cfg
+	cfgOn.ReliabilityHalfLife = 4
+	on := streamFit(t, cfgOn, 2)
+	strictly := 0
+	for u := range on.tpDenU {
+		if on.tpDenU[u] > off.tpDenU[u]+1e-9 || on.fpDenU[u] > off.fpDenU[u]+1e-9 {
+			t.Fatalf("worker %d: decayed accumulators exceed undiscounted ones (tpDen %v > %v or fpDen %v > %v)",
+				u, on.tpDenU[u], off.tpDenU[u], on.fpDenU[u], off.fpDenU[u])
+		}
+		if on.tpDenU[u] < off.tpDenU[u]-1e-9 {
+			strictly++
+		}
+	}
+	if strictly == 0 {
+		t.Fatal("half-life 4 discounted no accumulator: the decay gate is not wired")
+	}
+}
+
+// TestDecayStateSurvivesSaveLoad pins the persistence of the discounted
+// reliability accumulators: a model saved mid-stream with decay enabled
+// and restored must continue bit-for-bit with the uninterrupted one.
+func TestDecayStateSurvivesSaveLoad(t *testing.T) {
+	base, _, err := datasets.Load("movie", 0.2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := base.Shuffled(rand.New(rand.NewSource(9)))
+	cfg := Config{Seed: 4, BatchSize: 150, Parallelism: 2, ReliabilityHalfLife: 6}
+	m, err := NewModel(cfg, ds.NumItems, ds.NumWorkers, ds.NumLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := ds.Batches(cfg.BatchSize)
+	split := len(batches)/2 + 1
+	for _, b := range batches[:split] {
+		if err := m.PartialFit(b.Answers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.tpDenU, restored.tpDenU) || !reflect.DeepEqual(m.tpNumU, restored.tpNumU) {
+		t.Fatal("decayed accumulators did not survive the save/load round trip")
+	}
+	for _, b := range batches[split:] {
+		if err := m.PartialFit(b.Answers); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.PartialFit(b.Answers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := m.ConsensusView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.ConsensusView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Items {
+		if !reflect.DeepEqual(want.Items[i], got.Items[i]) {
+			t.Fatalf("item %d diverged after save/load resume under decay:\nuninterrupted %+v\nrestored      %+v",
+				i, want.Items[i], got.Items[i])
+		}
+	}
+}

@@ -107,6 +107,27 @@ type Config struct {
 	// 2^C blow-up the paper itself calls intractable.
 	ExhaustivePrediction bool
 	ExhaustiveCap        int
+
+	// AnswerWindow bounds the streaming model's answer storage (DESIGN.md
+	// §12): when more than 2×AnswerWindow answers are retained, the chunked
+	// answer lists, arrival index, and label-set interner are rebuilt from
+	// the newest AnswerWindow answers, so a month-long job's memory is
+	// O(window) instead of O(stream). The rebuild is a deterministic
+	// function of the arrival stream (it mirrors the persistence reload
+	// path, so interned ids stay bit-stable across save/load round-trips)
+	// and SVI population scaling then measures the window, not the full
+	// history. 0 (the default) retains everything. Streaming only; batch
+	// Fit ignores it.
+	AnswerWindow int
+	// ReliabilityHalfLife exponentially discounts the worker-reliability
+	// evidence (DESIGN.md §12): each PartialFit round multiplies the
+	// per-worker two-coin counts (tp/fp numerators and denominators) by
+	// 2^(-1/H) and floors the running community-statistic blend weight at
+	// 1−2^(-1/H), so reliability estimates carry a half-life of H rounds.
+	// A sleeper worker's stale clean history then decays and the consensus
+	// tracks its drift instead of being shielded by it. 0 (the default)
+	// never forgets — the exact pre-decay accumulators.
+	ReliabilityHalfLife float64
 }
 
 // DefaultConfig returns the settings used by the evaluation harness.
@@ -187,6 +208,12 @@ func (c *Config) validate() error {
 		return fmt.Errorf("%w: ForgettingRate=%v outside (0.5,1]", ErrConfig, c.ForgettingRate)
 	case c.ExhaustiveCap < 1 || c.ExhaustiveCap > 24:
 		return fmt.Errorf("%w: ExhaustiveCap=%d outside [1,24]", ErrConfig, c.ExhaustiveCap)
+	case c.AnswerWindow < 0:
+		return fmt.Errorf("%w: AnswerWindow=%d", ErrConfig, c.AnswerWindow)
+	case c.AnswerWindow > 0 && c.AnswerWindow < c.BatchSize:
+		return fmt.Errorf("%w: AnswerWindow=%d below BatchSize=%d", ErrConfig, c.AnswerWindow, c.BatchSize)
+	case c.ReliabilityHalfLife < 0:
+		return fmt.Errorf("%w: ReliabilityHalfLife=%v", ErrConfig, c.ReliabilityHalfLife)
 	}
 	return nil
 }
@@ -244,6 +271,12 @@ type Model struct {
 	// Append-only: clones share it by capacity-clamped header copy.
 	arrival []arrivalRef
 	numAns  int
+	// totalAns counts every answer ever ingested, monotone across the
+	// AnswerWindow compactions that shrink numAns (the retained count).
+	// Serving uses it for flow accounting: a checkpoint covers the first
+	// totalAns answer lines of the journal regardless of what storage still
+	// retains.
+	totalAns int
 	// dirtyFlags/dirtyItems track items touched by PartialFit since the
 	// last snapshot publication (consumed by Publisher.takeDirtySorted).
 	dirtyFlags []bool
@@ -618,6 +651,7 @@ func (m *Model) loadDataset(ds *answers.Dataset) error {
 	// Rebind rather than truncate: clones share the old backing array.
 	m.arrival = nil
 	m.numAns = 0
+	m.totalAns = 0
 	m.seenWorkers, m.seenItems = 0, 0
 	for _, a := range ds.Answers() {
 		m.ingest(a)
@@ -648,7 +682,67 @@ func (m *Model) ingest(a answers.Answer) int32 {
 	m.perItem[a.Item].append(ansRef{other: a.Worker, set: id})
 	m.arrival = append(m.arrival, arrivalRef{item: a.Item, idx: m.perItem[a.Item].Len() - 1})
 	m.numAns++
+	m.totalAns++
 	return id
+}
+
+// maybeCompactWindow enforces Config.AnswerWindow: once the retained stream
+// exceeds twice the window, every answer-addressed structure — the chunked
+// per-worker/per-item lists, the arrival index, the label-set interner, the
+// seen-population counts, and the score-panel cache — is rebuilt from the
+// newest AnswerWindow answers, re-ingested in arrival order. That is exactly
+// the persistence reload path (persist.go re-ingests the flattened arrival
+// stream), so a live-compacted model and its save/load round-trip assign
+// identical interned ids and iterate answers in identical order: compaction
+// never perturbs bit-exact recovery or replay. Amortised O(1) per answer
+// (one rebuild per window of arrivals). Voted-label lists and imputations
+// are model state, not storage, and survive untouched.
+func (m *Model) maybeCompactWindow() {
+	w := m.cfg.AnswerWindow
+	if w <= 0 || m.numAns <= 2*w {
+		return
+	}
+	keep := m.arrival[len(m.arrival)-w:]
+	items := make([]int, len(keep))
+	workers := make([]int, len(keep))
+	labels := make([][]int, len(keep))
+	for k, at := range keep {
+		ref := m.perItem[at.item].at(at.idx)
+		items[k] = at.item
+		workers[k] = ref.other
+		labels[k] = m.intern.Canon(ref.set)
+	}
+	// Rebind, never truncate in place: publisher clones and snapshots may
+	// still hold shared views of the old chunks, arrival array, and interner.
+	for u := range m.perWorker {
+		m.perWorker[u].reset()
+	}
+	for i := range m.perItem {
+		m.perItem[i].reset()
+	}
+	m.arrival = nil
+	m.numAns = 0
+	m.seenWorkers, m.seenItems = 0, 0
+	m.intern = labelset.NewInterner()
+	m.panels = panelCache{disabled: m.panels.disabled}
+	// The scratch product-panel cache is keyed by interned set id too; its
+	// slot map would index past the rebuilt interner. Keep only the float
+	// buffer for reuse.
+	m.ws.prod = prodCache{buf: m.ws.prod.buf}
+	for k, item := range items {
+		id := m.intern.InternSlice(labels[k])
+		worker := workers[k]
+		if m.perItem[item].empty() {
+			m.seenItems++
+		}
+		if m.perWorker[worker].empty() {
+			m.seenWorkers++
+		}
+		m.perItem[item].append(ansRef{other: worker, set: id})
+		m.perWorker[worker].append(ansRef{other: item, set: id})
+		m.arrival = append(m.arrival, arrivalRef{item: item, idx: m.perItem[item].Len() - 1})
+		m.numAns++
+	}
 }
 
 // rebuildVoted recomputes, per item, the sorted union of voted labels and
@@ -803,6 +897,20 @@ func (m *Model) WorkerReliability(u int) float64 {
 	return m.workerRelW[u]
 }
 
+// WorkerVoteWeight returns the two-coin log-odds vote weight ln(TPR_u/FPR_u)
+// for worker u — the per-worker trust signal the calibrated consensus vote
+// uses. Unlike WorkerReliability (a community-level blend), it reflects the
+// worker's own shrunk coin counts, so it is the observable through which
+// Config.ReliabilityHalfLife acts: under decay, a worker whose behavior
+// turns sees this weight track the recent record rather than the lifetime
+// average. Zero before the first worker-model pass.
+func (m *Model) WorkerVoteWeight(u int) float64 {
+	if u < 0 || u >= m.numWorkers || !m.haveRates {
+		return 0
+	}
+	return m.voteLW[u]
+}
+
 // CommunityReliability returns rel_m for community m.
 func (m *Model) CommunityReliability(mm int) float64 {
 	if mm < 0 || mm >= m.M {
@@ -925,5 +1033,12 @@ func (m *Model) answerScore(t, mm int, xs []int) float64 {
 	return s
 }
 
-// NumAnswers returns the number of answers the model has ingested.
+// NumAnswers returns the number of answers the model currently retains in
+// storage — the full ingested stream unless Config.AnswerWindow trims it.
 func (m *Model) NumAnswers() int { return m.numAns }
+
+// TotalIngested returns the number of answers ever ingested, monotone across
+// AnswerWindow compactions. This is the stream-position coordinate the
+// serving layer's journal accounting uses: a checkpoint of this model covers
+// the first TotalIngested answer lines.
+func (m *Model) TotalIngested() int { return m.totalAns }

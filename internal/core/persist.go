@@ -56,6 +56,10 @@ type modelState struct {
 	AnsItems   []int
 	AnsWorkers []int
 	AnsLabels  [][]int
+	// TotalAns is the monotone total-ingested count; with an AnswerWindow it
+	// exceeds the retained answer count above. Absent (0) in older files,
+	// where the retained count is the total.
+	TotalAns int
 }
 
 const persistVersion = 1
@@ -82,6 +86,7 @@ func (m *Model) Save(w io.Writer) error {
 		RunAgree: m.runAgree, RunAgreeD: m.runAgreeD,
 		RunPrevN: m.runPrevN, RunPrevD: m.runPrevD,
 		Revealed: m.revealedTruth,
+		TotalAns: m.totalAns,
 	}
 	for _, at := range m.arrival {
 		ref := m.perItem[at.item].at(at.idx)
@@ -225,6 +230,12 @@ func Load(r io.Reader) (*Model, error) {
 		m.perWorker[worker].append(ansRef{other: item, set: id})
 		m.arrival = append(m.arrival, arrivalRef{item: item, idx: m.perItem[item].Len() - 1})
 		m.numAns++
+	}
+	// Restore the monotone stream total; older files without the field fall
+	// back to the retained count, which was the total before windowing.
+	m.totalAns = st.TotalAns
+	if m.totalAns < m.numAns {
+		m.totalAns = m.numAns
 	}
 	m.haveRates = st.HaveRates
 	m.batchIndex = st.BatchIndex

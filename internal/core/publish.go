@@ -147,8 +147,16 @@ func (p *Publisher) ensureClone() {
 // syncIntern points the clone at the live model's interner. The table is
 // append-only with stable ids and both models are driven from the fitter
 // goroutine, so sharing is safe and keeps the clone's shared answer refs
-// (whose set ids index the live table) resolvable.
+// (whose set ids index the live table) resolvable. A window compaction
+// (maybeCompactWindow) replaces the live interner wholesale, renumbering
+// every set — when that happens, the clone's id-keyed caches must be
+// dropped: their cached ids would index a table they were never built
+// against.
 func (p *Publisher) syncIntern() {
+	if p.clone.intern != p.src.intern {
+		p.clone.panels = panelCache{disabled: p.clone.panels.disabled}
+		p.clone.ws.prod = prodCache{buf: p.clone.ws.prod.buf}
+	}
 	p.clone.intern = p.src.intern
 	p.clone.panels.disabled = p.src.panels.disabled
 }
@@ -165,7 +173,8 @@ func (c *Model) syncPublishState(src *Model) {
 		c.perItem[i] = src.perItem[i].shareClone()
 	}
 	c.arrival = src.arrival[:len(src.arrival):len(src.arrival)]
-	c.numAns, c.seenWorkers, c.seenItems = src.numAns, src.seenWorkers, src.seenItems
+	c.numAns, c.totalAns = src.numAns, src.totalAns
+	c.seenWorkers, c.seenItems = src.seenWorkers, src.seenItems
 	copy(c.revealedTruth, src.revealedTruth) // inner slices are rebind-only
 	c.kappa.CopyFrom(src.kappa)
 	c.phi.CopyFrom(src.phi)

@@ -5,8 +5,12 @@ package core
 // values; none alias model storage.
 type ModelStats struct {
 	Items, Workers, Labels int
-	// Answers is the number of answers ingested so far.
+	// Answers is the number of answers ingested so far. Monotone: it counts
+	// the whole stream even when Config.AnswerWindow trims storage.
 	Answers int
+	// Retained is the number of answers currently held in storage — equal to
+	// Answers unless an AnswerWindow compaction has dropped old arrivals.
+	Retained int
 	// BatchRounds counts PartialFit calls (0 for batch-only models).
 	BatchRounds int
 	// LastBatchDelta is the max responsibility change of the latest
@@ -25,7 +29,8 @@ func (m *Model) Stats() ModelStats {
 		Items:                m.numItems,
 		Workers:              m.numWorkers,
 		Labels:               m.numLabels,
-		Answers:              m.numAns,
+		Answers:              m.totalAns,
+		Retained:             m.numAns,
 		BatchRounds:          m.batchIndex,
 		LastBatchDelta:       m.lastBatchDelta,
 		EffectiveCommunities: m.EffectiveCommunities(0.01),

@@ -236,6 +236,7 @@ func (m *Model) PartialFit(batch []answers.Answer) error {
 	m.lastBatchDelta = maxDelta
 	m.fitted = true
 	m.streamFitted = true
+	m.maybeCompactWindow()
 	return nil
 }
 
@@ -348,6 +349,25 @@ func (m *Model) sviWorkerModelStep(items []int, omega float64) {
 		m.itemAgreeStats(i, agree)
 	}
 	offTP, offTPD, offFP, offFPD, offPrevN, offPrevD, offTPU, offTPDU, offFPU, offFPDU := m.coinOffsets()
+	// Exponential reliability discounting (Config.ReliabilityHalfLife): the
+	// per-worker coin counts decay by 2^(-1/H) per round before the batch's
+	// evidence lands, and the running community statistics — whose natural ω
+	// blend weight vanishes as the stream grows — keep a blend weight of at
+	// least 1−2^(-1/H). Both give reliability a half-life of H rounds; with
+	// H = 0 this block is skipped and the accumulators never forget.
+	omegaR := omega
+	if h := m.cfg.ReliabilityHalfLife; h > 0 {
+		decay := math.Exp2(-1 / h)
+		if f := 1 - decay; omegaR < f {
+			omegaR = f
+		}
+		for u := 0; u < U; u++ {
+			m.tpNumU[u] *= decay
+			m.tpDenU[u] *= decay
+			m.fpNumU[u] *= decay
+			m.fpDenU[u] *= decay
+		}
+	}
 	for u := 0; u < U; u++ {
 		m.tpNumU[u] += coins[offTPU+u]
 		m.tpDenU[u] += coins[offTPDU+u]
@@ -355,16 +375,16 @@ func (m *Model) sviWorkerModelStep(items []int, omega float64) {
 		m.fpDenU[u] += coins[offFPDU+u]
 	}
 	for mm := 0; mm < M; mm++ {
-		m.runTP[mm] = (1-omega)*m.runTP[mm] + omega*coins[offTP+mm]
-		m.runTPD[mm] = (1-omega)*m.runTPD[mm] + omega*coins[offTPD+mm]
-		m.runFP[mm] = (1-omega)*m.runFP[mm] + omega*coins[offFP+mm]
-		m.runFPD[mm] = (1-omega)*m.runFPD[mm] + omega*coins[offFPD+mm]
-		m.runAgree[mm] = (1-omega)*m.runAgree[mm] + omega*agree[mm]
-		m.runAgreeD[mm] = (1-omega)*m.runAgreeD[mm] + omega*agree[M+mm]
+		m.runTP[mm] = (1-omegaR)*m.runTP[mm] + omegaR*coins[offTP+mm]
+		m.runTPD[mm] = (1-omegaR)*m.runTPD[mm] + omegaR*coins[offTPD+mm]
+		m.runFP[mm] = (1-omegaR)*m.runFP[mm] + omegaR*coins[offFP+mm]
+		m.runFPD[mm] = (1-omegaR)*m.runFPD[mm] + omegaR*coins[offFPD+mm]
+		m.runAgree[mm] = (1-omegaR)*m.runAgree[mm] + omegaR*agree[mm]
+		m.runAgreeD[mm] = (1-omegaR)*m.runAgreeD[mm] + omegaR*agree[M+mm]
 	}
 	for c := 0; c < C; c++ {
-		m.runPrevN[c] = (1-omega)*m.runPrevN[c] + omega*coins[offPrevN+c]
-		m.runPrevD[c] = (1-omega)*m.runPrevD[c] + omega*coins[offPrevD+c]
+		m.runPrevN[c] = (1-omegaR)*m.runPrevN[c] + omegaR*coins[offPrevN+c]
+		m.runPrevD[c] = (1-omegaR)*m.runPrevD[c] + omegaR*coins[offPrevD+c]
 		m.labelPrev[c] = (m.runPrevN[c] + 0.5) / (m.runPrevD[c] + 2)
 	}
 	m.deriveWorkerModel(m.runTP, m.runTPD, m.runFP, m.runFPD, m.runAgree, m.runAgreeD)

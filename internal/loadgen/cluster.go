@@ -441,14 +441,18 @@ func (r *clusterRunner) finalInvariants() {
 	// so the sequences must match exactly — nothing lost, nothing doubled.
 	journalPath := owner.node.JournalPath(r.jobID)
 	var journaled []answers.Answer
+	var base serve.JournalBase
 	err := serve.ReadJournal(journalPath, func(e serve.JournalEntry) error {
 		if e.Answer != nil {
 			journaled = append(journaled, *e.Answer)
 		}
+		if e.Base != nil {
+			base = *e.Base
+		}
 		return nil
 	})
 	if err == nil {
-		err = checkAckedDurable(journaled, r.acked)
+		err = checkAckedDurable(journaled, r.acked, base.Ans)
 	}
 	r.addInvariant("acked-answers-durable", err,
 		fmt.Sprintf("%d acked answers durable in order on %s across the %s",

@@ -2,6 +2,8 @@ package loadgen
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"slices"
 
 	"cpa/internal/answers"
@@ -9,26 +11,59 @@ import (
 	"cpa/internal/serve"
 )
 
-// replayJournal rebuilds the consensus a job's journal encodes: a fresh
-// model advanced by PartialFit with the recorded mini-batch boundaries —
-// exactly the FitStream computation the daemon performed, in the arrival
-// order the journal persisted — and a mirrored core.Publisher driven by the
-// recorded publish modes, so incremental publications (which carry
-// untouched items' entries forward across rounds) reproduce bit-for-bit
-// too. It returns the post-replay consensus view (nil when no fit marker
-// was recorded yet), the full acked answer sequence, and the answers
-// journaled but not covered by any fit marker.
-func replayJournal(path string, spec serve.JobSpec) (*core.ConsensusView, []answers.Answer, []answers.Answer, error) {
-	model, err := core.NewModel(spec.Model, spec.Items, spec.Workers, spec.Labels)
-	if err != nil {
-		return nil, nil, nil, err
+// replayJournal rebuilds the consensus a job's journal encodes: a model
+// advanced by PartialFit with the recorded mini-batch boundaries — exactly
+// the FitStream computation the daemon performed, in the arrival order the
+// journal persisted — and a mirrored core.Publisher driven by the recorded
+// publish modes, so incremental publications (which carry untouched items'
+// entries forward across rounds) reproduce bit-for-bit too.
+//
+// A truncated journal (one opening with a base header) is checkpoint-
+// anchored: the model is seeded from the base checkpoint next to the
+// journal — the daemon's own model at the truncation boundary — and the
+// retained suffix replays on top, which by construction equals the
+// from-zero replay of the untruncated journal. The returned base is the
+// zero value for an untruncated journal.
+//
+// Returns the post-replay consensus view (nil when no fit marker is
+// covered), the suffix's journaled answer sequence, the answers journaled
+// but not covered by any fit marker, and the base.
+func replayJournal(path string, spec serve.JobSpec) (*core.ConsensusView, []answers.Answer, []answers.Answer, serve.JournalBase, error) {
+	var base serve.JournalBase
+	fail := func(err error) (*core.ConsensusView, []answers.Answer, []answers.Answer, serve.JournalBase, error) {
+		return nil, nil, nil, base, err
 	}
 	var entries []serve.JournalEntry
 	if err := serve.ReadJournal(path, func(e serve.JournalEntry) error {
 		entries = append(entries, e)
 		return nil
 	}); err != nil {
-		return nil, nil, nil, err
+		return fail(err)
+	}
+	var model *core.Model
+	seeded := false
+	if len(entries) > 0 && entries[0].Base != nil {
+		base = *entries[0].Base
+		entries = entries[1:]
+		f, err := os.Open(filepath.Join(filepath.Dir(path), serve.BaseCheckpointFileName))
+		if err != nil {
+			return fail(fmt.Errorf("journal has a base header but its checkpoint is unreadable: %w", err))
+		}
+		model, err = core.Load(f)
+		f.Close()
+		if err != nil {
+			return fail(err)
+		}
+		if int64(model.TotalIngested()) != base.Ans || int64(model.BatchRounds()) != base.Fits {
+			return fail(fmt.Errorf("base checkpoint covers %d answers / %d fits, journal base says %d / %d",
+				model.TotalIngested(), model.BatchRounds(), base.Ans, base.Fits))
+		}
+		seeded = true
+	} else {
+		var err error
+		if model, err = core.NewModel(spec.Model, spec.Items, spec.Workers, spec.Labels); err != nil {
+			return fail(err)
+		}
 	}
 
 	// Every full publication (and every restart re-anchor, and the very
@@ -36,12 +71,19 @@ func replayJournal(path string, spec serve.JobSpec) (*core.ConsensusView, []answ
 	// the whole view from the model state of its round, superseding all
 	// earlier snapshot history. The mirrored publisher therefore only needs
 	// to publish from the last such anchor onward; fit rounds before it
-	// replay the model alone.
+	// replay the model alone. A checkpoint seed is itself an anchor
+	// (lastAnchor -1): truncation only ever fires at full-published rounds,
+	// so the daemon's live chain was re-anchored full at the base too.
 	lastAnchor := -1
-	for k, e := range entries {
-		if e.FitN > 0 && lastAnchor == -1 {
-			lastAnchor = k // first round: published full by the cold publisher
+	if !seeded {
+		lastAnchor = -2
+		for k, e := range entries {
+			if e.FitN > 0 && lastAnchor == -2 {
+				lastAnchor = k // first round: published full by the cold publisher
+			}
 		}
+	}
+	for k, e := range entries {
 		if (e.FitN > 0 && e.FitFull) || e.Restart {
 			lastAnchor = k
 		}
@@ -49,6 +91,12 @@ func replayJournal(path string, spec serve.JobSpec) (*core.ConsensusView, []answ
 
 	pub := core.NewPublisher(model)
 	var view *core.ConsensusView
+	var err error
+	if seeded && lastAnchor == -1 && model.Fitted() {
+		if view, _, err = pub.Publish(true); err != nil {
+			return fail(err)
+		}
+	}
 	var acked, pending []answers.Answer
 	for k, e := range entries {
 		switch {
@@ -58,15 +106,17 @@ func replayJournal(path string, spec serve.JobSpec) (*core.ConsensusView, []answ
 		case e.Restart:
 			if k == lastAnchor && model.Fitted() {
 				if view, _, err = pub.Publish(true); err != nil {
-					return nil, nil, nil, err
+					return fail(err)
 				}
 			}
+		case e.Base != nil:
+			return fail(fmt.Errorf("journal base header past the first record"))
 		default: // fit marker
 			if e.FitN <= 0 || e.FitN > len(pending) {
-				return nil, nil, nil, fmt.Errorf("fit marker n=%d with %d pending answers", e.FitN, len(pending))
+				return fail(fmt.Errorf("fit marker n=%d with %d pending answers", e.FitN, len(pending)))
 			}
 			if err := model.PartialFit(pending[:e.FitN]); err != nil {
-				return nil, nil, nil, err
+				return fail(err)
 			}
 			pending = pending[e.FitN:]
 			if k == lastAnchor {
@@ -77,14 +127,21 @@ func replayJournal(path string, spec serve.JobSpec) (*core.ConsensusView, []answ
 				continue
 			}
 			if err != nil {
-				return nil, nil, nil, err
+				return fail(err)
 			}
 		}
 	}
 	if !model.Fitted() {
-		return nil, acked, pending, nil
+		return nil, acked, pending, base, nil
 	}
-	return view, acked, pending, nil
+	if view == nil {
+		// Seeded, fitted, but no anchor or fit marker replayed (an empty
+		// retained suffix): the checkpoint state is the served state.
+		if view, _, err = pub.Publish(true); err != nil {
+			return fail(err)
+		}
+	}
+	return view, acked, pending, base, nil
 }
 
 // CheckReplay verifies the served-equals-replay invariant: the snapshot a
@@ -98,7 +155,7 @@ func CheckReplay(journalPath string, spec serve.JobSpec, snap *serve.Snapshot) e
 	if snap == nil {
 		return fmt.Errorf("no served snapshot to check against")
 	}
-	view, _, _, err := replayJournal(journalPath, spec)
+	view, _, _, _, err := replayJournal(journalPath, spec)
 	if err != nil {
 		return fmt.Errorf("replaying journal: %w", err)
 	}
@@ -152,10 +209,16 @@ func diffSnapshot(snap *serve.Snapshot, view *core.ConsensusView) error {
 // checkAckedDurable verifies the backpressure invariant: the journal's
 // answer sequence equals the client-side acked sequence exactly — same
 // answers, same order, nothing lost to a 429/retry cycle, nothing
-// duplicated by one.
-func checkAckedDurable(journaled, acked []answers.Answer) error {
+// duplicated by one. skipped is the acked prefix a journal truncation
+// compacted behind the base checkpoint (0 for an untruncated journal): the
+// journal then holds exactly the acked suffix past it.
+func checkAckedDurable(journaled, acked []answers.Answer, skipped int64) error {
+	if skipped < 0 || skipped > int64(len(acked)) {
+		return fmt.Errorf("journal base covers %d answers but the client acked only %d", skipped, len(acked))
+	}
+	acked = acked[skipped:]
 	if len(journaled) != len(acked) {
-		return fmt.Errorf("journal holds %d answers, client acked %d", len(journaled), len(acked))
+		return fmt.Errorf("journal holds %d answers, client acked %d past the base", len(journaled), len(acked))
 	}
 	for i := range acked {
 		j, a := journaled[i], acked[i]

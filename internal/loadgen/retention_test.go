@@ -1,0 +1,140 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+
+	"cpa/internal/core"
+	"cpa/internal/metrics"
+)
+
+// sleeperDecayScenario returns the library's sleeper-decay scenario.
+func sleeperDecayScenario(t *testing.T) Scenario {
+	t.Helper()
+	for _, sc := range Scenarios() {
+		if sc.Name == "sleeper-decay" {
+			return sc
+		}
+	}
+	t.Fatal("sleeper-decay scenario missing from the library")
+	return Scenario{}
+}
+
+// f1Trajectory streams the plan's single tenant through a fresh core model
+// batch by batch and evaluates consensus F1 against the dataset truth after
+// every round. It returns the index of the first round that includes
+// post-turn answers and the per-round F1 series.
+func f1Trajectory(t *testing.T, sc Scenario, scale float64, seed int64) (turnRound int, f1 []float64) {
+	t.Helper()
+	p, err := buildPlan(sc, scale, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := p.tenants[0]
+	if len(tp.turned) == 0 {
+		t.Fatal("sleeper plan turned no workers")
+	}
+	model, err := core.NewModel(tp.spec.Model, tp.spec.Items, tp.spec.Workers, tp.spec.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := tp.spec.Model.BatchSize
+	boundary := tp.cuts[0] // honest answers end here; the turn follows
+	turnRound = -1
+	for off := 0; off < len(tp.stream); off += bs {
+		end := off + bs
+		if end > len(tp.stream) {
+			end = len(tp.stream)
+		}
+		if err := model.PartialFit(tp.stream[off:end]); err != nil {
+			t.Fatal(err)
+		}
+		c := model.Clone()
+		c.FinalizeOnline()
+		preds, err := c.Predict()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := metrics.Evaluate(tp.ds, preds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f1 = append(f1, pr.F1())
+		if turnRound < 0 && end > boundary {
+			turnRound = len(f1) - 1
+		}
+	}
+	if turnRound < 0 || turnRound >= len(f1)-2 {
+		t.Fatalf("degenerate phase layout: turn at round %d of %d", turnRound, len(f1))
+	}
+	return
+}
+
+// TestSleeperDecayDetection is the sleeper-turn detection bound: when a
+// quarter of the workforce flips to random spam mid-stream, a model with
+// time-decayed reliability (the sleeper-decay scenario's half-life) must
+// out-track the undecayed model on consensus F1 within a bounded number of
+// virtual days of the turn, and keep the advantage through the end of the
+// stream — on every probe seed. With decay off the knob must change
+// nothing: the workload plan is identical and inference follows the legacy
+// path (pinned bit-exactly in core's TestDecayGate).
+func TestSleeperDecayDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams several full sleeper workloads")
+	}
+	scOn := sleeperDecayScenario(t)
+	scOff := scOn
+	scOff.ReliabilityHalfLife = 0
+
+	// Detection deadline: the decayed model must dominate from the second
+	// full post-turn round onward (the round containing the turn itself is
+	// mixed-phase and excluded). At the scenario's virtual arrival rate
+	// that is a bound in days, not rounds — computed and asserted per seed.
+	const detectRounds = 2
+	const maxDetectDays = 30.0
+
+	for _, seed := range []int64{3, 7, 11, 19} {
+		// The decay knob is inference-only: both plans must carry the
+		// identical answer stream, or the comparison below is meaningless.
+		pOn, err := buildPlan(scOn, 0.06, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pOff, err := buildPlan(scOff, 0.06, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(pOn.tenants[0].stream, pOff.tenants[0].stream) {
+			t.Fatalf("seed %d: decay knob changed the workload plan", seed)
+		}
+
+		turnOn, fOn := f1Trajectory(t, scOn, 0.06, seed)
+		turnOff, fOff := f1Trajectory(t, scOff, 0.06, seed)
+		if turnOn != turnOff || len(fOn) != len(fOff) {
+			t.Fatalf("seed %d: trajectory shapes diverged", seed)
+		}
+
+		bs := float64(scOn.batchSize())
+		days := float64(detectRounds+1) * bs / scOn.rate() / 86400
+		if days > maxDetectDays {
+			t.Fatalf("seed %d: detection deadline is %.1f virtual days, want <= %.0f", seed, days, maxDetectDays)
+		}
+		for r := turnOn + detectRounds; r < len(fOn); r++ {
+			if fOn[r] < fOff[r]-1e-12 {
+				t.Errorf("seed %d: round %d (%.1f virtual days after the turn): decayed F1 %.4f below undecayed %.4f",
+					seed, r, float64(r-turnOn+1)*bs/scOn.rate()/86400, fOn[r], fOff[r])
+			}
+		}
+		last := len(fOn) - 1
+		if fOn[last] <= fOff[last] {
+			t.Errorf("seed %d: decay gave no final advantage (%.4f vs %.4f)", seed, fOn[last], fOff[last])
+		}
+		// The honest phase must not be wrecked by discounting: allow only a
+		// small dip against the undecayed model before the turn.
+		if fOn[turnOn-1] < fOff[turnOn-1]-0.05 {
+			t.Errorf("seed %d: honest-phase F1 degraded by decay (%.4f vs %.4f)", seed, fOn[turnOn-1], fOff[turnOn-1])
+		}
+		t.Logf("seed %d: turn at round %d/%d, final F1 %.4f (decay) vs %.4f (legacy), detect deadline %.1f virtual days",
+			seed, turnOn, len(fOn), fOn[last], fOff[last], days)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"cpa/internal/answers"
+	"cpa/internal/core"
 	"cpa/internal/labelset"
 	"cpa/internal/metrics"
 	"cpa/internal/serve"
@@ -197,10 +198,12 @@ func (r *runner) base() string { return r.baseURL.Load().(string) }
 
 func (r *runner) serveConfig() serve.Config {
 	return serve.Config{
-		Dir:        r.dataDir,
-		QueueLimit: r.sc.QueueLimit,
-		SaveEvery:  r.sc.saveEvery(),
-		BatchWait:  r.sc.batchWait(),
+		Dir:             r.dataDir,
+		QueueLimit:      r.sc.QueueLimit,
+		SaveEvery:       r.sc.saveEvery(),
+		BatchWait:       r.sc.batchWait(),
+		TruncateJournal: r.sc.TruncateJournal,
+		TruncateMin:     r.sc.TruncateMin,
 	}
 }
 
@@ -709,12 +712,50 @@ func (r *runner) replayInvariants(ts *tenantState, when string) {
 	r.addInvariant("served-equals-replay", ts.id,
 		CheckReplay(path, ts.spec, ts.finalSnap),
 		fmt.Sprintf("%s: %d rounds bit-for-bit", when, ts.finalSnap.Round))
-	_, journaled, _, err := replayJournal(path, ts.spec)
+	view, journaled, _, base, err := replayJournal(path, ts.spec)
 	if err == nil {
-		err = checkAckedDurable(journaled, ts.acked)
+		err = checkAckedDurable(journaled, ts.acked, base.Ans)
 	}
 	r.addInvariant("acked-answers-durable", ts.id, err,
-		fmt.Sprintf("%s: %d acked answers durable in order", when, len(ts.acked)))
+		fmt.Sprintf("%s: %d acked answers durable in order (%d compacted behind the base)", when, len(ts.acked), base.Ans))
+	r.retentionInvariants(ts, view, base, when)
+}
+
+// retentionInvariants checks the bounded-memory claims on scenarios that
+// enable them: journal truncation must keep the on-disk file a strict
+// fraction of the ever-growing global stream, and an answer window must
+// keep the model's retained storage within its 2×window rebuild bound. The
+// replayed view stands in for the server's model — served-equals-replay
+// just proved them bit-identical.
+func (r *runner) retentionInvariants(ts *tenantState, view *core.ConsensusView, base serve.JournalBase, when string) {
+	if r.sc.TruncateJournal {
+		var stats serve.JobStats
+		status, err := r.getJSON(r.base()+"/v1/jobs/"+ts.id, &stats)
+		if err == nil && status != http.StatusOK {
+			err = fmt.Errorf("job stats: status %d", status)
+		}
+		if err == nil {
+			switch {
+			case base.Bytes == 0:
+				err = fmt.Errorf("journal was never truncated (%d global bytes, file %d)", stats.JournalBytes, stats.JournalFileBytes)
+			case stats.JournalFileBytes > stats.JournalBytes/2:
+				err = fmt.Errorf("journal file holds %d of %d global bytes — not bounded", stats.JournalFileBytes, stats.JournalBytes)
+			}
+		}
+		r.addInvariant("journal-bytes-bounded", ts.id, err,
+			fmt.Sprintf("%s: file %d of %d global journal bytes (base %d)",
+				when, stats.JournalFileBytes, stats.JournalBytes, base.Bytes))
+	}
+	if w := ts.spec.Model.AnswerWindow; w > 0 && view != nil {
+		var err error
+		if view.Stats.Retained > 2*w {
+			err = fmt.Errorf("model retains %d answers, window bound is %d", view.Stats.Retained, 2*w)
+		} else if view.Stats.Answers <= 2*w {
+			err = fmt.Errorf("stream too short to exercise the window (%d answers for window %d)", view.Stats.Answers, w)
+		}
+		r.addInvariant("retained-answers-bounded", ts.id, err,
+			fmt.Sprintf("%s: %d of %d stream answers retained (window %d)", when, view.Stats.Retained, view.Stats.Answers, w))
+	}
 }
 
 // finalInvariants evaluates the per-tenant and global invariants after the

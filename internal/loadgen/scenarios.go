@@ -80,6 +80,10 @@ type Scenario struct {
 	// SleeperFraction is the share of honest workers that turn adversarial
 	// at the phase boundary (shapeSleeper).
 	SleeperFraction float64
+	// SleeperRandomSpam selects the random-spammer archetype for turned
+	// workers (a fresh uniform-random label set per answer) instead of the
+	// default uniform-spammer one (a fixed set pasted onto every task).
+	SleeperRandomSpam bool
 	// HotFraction is the share of items treated as hot (shapeHot).
 	HotFraction float64
 	// StragglerFraction is the worker share whose answers arrive only in
@@ -110,6 +114,15 @@ type Scenario struct {
 	BatchSize  int
 	BatchWait  time.Duration
 	SaveEvery  int
+
+	// Retention knobs for long-lived jobs. ReliabilityHalfLife enables
+	// time-decayed worker reliability (in fit rounds); AnswerWindow bounds
+	// the model's retained answer storage; TruncateJournal/TruncateMin turn
+	// on checkpoint-anchored journal compaction in the server.
+	ReliabilityHalfLife float64
+	AnswerWindow        int
+	TruncateJournal     bool
+	TruncateMin         int64
 
 	// Phases names the stream segments; per-phase P/R, drift and latency
 	// are reported at each boundary after a quiesce.
@@ -226,6 +239,32 @@ var scenarios = []Scenario{
 		BatchWait:   4 * time.Millisecond,
 		Phases:      []string{"trickle", "tail"},
 	},
+	{
+		Name:                "sleeper-decay",
+		Description:         "the sleeper turn with time-decayed reliability: old honest evidence must fade",
+		Profile:             "topic",
+		shape:               shapeSleeper,
+		SleeperFraction:     0.25,
+		SleeperRandomSpam:   true,
+		Arrival:             ArrivalSteady,
+		Rate:                0.002, // answers/second: the turn plays out over virtual weeks
+		ReliabilityHalfLife: 4,
+		Phases:              []string{"honest", "adversarial"},
+	},
+	{
+		Name:            "retention-soak",
+		Description:     "months-long virtual soak with journal truncation, answer windowing and mid-run kills",
+		Profile:         "topic",
+		shape:           shapeShuffle,
+		Arrival:         ArrivalSteady,
+		Rate:            0.002, // answers/second: a modest stream spans virtual months
+		ChaosKills:      2,
+		SaveEvery:       2,
+		AnswerWindow:    256,
+		TruncateJournal: true,
+		TruncateMin:     4096,
+		Phases:          []string{"month1", "month2", "month3"},
+	},
 }
 
 func mixPtr(m simulate.Mix) *simulate.Mix { return &m }
@@ -311,7 +350,11 @@ type tenantPlan struct {
 	createAt, deleteAt int
 	// hotItems lists the read-pressure targets (shapeHot).
 	hotItems []int
-	spec     serve.JobSpec
+	// turned lists the sleeper workers flipped adversarial at the phase
+	// boundary (shapeSleeper) — the ground truth the decay detection test
+	// checks reliability estimates against.
+	turned []int
+	spec   serve.JobSpec
 }
 
 // plan is a fully materialised scenario run: tenants, phases, kill points.
@@ -416,7 +459,7 @@ func buildTenant(sc Scenario, scale float64, tseed int64, ti, nT int) (*tenantPl
 	case shapeSleeper:
 		tp.stream = shuffled(ds.Answers(), rng)
 		tp.cuts = evenCuts(len(tp.stream), tp.createAt, tp.deleteAt, nPhases)
-		flipSleepers(tp.stream, tp.cuts[0], meta, sc.SleeperFraction, rng, ds.NumLabels)
+		tp.turned = flipSleepers(tp.stream, tp.cuts[0], meta, sc.SleeperFraction, rng, ds.NumLabels, sc.SleeperRandomSpam)
 	case shapeHot:
 		tp.stream, tp.hotItems = hotOrder(ds, sc.HotFraction, rng)
 		tp.cuts = evenCuts(len(tp.stream), tp.createAt, tp.deleteAt, nPhases)
@@ -433,7 +476,11 @@ func buildTenant(sc Scenario, scale float64, tseed int64, ti, nT int) (*tenantPl
 	tp.ds = ds
 	tp.spec = serve.JobSpec{
 		ID: tp.id, Items: ds.NumItems, Workers: ds.NumWorkers, Labels: ds.NumLabels,
-		Model: core.Config{Seed: tseed, BatchSize: sc.batchSize(), Parallelism: 2},
+		Model: core.Config{
+			Seed: tseed, BatchSize: sc.batchSize(), Parallelism: 2,
+			ReliabilityHalfLife: sc.ReliabilityHalfLife,
+			AnswerWindow:        sc.AnswerWindow,
+		},
 	}
 	return tp, nil
 }
@@ -471,9 +518,12 @@ func evenCuts(n, createAt, deleteAt, nPhases int) []int {
 }
 
 // flipSleepers replaces the post-boundary answers of a fraction of honest
-// workers with a fixed uniform-spammer label set — the sleeper-cell crowd of
-// the sleeper scenario.
-func flipSleepers(stream []answers.Answer, boundary int, meta *simulate.Metadata, fraction float64, rng *rand.Rand, numLabels int) {
+// workers with spam — the sleeper-cell crowd of the sleeper scenarios. By
+// default each turned worker pastes a fixed 1–2 label set onto every task
+// (the uniform-spammer archetype, §2.1's u3); with randomSpam they draw a
+// fresh uniform-random set per answer (the random-spammer archetype).
+// Returns the sorted ids of the turned workers.
+func flipSleepers(stream []answers.Answer, boundary int, meta *simulate.Metadata, fraction float64, rng *rand.Rand, numLabels int, randomSpam bool) []int {
 	var honest []int
 	for u, wt := range meta.WorkerTypes {
 		if !wt.IsSpammer() {
@@ -482,6 +532,7 @@ func flipSleepers(stream []answers.Answer, boundary int, meta *simulate.Metadata
 	}
 	n := int(math.Round(fraction * float64(len(honest))))
 	spamSet := make(map[int][]int, n)
+	turned := make([]int, 0, n)
 	for _, k := range rng.Perm(len(honest))[:n] {
 		u := honest[k]
 		spam := []int{rng.Intn(numLabels)}
@@ -489,12 +540,23 @@ func flipSleepers(stream []answers.Answer, boundary int, meta *simulate.Metadata
 			spam = append(spam, rng.Intn(numLabels))
 		}
 		spamSet[u] = spam
+		turned = append(turned, u)
 	}
 	for i := boundary; i < len(stream); i++ {
-		if spam, ok := spamSet[stream[i].Worker]; ok {
-			stream[i].Labels = labelset.FromSlice(spam)
+		spam, ok := spamSet[stream[i].Worker]
+		if !ok {
+			continue
 		}
+		if randomSpam {
+			spam = []int{rng.Intn(numLabels)}
+			if rng.Float64() < 0.5 && numLabels > 1 {
+				spam = append(spam, rng.Intn(numLabels))
+			}
+		}
+		stream[i].Labels = labelset.FromSlice(spam)
 	}
+	sort.Ints(turned)
+	return turned
 }
 
 // hotOrder biases the arrival order so hot items' answers land early and

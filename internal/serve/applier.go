@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"io"
 	"sync/atomic"
 	"time"
 
@@ -49,6 +50,45 @@ func NewApplier(spec JobSpec) (*Applier, error) {
 	return ap, nil
 }
 
+// NewApplierFrom builds an applier seeded from a model checkpoint — the
+// follower half of the truncation handshake. When a primary answers a tail
+// request with 410 Gone (the requested prefix was compacted away), the
+// follower fetches the base checkpoint (/checkpoint?base=1) and rebuilds its
+// applier from it; replaying the retained journal suffix on top then yields
+// exactly the state a from-zero replay of the untruncated journal would
+// have, because the checkpoint is the primary's own model at the truncation
+// boundary. The progress counters are seeded from the checkpoint so the
+// follower's stats stay continuous in global (never-truncated) coordinates.
+func NewApplierFrom(spec JobSpec, checkpoint io.Reader) (*Applier, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	model, err := core.Load(checkpoint)
+	if err != nil {
+		return nil, fmt.Errorf("%w: loading seed checkpoint: %v", ErrInvalid, err)
+	}
+	st := model.Stats()
+	if st.Items != spec.Items || st.Workers != spec.Workers || st.Labels != spec.Labels {
+		return nil, fmt.Errorf("%w: seed checkpoint dimensions (%d items, %d workers, %d labels) do not match spec (%d, %d, %d)",
+			ErrInvalid, st.Items, st.Workers, st.Labels, spec.Items, spec.Workers, spec.Labels)
+	}
+	spec.Model = model.Config()
+	ap := &Applier{spec: spec, model: model, pub: core.NewPublisher(model)}
+	ap.ingested.Store(int64(model.TotalIngested()))
+	ap.fitted.Store(int64(model.TotalIngested()))
+	ap.rounds.Store(int64(model.BatchRounds()))
+	ap.snap.Store(emptySnapshot(spec, time.Now()))
+	if model.Fitted() {
+		// Anchor the publisher with a full publication, exactly as the
+		// primary's own recovery does: every later incremental round refreshes
+		// against a complete view.
+		if err := ap.publish(true); err != nil {
+			return nil, err
+		}
+	}
+	return ap, nil
+}
+
 // Spec returns the applier's effective job spec.
 func (ap *Applier) Spec() JobSpec { return ap.spec }
 
@@ -78,6 +118,18 @@ func (ap *Applier) Apply(e JournalEntry) error {
 		// lockstep.
 		if ap.model.Fitted() {
 			return ap.publish(true)
+		}
+	case e.Base != nil:
+		// The base header of a truncated journal, served ahead of the
+		// retained suffix on a ?base=1 handshake. It carries no state of its
+		// own — the seed checkpoint already holds everything the dropped
+		// prefix contributed — but it must agree with that checkpoint:
+		// applying a suffix on top of the wrong seed would silently diverge.
+		if got, want := int64(ap.model.TotalIngested()), e.Base.Ans; got != want {
+			return fmt.Errorf("%w: journal base covers %d answers but seed checkpoint holds %d", ErrInvalid, want, got)
+		}
+		if got, want := int64(ap.model.BatchRounds()), e.Base.Fits; got != want {
+			return fmt.Errorf("%w: journal base covers %d fit rounds but seed checkpoint holds %d", ErrInvalid, want, got)
 		}
 	}
 	return nil

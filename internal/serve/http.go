@@ -21,7 +21,7 @@ import (
 //	POST   /v1/jobs                    create a job
 //	GET    /v1/jobs                    list jobs (stats)
 //	GET    /v1/jobs/{id}               one job's stats
-//	DELETE /v1/jobs/{id}               close and unregister a job
+//	DELETE /v1/jobs/{id}               close and unregister a job (?purge=1 also deletes its storage)
 //	POST   /v1/jobs/{id}/answers      ingest answers (JSON body or NDJSON stream)
 //	GET    /v1/jobs/{id}/consensus    latest consensus snapshot
 //	GET    /v1/jobs/{id}/items/{item} one item's consensus
@@ -151,7 +151,14 @@ func (s *Server) handleJobStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
-	if err := s.reg.Delete(r.PathValue("id")); err != nil {
+	// Plain DELETE unregisters but keeps the on-disk state (journal,
+	// checkpoints) for a later reopen; ?purge=1 also removes the job
+	// directory so storage for finished jobs is actually reclaimed.
+	del := s.reg.Delete
+	if r.URL.Query().Get("purge") == "1" {
+		del = s.reg.Purge
+	}
+	if err := del(r.PathValue("id")); err != nil {
 		httpError(w, err)
 		return
 	}
@@ -299,6 +306,16 @@ const (
 	// the shipped suffix from exactly such a node — but the router must not
 	// route client reads to it.
 	deposedHeader = "X-CPA-Deposed"
+	// journalBaseHeader reports the journal's truncation base offset. On a
+	// 410 (the requested ?from predates the truncated prefix) it tells the
+	// reader where the retained journal begins: fetch the base checkpoint
+	// (/checkpoint?base=1), then re-request ?from=<base>&base=1.
+	journalBaseHeader = "X-CPA-Journal-Base"
+	// journalBaseLenHeader is set on ?base=1 responses: the byte length of
+	// the base header line included at the start of the chunk. Header bytes
+	// are file-local framing, not journal stream bytes — the reader excludes
+	// them when advancing its global offset.
+	journalBaseLenHeader = "X-CPA-Journal-Base-Len"
 )
 
 // maxShipChunk caps one journal-tail response. A follower bootstrapping
@@ -309,13 +326,22 @@ const maxShipChunk = 8 << 20
 // maxTailWait caps the ?wait_ms long-poll parameter.
 const maxTailWait = 30 * time.Second
 
-// handleJournalTail serves raw journal bytes [from, durable) — at most
-// maxShipChunk per response, only ever complete flushed lines, because the
-// durable offset by construction covers nothing else. With ?wait_ms=M a
-// request at the current tail parks until new bytes land (or the wait
-// elapses), so followers ship with one cheap long-poll loop instead of
-// hammering. The response is bit-identical journal content: a follower that
-// concatenates chunks in order holds byte-for-byte the primary's file.
+// handleJournalTail serves raw journal bytes [from, durable) in global
+// (never-truncated) coordinates — at most maxShipChunk per response, only
+// ever complete flushed lines, because the durable offset by construction
+// covers nothing else. With ?wait_ms=M a request at the current tail parks
+// until new bytes land (or the wait elapses), so followers ship with one
+// cheap long-poll loop instead of hammering. The response is bit-identical
+// journal content: a follower that concatenates chunks in order holds
+// byte-for-byte the stream the primary journaled.
+//
+// Truncation handshake: a ?from below the journal's base offset gets 410
+// Gone with the base offset in X-CPA-Journal-Base — the prefix no longer
+// exists on disk. The reader then fetches the base checkpoint
+// (/checkpoint?base=1) and re-requests ?from=<base>&base=1, which serves the
+// physical file from byte 0 so the base header line travels ahead of the
+// retained suffix (its length reported in X-CPA-Journal-Base-Len, excluded
+// from global offsets).
 func (s *Server) handleJournalTail(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
@@ -336,6 +362,7 @@ func (s *Server) handleJournalTail(w http.ResponseWriter, r *http.Request) {
 		}
 		from = n
 	}
+	includeBase := q.Get("base") == "1"
 	var wait time.Duration
 	if v := q.Get("wait_ms"); v != "" {
 		ms, err := strconv.ParseInt(v, 10, 64)
@@ -351,10 +378,11 @@ func (s *Server) handleJournalTail(w http.ResponseWriter, r *http.Request) {
 	// Long-poll by polling the durable offset: appends are frequent under
 	// load (the poll rarely spins) and absent under idle (the client asked
 	// to park). A 5ms period bounds added shipping latency well below any
-	// fit round.
+	// fit round. A base-handshake request never parks: the base header line
+	// itself is servable even when the retained suffix is empty.
 	durable, _ := job.JournalOffsets()
 	deadline := time.Now().Add(wait)
-	for durable <= from && wait > 0 && time.Now().Before(deadline) {
+	for durable <= from && !includeBase && wait > 0 && time.Now().Before(deadline) {
 		select {
 		case <-r.Context().Done():
 			return
@@ -367,38 +395,44 @@ func (s *Server) handleJournalTail(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	end := durable
-	if end > from+maxShipChunk {
-		end = from + maxShipChunk
+	// The section resolves [from, end) to the current file under the job
+	// mutex and opens its own handle: a truncation renaming a compacted file
+	// over the path mid-copy cannot disturb the pinned inode, and the bytes
+	// below the durable offset are immutable (rollback and torn-tail
+	// truncation only ever cut above it), so the read races nothing.
+	sec, err := job.openJournalSection(from, maxShipChunk, includeBase)
+	if err != nil {
+		if errors.Is(err, ErrTruncated) {
+			w.Header().Set(journalBaseHeader, strconv.FormatInt(job.journalBase().Bytes, 10))
+		}
+		httpError(w, err)
+		return
+	}
+	defer sec.Close()
+	globalEnd := from + sec.n
+	if includeBase {
+		globalEnd -= sec.hdrLen
+		w.Header().Set(journalBaseLenHeader, strconv.FormatInt(sec.hdrLen, 10))
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set(journalOffHeader, strconv.FormatInt(end, 10))
-	w.Header().Set(journalDurableHeader, strconv.FormatInt(durable, 10))
+	w.Header().Set(journalOffHeader, strconv.FormatInt(globalEnd, 10))
+	w.Header().Set(journalDurableHeader, strconv.FormatInt(sec.durable, 10))
 	w.Header().Set(epochHeader, strconv.FormatInt(job.Epoch(), 10))
 	if job.Deposed() {
 		w.Header().Set(deposedHeader, "1")
 	}
-	if end == from {
-		w.WriteHeader(http.StatusOK)
-		return
-	}
-	// The file is opened independently of the job's append handle; bytes
-	// below the durable offset are immutable (rollback and torn-tail
-	// truncation only ever cut above it), so this read races nothing.
-	f, err := os.Open(filepath.Join(job.dir, journalFile))
-	if err != nil {
-		httpError(w, fmt.Errorf("serve: opening journal for shipping: %w", err))
-		return
-	}
-	defer f.Close()
 	w.WriteHeader(http.StatusOK)
-	_, _ = io.Copy(w, io.NewSectionReader(f, from, end-from))
+	if sec.n > 0 {
+		_, _ = io.Copy(w, io.NewSectionReader(sec.f, sec.start, sec.n))
+	}
 }
 
 // handleCheckpoint serves the job's latest model checkpoint (the gob the
 // fitter saves every SaveEvery rounds). 404 until the first save. The file
 // lands by rename, so an open handle always reads one consistent
-// checkpoint.
+// checkpoint. With ?base=1 it serves the base checkpoint instead — the
+// snapshot anchored at the journal's truncation base, which a reader must
+// seed from before replaying a truncated journal's retained suffix.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
@@ -409,9 +443,13 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		httpError(w, fmt.Errorf("%w: job %q is ephemeral (no checkpoint)", ErrInvalid, job.ID()))
 		return
 	}
-	f, err := os.Open(filepath.Join(job.dir, modelFile))
+	name := modelFile
+	if r.URL.Query().Get("base") == "1" {
+		name = baseFile
+	}
+	f, err := os.Open(filepath.Join(job.dir, name))
 	if os.IsNotExist(err) {
-		httpError(w, fmt.Errorf("%w: job %q has no checkpoint yet", ErrNotFound, job.ID()))
+		httpError(w, fmt.Errorf("%w: job %q has no %s checkpoint yet", ErrNotFound, job.ID(), name))
 		return
 	}
 	if err != nil {
@@ -513,6 +551,8 @@ func httpError(w http.ResponseWriter, err error) {
 		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrTruncated):
+		status = http.StatusGone
 	case errors.Is(err, ErrTooLarge):
 		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrInvalid):

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -53,30 +54,35 @@ type Job struct {
 	rounds   atomic.Int64 // PartialFit calls
 	failure  atomic.Pointer[string]
 
-	queueLimit int
-	saveEvery  int
-	batchWait  time.Duration
+	queueLimit  int
+	saveEvery   int
+	batchWait   time.Duration
+	truncate    bool
+	truncateMin int64
 
 	wg sync.WaitGroup
 }
 
 // newJob wires a job around an existing model (fresh or recovered) without
-// starting the fitter.
+// starting the fitter. The flow counters seed from the model's total
+// ingested count (not the retained count, which an answer window trims).
 func newJob(spec JobSpec, model *core.Model, dir string, cfg Config) *Job {
 	j := &Job{
-		spec:       spec,
-		dir:        dir,
-		model:      model,
-		pub:        core.NewPublisher(model),
-		wake:       make(chan struct{}, 1),
-		queueLimit: cfg.QueueLimit,
-		saveEvery:  cfg.SaveEvery,
-		batchWait:  cfg.BatchWait,
+		spec:        spec,
+		dir:         dir,
+		model:       model,
+		pub:         core.NewPublisher(model),
+		wake:        make(chan struct{}, 1),
+		queueLimit:  cfg.QueueLimit,
+		saveEvery:   cfg.SaveEvery,
+		batchWait:   cfg.BatchWait,
+		truncate:    cfg.TruncateJournal,
+		truncateMin: cfg.TruncateMin,
 	}
 	j.snap.Store(emptySnapshot(spec, time.Now()))
 	j.snapTime.Store(time.Now().UnixNano())
-	j.ingested.Store(int64(model.NumAnswers()))
-	j.fitted.Store(int64(model.NumAnswers()))
+	j.ingested.Store(int64(model.TotalIngested()))
+	j.fitted.Store(int64(model.TotalIngested()))
 	j.rounds.Store(int64(model.BatchRounds()))
 	return j
 }
@@ -190,9 +196,10 @@ func (j *Job) signal() {
 func (j *Job) Stats() JobStats {
 	j.mu.Lock()
 	depth := len(j.queue) - j.head
-	var jb, jr int64
+	var jb, jr, jfb int64
 	if j.journal != nil {
-		jb, jr = j.journal.offsets()
+		jb, jr = j.journal.globalOffsets()
+		jfb, _ = j.journal.offsets()
 	}
 	epoch := j.epoch
 	j.mu.Unlock()
@@ -213,6 +220,7 @@ func (j *Job) Stats() JobStats {
 		Publish:              j.pubHist.summary(),
 		JournalBytes:         jb,
 		JournalRecords:       jr,
+		JournalFileBytes:     jfb,
 		Epoch:                epoch.Epoch,
 		Deposed:              epoch.Deposed,
 	}
@@ -223,15 +231,89 @@ func (j *Job) Stats() JobStats {
 }
 
 // JournalOffsets returns the durable (byte, record) position of the job's
-// journal — the replication coordinates the cluster layer ships and
-// compares. Both are 0 for ephemeral (journal-less) jobs.
+// journal in global (never-truncated) coordinates — the replication
+// coordinates the cluster layer ships and compares. Both are 0 for
+// ephemeral (journal-less) jobs.
 func (j *Job) JournalOffsets() (bytes, recs int64) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.journal == nil {
 		return 0, 0
 	}
-	return j.journal.offsets()
+	return j.journal.globalOffsets()
+}
+
+// journalSection is an openable byte range of the journal file, resolved
+// from global coordinates under the job mutex so a concurrent truncation
+// cannot shift the mapping between the offset check and the open. The file
+// handle pins the inode: a truncation that renames a compacted file over
+// the path while a reader drains the section does not disturb it.
+type journalSection struct {
+	f *os.File
+	// start/n are the file-local byte range to serve.
+	start, n int64
+	// durable is the global durable offset at open time; served bytes end at
+	// min(from+max, durable) in global coordinates.
+	durable int64
+	// base/hdrLen describe the file's truncation header. When the section
+	// includes the header (a base handshake), start is 0 and n counts the
+	// header line; the reader must subtract hdrLen when advancing its global
+	// offset.
+	base   JournalBase
+	hdrLen int64
+}
+
+func (s *journalSection) Close() error { return s.f.Close() }
+
+// openJournalSection maps the global byte range [from, from+max) onto the
+// current journal file and opens it for reading. A from below the base
+// offset fails with ErrTruncated — the prefix no longer exists on disk and
+// the reader must re-handshake from the base (fetch the base checkpoint,
+// then request from == base.Bytes with includeBase set, which serves the
+// physical file from byte 0 so the base header travels with the suffix).
+func (j *Job) openJournalSection(from, max int64, includeBase bool) (*journalSection, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.journal == nil {
+		return nil, fmt.Errorf("%w: job has no journal", ErrInvalid)
+	}
+	durable, _ := j.journal.globalOffsets()
+	base := j.journal.base
+	if from < base.Bytes {
+		return nil, fmt.Errorf("%w (requested %d, base %d)", ErrTruncated, from, base.Bytes)
+	}
+	if from > durable {
+		return nil, fmt.Errorf("%w: offset %d beyond durable %d", ErrInvalid, from, durable)
+	}
+	if includeBase && from != base.Bytes {
+		return nil, fmt.Errorf("%w: base handshake must start at the base offset %d, got %d",
+			ErrInvalid, base.Bytes, from)
+	}
+	end := durable
+	if max > 0 && from+max < end {
+		end = from + max
+	}
+	start := j.journal.fileForGlobal(from)
+	n := j.journal.fileForGlobal(end) - start
+	if includeBase {
+		start, n = 0, n+j.journal.hdr
+	}
+	f, err := os.Open(filepath.Join(j.dir, journalFile))
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening journal for tail: %w", err)
+	}
+	return &journalSection{f: f, start: start, n: n, durable: durable, base: base, hdrLen: j.journal.hdr}, nil
+}
+
+// journalBase returns the journal's truncation base (zero for an untruncated
+// or ephemeral job).
+func (j *Job) journalBase() JournalBase {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.journal == nil {
+		return JournalBase{}
+	}
+	return j.journal.base
 }
 
 // JobStats is the JSON-ready serving state of one job (the /statsz shape).
@@ -253,13 +335,17 @@ type JobStats struct {
 	// Publish is the job's cumulative snapshot-publication latency
 	// histogram.
 	Publish PublishStats `json:"publish"`
-	// JournalBytes/JournalRecords are the durable journal position: the byte
-	// length and record count covered by fully flushed, complete lines. They
-	// are the replication coordinates of the cluster layer — a follower whose
-	// shipped byte offset equals the primary's journal_bytes holds a
-	// bit-identical journal — and 0/0 for ephemeral (journal-less) jobs.
-	JournalBytes   int64 `json:"journal_bytes"`
-	JournalRecords int64 `json:"journal_records"`
+	// JournalBytes/JournalRecords are the durable journal position in global
+	// (never-truncated) coordinates: the byte length and record count covered
+	// by fully flushed, complete lines, continuous and monotone across journal
+	// truncations. They are the replication coordinates of the cluster layer —
+	// a follower whose applied byte offset equals the primary's journal_bytes
+	// has replayed the same records — and 0/0 for ephemeral (journal-less)
+	// jobs. JournalFileBytes is the on-disk size of the current journal file;
+	// with truncation enabled it stays bounded while JournalBytes grows.
+	JournalBytes     int64 `json:"journal_bytes"`
+	JournalRecords   int64 `json:"journal_records"`
+	JournalFileBytes int64 `json:"journal_file_bytes"`
 	// Epoch/Deposed expose the cluster-ownership record: writes are fenced
 	// (409) on a deposed replica or under a mismatched epoch stamp.
 	Epoch   int64  `json:"epoch"`
@@ -475,6 +561,13 @@ func (j *Job) fitBatch(batch []answers.Answer, roundsSinceSave *int) error {
 	j.rounds.Add(1)
 	j.mu.Lock()
 	full := len(j.queue)-j.head == 0
+	if j.truncate && j.dir != "" && *roundsSinceSave+1 >= j.saveEvery {
+		// This round's checkpoint may anchor a truncation, and only a
+		// full-published round can (the retained suffix must replay from a
+		// full posterior). Force the full pipeline — the mode is journaled
+		// before the publication, so replay and followers mirror it exactly.
+		full = true
+	}
 	var jerr error
 	if j.journal != nil {
 		jerr = j.journal.appendFit(len(batch), full)
@@ -493,7 +586,40 @@ func (j *Job) fitBatch(batch []answers.Answer, roundsSinceSave *int) error {
 			if err := j.saveModel(); err != nil {
 				return err
 			}
+			if full && j.truncate {
+				if err := j.truncateJournal(); err != nil {
+					return err
+				}
+			}
 		}
+	}
+	return nil
+}
+
+// truncateJournal drops the journal prefix the checkpoint just written
+// covers (DESIGN.md §12). Only checkpoints taken at a full publication
+// anchor a truncation: incremental snapshot chains reference publisher
+// history back to the last full round, so replay of the retained suffix
+// must start from a full-published posterior. The ordering is the crash
+// protocol: base.gob (a copy of the anchoring checkpoint) reaches disk
+// before the journal rewrite commits, so a journal with a base header
+// always has its anchor; a kill after base.gob but before the rename
+// leaves an untruncated journal plus a newer base.gob, which recovery
+// ignores in favor of model.gob.
+func (j *Job) truncateJournal() error {
+	coveredAns := int64(j.model.TotalIngested())
+	coveredFits := int64(j.model.BatchRounds())
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.journal == nil || j.journal.off-j.journal.hdr < j.truncateMin {
+		return nil
+	}
+	if err := copyFileAtomic(filepath.Join(j.dir, modelFile), filepath.Join(j.dir, baseFile)); err != nil {
+		return fmt.Errorf("serve: anchoring base checkpoint: %w", err)
+	}
+	_, err := j.journal.truncate(filepath.Join(j.dir, journalFile), coveredAns, coveredFits, j.truncateMin)
+	if err != nil {
+		return fmt.Errorf("serve: truncating journal: %w", err)
 	}
 	return nil
 }
@@ -525,16 +651,20 @@ const (
 	specFile    = "job.json"
 	journalFile = "journal.jsonl"
 	modelFile   = "model.gob"
+	baseFile    = "base.gob"
 )
 
 // Canonical job-directory file names, exported for the cluster layer: a
 // follower stages a shipped journal (plus the spec and, on planned handoff,
 // the primary's checkpoint) under these names so Registry.AdoptJob can run
-// the standard recovery path over the staged directory.
+// the standard recovery path over the staged directory. BaseCheckpointFileName
+// is the truncation anchor: the checkpoint copy a truncated journal's base
+// header refers to, staged by followers of a truncated source.
 const (
-	SpecFileName       = specFile
-	JournalFileName    = journalFile
-	CheckpointFileName = modelFile
+	SpecFileName           = specFile
+	JournalFileName        = journalFile
+	CheckpointFileName     = modelFile
+	BaseCheckpointFileName = baseFile
 )
 
 // JournalPath returns the path of a job's ingestion journal under a
@@ -567,4 +697,31 @@ func (j *Job) saveModel() error {
 		return fmt.Errorf("serve: checkpointing model: %w", err)
 	}
 	return nil
+}
+
+// copyFileAtomic copies src to dst through a temp file, fsyncing before the
+// rename so a crash can never leave a torn dst.
+func copyFileAtomic(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	tmp := dst + ".tmp"
+	out, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(out, in)
+	if err == nil {
+		err = out.Sync()
+	}
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, dst)
 }

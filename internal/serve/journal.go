@@ -15,6 +15,7 @@ const (
 	opAnswer  = "ans"     // one ingested answer
 	opFit     = "fit"     // the fitter consumed the next N pending answers
 	opRestart = "restart" // the job was recovered and republished from cold
+	opBase    = "base"    // truncation header: the dropped prefix's coordinates
 )
 
 // Fit-marker publish modes. Snapshot publication is part of the journaled
@@ -39,6 +40,30 @@ type journalLine struct {
 	Ans  *answers.JSONAnswer `json:"a,omitempty"`
 	N    int                 `json:"n,omitempty"`
 	Mode string              `json:"pub,omitempty"`
+	Base *JournalBase        `json:"base,omitempty"`
+}
+
+// JournalBase describes the journal prefix a truncation dropped. It is
+// persisted as the first line of a truncated journal (op "base") so the
+// file stays self-describing: every coordinate a reader needs to place the
+// retained suffix in the job's global (never-truncated) journal is in the
+// header. Pre-truncation readers ignore the unknown op.
+//
+// Bytes/Recs are the global byte and record counts of the dropped prefix
+// (base lines themselves never count: global coordinates are what the
+// journal would measure had it never been truncated, which is what keeps
+// /statsz and the replication ack barrier continuous across truncations).
+// Ans and Fits count the dropped answer lines and fit markers; Covered is
+// the total answers the dropped fit markers consumed. Every dropped record
+// is covered by the base checkpoint (base.gob), so recovery and replay seed
+// from that checkpoint and skip exactly the (Ans, Fits) still present in a
+// longer checkpoint's coverage.
+type JournalBase struct {
+	Bytes   int64 `json:"b"`
+	Recs    int64 `json:"r"`
+	Ans     int64 `json:"a"`
+	Fits    int64 `json:"f"`
+	Covered int64 `json:"c"`
 }
 
 // journal is a job's append-only JSONL log. Every append is flushed to the
@@ -62,14 +87,22 @@ type journal struct {
 	// offset equals the primary's off holds a bit-identical journal.
 	recs   int64
 	broken bool
+	// base and hdr carry the truncation state: base is the dropped prefix's
+	// global coordinates (zero for a never-truncated journal) and hdr the
+	// byte length of the base header line at the start of the file (0 when
+	// absent). off and recs stay file-local — globalOffsets maps them.
+	base JournalBase
+	hdr  int64
 }
 
 // openJournal opens a journal for appending. recs is the number of durable
-// records already in the file (0 for a fresh journal; recovery counts them
-// during replay). The file must already be truncated to its durable length
-// — recovery truncates a torn tail before reopening for append, so a new
-// record can never concatenate onto a half-written one.
-func openJournal(path string, sync bool, recs int64) (*journal, error) {
+// records already in the file excluding a base header line (0 for a fresh
+// journal; recovery counts them during replay), and base/hdr the truncation
+// state recovery read from the file's first line. The file must already be
+// truncated to its durable length — recovery truncates a torn tail before
+// reopening for append, so a new record can never concatenate onto a
+// half-written one.
+func openJournal(path string, sync bool, recs int64, base JournalBase, hdr int64) (*journal, error) {
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("serve: opening journal: %w", err)
@@ -79,7 +112,7 @@ func openJournal(path string, sync bool, recs int64) (*journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("serve: opening journal: %w", err)
 	}
-	return &journal{f: f, w: bufio.NewWriter(f), sync: sync, off: st.Size(), recs: recs}, nil
+	return &journal{f: f, w: bufio.NewWriter(f), sync: sync, off: st.Size(), recs: recs, base: base, hdr: hdr}, nil
 }
 
 func (j *journal) appendLine(line journalLine) (int, error) {
@@ -130,9 +163,153 @@ func (j *journal) commit(lines []journalLine) error {
 	return nil
 }
 
-// offsets reports the durable (byte, record) position — everything at or
-// below it is fully flushed, complete lines.
+// offsets reports the durable file-local (byte, record) position —
+// everything at or below it is fully flushed, complete lines. The byte
+// count includes the base header line when present.
 func (j *journal) offsets() (bytes, recs int64) { return j.off, j.recs }
+
+// globalOffsets reports the durable position in global coordinates: the
+// (byte, record) offsets the journal would have had it never been
+// truncated. These are the replication and /statsz coordinates — they are
+// continuous and monotone across truncations, so a follower's shipped
+// offset and the ingest-ack durability barrier never move backwards.
+func (j *journal) globalOffsets() (bytes, recs int64) {
+	return j.base.Bytes + (j.off - j.hdr), j.base.Recs + j.recs
+}
+
+// fileForGlobal maps a global byte offset to its position in the current
+// file. The caller must have checked from >= j.base.Bytes.
+func (j *journal) fileForGlobal(from int64) int64 { return j.hdr + (from - j.base.Bytes) }
+
+// truncate drops the journal prefix covered by the current checkpoint
+// behind a fresh base header: the longest prefix containing at most
+// coveredAns answer lines and coveredFits fit markers, stopping at the
+// first answer line or fit marker beyond that coverage (restart re-anchors
+// inside the covered prefix are dropped too — the base checkpoint was
+// written at a full publication, which supersedes them as the replay
+// anchor). The rewrite is crash-safe: the retained suffix and new base
+// header are written to a temp file, fsynced, and renamed over the journal
+// in one atomic commit; a kill before the rename leaves the old journal
+// (and a possibly newer base.gob, which recovery and replay tolerate —
+// their skip arithmetic works from any checkpoint at or past the base).
+// Concurrent tail readers holding the old inode keep reading it unchanged.
+//
+// Returns the number of bytes dropped (0 if the droppable prefix was
+// shorter than minDrop). The caller holds the job mutex, so no append can
+// interleave with the swap.
+func (j *journal) truncate(path string, coveredAns, coveredFits, minDrop int64) (int64, error) {
+	if j.broken {
+		return 0, fmt.Errorf("serve: journal in failed state")
+	}
+	if err := j.flush(); err != nil {
+		return 0, j.rollback(err)
+	}
+	limA := coveredAns - j.base.Ans
+	limF := coveredFits - j.base.Fits
+	if limA < 0 || limF < 0 {
+		return 0, fmt.Errorf("serve: truncate: checkpoint (%d ans, %d fits) behind journal base (%d, %d)",
+			coveredAns, coveredFits, j.base.Ans, j.base.Fits)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("serve: truncate: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(j.hdr, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("serve: truncate: %w", err)
+	}
+	rd := bufio.NewReaderSize(io.LimitReader(f, j.off-j.hdr), 64*1024)
+	var cut, dropRecs, dropAns, dropFits, dropCovered int64
+scan:
+	for {
+		raw, err := rd.ReadBytes('\n')
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, fmt.Errorf("serve: truncate: scanning journal: %w", err)
+		}
+		var line journalLine
+		if err := json.Unmarshal(raw[:len(raw)-1], &line); err != nil {
+			return 0, fmt.Errorf("serve: truncate: corrupt durable line: %w", err)
+		}
+		switch line.Op {
+		case opAnswer:
+			if dropAns == limA {
+				break scan
+			}
+			dropAns++
+		case opFit:
+			if dropFits == limF {
+				break scan
+			}
+			dropFits++
+			dropCovered += int64(line.N)
+		case opBase:
+			return 0, fmt.Errorf("serve: truncate: base record past the journal header")
+		}
+		cut += int64(len(raw))
+		dropRecs++
+	}
+	if cut < minDrop {
+		return 0, nil
+	}
+
+	newBase := JournalBase{
+		Bytes:   j.base.Bytes + cut,
+		Recs:    j.base.Recs + dropRecs,
+		Ans:     j.base.Ans + dropAns,
+		Fits:    j.base.Fits + dropFits,
+		Covered: j.base.Covered + dropCovered,
+	}
+	hdrRaw, err := json.Marshal(journalLine{Op: opBase, Base: &newBase})
+	if err != nil {
+		return 0, err
+	}
+	hdrRaw = append(hdrRaw, '\n')
+
+	tmpPath := path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("serve: truncate: %w", err)
+	}
+	keep := j.off - j.hdr - cut
+	_, err = tmp.Write(hdrRaw)
+	if err == nil {
+		_, err = io.Copy(tmp, io.NewSectionReader(f, j.hdr+cut, keep))
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpPath)
+		return 0, fmt.Errorf("serve: truncate: writing compacted journal: %w", err)
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return 0, fmt.Errorf("serve: truncate: %w", err)
+	}
+
+	newF, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		// The rename committed but the append handle is gone: the journal
+		// on disk is valid, this process just cannot write it any more.
+		j.broken = true
+		return 0, fmt.Errorf("serve: truncate: reopening journal: %w", err)
+	}
+	j.f.Close()
+	j.f = newF
+	j.w.Reset(newF)
+	j.base = newBase
+	j.hdr = int64(len(hdrRaw))
+	j.off = j.hdr + keep
+	j.recs -= dropRecs
+	return cut, nil
+}
 
 // appendAnswers journals a batch of accepted answers and flushes. On error
 // the batch is rolled back in full; the file never holds a partial batch.
@@ -201,6 +378,11 @@ type JournalEntry struct {
 	// Restart marks a recovery re-anchor: the job's publisher restarted
 	// cold and republished a full snapshot at the round reached so far.
 	Restart bool
+	// Base is non-nil for a truncation header (always the first record of a
+	// truncated journal): the stream resumes mid-job, and the consumer must
+	// seed from the base checkpoint and skip the records a newer checkpoint
+	// already covers.
+	Base *JournalBase
 }
 
 // DecodeJournalLine decodes one complete journal line (newline stripped or
@@ -229,36 +411,88 @@ func (line journalLine) entry() (JournalEntry, error) {
 		return JournalEntry{FitN: line.N, FitFull: line.Mode != pubModeInc}, nil
 	case opRestart:
 		return JournalEntry{Restart: true}, nil
+	case opBase:
+		if line.Base == nil {
+			return JournalEntry{}, fmt.Errorf("%w: base line without payload", ErrInvalid)
+		}
+		b := *line.Base
+		return JournalEntry{Base: &b}, nil
 	}
 	return JournalEntry{}, nil
 }
 
 // ReadJournal streams a job journal through fn in recorded order, with the
 // same tolerance rules as recovery: a torn final line is skipped, malformed
-// lines elsewhere are an error. A missing file yields no entries.
+// lines elsewhere are an error. A missing file yields no entries. A
+// truncated journal's base header is delivered as its first entry.
 func ReadJournal(path string, fn func(JournalEntry) error) error {
-	_, _, err := replayJournal(path, func(line journalLine) error {
+	_, err := ReadJournalInfo(path, fn)
+	return err
+}
+
+// JournalInfo summarises a journal file's coordinates as read from disk.
+type JournalInfo struct {
+	// Base is the truncation header (zero unless HasBase).
+	Base    JournalBase
+	HasBase bool
+	// BaseLineLen is the byte length of the base header line (0 without one).
+	BaseLineLen int64
+	// FileBytes/FileRecords are the durable file-local position: FileBytes
+	// includes the base header line, FileRecords does not count it.
+	FileBytes   int64
+	FileRecords int64
+}
+
+// GlobalBytes returns the durable offset in global (never-truncated)
+// journal coordinates.
+func (ji JournalInfo) GlobalBytes() int64 {
+	return ji.Base.Bytes + (ji.FileBytes - ji.BaseLineLen)
+}
+
+// GlobalRecords returns the durable record count in global coordinates.
+func (ji JournalInfo) GlobalRecords() int64 { return ji.Base.Recs + ji.FileRecords }
+
+// ReadJournalInfo streams a journal like ReadJournal and additionally
+// returns the file's truncation state and durable offsets — what a
+// checkpoint-anchored replayer or a resuming follower needs to place the
+// file in global coordinates.
+func ReadJournalInfo(path string, fn func(JournalEntry) error) (JournalInfo, error) {
+	var info JournalInfo
+	first := true
+	bytes, _, err := replayJournal(path, func(line journalLine, size int64) error {
+		isFirst := first
+		first = false
 		e, err := line.entry()
 		if err != nil {
 			return err
 		}
-		if e.Answer == nil && e.FitN == 0 && !e.Restart {
+		if e.Base != nil {
+			if !isFirst {
+				return fmt.Errorf("%w: base record past the journal header", ErrInvalid)
+			}
+			info.Base, info.HasBase, info.BaseLineLen = *e.Base, true, size
+		} else {
+			info.FileRecords++
+		}
+		if e.Answer == nil && e.FitN == 0 && !e.Restart && e.Base == nil {
 			return nil // unknown op
 		}
 		return fn(e)
 	})
-	return err
+	info.FileBytes = bytes
+	return info, err
 }
 
-// replayJournal streams a journal file through fn in order and returns the
-// durable (byte, record) position: the offset just past the last complete,
+// replayJournal streams a journal file through fn in order (each line with
+// its on-disk byte length, newline included) and returns the durable
+// (byte, record) position: the offset just past the last complete,
 // well-formed line. A torn final line — unterminated, or malformed with
 // nothing after it — is tolerated, skipped, and excluded from the durable
 // offset (a crash can tear a record mid-write; it was never acked, and a
 // shipped stream can end mid-record when the primary dies mid-send). A
 // malformed line in the middle of the file is an error. A missing file
 // yields no entries at offset 0.
-func replayJournal(path string, fn func(journalLine) error) (int64, int64, error) {
+func replayJournal(path string, fn func(journalLine, int64) error) (int64, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -299,7 +533,7 @@ func replayJournal(path string, fn func(journalLine) error) (int64, int64, error
 			pendingErr = fmt.Errorf("serve: journal line %d: %w", lineNo, err)
 			continue
 		}
-		if err := fn(line); err != nil {
+		if err := fn(line, int64(len(raw))); err != nil {
 			return off, recs, err
 		}
 		off += int64(len(raw))

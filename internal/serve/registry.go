@@ -107,7 +107,7 @@ func (r *Registry) Create(spec JobSpec) (*Job, error) {
 			os.RemoveAll(dir)
 			return nil, fmt.Errorf("serve: writing job spec: %w", err)
 		}
-		if jr, err = openJournal(filepath.Join(dir, journalFile), r.cfg.SyncJournal, 0); err != nil {
+		if jr, err = openJournal(filepath.Join(dir, journalFile), r.cfg.SyncJournal, 0, JournalBase{}, 0); err != nil {
 			os.RemoveAll(dir)
 			return nil, err
 		}
@@ -163,7 +163,8 @@ func (r *Registry) Jobs() []*Job {
 }
 
 // Delete closes a job (draining its queue and checkpointing) and removes it
-// from the registry. Its on-disk state is retained.
+// from the registry. Its on-disk state is retained — restart recovers it;
+// Purge discards it.
 func (r *Registry) Delete(id string) error {
 	r.mu.Lock()
 	j, ok := r.jobs[id]
@@ -175,6 +176,47 @@ func (r *Registry) Delete(id string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	return j.Close()
+}
+
+// Purge is Delete plus storage GC: it closes the job (if registered) and
+// removes its directory — journal, checkpoints, spec, epoch record — so the
+// id is immediately reusable and the tenant's disk is reclaimed. It also
+// purges the retained state of an already-deleted job (the state that
+// otherwise 409s a Create reusing the id). Irreversible.
+func (r *Registry) Purge(id string) error {
+	if err := validateJobID(id); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	j, ok := r.jobs[id]
+	if ok {
+		delete(r.jobs, id)
+	}
+	r.mu.Unlock()
+	var err error
+	if ok {
+		err = j.Close()
+	}
+	if r.cfg.Dir == "" {
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNotFound, id)
+		}
+		return err
+	}
+	dir := filepath.Join(r.cfg.Dir, "jobs", id)
+	if !ok {
+		retained, serr := hasJobState(dir)
+		if serr != nil {
+			return serr
+		}
+		if !retained {
+			return fmt.Errorf("%w: %q", ErrNotFound, id)
+		}
+	}
+	if rerr := os.RemoveAll(dir); err == nil {
+		err = rerr
+	}
+	return err
 }
 
 // Close shuts every job down cleanly (drain, checkpoint, close journal).
@@ -211,7 +253,7 @@ func (r *Registry) CrashAll() {
 // journal or checkpoint). A missing directory, or a bare one left by an
 // aborted Create, has none.
 func hasJobState(dir string) (bool, error) {
-	for _, name := range []string{specFile, journalFile, modelFile} {
+	for _, name := range []string{specFile, journalFile, modelFile, baseFile} {
 		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
 			return true, nil
 		} else if !os.IsNotExist(err) {
@@ -252,19 +294,33 @@ func openExistingJob(dir string, cfg Config) (*Job, error) {
 		return nil, err
 	}
 
+	// Restore the newest checkpoint: model.gob when present, else the
+	// truncation anchor base.gob (a follower of a truncated source stages
+	// only the latter), else a fresh model. A truncated journal with no
+	// checkpoint at or past its base is unrecoverable — the skip arithmetic
+	// below rejects it, since the dropped prefix cannot be replayed.
 	var model *core.Model
-	if f, err := os.Open(filepath.Join(dir, modelFile)); err == nil {
+	loaded := false
+	for _, name := range []string{modelFile, baseFile} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("opening checkpoint: %w", err)
+		}
 		model, err = core.Load(f)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("loading checkpoint: %w", err)
+			return nil, fmt.Errorf("loading checkpoint %s: %w", name, err)
 		}
-	} else if os.IsNotExist(err) {
+		loaded = true
+		break
+	}
+	if !loaded {
 		if model, err = core.NewModel(spec.Model, spec.Items, spec.Workers, spec.Labels); err != nil {
 			return nil, err
 		}
-	} else {
-		return nil, fmt.Errorf("opening checkpoint: %w", err)
 	}
 
 	j := newJob(spec, model, dir, cfg)
@@ -275,16 +331,29 @@ func openExistingJob(dir string, cfg Config) (*Job, error) {
 		return nil, err
 	}
 
-	// Replay the journal suffix. The checkpoint covers the first
-	// NumAnswers() answer lines and the first BatchRounds() fit markers;
-	// everything after is replayed with the recorded batch boundaries so
-	// the recovered posterior matches the pre-crash one exactly.
-	checkpointAns := model.NumAnswers()
-	skipAns, skipFit := checkpointAns, model.BatchRounds()
-	coveredBySkipped := 0
+	// Replay the journal suffix. In global coordinates the checkpoint covers
+	// the first TotalIngested() answer lines and the first BatchRounds() fit
+	// markers; a truncated journal's base header states how many of each its
+	// dropped prefix held, so the file-local skip counts are the difference.
+	// Everything after is replayed with the recorded batch boundaries so the
+	// recovered posterior matches the pre-crash one exactly. This works for
+	// any checkpoint at or past the base — including the window where a kill
+	// landed after base.gob was copied but before the journal rewrite
+	// committed (untruncated journal, checkpoint ahead of a stale base.gob).
+	checkpointAns := int64(model.TotalIngested())
+	skipAns, skipFit := checkpointAns, int64(model.BatchRounds())
+	coveredBySkipped := int64(0)
 	var pending []answers.Answer
+	var base JournalBase
+	var hdrLen int64
+	firstLine := true
 	journalPath := filepath.Join(dir, journalFile)
-	durableOff, durableRecs, err := replayJournal(journalPath, func(line journalLine) error {
+	// A kill between a truncation's temp-file write and its rename can leave
+	// the temp file behind; it was never the journal, so drop it.
+	os.Remove(journalPath + ".tmp")
+	durableOff, durableRecs, err := replayJournal(journalPath, func(line journalLine, size int64) error {
+		isFirst := firstLine
+		firstLine = false
 		switch line.Op {
 		case opAnswer:
 			if line.Ans == nil {
@@ -302,7 +371,7 @@ func openExistingJob(dir string, cfg Config) (*Job, error) {
 		case opFit:
 			if skipFit > 0 {
 				skipFit--
-				coveredBySkipped += line.N
+				coveredBySkipped += int64(line.N)
 				return nil
 			}
 			if line.N <= 0 || line.N > len(pending) {
@@ -315,6 +384,21 @@ func openExistingJob(dir string, cfg Config) (*Job, error) {
 		case opRestart:
 			// A previous recovery's re-anchor: only the snapshot publisher
 			// cares (replay mirrors it); the model replay is unaffected.
+		case opBase:
+			if line.Base == nil {
+				return fmt.Errorf("%w: base line without payload", ErrInvalid)
+			}
+			if !isFirst {
+				return fmt.Errorf("%w: base record past the journal header", ErrInvalid)
+			}
+			base, hdrLen = *line.Base, size
+			skipAns -= base.Ans
+			skipFit -= base.Fits
+			coveredBySkipped += base.Covered
+			if skipAns < 0 || skipFit < 0 {
+				return fmt.Errorf("%w: checkpoint (%d answers, %d markers) behind journal base (%d, %d): truncated prefix is unreplayable",
+					ErrInvalid, checkpointAns, model.BatchRounds(), base.Ans, base.Fits)
+			}
 		}
 		return nil
 	})
@@ -326,8 +410,8 @@ func openExistingJob(dir string, cfg Config) (*Job, error) {
 			ErrInvalid, skipAns, skipFit, coveredBySkipped, checkpointAns)
 	}
 
-	j.ingested.Store(int64(model.NumAnswers() + len(pending)))
-	j.fitted.Store(int64(model.NumAnswers()))
+	j.ingested.Store(int64(model.TotalIngested()) + int64(len(pending)))
+	j.fitted.Store(int64(model.TotalIngested()))
 	j.rounds.Store(int64(model.BatchRounds()))
 	// Truncate any torn tail (a crash mid-append, or a shipped journal whose
 	// stream died mid-record) back to the durable offset before reopening
@@ -338,7 +422,11 @@ func openExistingJob(dir string, cfg Config) (*Job, error) {
 			return nil, fmt.Errorf("truncating torn journal tail: %w", terr)
 		}
 	}
-	if j.journal, err = openJournal(journalPath, cfg.SyncJournal, durableRecs); err != nil {
+	recs := durableRecs
+	if hdrLen != 0 {
+		recs-- // the base header line is not a journal record
+	}
+	if j.journal, err = openJournal(journalPath, cfg.SyncJournal, recs, base, hdrLen); err != nil {
 		return nil, err
 	}
 	if model.Fitted() {

@@ -39,6 +39,10 @@ var (
 	ErrClosed    = errors.New("serve: job closed")
 	ErrInvalid   = errors.New("serve: invalid request")
 	ErrTooLarge  = errors.New("serve: request body too large")
+	// ErrTruncated means a requested journal offset predates the truncated
+	// prefix (HTTP 410): the reader must re-handshake from the base — fetch
+	// the base checkpoint, then tail from the base offset.
+	ErrTruncated = errors.New("serve: offset predates truncated journal prefix")
 )
 
 // Config tunes the serving subsystem. The zero value is usable: an
@@ -65,6 +69,21 @@ type Config struct {
 	// are always flushed to the OS (surviving process death); Sync
 	// additionally survives power loss at a latency cost. Default false.
 	SyncJournal bool
+
+	// TruncateJournal enables checkpoint-anchored journal truncation
+	// (DESIGN.md §12): after a checkpoint written at a caught-up (full)
+	// publication, the journal prefix the checkpoint covers is dropped
+	// behind a base header and the anchoring checkpoint is retained as
+	// base.gob, bounding the journal at roughly the bytes ingested between
+	// checkpoints. Recovery, replay, and replication coordinates are
+	// unchanged (global offsets stay continuous); followers of a truncated
+	// source re-handshake from the base. Default false: append-only forever.
+	TruncateJournal bool
+
+	// TruncateMin is the minimum droppable prefix, in bytes, before a
+	// truncation rewrite is worth its copy cost. Default 64KiB (with
+	// TruncateJournal set).
+	TruncateMin int64
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +95,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchWait == 0 {
 		c.BatchWait = 100 * time.Millisecond
+	}
+	if c.TruncateJournal && c.TruncateMin == 0 {
+		c.TruncateMin = 64 << 10
 	}
 	return c
 }
@@ -91,19 +113,33 @@ type JobSpec struct {
 }
 
 func (s JobSpec) validate() error {
-	if s.ID == "" || len(s.ID) > 128 {
+	if err := validateJobID(s.ID); err != nil {
+		return err
+	}
+	if s.Items <= 0 || s.Workers <= 0 || s.Labels <= 0 {
+		return fmt.Errorf("%w: job dimensions %d/%d/%d", ErrInvalid, s.Items, s.Workers, s.Labels)
+	}
+	return nil
+}
+
+// validateJobID checks a job id in isolation. The character set doubles as
+// path-safety: every id maps to a directory name with no separators or dot
+// segments, so id-addressed disk operations (recovery, purge) cannot escape
+// the jobs directory.
+func validateJobID(id string) error {
+	if id == "" || len(id) > 128 {
 		return fmt.Errorf("%w: job id must be 1-128 characters", ErrInvalid)
 	}
-	for _, r := range s.ID {
+	for _, r := range id {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
 			r == '-', r == '_', r == '.':
 		default:
-			return fmt.Errorf("%w: job id %q may only contain [A-Za-z0-9._-]", ErrInvalid, s.ID)
+			return fmt.Errorf("%w: job id %q may only contain [A-Za-z0-9._-]", ErrInvalid, id)
 		}
 	}
-	if s.Items <= 0 || s.Workers <= 0 || s.Labels <= 0 {
-		return fmt.Errorf("%w: job dimensions %d/%d/%d", ErrInvalid, s.Items, s.Workers, s.Labels)
+	if id == "." || id == ".." {
+		return fmt.Errorf("%w: job id %q is reserved", ErrInvalid, id)
 	}
 	return nil
 }

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+import "cpa/internal/core"
+
+// truncCfg is a registry config aggressive enough that a modest stream
+// truncates several times: checkpoint every 2 rounds, drop any prefix over
+// 2KiB.
+func truncCfg(dir string) Config {
+	return Config{Dir: dir, SaveEvery: 2, BatchWait: 5 * time.Millisecond,
+		TruncateJournal: true, TruncateMin: 2 << 10}
+}
+
+// TestTruncationBoundsJournalAndRecoversExactly is the retention half of
+// the crash-recovery contract: with truncation on, the on-disk journal file
+// stays a fraction of the global journal length, the dropped prefix is
+// anchored by base.gob, and a kill -9 after several truncations still
+// recovers the bit-identical consensus and keeps serving.
+func TestTruncationBoundsJournalAndRecoversExactly(t *testing.T) {
+	dir := t.TempDir()
+	ds := shuffledStream(t, 0.08, 7)
+	spec := JobSpec{
+		ID: "trunc", Items: ds.NumItems, Workers: ds.NumWorkers, Labels: ds.NumLabels,
+		Model: core.Config{Seed: 7, BatchSize: 64, Parallelism: 2},
+	}
+	reg := mustOpen(t, truncCfg(dir))
+	job, err := reg.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := ds.Answers()
+	holdBack := 100
+	ingestAll(t, job, all[:len(all)-holdBack], 64)
+	waitSnapshot(t, job, len(all)-holdBack)
+	stats := job.Stats() // the journal handle closes with the crash below
+	reg.CrashAll()
+	before := job.Snapshot()
+
+	if stats.JournalBytes == 0 {
+		t.Fatal("no journal bytes recorded")
+	}
+	if stats.JournalFileBytes >= stats.JournalBytes {
+		t.Fatalf("journal never truncated: file %d bytes of %d global", stats.JournalFileBytes, stats.JournalBytes)
+	}
+	if stats.JournalFileBytes > stats.JournalBytes/2 {
+		t.Fatalf("journal file not bounded: %d of %d global bytes", stats.JournalFileBytes, stats.JournalBytes)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "jobs", "trunc", baseFile)); err != nil {
+		t.Fatalf("truncated journal has no base checkpoint anchor: %v", err)
+	}
+
+	reg2 := mustOpen(t, truncCfg(dir))
+	defer reg2.Close()
+	job2, ok := reg2.Get("trunc")
+	if !ok {
+		t.Fatal("job not recovered")
+	}
+	sameConsensus(t, before, job2.Snapshot())
+	// Recovery journals a restart re-anchor, so the global coordinate may
+	// advance by that one record — but it must never regress below the
+	// pre-crash durable position (a regression means the truncated prefix
+	// was dropped from the coordinate space).
+	if got := job2.Stats(); got.JournalBytes < stats.JournalBytes {
+		t.Fatalf("global journal coordinate regressed across recovery: %d, want >= %d", got.JournalBytes, stats.JournalBytes)
+	}
+
+	// The recovered job keeps truncating as it serves the held-back tail.
+	ingestAll(t, job2, all[len(all)-holdBack:], 64)
+	after := waitSnapshot(t, job2, len(all))
+	if after.Round <= before.Round {
+		t.Fatalf("recovered job did not resume fitting: round %d (pre-crash %d)", after.Round, before.Round)
+	}
+}
+
+// TestTruncationKillWindowRecovers pins the crash protocol's vulnerable
+// window: base.gob has been refreshed but the journal rewrite never
+// committed (stale journal.jsonl.tmp left behind, untruncated journal on
+// disk). Recovery must ignore the newer base.gob in favor of model.gob,
+// discard the temp file, and reproduce the pre-crash consensus.
+func TestTruncationKillWindowRecovers(t *testing.T) {
+	dir := t.TempDir()
+	ds := shuffledStream(t, 0.08, 13)
+	spec := JobSpec{
+		ID: "window", Items: ds.NumItems, Workers: ds.NumWorkers, Labels: ds.NumLabels,
+		Model: core.Config{Seed: 13, BatchSize: 64, Parallelism: 2},
+	}
+	reg := mustOpen(t, truncCfg(dir))
+	job, err := reg.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, job, ds.Answers(), 64)
+	waitSnapshot(t, job, len(ds.Answers()))
+	reg.CrashAll()
+	before := job.Snapshot()
+
+	// Re-create the mid-truncation disk state on top of the crashed job:
+	// base.gob freshly copied from the final checkpoint (the copy step
+	// completed) and the journal rewrite torn — its temp file written but
+	// never renamed over journal.jsonl.
+	jobDir := filepath.Join(dir, "jobs", "window")
+	if _, err := os.Stat(filepath.Join(jobDir, modelFile)); err != nil {
+		t.Fatalf("no final checkpoint to anchor the simulated window: %v", err)
+	}
+	if err := copyFileAtomic(filepath.Join(jobDir, modelFile), filepath.Join(jobDir, baseFile)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jobDir, journalFile+".tmp"), []byte("torn rewrite\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := mustOpen(t, truncCfg(dir))
+	defer reg2.Close()
+	job2, ok := reg2.Get("window")
+	if !ok {
+		t.Fatal("job not recovered from the truncation kill window")
+	}
+	sameConsensus(t, before, job2.Snapshot())
+	if _, err := os.Stat(filepath.Join(jobDir, journalFile+".tmp")); !os.IsNotExist(err) {
+		t.Fatalf("stale journal temp file survived recovery: %v", err)
+	}
+}
