@@ -1,0 +1,322 @@
+// Package capacity fits the Universal Scalability Law to measured
+// (concurrency, throughput) observations and plans which concurrencies to
+// probe next (DESIGN.md §13).
+//
+// The USL models throughput at concurrency n as
+//
+//	X(n) = γ·n / (1 + α·(n−1) + β·n·(n−1))
+//
+// where γ is the ideal per-unit throughput, α ∈ [0,1] the contention
+// (serialization) fraction and β ≥ 0 the coherence (crosstalk) cost. With
+// β > 0 the curve has an interior maximum at n* = √((1−α)/β) — the knee
+// past which added concurrency costs throughput — which is what both the
+// loadgen capacity sweep and the serve auto-tuner steer toward.
+//
+// Fitting is a linearized least-squares seed polished by a seeded,
+// fixed-iteration random-restart descent, so identical observations and
+// seed always produce the identical fit (the tests and the journaled
+// auto-tune trajectory depend on that). The package is dependency-free.
+package capacity
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Observation is one measured throughput sample: X units of work per second
+// at concurrency N. N need not be an integer — a mini-batch sweep fits in
+// normalized batch units — but must be ≥ 1.
+type Observation struct {
+	N float64 `json:"n"`
+	X float64 `json:"x"`
+}
+
+// Fit is a fitted USL curve plus its derived operating points.
+type Fit struct {
+	// Gamma is γ, the ideal throughput of one unit (X(1) = γ).
+	Gamma float64 `json:"gamma"`
+	// Alpha is α ∈ [0,1], the contention (serialized fraction) coefficient.
+	Alpha float64 `json:"alpha"`
+	// Beta is β ≥ 0, the coherence (pairwise crosstalk) coefficient.
+	Beta float64 `json:"beta"`
+	// Knee is n* = √((1−α)/β), the concurrency maximizing X — 0 when β is
+	// (numerically) zero and the fitted curve has no interior maximum.
+	Knee float64 `json:"knee"`
+	// Peak is X(Knee) (0 when Knee is 0).
+	Peak float64 `json:"peak"`
+	// Residual is the goodness of fit: the root-mean-square relative error
+	// of the fitted curve over the observations (0 = exact).
+	Residual float64 `json:"residual"`
+	// Points is how many distinct concurrencies the fit saw.
+	Points int `json:"points"`
+}
+
+// X evaluates the fitted curve at concurrency n.
+func (f Fit) X(n float64) float64 {
+	return f.Gamma * n / (1 + f.Alpha*(n-1) + f.Beta*n*(n-1))
+}
+
+// BestN returns the integer concurrency in [min, max] maximizing the fitted
+// X — the knee rounded into the probed range, resolving the floor/ceil tie
+// by predicted throughput. Ties prefer the smaller n (same throughput for
+// less concurrency).
+func (f Fit) BestN(min, max int) int {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	best, bestX := min, f.X(float64(min))
+	for n := min + 1; n <= max; n++ {
+		if x := f.X(float64(n)); x > bestX {
+			best, bestX = n, x
+		}
+	}
+	return best
+}
+
+// minPoints is the fewest distinct concurrencies a 3-parameter fit needs.
+const minPoints = 3
+
+// Deterministic search budget: restarts × iterations of bounded random
+// descent. Small enough to run in microseconds on a handful of points,
+// large enough to polish the linearized seed to ~1e-3 relative error.
+const (
+	fitRestarts = 8
+	fitIters    = 4000
+)
+
+// FitUSL fits the USL to the observations. Duplicate concurrencies are
+// averaged first (repeated windows at one setting collapse into one point).
+// The search is deterministic under seed: a linearized least-squares seed
+// plus seeded random-restart descent with a fixed iteration budget.
+// Requires at least 3 distinct concurrencies with positive throughput.
+func FitUSL(obs []Observation, seed int64) (Fit, error) {
+	pts := aggregate(obs)
+	if len(pts) < minPoints {
+		return Fit{}, fmt.Errorf("capacity: need ≥%d distinct concurrencies, have %d", minPoints, len(pts))
+	}
+
+	g, a, b := linearSeed(pts)
+	g, a, b = clampParams(g, a, b, pts)
+	bestG, bestA, bestB, bestErr := descend(pts, g, a, b, rand.New(rand.NewSource(seed)))
+
+	// Restart from jittered seeds: the linearized seed can sit in a shallow
+	// local basin when the observations are noisy.
+	for r := 1; r < fitRestarts; r++ {
+		rng := rand.New(rand.NewSource(seed + int64(r)*7919))
+		g2 := bestG * (0.5 + rng.Float64())
+		a2 := clamp01(bestA + 0.4*(rng.Float64()-0.5))
+		b2 := bestB * (0.25 + 1.5*rng.Float64())
+		if b2 == 0 {
+			b2 = 1e-4 * rng.Float64()
+		}
+		g2, a2, b2 = clampParams(g2, a2, b2, pts)
+		if g3, a3, b3, e := descend(pts, g2, a2, b2, rng); e < bestErr {
+			bestG, bestA, bestB, bestErr = g3, a3, b3, e
+		}
+	}
+
+	f := Fit{Gamma: bestG, Alpha: bestA, Beta: bestB, Points: len(pts)}
+	f.Residual = math.Sqrt(bestErr / float64(len(pts)))
+	if f.Beta > 1e-12 && f.Alpha < 1 {
+		f.Knee = math.Sqrt((1 - f.Alpha) / f.Beta)
+		f.Peak = f.X(f.Knee)
+	}
+	return f, nil
+}
+
+// aggregate averages duplicate concurrencies and drops non-positive points,
+// returning distinct observations sorted by N.
+func aggregate(obs []Observation) []Observation {
+	type acc struct{ sum, n float64 }
+	byN := map[float64]*acc{}
+	for _, o := range obs {
+		if o.N < 1 || o.X <= 0 || math.IsNaN(o.X) || math.IsInf(o.X, 0) {
+			continue
+		}
+		a := byN[o.N]
+		if a == nil {
+			a = &acc{}
+			byN[o.N] = a
+		}
+		a.sum += o.X
+		a.n++
+	}
+	pts := make([]Observation, 0, len(byN))
+	for n, a := range byN {
+		pts = append(pts, Observation{N: n, X: a.sum / a.n})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].N < pts[j].N })
+	return pts
+}
+
+// linearSeed solves the linearization y = n/x = (1/γ)·(1 + α(n−1) + βn(n−1))
+// by ordinary least squares over the basis [1, n−1, n(n−1)] — a 3×3 normal
+// system solved with Gaussian elimination. The returned parameters may fall
+// outside the USL bounds; the caller clamps.
+func linearSeed(pts []Observation) (g, a, b float64) {
+	var m [3][4]float64
+	for _, p := range pts {
+		u := [3]float64{1, p.N - 1, p.N * (p.N - 1)}
+		y := p.N / p.X
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				m[i][j] += u[i] * u[j]
+			}
+			m[i][3] += u[i] * y
+		}
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < 3; col++ {
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		m[col], m[piv] = m[piv], m[col]
+		if math.Abs(m[col][col]) < 1e-18 {
+			// Singular (e.g. only 3 collinear points): fall back to a flat
+			// Amdahl-ish seed at the first point's per-unit throughput.
+			return pts[0].X / pts[0].N, 0.1, 1e-4
+		}
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c < 4; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	c0 := m[0][3] / m[0][0] // 1/γ
+	c1 := m[1][3] / m[1][1] // α/γ
+	c2 := m[2][3] / m[2][2] // β/γ
+	if c0 <= 0 {
+		return pts[0].X / pts[0].N, 0.1, 1e-4
+	}
+	return 1 / c0, c1 / c0, c2 / c0
+}
+
+// clampParams forces the parameters into the USL bounds (γ > 0, α ∈ [0,1],
+// β ≥ 0), substituting data-derived fallbacks for unusable values.
+func clampParams(g, a, b float64, pts []Observation) (float64, float64, float64) {
+	if g <= 0 || math.IsNaN(g) || math.IsInf(g, 0) {
+		g = pts[0].X / pts[0].N
+	}
+	if math.IsNaN(a) {
+		a = 0
+	}
+	a = clamp01(a)
+	if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+		b = 0
+	}
+	return g, a, b
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// sqErr is the descent objective: the sum of squared relative errors of the
+// candidate curve over the points. Relative error keeps the low- and
+// high-concurrency ends of the curve equally weighted even when throughput
+// spans an order of magnitude across the sweep.
+func sqErr(pts []Observation, g, a, b float64) float64 {
+	var e float64
+	for _, p := range pts {
+		pred := g * p.N / (1 + a*(p.N-1) + b*p.N*(p.N-1))
+		d := (pred - p.X) / p.X
+		e += d * d
+	}
+	return e
+}
+
+// descend runs the bounded random descent of SNIPPETS' USL fitter family: a
+// fixed number of proposal steps scaled by the current error, accepting only
+// improvements and keeping every parameter inside its bound. Deterministic
+// for a given rng state.
+func descend(pts []Observation, g, a, b float64, rng *rand.Rand) (float64, float64, float64, float64) {
+	err := sqErr(pts, g, a, b)
+	for i := 0; i < fitIters; i++ {
+		// Step scale shrinks with the error so the walk anneals itself;
+		// the floor keeps it exploring when the seed is already good.
+		s := 0.25 * err
+		if s < 1e-4 {
+			s = 1e-4
+		}
+		g2 := g * (1 + s*(rng.Float64()-0.5))
+		a2 := clamp01(a + s*(rng.Float64()-0.5))
+		b2 := b + s*1e-2*(rng.Float64()-0.5)
+		if b2 < 0 {
+			b2 = 0
+		}
+		if g2 <= 0 {
+			continue
+		}
+		if e2 := sqErr(pts, g2, a2, b2); e2 < err {
+			g, a, b, err = g2, a2, b2, e2
+		}
+	}
+	return g, a, b, err
+}
+
+// ---------------------------------------------------------------------------
+// Sweep planning
+// ---------------------------------------------------------------------------
+
+// Plan returns log-spaced probe concurrencies covering [min, max]: powers of
+// two from min, always including max. This is the initial ladder of a
+// capacity sweep — wide coverage with few rungs, so the fitter can place the
+// knee before Densify spends rungs around it.
+func Plan(min, max int) []int {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	var rungs []int
+	for n := min; n < max; n *= 2 {
+		rungs = append(rungs, n)
+	}
+	return append(rungs, max)
+}
+
+// Densify returns up to two additional probe points bracketing the emerging
+// knee — the unprobed integers nearest to knee within [min, max]. Probing
+// densest where the curve bends is what pins α against β: the log ladder
+// alone can stride straight over the maximum.
+func Densify(knee float64, probed []int, min, max int) []int {
+	if knee <= 0 {
+		return nil
+	}
+	seen := make(map[int]bool, len(probed))
+	for _, p := range probed {
+		seen[p] = true
+	}
+	var out []int
+	for _, cand := range []int{int(math.Floor(knee)), int(math.Ceil(knee)), int(math.Round(knee)) - 1, int(math.Round(knee)) + 1} {
+		if cand < min || cand > max || seen[cand] {
+			continue
+		}
+		seen[cand] = true
+		out = append(out, cand)
+		if len(out) == 2 {
+			break
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,230 @@
+package capacity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synth evaluates a ground-truth USL curve at n.
+func synth(g, a, b, n float64) float64 {
+	return g * n / (1 + a*(n-1) + b*n*(n-1))
+}
+
+// observe samples a ground-truth curve at the given concurrencies, with
+// optional multiplicative noise.
+func observe(g, a, b float64, ns []int, noise float64, seed int64) []Observation {
+	rng := rand.New(rand.NewSource(seed))
+	obs := make([]Observation, 0, len(ns))
+	for _, n := range ns {
+		x := synth(g, a, b, float64(n))
+		if noise > 0 {
+			x *= 1 + noise*(2*rng.Float64()-1)
+		}
+		obs = append(obs, Observation{N: float64(n), X: x})
+	}
+	return obs
+}
+
+func TestRecoverKnownParameters(t *testing.T) {
+	cases := []struct {
+		name    string
+		g, a, b float64
+	}{
+		{"classic-knee", 1000, 0.05, 0.002},
+		{"high-contention", 800, 0.30, 0.001},
+		{"amdahl-only", 1200, 0.15, 0}, // β=0: pure contention, no knee
+		{"near-linear", 500, 0.01, 1e-5},
+	}
+	ns := []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := FitUSL(observe(tc.g, tc.a, tc.b, ns, 0, 1), 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(f.Gamma-tc.g)/tc.g > 0.02 {
+				t.Errorf("gamma = %.4f, want %.4f", f.Gamma, tc.g)
+			}
+			if math.Abs(f.Alpha-tc.a) > 0.02 {
+				t.Errorf("alpha = %.4f, want %.4f", f.Alpha, tc.a)
+			}
+			if math.Abs(f.Beta-tc.b) > 5e-4 {
+				t.Errorf("beta = %.6f, want %.6f", f.Beta, tc.b)
+			}
+			if f.Residual > 0.02 {
+				t.Errorf("noise-free residual = %.4f, want ~0", f.Residual)
+			}
+			if tc.b > 1e-12 {
+				wantKnee := math.Sqrt((1 - tc.a) / tc.b)
+				if math.Abs(f.Knee-wantKnee)/wantKnee > 0.15 {
+					t.Errorf("knee = %.2f, want %.2f", f.Knee, wantKnee)
+				}
+				if f.Peak <= 0 {
+					t.Errorf("peak = %.2f, want > 0", f.Peak)
+				}
+			} else if f.Knee > 1000 && f.Knee != 0 {
+				// β=0 may fit as a tiny β; the knee must then sit far past
+				// the probed range, never inside it.
+				t.Logf("amdahl fit placed knee at %.1f (outside probed range, ok)", f.Knee)
+			} else if f.Knee != 0 && f.Knee <= float64(ns[len(ns)-1]) {
+				t.Errorf("β=0 curve fitted an interior knee at %.2f", f.Knee)
+			}
+		})
+	}
+}
+
+func TestRecoverFromNoisySamples(t *testing.T) {
+	const g, a, b = 900.0, 0.08, 0.004
+	ns := []int{1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 24, 32}
+	f, err := FitUSL(observe(g, a, b, ns, 0.05, 7), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Gamma-g)/g > 0.15 {
+		t.Errorf("gamma = %.2f, want %.2f ±15%%", f.Gamma, g)
+	}
+	if math.Abs(f.Alpha-a) > 0.10 {
+		t.Errorf("alpha = %.4f, want %.4f ±0.10", f.Alpha, a)
+	}
+	wantKnee := math.Sqrt((1 - a) / b)
+	if f.Knee == 0 || math.Abs(f.Knee-wantKnee)/wantKnee > 0.30 {
+		t.Errorf("knee = %.2f, want %.2f ±30%%", f.Knee, wantKnee)
+	}
+	if f.Residual > 0.10 {
+		t.Errorf("residual = %.4f under 5%% noise, want < 0.10", f.Residual)
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	obs := observe(700, 0.1, 0.003, []int{1, 2, 4, 8, 16, 32}, 0.08, 3)
+	f1, err := FitUSL(obs, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		f2, err := FitUSL(obs, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f1 != f2 {
+			t.Fatalf("fit not deterministic: run %d gave %+v, first run %+v", i+2, f2, f1)
+		}
+	}
+	// A different seed may land in a different basin, but must still fit.
+	f3, err := FitUSL(obs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3.Residual > 2*f1.Residual+0.05 {
+		t.Errorf("seed 100 residual %.4f wildly worse than seed 99's %.4f", f3.Residual, f1.Residual)
+	}
+}
+
+// TestKneeMaximizesPredictedX is the property test: over the probed range,
+// no integer concurrency may out-produce the one BestN reports under the
+// fitted curve.
+func TestKneeMaximizesPredictedX(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ns := []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+	for trial := 0; trial < 50; trial++ {
+		g := 100 + 2000*rng.Float64()
+		a := 0.4 * rng.Float64()
+		b := math.Pow(10, -4+2*rng.Float64()) // β ∈ [1e-4, 1e-2]
+		f, err := FitUSL(observe(g, a, b, ns, 0.03, int64(trial)), int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := 1, 64
+		best := f.BestN(lo, hi)
+		bestX := f.X(float64(best))
+		for n := lo; n <= hi; n++ {
+			if x := f.X(float64(n)); x > bestX+1e-9 {
+				t.Fatalf("trial %d: BestN=%d (X=%.3f) but n=%d predicts X=%.3f (fit %+v)",
+					trial, best, bestX, n, x, f)
+			}
+		}
+		// With β>0 fitted, the continuous knee must agree with BestN up to
+		// integer rounding (or the range clamp).
+		if f.Knee > 0 {
+			k := f.Knee
+			if k < float64(lo) {
+				k = float64(lo)
+			}
+			if k > float64(hi) {
+				k = float64(hi)
+			}
+			if math.Abs(float64(best)-k) > 1.0+1e-9 {
+				t.Fatalf("trial %d: BestN=%d disagrees with clamped knee %.2f by more than rounding", trial, best, k)
+			}
+		}
+	}
+}
+
+func TestFitRejectsTooFewPoints(t *testing.T) {
+	if _, err := FitUSL([]Observation{{N: 1, X: 100}, {N: 2, X: 180}}, 1); err == nil {
+		t.Fatal("want error for 2 points")
+	}
+	// Duplicates collapse: 4 samples at 2 distinct N still fail.
+	obs := []Observation{{N: 1, X: 100}, {N: 1, X: 102}, {N: 2, X: 180}, {N: 2, X: 178}}
+	if _, err := FitUSL(obs, 1); err == nil {
+		t.Fatal("want error for 2 distinct concurrencies")
+	}
+}
+
+func TestAggregateDropsGarbage(t *testing.T) {
+	obs := []Observation{
+		{N: 1, X: 100}, {N: 2, X: 150}, {N: 4, X: 200},
+		{N: 0.5, X: 50}, {N: 3, X: -1}, {N: 5, X: math.NaN()}, {N: 6, X: math.Inf(1)},
+	}
+	pts := aggregate(obs)
+	if len(pts) != 3 {
+		t.Fatalf("aggregate kept %d points, want 3: %+v", len(pts), pts)
+	}
+}
+
+func TestPlan(t *testing.T) {
+	got := Plan(1, 16)
+	want := []int{1, 2, 4, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("Plan(1,16) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Plan(1,16) = %v, want %v", got, want)
+		}
+	}
+	// Non-power-of-two max is always included.
+	got = Plan(1, 12)
+	if got[len(got)-1] != 12 {
+		t.Fatalf("Plan(1,12) = %v, want trailing 12", got)
+	}
+	if got := Plan(4, 4); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("Plan(4,4) = %v, want [4]", got)
+	}
+}
+
+func TestDensify(t *testing.T) {
+	probed := []int{1, 2, 4, 8, 16}
+	got := Densify(5.3, probed, 1, 16)
+	if len(got) == 0 {
+		t.Fatal("Densify added nothing around an unprobed knee")
+	}
+	for _, n := range got {
+		if n < 1 || n > 16 {
+			t.Fatalf("Densify left the range: %v", got)
+		}
+		for _, p := range probed {
+			if n == p {
+				t.Fatalf("Densify re-probed %d", n)
+			}
+		}
+	}
+	if got := Densify(0, probed, 1, 16); got != nil {
+		t.Fatalf("Densify without a knee = %v, want nil", got)
+	}
+	// A fully probed neighborhood yields nothing.
+	if got := Densify(2.5, []int{1, 2, 3, 4}, 1, 4); got != nil {
+		t.Fatalf("Densify over a saturated range = %v, want nil", got)
+	}
+}

@@ -1,0 +1,117 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestCapacitySweepReport runs a cheap single-scenario sweep end to end and
+// pins the report contract: every dimension measured with positive
+// throughput, a USL fit with a sane residual where the ladder has enough
+// rungs, an auto-tune A/B with final settings inside the swept ranges, and
+// the replay/recovery invariants green under auto-tuning. The ≥0.9 A/B
+// ratio is deliberately NOT asserted here — wall-clock throughput ratios
+// belong to the CI capacity-smoke artifact check, not to -race unit runs on
+// loaded machines.
+func TestCapacitySweepReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity sweep re-runs the stream dozens of times")
+	}
+	cfg := CapacityConfig{
+		Scenarios:      []string{"uniform"},
+		Scale:          0.05,
+		Seed:           3,
+		MaxParallelism: 4,
+		MaxBatch:       64,
+		MaxClients:     4,
+		Warmup:         -1,
+		Logf:           t.Logf,
+	}
+	rep, err := RunCapacity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != CapacitySweepScenario {
+		t.Errorf("report kind %q, want %q", rep.Kind, CapacitySweepScenario)
+	}
+	if len(rep.Scenarios) != 1 {
+		t.Fatalf("swept %d scenarios, want 1", len(rep.Scenarios))
+	}
+	sc := rep.Scenarios[0]
+	if sc.StreamAnswers == 0 {
+		t.Fatal("empty stream")
+	}
+	if len(sc.Dimensions) != 3 {
+		t.Fatalf("swept %d dimensions, want 3", len(sc.Dimensions))
+	}
+	for _, d := range sc.Dimensions {
+		if len(d.Rungs) < 3 {
+			t.Errorf("dimension %s has %d rungs, want >= 3", d.Name, len(d.Rungs))
+		}
+		for _, rg := range d.Rungs {
+			if rg.AnswersPerSec <= 0 || rg.DurationSec <= 0 {
+				t.Errorf("dimension %s rung %d: non-positive measurement %+v", d.Name, rg.Setting, rg)
+			}
+			if rg.Ingest.Count == 0 {
+				t.Errorf("dimension %s rung %d: no ingest latency samples", d.Name, rg.Setting)
+			}
+		}
+		if d.BestSetting == 0 || d.BestAnswersPerSec <= 0 {
+			t.Errorf("dimension %s reports no best rung", d.Name)
+		}
+		if d.Fit == nil {
+			t.Errorf("dimension %s has no USL fit: %s", d.Name, d.FitError)
+			continue
+		}
+		if d.Fit.Gamma <= 0 || d.Fit.Alpha < 0 || d.Fit.Alpha > 1 || d.Fit.Beta < 0 {
+			t.Errorf("dimension %s fit outside USL bounds: %+v", d.Name, d.Fit)
+		}
+		if math.IsNaN(d.Fit.Residual) || d.Fit.Residual < 0 {
+			t.Errorf("dimension %s residual %v", d.Name, d.Fit.Residual)
+		}
+	}
+
+	ab := sc.AutoTune
+	if ab == nil {
+		t.Fatal("no auto-tune A/B in the report")
+	}
+	if ab.BestAnswersPerSec <= 0 || ab.TunedAnswersPerSec <= 0 || ab.Ratio <= 0 {
+		t.Fatalf("A/B not measured: %+v", ab)
+	}
+	if ab.FinalParallelism < 1 || ab.FinalParallelism > cfg.MaxParallelism {
+		t.Errorf("tuned Parallelism %d outside [1,%d]", ab.FinalParallelism, cfg.MaxParallelism)
+	}
+	if ab.FinalBatch < 1 {
+		t.Errorf("tuned batch %d", ab.FinalBatch)
+	}
+	if ab.Tuner == nil {
+		t.Error("A/B carries no tuner state")
+	}
+
+	if len(sc.Invariants) < 2 {
+		t.Fatalf("tuned arm checked %d invariants, want served-equals-replay and crash-recovery-exact", len(sc.Invariants))
+	}
+	for _, iv := range sc.Invariants {
+		if iv.Status != StatusPass {
+			t.Errorf("invariant %s[%s]: %s (%s)", iv.Name, iv.Job, iv.Status, iv.Detail)
+		}
+	}
+	if fails := rep.Failed(); len(fails) != 0 {
+		t.Errorf("Failed() reports %d failures", len(fails))
+	}
+
+	// The report must round-trip as JSON (it rides the cpaload -json array).
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["kind"] != CapacitySweepScenario {
+		t.Errorf("marshalled kind %v", back["kind"])
+	}
+	t.Logf("\n%s", rep.Summary())
+}

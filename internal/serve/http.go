@@ -26,7 +26,9 @@ import (
 //	GET    /v1/jobs/{id}/consensus    latest consensus snapshot
 //	GET    /v1/jobs/{id}/items/{item} one item's consensus
 //	GET    /healthz                    liveness
-//	GET    /statsz                     queue depths, fit rounds, snapshot ages
+//	GET    /statsz                     queue depths, fit rounds, snapshot ages,
+//	                                   auto-tune fits (?workers=1 adds per-worker
+//	                                   reliability trajectories; also on GET /v1/jobs/{id})
 //
 // Cluster-facing endpoints (consumed by internal/cluster, harmless to
 // expose on a single node):
@@ -147,7 +149,11 @@ func (s *Server) handleJobStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, fmt.Errorf("%w: %q", ErrNotFound, r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Stats())
+	st := job.Stats()
+	if r.URL.Query().Get("workers") == "1" {
+		st.WorkerTraj = job.WorkerTrajectories()
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
@@ -274,15 +280,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "num_jobs": len(s.reg.Jobs())})
 }
 
-func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	jobs := s.reg.Jobs()
 	stats := ServerStats{
 		UptimeSec: time.Since(s.start).Seconds(),
 		NumJobs:   len(jobs),
 		Jobs:      make([]JobStats, len(jobs)),
 	}
+	// ?workers=1 opts into the per-worker reliability trajectory rings — an
+	// O(workers × ring) payload per job, far too heavy for routine polls.
+	withWorkers := r.URL.Query().Get("workers") == "1"
 	for i, j := range jobs {
 		stats.Jobs[i] = j.Stats()
+		if withWorkers {
+			stats.Jobs[i].WorkerTraj = j.WorkerTrajectories()
+		}
 	}
 	writeJSON(w, http.StatusOK, stats)
 }

@@ -48,6 +48,10 @@ type Job struct {
 	snap     atomic.Pointer[Snapshot]
 	snapTime atomic.Int64 // unixnano of the last publication
 	pubHist  publishHist  // publish-latency histogram (log₂ buckets)
+	// tuner is the optional USL capacity controller (tuner.go); traj the
+	// optional per-worker reliability trajectory sampler. Both fitter-fed.
+	tuner *tuner
+	traj  *workerTraj
 
 	ingested atomic.Int64 // answers accepted (journaled + queued)
 	fitted   atomic.Int64 // answers consumed by PartialFit
@@ -78,6 +82,12 @@ func newJob(spec JobSpec, model *core.Model, dir string, cfg Config) *Job {
 		batchWait:   cfg.BatchWait,
 		truncate:    cfg.TruncateJournal,
 		truncateMin: cfg.TruncateMin,
+	}
+	if cfg.AutoTune {
+		j.tuner = newTuner(cfg, model.Config())
+	}
+	if spec.Workers <= trajMaxWorkers {
+		j.traj = newWorkerTraj(spec.Workers)
 	}
 	j.snap.Store(emptySnapshot(spec, time.Now()))
 	j.snapTime.Store(time.Now().UnixNano())
@@ -224,10 +234,25 @@ func (j *Job) Stats() JobStats {
 		Epoch:                epoch.Epoch,
 		Deposed:              epoch.Deposed,
 	}
+	if j.tuner != nil {
+		st.AutoTune = j.tuner.snapshot()
+	}
 	if msg := j.failure.Load(); msg != nil {
 		st.Error = *msg
 	}
 	return st
+}
+
+// WorkerTrajectories returns the recent per-worker reliability samples the
+// publisher recorded (nil when the job's worker count exceeds the sampling
+// cap). Only workers with at least one sample appear. Exposed on /statsz
+// behind ?workers=1: the payload is O(workers × ring), far too heavy to ship
+// on every stats poll.
+func (j *Job) WorkerTrajectories() []WorkerTrajectory {
+	if j.traj == nil {
+		return nil
+	}
+	return j.traj.trajectories()
 }
 
 // JournalOffsets returns the durable (byte, record) position of the job's
@@ -348,9 +373,15 @@ type JobStats struct {
 	JournalFileBytes int64 `json:"journal_file_bytes"`
 	// Epoch/Deposed expose the cluster-ownership record: writes are fenced
 	// (409) on a deposed replica or under a mismatched epoch stamp.
-	Epoch   int64  `json:"epoch"`
-	Deposed bool   `json:"deposed,omitempty"`
-	Error   string `json:"error,omitempty"`
+	Epoch   int64 `json:"epoch"`
+	Deposed bool  `json:"deposed,omitempty"`
+	// AutoTune is the live capacity-tuner state (per-knob USL fit, knee, and
+	// current setting), present only when the job runs with Config.AutoTune.
+	AutoTune *AutoTuneStats `json:"auto_tune,omitempty"`
+	// WorkerTraj carries per-worker reliability trajectories; populated only
+	// on explicit request (/statsz?workers=1), never on plain stats polls.
+	WorkerTraj []WorkerTrajectory `json:"worker_trajectories,omitempty"`
+	Error      string             `json:"error,omitempty"`
 }
 
 // publishBuckets is the log₂ bucket count of the publish-latency histogram;
@@ -426,6 +457,13 @@ func (j *Job) Close() error {
 	var err error
 	if j.dir != "" && j.failure.Load() == nil {
 		err = j.saveModel()
+		if err == nil && j.truncate {
+			// A clean close drained the queue, so the final fit round (if
+			// any) published full and the checkpoint just written covers the
+			// whole journal: truncate now instead of carrying one extra
+			// journal window across a graceful restart.
+			err = j.truncateJournal()
+		}
 	}
 	if j.journal != nil {
 		if cerr := j.journal.Close(); err == nil {
@@ -472,7 +510,10 @@ func (j *Job) run() {
 		if !ok {
 			return
 		}
+		n := len(*bp)
+		start := time.Now()
 		err := j.fitBatch(*bp, &roundsSinceSave)
+		dur := time.Since(start)
 		// PartialFit copies what it keeps (label sets are flattened into the
 		// model's own storage), so the batch recycles as soon as the round
 		// is done. Clear the entries so pooled memory doesn't pin label
@@ -485,7 +526,34 @@ func (j *Job) run() {
 			j.failure.Store(&msg)
 			return
 		}
+		if j.tuner != nil {
+			j.tuner.observeRound(n, dur)
+			j.applyTune()
+		}
 	}
+}
+
+// applyTune lets the tuner close a measurement window and applies any
+// adjustment between rounds — the only place the model's knobs ever move.
+// The move lands in the journal as a tune annotation: replay-inert
+// (Parallelism is bit-invisible and batch boundaries are journaled per fit
+// marker), it exists so operators and followers can see the trajectory. A
+// failed annotation append is ignored — a broken journal already fails the
+// job loudly on its next ingest or fit marker.
+func (j *Job) applyTune() {
+	par, batch := j.tuner.maybeTune(j.model.Config())
+	if par == 0 && batch == 0 {
+		return
+	}
+	if err := j.model.Retune(par, batch); err != nil {
+		return
+	}
+	cfg := j.model.Config()
+	j.mu.Lock()
+	if j.journal != nil {
+		_ = j.journal.appendTune(cfg.Parallelism, cfg.BatchSize)
+	}
+	j.mu.Unlock()
 }
 
 // nextBatch blocks until a mini-batch is available: a full BatchSize, or
@@ -640,6 +708,9 @@ func (j *Job) publish(full bool) error {
 	j.snap.Store(nextSnapshot(j.spec.ID, j.snap.Load(), view, dirty, now))
 	j.snapTime.Store(now.UnixNano())
 	j.pubHist.observe(time.Since(start))
+	if j.traj != nil {
+		j.traj.maybeRecord(j.rounds.Load(), j.model)
+	}
 	return nil
 }
 

@@ -16,6 +16,13 @@ const (
 	opFit     = "fit"     // the fitter consumed the next N pending answers
 	opRestart = "restart" // the job was recovered and republished from cold
 	opBase    = "base"    // truncation header: the dropped prefix's coordinates
+	// opTune annotates an auto-tune adjustment: the settings the capacity
+	// tuner steered the job to between two fit rounds. It is replay-inert by
+	// construction — Parallelism is bit-invisible to the posterior and batch
+	// boundaries are recorded per fit marker — so every consumer (recovery,
+	// offline replay, followers) skips it like any unknown op; it exists so
+	// the tuning trajectory is observable in the durable record.
+	opTune = "tune"
 )
 
 // Fit-marker publish modes. Snapshot publication is part of the journaled
@@ -41,6 +48,9 @@ type journalLine struct {
 	N    int                 `json:"n,omitempty"`
 	Mode string              `json:"pub,omitempty"`
 	Base *JournalBase        `json:"base,omitempty"`
+	// Par/Batch carry a tune annotation's new settings (op "tune" only).
+	Par   int `json:"par,omitempty"`
+	Batch int `json:"bs,omitempty"`
 }
 
 // JournalBase describes the journal prefix a truncation dropped. It is
@@ -342,6 +352,13 @@ func (j *journal) appendRestart() error {
 	return j.commit([]journalLine{{Op: opRestart}})
 }
 
+// appendTune journals an auto-tune annotation: the job's knobs now sit at
+// (parallelism, batchSize). Replay-inert (see opTune); recorded between two
+// fit markers, never inside a round.
+func (j *journal) appendTune(parallelism, batchSize int) error {
+	return j.commit([]journalLine{{Op: opTune, Par: parallelism, Batch: batchSize}})
+}
+
 func (j *journal) flush() error {
 	if err := j.w.Flush(); err != nil {
 		return err
@@ -417,6 +434,11 @@ func (line journalLine) entry() (JournalEntry, error) {
 		}
 		b := *line.Base
 		return JournalEntry{Base: &b}, nil
+	case opTune:
+		// Auto-tune annotation: replay-inert by design, skipped like an
+		// unknown op so journals written by tuned jobs replay identically on
+		// consumers that predate (or ignore) tuning.
+		return JournalEntry{}, nil
 	}
 	return JournalEntry{}, nil
 }

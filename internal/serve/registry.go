@@ -384,6 +384,12 @@ func openExistingJob(dir string, cfg Config) (*Job, error) {
 		case opRestart:
 			// A previous recovery's re-anchor: only the snapshot publisher
 			// cares (replay mirrors it); the model replay is unaffected.
+		case opTune:
+			// An auto-tune annotation. Deliberately not re-applied: the
+			// settings it records changed only which batch boundaries later
+			// fit markers laid down, and those markers are replayed verbatim.
+			// A recovered job resumes at its checkpoint's (tuned) settings
+			// and the tuner, if enabled, re-learns from there.
 		case opBase:
 			if line.Base == nil {
 				return fmt.Errorf("%w: base line without payload", ErrInvalid)

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"sync"
+
+	"cpa/internal/core"
+)
+
+// Worker-trajectory sampling bounds. A ring of trajLen samples per worker,
+// recorded every trajEvery publications, lets an operator see a sleeper
+// worker turn — the two-coin reliability and blended vote weight drifting —
+// rather than only the consensus absorbing it. Jobs beyond trajMaxWorkers
+// skip sampling entirely: the point of the cap is that the O(workers) sweep
+// and the retained rings stay trivial next to the model itself.
+const (
+	trajLen        = 16
+	trajEvery      = 4
+	trajMaxWorkers = 4096
+)
+
+// TrajPoint is one sampled view of a worker's trust at a fit round.
+type TrajPoint struct {
+	Round int64 `json:"round"`
+	// VoteWeight is the blended per-label vote weight the consensus search
+	// uses (0 until rates exist); Reliability the two-coin posterior mean.
+	VoteWeight  float64 `json:"vote_weight"`
+	Reliability float64 `json:"reliability"`
+}
+
+// WorkerTrajectory is one worker's recent trust samples, oldest first.
+type WorkerTrajectory struct {
+	Worker int         `json:"worker"`
+	Points []TrajPoint `json:"points"`
+}
+
+// workerTraj accumulates the rings. The fitter records (it owns the model at
+// publication time); /statsz readers copy under the mutex.
+type workerTraj struct {
+	mu    sync.Mutex
+	rings [][]TrajPoint
+}
+
+func newWorkerTraj(workers int) *workerTraj {
+	return &workerTraj{rings: make([][]TrajPoint, workers)}
+}
+
+// maybeRecord samples every worker's reliability at the given round if the
+// sampling cadence is due. Fitter goroutine only (reads the live model).
+func (w *workerTraj) maybeRecord(round int64, m *core.Model) {
+	if round%trajEvery != 0 {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for u := range w.rings {
+		p := TrajPoint{Round: round, VoteWeight: m.WorkerVoteWeight(u), Reliability: m.WorkerReliability(u)}
+		if n := len(w.rings[u]); n > 0 && w.rings[u][n-1].Round == round {
+			continue // recovery republish at an already-sampled round
+		}
+		if len(w.rings[u]) == trajLen {
+			copy(w.rings[u], w.rings[u][1:])
+			w.rings[u][trajLen-1] = p
+		} else {
+			w.rings[u] = append(w.rings[u], p)
+		}
+	}
+}
+
+// trajectories copies out the non-empty rings.
+func (w *workerTraj) trajectories() []WorkerTrajectory {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]WorkerTrajectory, 0, len(w.rings))
+	for u, ring := range w.rings {
+		if len(ring) == 0 {
+			continue
+		}
+		out = append(out, WorkerTrajectory{Worker: u, Points: append([]TrajPoint(nil), ring...)})
+	}
+	return out
+}

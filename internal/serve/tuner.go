@@ -1,0 +1,405 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"cpa/internal/capacity"
+	"cpa/internal/core"
+)
+
+// tuner is the per-job capacity controller (DESIGN.md §13). The fitter
+// goroutine feeds it one (batch size, round duration) sample per fit round;
+// every AutoTuneWindow rounds the accumulated throughput becomes one USL
+// observation for the knob under measurement, and the tuner may emit a
+// bounded adjustment for the job to apply via core.Model.Retune.
+//
+// The two knobs — Parallelism and mini-batch size — are tuned by coordinate
+// descent in focused episodes: one knob walks its ladder while the other is
+// frozen, and focus switches only once the walking knob has held its setting
+// for consecutive windows. Switching focus discards the newly focused knob's
+// observations — they were measured under the sibling's old setting and a
+// throughput sample is only attributable to one rung when the rest of the
+// regime stood still. (An earlier design alternated the knobs every window;
+// parallelism medians taken at batch 16 then testified against rungs long
+// after the batch knob had climbed to 512, stranding the walk.) Each knob
+// walks a fixed ladder (powers of two); a move is always a single rung,
+// never mid-round, and only after the fitted curve (or, on short ladders,
+// the raw per-rung averages) predicts a gain past the hysteresis margin.
+// Mini-batch observations are normalized to units of the ladder base so the
+// USL's n stays a small concurrency-like quantity.
+//
+// Safety: Parallelism is replay-invisible (sharded reductions are
+// bit-identical across shard counts) and batch boundaries are journaled per
+// fit marker, so steering either knob changes which work future rounds do,
+// never what any journaled round means. The tune journal annotation exists
+// for operators and followers to see the trajectory; no consumer replays it.
+//
+// Concurrency: all measurement and decision state is touched only by the
+// fitter goroutine. The mutex guards the stats snapshot /statsz readers
+// copy.
+type tuner struct {
+	seed   int64
+	window int
+
+	parLadder   []int
+	batchLadder []int
+
+	dim        int // knob under focus: 0 Parallelism, 1 batch size
+	holds      int // consecutive hold decisions in the current episode
+	episodes   int // completed focus episodes across both knobs
+	winRounds  int
+	winAnswers int64
+	winDur     time.Duration
+
+	obs [2][]capacity.Observation
+
+	mu    sync.Mutex
+	stats AutoTuneStats
+}
+
+const (
+	// tuneObsCap bounds the per-knob observation ring: old windows age out
+	// so the fit tracks the workload, not the job's whole history.
+	tuneObsCap = 64
+	// tuneBatchBase is the batch ladder's base rung and the normalization
+	// unit for batch-dimension USL observations.
+	tuneBatchBase = 16
+	// tuneMaxBatch caps the batch ladder (further capped by AnswerWindow).
+	tuneMaxBatch = 1024
+	// tuneHysteresis is the predicted relative gain a move must clear. Moves
+	// with less predicted benefit than 5% are noise, and flapping between
+	// adjacent rungs costs workScratch reallocations.
+	tuneHysteresis = 1.05
+	// tuneMinSamples is how many windows the highest probed rung needs
+	// before its average may testify that the curve has turned over. A
+	// single descheduled window must not strand the tuner below the knee —
+	// the frontier is re-probed until the verdict rests on a real average.
+	tuneMinSamples = 3
+	// tuneSettleHolds consecutive hold decisions end a focus episode and
+	// hand the ladder walk to the other knob.
+	tuneSettleHolds = 2
+	// tuneSteadyHolds replaces tuneSettleHolds once both knobs have settled
+	// twice: refocusing re-probes neighbor rungs to track workload drift,
+	// which is worth paying rarely, not every other window.
+	tuneSteadyHolds = 8
+	// tuneSettledEpisodes is the episode count past which the tuner is
+	// considered converged and switches to the slow refocus cadence.
+	tuneSettledEpisodes = 4
+)
+
+// AutoTuneStats is the /statsz view of a job's capacity tuner.
+type AutoTuneStats struct {
+	Parallelism TuneDimStats `json:"parallelism"`
+	BatchSize   TuneDimStats `json:"batch_size"`
+}
+
+// TuneDimStats is one knob's tuner state: the live setting, the setting the
+// last decision steered toward, how many measurement windows have completed,
+// and the latest USL fit (absent until enough distinct rungs are probed).
+// For the batch knob the fit is in ladder-base units (Unit answers per n).
+type TuneDimStats struct {
+	Current int `json:"current"`
+	Target  int `json:"target,omitempty"`
+	Windows int `json:"windows"`
+	// Unit is the observation unit: 1 for Parallelism, the ladder base for
+	// batch size (Fit.Knee is in these units).
+	Unit int           `json:"unit"`
+	Fit  *capacity.Fit `json:"fit,omitempty"`
+}
+
+// newTuner builds a tuner for a job whose model starts at cfg's settings.
+func newTuner(cfg Config, model core.Config) *tuner {
+	maxBatch := tuneMaxBatch
+	if model.AnswerWindow > 0 && model.AnswerWindow < maxBatch {
+		// The ladder must stay inside the retention window or Retune would
+		// reject every upward batch move.
+		maxBatch = model.AnswerWindow
+	}
+	if model.BatchSize > maxBatch {
+		maxBatch = model.BatchSize
+	}
+	t := &tuner{
+		seed:        model.Seed,
+		window:      cfg.AutoTuneWindow,
+		parLadder:   capacity.Plan(1, cfg.AutoTuneMaxParallelism),
+		batchLadder: capacity.Plan(tuneBatchBase, maxBatch),
+	}
+	t.stats.Parallelism = TuneDimStats{Current: model.Parallelism, Unit: 1}
+	t.stats.BatchSize = TuneDimStats{Current: model.BatchSize, Unit: tuneBatchBase}
+	return t
+}
+
+// observeRound accumulates one fit round into the current window. Fitter
+// goroutine only.
+func (t *tuner) observeRound(n int, d time.Duration) {
+	t.winRounds++
+	t.winAnswers += int64(n)
+	t.winDur += d
+}
+
+// maybeTune closes the measurement window if it is complete and returns the
+// adjustment to apply as Retune arguments (0, 0 when the window is still
+// open or the decision is to hold). Fitter goroutine only; cur is the
+// model's live configuration.
+func (t *tuner) maybeTune(cur core.Config) (parallelism, batchSize int) {
+	if t.winRounds < t.window {
+		return 0, 0
+	}
+	dim := t.dim
+	rounds, ans, dur := t.winRounds, t.winAnswers, t.winDur
+	t.winRounds, t.winAnswers, t.winDur = 0, 0, 0
+	if rounds == 0 || ans == 0 || dur <= 0 {
+		return 0, 0
+	}
+
+	x := float64(ans) / dur.Seconds()
+	ladder, unit, curSet := t.parLadder, 1, cur.Parallelism
+	if dim == 1 {
+		ladder, unit, curSet = t.batchLadder, tuneBatchBase, cur.BatchSize
+	}
+	t.obs[dim] = append(t.obs[dim], capacity.Observation{N: float64(curSet) / float64(unit), X: x})
+	if len(t.obs[dim]) > tuneObsCap {
+		t.obs[dim] = t.obs[dim][len(t.obs[dim])-tuneObsCap:]
+	}
+
+	target, fit := t.decide(dim, ladder, unit, curSet)
+	next := stepToward(ladder, curSet, target)
+
+	// Episode bookkeeping: a settled walk hands focus to the other knob,
+	// whose stale-regime observations are discarded — its next window
+	// re-measures its current rung under the sibling's new setting.
+	if next == curSet {
+		t.holds++
+	} else {
+		t.holds = 0
+	}
+	settle := tuneSettleHolds
+	if t.episodes >= tuneSettledEpisodes {
+		settle = tuneSteadyHolds
+	}
+	if t.holds >= settle {
+		t.episodes++
+		t.holds = 0
+		t.dim = 1 - t.dim
+		t.obs[t.dim] = t.obs[t.dim][:0]
+	}
+
+	t.mu.Lock()
+	ds := &t.stats.Parallelism
+	if dim == 1 {
+		ds = &t.stats.BatchSize
+	}
+	ds.Windows++
+	ds.Target = target
+	ds.Current = next
+	if fit != nil {
+		// Keep the last real fit through exploration phases, where decide
+		// has fewer than three rungs and returns none.
+		ds.Fit = fit
+	}
+	t.mu.Unlock()
+
+	if next == curSet {
+		return 0, 0
+	}
+	if dim == 0 {
+		return next, 0
+	}
+	return 0, next
+}
+
+// decide picks the setting the knob should steer toward: explore unprobed
+// ladder rungs until a USL fit is possible, then the fitted curve's best
+// integer setting gated by hysteresis. Ladders too short to ever fit three
+// distinct points fall back to the argmax of the measured per-rung averages.
+//
+// An interior knee is only trusted once the measured curve has turned over —
+// some rung averaging worse than a lower one. A 3-parameter fit through
+// exactly 3 rising points interpolates them exactly (residual 0) and can
+// hallucinate a maximum just past the data; without the turnover guard the
+// tuner would park there and never collect the corrective point above.
+func (t *tuner) decide(dim int, ladder []int, unit, curSet int) (int, *capacity.Fit) {
+	avg, cnt, order := medianBySetting(t.obs[dim], unit)
+	if len(order) < 3 {
+		probed := map[int]bool{}
+		for _, s := range order {
+			probed[s] = true
+		}
+		if next := nextUnprobed(ladder, curSet, probed); next != 0 {
+			return next, nil
+		}
+		// Every rung probed but fewer than 3 exist: steer by raw averages.
+		return argmaxObserved(t.obs[dim], unit, curSet), nil
+	}
+	var fitp *capacity.Fit
+	if fit, err := capacity.FitUSL(t.obs[dim], t.seed); err == nil {
+		fitp = &fit
+	}
+	top := order[len(order)-1]
+	bestSet, bestX := 0, 0.0
+	for _, s := range order {
+		if x := avg[s]; x > bestX {
+			bestSet, bestX = s, x
+		}
+	}
+	if cnt[top] < tuneMinSamples && bestSet != top {
+		// The frontier looks worse but on too few windows to judge: sit on
+		// it until its average is real before retreating or advancing.
+		return top, fitp
+	}
+	if bestSet == top || avg[top]*tuneHysteresis >= bestX {
+		// Still rising (or flat within the hysteresis margin) at the top of
+		// the probed range: keep exploring before trusting any fitted
+		// interior maximum. One noisy window must not fake a turnover — the
+		// top rung has to trail the best by a decisive margin first.
+		for _, r := range ladder {
+			if r > top {
+				return r, fitp
+			}
+		}
+	}
+	if fitp == nil {
+		return curSet, nil
+	}
+	best := fitp.BestN(ladder[0]/unit, ladder[len(ladder)-1]/unit)
+	target := snapToLadder(ladder, best*unit)
+	// Hysteresis: hold unless the curve predicts a clear gain over here.
+	if fitp.X(float64(target)/float64(unit)) < tuneHysteresis*fitp.X(float64(curSet)/float64(unit)) {
+		target = curSet
+	}
+	return target, fitp
+}
+
+// medianBySetting reduces the observations to a per-setting median,
+// returning the medians, the per-setting sample counts, and the settings in
+// ascending order. The median, not the mean, is what steering decisions
+// read: a descheduled window measures several times slower than its
+// neighbors and would drag a mean far below the rung's real throughput.
+func medianBySetting(obs []capacity.Observation, unit int) (map[int]float64, map[int]int, []int) {
+	byS := map[int][]float64{}
+	for _, o := range obs {
+		s := int(o.N*float64(unit) + 0.5)
+		byS[s] = append(byS[s], o.X)
+	}
+	med := map[int]float64{}
+	cnt := map[int]int{}
+	order := make([]int, 0, len(byS))
+	for s, xs := range byS {
+		sort.Float64s(xs)
+		m := xs[len(xs)/2]
+		if len(xs)%2 == 0 {
+			m = (m + xs[len(xs)/2-1]) / 2
+		}
+		med[s], cnt[s] = m, len(xs)
+		order = append(order, s)
+	}
+	sort.Ints(order)
+	return med, cnt, order
+}
+
+// nextUnprobed returns the nearest unprobed ladder rung — preferring upward,
+// where the knee usually hides — or 0 when every rung has an observation.
+func nextUnprobed(ladder []int, cur int, probed map[int]bool) int {
+	for _, r := range ladder {
+		if r > cur && !probed[r] {
+			return r
+		}
+	}
+	for i := len(ladder) - 1; i >= 0; i-- {
+		if ladder[i] < cur && !probed[ladder[i]] {
+			return ladder[i]
+		}
+	}
+	if !probed[cur] {
+		return cur
+	}
+	return 0
+}
+
+// argmaxObserved averages the observations per setting and returns the best
+// setting, with the hysteresis margin applied against the current one.
+func argmaxObserved(obs []capacity.Observation, unit, curSet int) int {
+	sum := map[int]float64{}
+	cnt := map[int]float64{}
+	for _, o := range obs {
+		s := int(o.N*float64(unit) + 0.5)
+		sum[s] += o.X
+		cnt[s]++
+	}
+	best, bestX := curSet, 0.0
+	if cnt[curSet] > 0 {
+		bestX = tuneHysteresis * sum[curSet] / cnt[curSet]
+	}
+	for s, c := range cnt {
+		if x := sum[s] / c; x > bestX {
+			best, bestX = s, x
+		}
+	}
+	return best
+}
+
+// snapToLadder returns the ladder rung nearest to v (ties prefer the smaller
+// rung: same predicted throughput for less batching or concurrency).
+func snapToLadder(ladder []int, v int) int {
+	best := ladder[0]
+	for _, r := range ladder[1:] {
+		db, dr := best-v, r-v
+		if db < 0 {
+			db = -db
+		}
+		if dr < 0 {
+			dr = -dr
+		}
+		if dr < db {
+			best = r
+		}
+	}
+	return best
+}
+
+// stepToward bounds an adjustment to a single ladder rung in the target's
+// direction: the smallest rung above cur (moving up) or the largest below
+// (moving down). A cur off the ladder snaps to the first rung passed.
+func stepToward(ladder []int, cur, target int) int {
+	if target == cur {
+		return cur
+	}
+	if target > cur {
+		for _, r := range ladder {
+			if r > cur {
+				if r > target {
+					return cur
+				}
+				return r
+			}
+		}
+		return cur
+	}
+	for i := len(ladder) - 1; i >= 0; i-- {
+		if ladder[i] < cur {
+			if ladder[i] < target {
+				return cur
+			}
+			return ladder[i]
+		}
+	}
+	return cur
+}
+
+// snapshot returns the stats copy /statsz serves.
+func (t *tuner) snapshot() *AutoTuneStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.stats
+	if t.stats.Parallelism.Fit != nil {
+		f := *t.stats.Parallelism.Fit
+		s.Parallelism.Fit = &f
+	}
+	if t.stats.BatchSize.Fit != nil {
+		f := *t.stats.BatchSize.Fit
+		s.BatchSize.Fit = &f
+	}
+	return &s
+}

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cpa/internal/core"
+)
+
+func TestTunerLadderHelpers(t *testing.T) {
+	ladder := []int{1, 2, 4, 8, 16}
+	cases := []struct{ cur, target, want int }{
+		{2, 16, 4},   // one rung up toward a far target
+		{16, 2, 8},   // one rung down
+		{4, 4, 4},    // hold
+		{3, 16, 4},   // off-ladder snaps to the first rung passed
+		{3, 1, 2},    // off-ladder moving down
+		{1, 16, 2},   // from the bottom
+		{16, 32, 16}, // target past the top rung: nothing above cur ≤ target
+	}
+	for _, tc := range cases {
+		if got := stepToward(ladder, tc.cur, tc.target); got != tc.want {
+			t.Errorf("stepToward(%d → %d) = %d, want %d", tc.cur, tc.target, got, tc.want)
+		}
+	}
+	if got := snapToLadder(ladder, 6); got != 4 && got != 8 {
+		t.Errorf("snapToLadder(6) = %d", got)
+	}
+	if got := snapToLadder(ladder, 6); got != 4 {
+		t.Errorf("snapToLadder tie must prefer the smaller rung, got %d", got)
+	}
+	if got := nextUnprobed(ladder, 2, map[int]bool{1: true, 2: true}); got != 4 {
+		t.Errorf("nextUnprobed prefers upward, got %d", got)
+	}
+	if got := nextUnprobed(ladder, 16, map[int]bool{2: true, 4: true, 8: true, 16: true}); got != 1 {
+		t.Errorf("nextUnprobed falls back downward, got %d", got)
+	}
+	if got := nextUnprobed(ladder, 4, map[int]bool{1: true, 2: true, 4: true, 8: true, 16: true}); got != 0 {
+		t.Errorf("nextUnprobed on a saturated ladder = %d, want 0", got)
+	}
+}
+
+// TestTunerWalksTowardMeasuredKnee drives the tuner with synthetic round
+// timings shaped like a USL curve peaking at Parallelism 4 and checks the
+// controller explores the ladder and settles at (or adjacent to) the knee —
+// the control loop in isolation, no real fitting.
+func TestTunerWalksTowardMeasuredKnee(t *testing.T) {
+	cfg := Config{AutoTuneWindow: 1, AutoTuneMaxParallelism: 8}.withDefaults()
+	model := core.Config{Seed: 3, Parallelism: 1, BatchSize: 64}
+	tn := newTuner(cfg, model)
+
+	// Per-answer cost at parallelism p for a curve with γ=1000/s, α=0.1,
+	// β=0.03 (knee ≈ √(0.9/0.03) ≈ 5.4; ladder best is 4).
+	cost := func(p int) time.Duration {
+		fp := float64(p)
+		x := 1000 * fp / (1 + 0.1*(fp-1) + 0.03*fp*(fp-1))
+		return time.Duration(float64(time.Second) / x)
+	}
+
+	cur := model
+	for i := 0; i < 40; i++ {
+		tn.observeRound(64, 64*cost(cur.Parallelism))
+		par, batch := tn.maybeTune(cur)
+		if par > 8 || batch > tuneMaxBatch {
+			t.Fatalf("tuner left its ladder: par=%d batch=%d", par, batch)
+		}
+		if par != 0 {
+			cur.Parallelism = par
+		}
+		if batch != 0 {
+			cur.BatchSize = batch
+		}
+	}
+	if cur.Parallelism < 2 || cur.Parallelism > 8 {
+		t.Fatalf("tuner settled at Parallelism %d, want near the knee (4)", cur.Parallelism)
+	}
+	st := tn.snapshot()
+	if st.Parallelism.Windows == 0 || st.BatchSize.Windows == 0 {
+		t.Fatalf("tuner recorded no windows: %+v", st)
+	}
+	if st.Parallelism.Fit == nil {
+		t.Fatal("no USL fit after exploring the parallelism ladder")
+	}
+	if k := st.Parallelism.Fit.Knee; k < 2 || k > 10 {
+		t.Errorf("fitted knee %.2f, want near 5.4", k)
+	}
+	if st.Parallelism.Current != cur.Parallelism {
+		t.Errorf("stats report Parallelism %d, applied %d", st.Parallelism.Current, cur.Parallelism)
+	}
+}
+
+// TestAutoTuneJournalInertAndRecovers is the replay-safety acceptance test:
+// a job serving with AutoTune on journals tune annotations, and a hard kill
+// still recovers the bit-identical consensus — the annotations are skipped,
+// the recorded batch boundaries alone reproduce the posterior. The recovered
+// registry runs with AutoTune off, doubling as the downgrade-tolerance
+// check (an untuned consumer reading a tuned journal).
+func TestAutoTuneJournalInertAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	ds := shuffledStream(t, 0.08, 21)
+	spec := JobSpec{
+		ID: "tuned", Items: ds.NumItems, Workers: ds.NumWorkers, Labels: ds.NumLabels,
+		Model: core.Config{Seed: 21, BatchSize: 16, Parallelism: 1},
+	}
+	cfg := Config{Dir: dir, BatchWait: time.Millisecond,
+		AutoTune: true, AutoTuneWindow: 1, AutoTuneMaxParallelism: 4}
+	reg := mustOpen(t, cfg)
+	job, err := reg.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, job, ds.Answers(), 48)
+	waitSnapshot(t, job, len(ds.Answers()))
+	st := job.Stats()
+	if st.AutoTune == nil {
+		t.Fatal("AutoTune stats missing on a tuned job")
+	}
+	if st.AutoTune.Parallelism.Windows == 0 && st.AutoTune.BatchSize.Windows == 0 {
+		t.Fatal("tuner closed no measurement windows")
+	}
+	reg.CrashAll()
+	before := job.Snapshot()
+
+	raw, err := os.ReadFile(filepath.Join(dir, "jobs", "tuned", journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"op":"tune"`)) {
+		t.Fatal("tuned job journaled no tune annotations")
+	}
+
+	reg2 := mustOpen(t, Config{Dir: dir, BatchWait: time.Millisecond})
+	defer reg2.Close()
+	job2, ok := reg2.Get("tuned")
+	if !ok {
+		t.Fatal("tuned job not recovered")
+	}
+	sameConsensus(t, before, job2.Snapshot())
+}
+
+// TestCleanCloseTruncatesJournal pins the graceful-restart retention fix: a
+// clean Close checkpoints the drained model and then truncates the journal
+// it covers, so a graceful restart does not carry one extra journal window.
+// The truncated job must still reopen to the identical consensus and keep
+// serving.
+func TestCleanCloseTruncatesJournal(t *testing.T) {
+	dir := t.TempDir()
+	ds := shuffledStream(t, 0.08, 9)
+	spec := JobSpec{
+		ID: "clean", Items: ds.NumItems, Workers: ds.NumWorkers, Labels: ds.NumLabels,
+		Model: core.Config{Seed: 9, BatchSize: 64, Parallelism: 2},
+	}
+	// SaveEvery is huge: no mid-stream checkpoint fires, so any truncation
+	// observed must come from the Close path alone.
+	cfg := Config{Dir: dir, SaveEvery: 1 << 20, BatchWait: time.Millisecond,
+		TruncateJournal: true, TruncateMin: 1 << 10}
+	reg := mustOpen(t, cfg)
+	job, err := reg.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := ds.Answers()
+	ingestAll(t, job, all, 64)
+	waitSnapshot(t, job, len(all))
+	before := job.Snapshot()
+	preClose := job.Stats()
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jobDir := filepath.Join(dir, "jobs", "clean")
+	st, err := os.Stat(filepath.Join(jobDir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() >= preClose.JournalFileBytes {
+		t.Fatalf("clean close did not truncate: %d bytes on disk, %d before close",
+			st.Size(), preClose.JournalFileBytes)
+	}
+	if _, err := os.Stat(filepath.Join(jobDir, baseFile)); err != nil {
+		t.Fatalf("clean-close truncation left no base anchor: %v", err)
+	}
+
+	reg2 := mustOpen(t, cfg)
+	defer reg2.Close()
+	job2, ok := reg2.Get("clean")
+	if !ok {
+		t.Fatal("job not recovered after clean close")
+	}
+	sameConsensus(t, before, job2.Snapshot())
+	if got := job2.Stats(); got.JournalBytes < preClose.JournalBytes {
+		t.Fatalf("global journal coordinate regressed: %d, want >= %d", got.JournalBytes, preClose.JournalBytes)
+	}
+}
+
+// TestWorkerTrajectories pins the sampling contract: a served job records
+// bounded per-worker reliability rings, plain Stats omits them, and the
+// explicit accessor returns monotone rounds capped at the ring length.
+func TestWorkerTrajectories(t *testing.T) {
+	ds := shuffledStream(t, 0.08, 5)
+	spec := JobSpec{
+		ID: "traj", Items: ds.NumItems, Workers: ds.NumWorkers, Labels: ds.NumLabels,
+		Model: core.Config{Seed: 5, BatchSize: 16, Parallelism: 2},
+	}
+	reg := mustOpen(t, Config{BatchWait: time.Millisecond})
+	defer reg.Close()
+	job, err := reg.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, job, ds.Answers(), 32)
+	waitSnapshot(t, job, len(ds.Answers()))
+
+	if st := job.Stats(); st.WorkerTraj != nil {
+		t.Fatal("plain Stats must not carry worker trajectories")
+	}
+	trajs := job.WorkerTrajectories()
+	if len(trajs) == 0 {
+		t.Fatal("no worker trajectories recorded")
+	}
+	for _, tr := range trajs {
+		if len(tr.Points) == 0 || len(tr.Points) > trajLen {
+			t.Fatalf("worker %d ring has %d points, want 1..%d", tr.Worker, len(tr.Points), trajLen)
+		}
+		for i := 1; i < len(tr.Points); i++ {
+			if tr.Points[i].Round <= tr.Points[i-1].Round {
+				t.Fatalf("worker %d rounds not increasing: %+v", tr.Worker, tr.Points)
+			}
+		}
+		for _, p := range tr.Points {
+			if p.Reliability < 0 || p.Reliability > 1 {
+				t.Fatalf("worker %d reliability %f outside [0,1]", tr.Worker, p.Reliability)
+			}
+		}
+	}
+}
