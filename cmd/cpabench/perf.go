@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"cpa/internal/answers"
@@ -17,6 +19,7 @@ import (
 	"cpa/internal/labelset"
 	"cpa/internal/mathx"
 	"cpa/internal/metrics"
+	"cpa/internal/serve"
 )
 
 // benchMethods lists the aggregation methods the -json perf sweep covers, in
@@ -28,8 +31,10 @@ import (
 // (see benchKernels). "microkernels" times the dispatched mathx vector
 // kernels themselves, per backend and per length, independent of any
 // dataset (see benchMicroKernels); it runs once per report, not per
-// profile.
-var benchMethods = []string{"cpa", "cpa-online", "mv", "em", "bcc", "cbcc", "publish", "kernels", "microkernels"}
+// profile. "ingest" times the ingestion hot path — the zero-alloc NDJSON
+// codec against its encoding/json reference, and serial vs concurrent
+// group-committed journal appends — also once per report (see benchIngest).
+var benchMethods = []string{"cpa", "cpa-online", "mv", "em", "bcc", "cbcc", "publish", "kernels", "microkernels", "ingest"}
 
 // BenchRecord is one (method, profile) perf measurement — the BENCH_*.json
 // row shape tracked across PRs.
@@ -172,18 +177,28 @@ func runPerfBench(path, scaleName string, s experiments.Settings, profileList, m
 		methods = strings.Split(methodList, ",")
 	}
 
-	// The microkernel rows are dataset-independent: run them once up front
-	// and drop the pseudo-method from the per-profile sweep.
+	// The microkernel and ingest rows are dataset-independent: run them once
+	// up front and drop the pseudo-methods from the per-profile sweep.
 	perProfile := methods[:0:0]
 	for _, method := range methods {
-		if strings.TrimSpace(method) == "microkernels" {
+		switch strings.TrimSpace(method) {
+		case "microkernels":
 			for _, rec := range benchMicroKernels() {
 				report.Results = append(report.Results, rec)
 				fmt.Printf("%-22s %-14s %10.1f ns/op\n", rec.Method, rec.Profile, float64(rec.NsPerOp))
 			}
-			continue
+		case "ingest":
+			recs, err := benchIngest()
+			if err != nil {
+				return fmt.Errorf("ingest bench: %w", err)
+			}
+			for _, rec := range recs {
+				report.Results = append(report.Results, rec)
+				fmt.Printf("%-22s %-14s %10.1f ns/op\n", rec.Method, rec.Profile, float64(rec.NsPerOp))
+			}
+		default:
+			perProfile = append(perProfile, method)
 		}
-		perProfile = append(perProfile, method)
 	}
 	methods = perProfile
 
@@ -546,24 +561,6 @@ func benchMicroKernels() []BenchRecord {
 		return v
 	}
 
-	// Min-of-reps over a batched inner loop: single calls are nanoseconds,
-	// so each sample times `iters` calls and divides.
-	sample := func(iters int, op func()) int64 {
-		const reps = 5
-		var minNs int64
-		for rep := 0; rep < reps; rep++ {
-			start := time.Now()
-			for i := 0; i < iters; i++ {
-				op()
-			}
-			ns := time.Since(start).Nanoseconds() / int64(iters)
-			if rep == 0 || ns < minNs {
-				minNs = ns
-			}
-		}
-		return minNs
-	}
-
 	var out []BenchRecord
 	var sink float64
 	for _, backend := range mathx.Backends() {
@@ -593,13 +590,192 @@ func benchMicroKernels() []BenchRecord {
 					Method:  k.kernel,
 					Profile: profile,
 					Runs:    iters,
-					NsPerOp: sample(iters, k.op),
+					NsPerOp: sampleMinNs(iters, k.op),
 				})
 			}
 		}
 	}
 	_ = sink
 	return out
+}
+
+// sampleMinNs is the min-of-reps estimator every micro row uses: each of 5
+// samples times a batched inner loop of iters calls and divides, and the row
+// reports the best sample — single calls are nanoseconds-to-microseconds, so
+// batching beats timer granularity and the minimum filters scheduler noise.
+func sampleMinNs(iters int, op func()) int64 {
+	const reps = 5
+	var minNs int64
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			op()
+		}
+		ns := time.Since(start).Nanoseconds() / int64(iters)
+		if rep == 0 || ns < minNs {
+			minNs = ns
+		}
+	}
+	return minNs
+}
+
+// benchIngest times the ingestion hot path in isolation, independent of any
+// dataset. Codec rows pit the hand-rolled NDJSON codec (serve.DecodeNDJSON /
+// serve.EncodeAnswerLines, profiles hand/nN) against the encoding/json
+// composition it is pinned byte-equal to (profiles stdlib/nN); one op is one
+// whole N-record body. Append rows push N-record batches through a live
+// journaled job whose fitter is parked, serial (c1/nN) and with 8 concurrent
+// appenders (c8/nN); one op is one batch made durable, measured as wall
+// clock over all batches so the c8 rows reflect the group-commit leader
+// coalescing cohorts into one write+flush rather than per-caller latency.
+// Like the microkernel rows these sit below the regression gate's floor, so
+// they are informational in the gate but refreshed in bench_baseline.json
+// with every intentional perf shift.
+func benchIngest() ([]BenchRecord, error) {
+	const (
+		nItems   = 4096
+		nWorkers = 512
+		nLabels  = 64
+	)
+	r := newDetRand(11)
+	randBatch := func(n int) []answers.Answer {
+		batch := make([]answers.Answer, n)
+		for i := range batch {
+			var ls labelset.Set
+			k := 1 + int(3*r())
+			for j := 0; j < k; j++ {
+				ls.Add(int(float64(nLabels) * r()))
+			}
+			batch[i] = answers.Answer{Item: int(float64(nItems) * r()), Worker: int(float64(nWorkers) * r()), Labels: ls}
+		}
+		return batch
+	}
+	var out []BenchRecord
+	row := func(method, profile string, n, runs int, ns int64) {
+		out = append(out, BenchRecord{
+			Method: method, Profile: profile, Runs: runs,
+			Items: nItems, Workers: nWorkers, Labels: nLabels, Answers: n,
+			NsPerOp: ns,
+		})
+	}
+	discard := func(answers.Answer) error { return nil }
+
+	// jline mirrors the op=ans journal-line shape so the stdlib encode row
+	// is the composition the hand encoder is pinned byte-equal to.
+	type jline struct {
+		Op string             `json:"op"`
+		A  answers.JSONAnswer `json:"a"`
+	}
+	for _, n := range []int{16, 256, 4096} {
+		batch := randBatch(n)
+		// Decode rows read the HTTP wire form: bare one-answer-per-line
+		// NDJSON, as POST /answers receives it.
+		var body []byte
+		for _, a := range batch {
+			line, err := answers.MarshalAnswerJSON(a)
+			if err != nil {
+				return nil, err
+			}
+			body = append(append(body, line...), '\n')
+		}
+		if err := serve.DecodeNDJSON(body, nil, discard); err != nil {
+			return nil, fmt.Errorf("decode self-check at n=%d: %w", n, err)
+		}
+		iters := 1 + 1<<13/n // ~constant total records per row
+		row("ingest-decode", fmt.Sprintf("hand/n%d", n), n, iters, sampleMinNs(iters, func() {
+			// Fresh arena per op, as the HTTP handler uses per request.
+			var arena labelset.Arena
+			_ = serve.DecodeNDJSON(body, &arena, discard)
+		}))
+		// Encode rows build the journal form of the whole batch — the encode
+		// the ingestion hot path performs before appending.
+		var buf []byte
+		row("ingest-encode", fmt.Sprintf("hand/n%d", n), n, iters, sampleMinNs(iters, func() {
+			buf = serve.EncodeAnswerLines(buf[:0], batch)
+		}))
+		row("ingest-decode", fmt.Sprintf("stdlib/n%d", n), n, iters, sampleMinNs(iters, func() {
+			_ = answers.DecodeJSONL(bytes.NewReader(body), discard)
+		}))
+		row("ingest-encode", fmt.Sprintf("stdlib/n%d", n), n, iters, sampleMinNs(iters, func() {
+			var sb []byte
+			for _, a := range batch {
+				line, _ := json.Marshal(jline{Op: "ans", A: answers.ToJSON(a)})
+				sb = append(append(sb, line...), '\n')
+			}
+		}))
+	}
+
+	// Append rows run against a real journaled job with the fitter parked
+	// (BatchWait far beyond the bench horizon, mini-batch far beyond the
+	// ingested volume), so an op is journal append + durability wait + queue
+	// admission and nothing else.
+	dir, err := os.MkdirTemp("", "cpabench-ingest")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	reg, err := serve.Open(serve.Config{Dir: dir, QueueLimit: 1 << 21, BatchWait: time.Hour})
+	if err != nil {
+		return nil, err
+	}
+	defer reg.Close()
+	for _, n := range []int{16, 256} {
+		batch := randBatch(n)
+		job, err := reg.Create(serve.JobSpec{
+			ID: fmt.Sprintf("bench-ingest-n%d", n), Items: nItems, Workers: nWorkers, Labels: nLabels,
+			Model: core.Config{Seed: 1, BatchSize: 1 << 19},
+		})
+		if err != nil {
+			return nil, err
+		}
+		iters := 1 + 1<<11/n
+		var ingErr error
+		ns := sampleMinNs(iters, func() {
+			if err := job.Ingest(batch); err != nil && ingErr == nil {
+				ingErr = err
+			}
+		})
+		if ingErr != nil {
+			return nil, fmt.Errorf("serial append at n=%d: %w", n, ingErr)
+		}
+		row("ingest-append", fmt.Sprintf("c1/n%d", n), n, iters, ns)
+
+		const conc = 8
+		perG := iters/conc + 1
+		var minNs int64
+		var gcErr error
+		var errMu sync.Mutex
+		for rep := 0; rep < 5; rep++ {
+			var wg sync.WaitGroup
+			start := time.Now()
+			for w := 0; w < conc; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for b := 0; b < perG; b++ {
+						if err := job.Ingest(batch); err != nil {
+							errMu.Lock()
+							if gcErr == nil {
+								gcErr = err
+							}
+							errMu.Unlock()
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			ns := time.Since(start).Nanoseconds() / int64(conc*perG)
+			if rep == 0 || ns < minNs {
+				minNs = ns
+			}
+		}
+		if gcErr != nil {
+			return nil, fmt.Errorf("group-commit append at n=%d: %w", n, gcErr)
+		}
+		row("ingest-group-commit", fmt.Sprintf("c%d/n%d", conc, n), n, conc*perG, minNs)
+	}
+	return out, nil
 }
 
 // newDetRand is a tiny deterministic generator (SplitMix64-derived) for the

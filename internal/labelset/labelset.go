@@ -279,19 +279,86 @@ func (s Set) String() string {
 	return b.String()
 }
 
+// AppendJSON appends the set's canonical JSON encoding — a sorted array of
+// label indices, e.g. [1,4,5] — to dst and returns the extended slice. The
+// bytes are exactly MarshalJSON's output; the serving journal's
+// zero-allocation encoder builds answer lines with it.
+func (s Set) AppendJSON(dst []byte) []byte {
+	dst = append(dst, '[')
+	first := true
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !first {
+				dst = append(dst, ',')
+			}
+			first = false
+			dst = strconv.AppendInt(dst, int64(base+tz), 10)
+			w &^= 1 << uint(tz)
+		}
+	}
+	return append(dst, ']')
+}
+
 // MarshalJSON encodes the set as a sorted JSON array of label indices.
 func (s Set) MarshalJSON() ([]byte, error) {
-	members := s.Slice()
-	var b strings.Builder
-	b.WriteByte('[')
-	for i, c := range members {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(strconv.Itoa(c))
+	return s.AppendJSON(make([]byte, 0, 2+4*s.Len())), nil
+}
+
+// FromWords builds a set over the given backing words (bit b of words[w] is
+// label 64*w+b), taking ownership of the slice. Trailing zero words are
+// trimmed so the representation matches incremental Add construction.
+func FromWords(words []uint64) Set {
+	n := len(words)
+	for n > 0 && words[n-1] == 0 {
+		n--
 	}
-	b.WriteByte(']')
-	return []byte(b.String()), nil
+	if n == 0 {
+		return Set{}
+	}
+	return Set{words: words[:n:n]}
+}
+
+// Arena bump-allocates Set backing words in large blocks, amortising the
+// per-set heap object on bulk decode paths (one NDJSON ingest request
+// decodes hundreds of sets). Sets built from an arena alias its blocks and
+// stay valid for the arena's whole lifetime; an arena must not be recycled
+// while any Set built from it is still reachable, so bulk decoders allocate
+// one per request and let the GC reclaim it together with the sets. The
+// zero value is ready for use.
+type Arena struct {
+	block []uint64
+}
+
+// arenaBlock is the word count of one arena block (4 KiB).
+const arenaBlock = 512
+
+// Make builds a Set whose members are the set bits of words, copied into
+// the arena. Trailing zero words are trimmed so the representation matches
+// incremental Add construction (no dead top words).
+func (a *Arena) Make(words []uint64) Set {
+	n := len(words)
+	for n > 0 && words[n-1] == 0 {
+		n--
+	}
+	if n == 0 {
+		return Set{}
+	}
+	if len(a.block)+n > cap(a.block) {
+		size := arenaBlock
+		if n > size {
+			size = n
+		}
+		a.block = make([]uint64, 0, size)
+	}
+	start := len(a.block)
+	a.block = a.block[:start+n]
+	// Full slice expression: a Set that later grows (Add past its width)
+	// reallocates instead of clobbering a neighbour's arena words.
+	dst := a.block[start : start+n : start+n]
+	copy(dst, words[:n])
+	return Set{words: dst}
 }
 
 // UnmarshalJSON decodes a JSON array of label indices.

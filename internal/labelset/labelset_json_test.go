@@ -1,0 +1,106 @@
+package labelset
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestAppendJSONMatchesMarshal pins AppendJSON (the journal codec's building
+// block) to MarshalJSON across shapes: empty, dense, sparse, multi-word, and
+// sets with trailing zero words from Remove.
+func TestAppendJSONMatchesMarshal(t *testing.T) {
+	shrunk := Of(1, 300)
+	shrunk.Remove(300) // leaves trailing zero words in the backing slice
+	sets := []Set{
+		{},
+		Of(0),
+		Of(1, 4, 5),
+		Of(63, 64, 65),
+		Of(1023),
+		shrunk,
+	}
+	dense := New(0)
+	for c := 0; c < 500; c++ {
+		dense.Add(c)
+	}
+	sets = append(sets, dense)
+	for _, s := range sets {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.AppendJSON(nil)
+		if !bytes.Equal(got, want) {
+			t.Errorf("AppendJSON %s = %s, MarshalJSON %s", s, got, want)
+		}
+		// And both must round-trip through UnmarshalJSON.
+		var back Set
+		if err := back.UnmarshalJSON(got); err != nil {
+			t.Fatalf("round-trip %s: %v", got, err)
+		}
+		if !back.Equal(s) {
+			t.Errorf("round-trip %s -> %s", s, back)
+		}
+	}
+}
+
+// TestFromWords checks trailing-zero trimming matches Add construction and
+// that ownership transfers (no aliasing past the trimmed length).
+func TestFromWords(t *testing.T) {
+	if s := FromWords(nil); !s.IsEmpty() {
+		t.Errorf("FromWords(nil) not empty: %s", s)
+	}
+	if s := FromWords([]uint64{0, 0, 0}); !s.IsEmpty() {
+		t.Errorf("all-zero words not empty: %s", s)
+	}
+	s := FromWords([]uint64{1 << 3, 0, 1 << 2, 0, 0})
+	if want := Of(3, 130); !s.Equal(want) {
+		t.Errorf("FromWords = %s, want %s", s, want)
+	}
+	// The canonical width must match incremental construction, or Equal-width
+	// fast paths and encoders would see phantom top words.
+	if got, want := s.AppendJSON(nil), Of(3, 130).AppendJSON(nil); !bytes.Equal(got, want) {
+		t.Errorf("FromWords encoding %s, Add encoding %s", got, want)
+	}
+}
+
+// TestArenaMake checks arena-backed sets are value-correct, trim trailing
+// zeros, survive block rollover, and never clobber a neighbour when a set
+// grows after allocation.
+func TestArenaMake(t *testing.T) {
+	var a Arena
+	if s := a.Make([]uint64{0, 0}); !s.IsEmpty() {
+		t.Errorf("zero words not empty: %s", s)
+	}
+	var sets []Set
+	var wants [][]uint64
+	for i := 0; i < 4*arenaBlock; i++ { // force several block rollovers
+		words := []uint64{uint64(i + 1), uint64(i % 3)}
+		sets = append(sets, a.Make(words))
+		wants = append(wants, words)
+	}
+	for i, s := range sets {
+		want := FromWords(append([]uint64(nil), wants[i]...))
+		if !s.Equal(want) {
+			t.Fatalf("set %d corrupted: %s, want %s", i, s, want)
+		}
+	}
+	// Growing one arena set past its width must reallocate, not overwrite
+	// the next set's words in the shared block.
+	first := a.Make([]uint64{1})
+	second := a.Make([]uint64{2})
+	first.Add(100)
+	if !second.Equal(FromWords([]uint64{2})) {
+		t.Fatalf("growing a neighbour clobbered an arena set: %s", second)
+	}
+	if !first.Contains(0) || !first.Contains(100) {
+		t.Fatalf("grown arena set lost members: %s", first)
+	}
+	// Oversized request: wider than a block still works.
+	big := make([]uint64, arenaBlock+3)
+	big[arenaBlock+2] = 1
+	if s := a.Make(big); s.Max() != (arenaBlock+2)*64 {
+		t.Fatalf("oversized arena set max = %d", s.Max())
+	}
+}

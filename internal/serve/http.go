@@ -10,10 +10,12 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"cpa/internal/answers"
 	"cpa/internal/core"
+	"cpa/internal/labelset"
 )
 
 // Server exposes a Registry over HTTP.
@@ -185,14 +187,32 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var batch []answers.Answer
 	ct := r.Header.Get("Content-Type")
 	if strings.HasPrefix(ct, "application/x-ndjson") || strings.HasPrefix(ct, "application/jsonl") {
-		err := answers.DecodeJSONL(r.Body, func(a answers.Answer) error {
-			batch = append(batch, a)
+		// Zero-alloc steady state: the body buffer and batch slice recycle
+		// through a pool, lines split on bytes.IndexByte, and each record
+		// decodes through the hand codec (jcodec.go). Only the label-set
+		// words allocate — from a per-request arena, because the queue
+		// retains them until the answers are fitted; the arena is never
+		// pooled, it is reclaimed by the GC together with its sets.
+		sc := ingestScratchPool.Get().(*ingestScratch)
+		defer func() {
+			clear(sc.batch)
+			sc.batch = sc.batch[:0]
+			ingestScratchPool.Put(sc)
+		}()
+		var err error
+		if sc.body, err = readBody(r.Body, sc.body); err != nil {
+			httpError(w, fmt.Errorf("%w: reading body: %v", bodyErrKind(err), err))
+			return
+		}
+		var arena labelset.Arena
+		if err := DecodeNDJSON(sc.body, &arena, func(a answers.Answer) error {
+			sc.batch = append(sc.batch, a)
 			return nil
-		})
-		if err != nil {
+		}); err != nil {
 			httpError(w, fmt.Errorf("%w: %v", bodyErrKind(err), err))
 			return
 		}
+		batch = sc.batch
 	} else {
 		var req IngestRequest
 		dec := json.NewDecoder(r.Body)
@@ -535,6 +555,38 @@ const (
 	maxIngestBytes = 32 << 20
 	maxCreateBytes = 1 << 20
 )
+
+// ingestScratch recycles the NDJSON ingest buffers across requests: the raw
+// body bytes and the decoded batch slice (entry values only — the queue
+// copies them on admission; the label-set words they reference live in a
+// per-request arena that is never pooled).
+type ingestScratch struct {
+	body  []byte
+	batch []answers.Answer
+}
+
+var ingestScratchPool = sync.Pool{New: func() any {
+	return &ingestScratch{body: make([]byte, 0, 64<<10)}
+}}
+
+// readBody reads r to EOF into buf, reusing its capacity — io.ReadAll with
+// a recycled buffer.
+func readBody(r io.Reader, buf []byte) ([]byte, error) {
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
 
 // bodyErrKind classifies a request-body decode failure: an overrun of the
 // MaxBytesReader cap maps to 413, everything else to 400.

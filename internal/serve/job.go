@@ -21,18 +21,23 @@ type Job struct {
 	spec JobSpec
 	dir  string // job directory, "" when the registry is ephemeral
 
-	// Ingestion state, guarded by mu. The journal is appended under mu by
-	// both ingesters (answers) and the fitter (fit markers), keeping the
-	// on-disk order consistent with the queue order. The queue is a
-	// head-indexed ring: dequeue advances head (amortised O(1)) instead of
-	// memmoving the tail, which would be O(depth) per mini-batch and
-	// quadratic under a deep backlog.
+	// Ingestion state, guarded by mu. Journal appends are *sequenced* under
+	// mu (reserved into the commit pipeline, keeping on-disk order identical
+	// to queue order) but awaited outside it, so concurrent ingesters
+	// coalesce under a group-commit leader instead of serialising a flush
+	// each behind the mutex. The queue is a head-indexed ring: dequeue
+	// advances head (amortised O(1)) instead of memmoving the tail, which
+	// would be O(depth) per mini-batch and quadratic under a deep backlog.
 	mu      sync.Mutex
 	queue   []answers.Answer
 	head    int
-	closed  bool
-	crashed bool // test hook: stop without draining or checkpointing
-	journal *journal
+	// reserved counts answers sequenced into the commit pipeline but not yet
+	// durable (they join queue in commitDurable). Backpressure counts them:
+	// they are admitted load.
+	reserved int
+	closed   bool
+	crashed  bool // test hook: stop without draining or checkpointing
+	journal  *journal
 	// epoch is the cluster-ownership record (epoch.go). Zero value — primary
 	// at epoch 0 — for single-node jobs that never see a Fence/Promote.
 	epoch epochState
@@ -48,6 +53,9 @@ type Job struct {
 	snap     atomic.Pointer[Snapshot]
 	snapTime atomic.Int64 // unixnano of the last publication
 	pubHist  publishHist  // publish-latency histogram (log₂ buckets)
+	// ingestHist aggregates group-commit observability (cohort sizes,
+	// append→durable latency); the journal's commit leader feeds it.
+	ingestHist ingestHist
 	// tuner is the optional USL capacity controller (tuner.go); traj the
 	// optional per-worker reliability trajectory sampler. Both fitter-fed.
 	tuner *tuner
@@ -134,8 +142,58 @@ func (j *Job) IngestAt(batch []answers.Answer, epoch int64) error {
 			return err
 		}
 	}
+	// Encode the journal lines before taking the mutex: the bytes are a pure
+	// function of the batch, and the mutex hold should cover only admission
+	// and sequencing. Persistent jobs always have a journal; j.dir is an
+	// immutable proxy for that, readable without the lock.
+	var req *commitReq
+	if j.dir != "" {
+		req = getCommitReq()
+		req.buf = EncodeAnswerLines(req.buf[:0], batch)
+		req.nrecs = int64(len(batch))
+	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	if err := j.admitLocked(epoch, len(batch)); err != nil {
+		j.mu.Unlock()
+		if req != nil {
+			putCommitReq(req)
+		}
+		return err
+	}
+	jr := j.journal
+	if jr == nil {
+		// Ephemeral job: no durability to wait for, queue directly.
+		j.queue = append(j.queue, batch...)
+		j.mu.Unlock()
+		if req != nil {
+			putCommitReq(req)
+		}
+		j.ingested.Add(int64(len(batch)))
+		j.signal()
+		return nil
+	}
+	req.job, req.batch = j, batch
+	if err := jr.reserve(req); err != nil {
+		j.mu.Unlock()
+		req.job, req.batch = nil, nil
+		putCommitReq(req)
+		return fmt.Errorf("serve: journaling batch: %w", err)
+	}
+	j.reserved += len(batch)
+	j.mu.Unlock()
+	// Wait for durability outside the mutex; the commit leader has already
+	// queued the batch (commitDurable) by the time the wait returns.
+	if err := jr.await(req); err != nil {
+		return fmt.Errorf("serve: journaling batch: %w", err)
+	}
+	j.ingested.Add(int64(len(batch)))
+	return nil
+}
+
+// admitLocked runs the ingest admission checks under j.mu: ownership epoch,
+// liveness, and queue backpressure (counting pipeline-reserved answers as
+// admitted load).
+func (j *Job) admitLocked(epoch int64, n int) error {
 	if err := j.checkEpochLocked(epoch); err != nil {
 		return err
 	}
@@ -145,19 +203,29 @@ func (j *Job) IngestAt(batch []answers.Answer, epoch int64) error {
 	if msg := j.failure.Load(); msg != nil {
 		return fmt.Errorf("%w: job failed: %s", ErrClosed, *msg)
 	}
-	if depth := len(j.queue) - j.head; depth+len(batch) > j.queueLimit {
+	if depth := len(j.queue) - j.head + j.reserved; depth+n > j.queueLimit {
 		return fmt.Errorf("%w: %d queued + %d incoming > limit %d",
-			ErrQueueFull, depth, len(batch), j.queueLimit)
+			ErrQueueFull, depth, n, j.queueLimit)
 	}
-	if j.journal != nil {
-		if err := j.journal.appendAnswers(batch); err != nil {
-			return fmt.Errorf("serve: journaling batch: %w", err)
-		}
-	}
-	j.queue = append(j.queue, batch...)
-	j.ingested.Add(int64(len(batch)))
-	j.signal()
 	return nil
+}
+
+// commitDurable is the group-commit leader's post-durability hook, called
+// once per reserved batch in pipeline (= journal) order before the waiter
+// is released. On success the batch moves from reserved to queued, so queue
+// order stays identical to journal order — the invariant fit-marker replay
+// depends on. On failure the reservation is released and the batch never
+// queued, preserving the old failed-append-is-never-fitted semantics.
+func (j *Job) commitDurable(batch []answers.Answer, err error) {
+	j.mu.Lock()
+	j.reserved -= len(batch)
+	if err == nil {
+		j.queue = append(j.queue, batch...)
+	}
+	j.mu.Unlock()
+	if err == nil {
+		j.signal()
+	}
 }
 
 func (j *Job) validate(a answers.Answer) error { return j.spec.validateAnswer(a) }
@@ -205,7 +273,7 @@ func (j *Job) signal() {
 // model or recompute anything per request.
 func (j *Job) Stats() JobStats {
 	j.mu.Lock()
-	depth := len(j.queue) - j.head
+	depth := len(j.queue) - j.head + j.reserved
 	var jb, jr, jfb int64
 	if j.journal != nil {
 		jb, jr = j.journal.globalOffsets()
@@ -228,6 +296,7 @@ func (j *Job) Stats() JobStats {
 		EffectiveCommunities: snap.EffectiveCommunities,
 		EffectiveClusters:    snap.EffectiveClusters,
 		Publish:              j.pubHist.summary(),
+		Ingest:               j.ingestHist.summary(),
 		JournalBytes:         jb,
 		JournalRecords:       jr,
 		JournalFileBytes:     jfb,
@@ -302,8 +371,7 @@ func (j *Job) openJournalSection(from, max int64, includeBase bool) (*journalSec
 	if j.journal == nil {
 		return nil, fmt.Errorf("%w: job has no journal", ErrInvalid)
 	}
-	durable, _ := j.journal.globalOffsets()
-	base := j.journal.base
+	durable, base, hdr := j.journal.view()
 	if from < base.Bytes {
 		return nil, fmt.Errorf("%w (requested %d, base %d)", ErrTruncated, from, base.Bytes)
 	}
@@ -318,16 +386,17 @@ func (j *Job) openJournalSection(from, max int64, includeBase bool) (*journalSec
 	if max > 0 && from+max < end {
 		end = from + max
 	}
-	start := j.journal.fileForGlobal(from)
-	n := j.journal.fileForGlobal(end) - start
+	// File-local mapping of a global offset: hdr + (global − base.Bytes).
+	start := hdr + (from - base.Bytes)
+	n := (end - from)
 	if includeBase {
-		start, n = 0, n+j.journal.hdr
+		start, n = 0, n+hdr
 	}
 	f, err := os.Open(filepath.Join(j.dir, journalFile))
 	if err != nil {
 		return nil, fmt.Errorf("serve: opening journal for tail: %w", err)
 	}
-	return &journalSection{f: f, start: start, n: n, durable: durable, base: base, hdrLen: j.journal.hdr}, nil
+	return &journalSection{f: f, start: start, n: n, durable: durable, base: base, hdrLen: hdr}, nil
 }
 
 // journalBase returns the journal's truncation base (zero for an untruncated
@@ -338,7 +407,8 @@ func (j *Job) journalBase() JournalBase {
 	if j.journal == nil {
 		return JournalBase{}
 	}
-	return j.journal.base
+	_, base, _ := j.journal.view()
+	return base
 }
 
 // JobStats is the JSON-ready serving state of one job (the /statsz shape).
@@ -360,6 +430,9 @@ type JobStats struct {
 	// Publish is the job's cumulative snapshot-publication latency
 	// histogram.
 	Publish PublishStats `json:"publish"`
+	// Ingest is the journal group-commit observability: append→durable
+	// latency and cohort-size histograms (zeroed for ephemeral jobs).
+	Ingest IngestStats `json:"ingest"`
 	// JournalBytes/JournalRecords are the durable journal position in global
 	// (never-truncated) coordinates: the byte length and record count covered
 	// by fully flushed, complete lines, continuous and monotone across journal
@@ -440,6 +513,92 @@ func (h *publishHist) summary() PublishStats {
 	}
 }
 
+// cohortBuckets is the log₂ bucket count of the cohort-size histogram;
+// 2^15 records in one commit is far past any realistic coalescing run.
+const cohortBuckets = 16
+
+// IngestStats is the JSON-ready group-commit observability of one job:
+// whether appends coalesce (cohort sizes) and what durability costs each
+// caller (append→durable latency, same 50µs log₂ family as PublishStats,
+// so soak reports can diff them phase over phase).
+type IngestStats struct {
+	// Appends is the append→durable commit latency histogram: one sample
+	// per reserved record group, measured from sequencing to release.
+	Appends PublishStats `json:"appends"`
+	// Cohorts counts group commits (flush rounds); CohortRecords the records
+	// they carried. CohortRecords/Cohorts is the coalescing factor — 1.0
+	// means no coalescing, the old one-flush-per-append behaviour.
+	Cohorts          int64 `json:"cohorts"`
+	CohortRecords    int64 `json:"cohort_records"`
+	MaxCohortRecords int64 `json:"max_cohort_records"`
+	// CohortLog2Buckets counts cohorts by record count: bucket 0 is a lone
+	// record (no coalescing), bucket b counts cohorts of (2^(b-1), 2^b].
+	CohortLog2Buckets []int64 `json:"cohort_log2_buckets"`
+}
+
+// ingestHist accumulates group-commit statistics. The journal's commit
+// leader is the only writer and observes once per cohort, outside every
+// journal and job lock; /statsz readers are concurrent.
+type ingestHist struct {
+	mu      sync.Mutex
+	appends [publishBuckets]int64
+	n       int64
+	sumNs   int64
+	maxNs   int64
+	cohorts [cohortBuckets]int64
+	ncoh    int64
+	recs    int64
+	maxRecs int64
+}
+
+// observe records one committed cohort: its total record count and, per
+// reserved group in it, the sequencing→durable latency.
+func (h *ingestHist) observe(cohort []*commitReq, nrecs int64) {
+	now := time.Now()
+	cb := 0
+	for cb < cohortBuckets-1 && nrecs > int64(1)<<uint(cb) {
+		cb++
+	}
+	h.mu.Lock()
+	h.cohorts[cb]++
+	h.ncoh++
+	h.recs += nrecs
+	if nrecs > h.maxRecs {
+		h.maxRecs = nrecs
+	}
+	for _, r := range cohort {
+		d := now.Sub(r.t0)
+		b := 0
+		for bound := publishBase; b < publishBuckets-1 && d > bound; bound *= 2 {
+			b++
+		}
+		h.appends[b]++
+		h.n++
+		h.sumNs += int64(d)
+		if int64(d) > h.maxNs {
+			h.maxNs = int64(d)
+		}
+	}
+	h.mu.Unlock()
+}
+
+func (h *ingestHist) summary() IngestStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return IngestStats{
+		Appends: PublishStats{
+			Count:       h.n,
+			SumNs:       h.sumNs,
+			MaxNs:       h.maxNs,
+			Log2Buckets: append([]int64(nil), h.appends[:]...),
+		},
+		Cohorts:           h.ncoh,
+		CohortRecords:     h.recs,
+		MaxCohortRecords:  h.maxRecs,
+		CohortLog2Buckets: append([]int64(nil), h.cohorts[:]...),
+	}
+}
+
 // Close stops ingestion, lets the fitter drain the queue, checkpoints the
 // model (persistent jobs), and closes the journal. Idempotent.
 func (j *Job) Close() error {
@@ -489,7 +648,7 @@ func (j *Job) crash() {
 	j.signal()
 	j.wg.Wait()
 	if j.journal != nil {
-		j.journal.f.Close()
+		j.journal.closeCrash()
 		j.journal = nil
 	}
 }
@@ -550,10 +709,15 @@ func (j *Job) applyTune() {
 	}
 	cfg := j.model.Config()
 	j.mu.Lock()
-	if j.journal != nil {
-		_ = j.journal.appendTune(cfg.Parallelism, cfg.BatchSize)
+	jr := j.journal
+	var req *commitReq
+	if jr != nil {
+		req, _ = jr.reserveLine(journalLine{Op: opTune, Par: cfg.Parallelism, Batch: cfg.BatchSize})
 	}
 	j.mu.Unlock()
+	if req != nil {
+		_ = jr.await(req)
+	}
 }
 
 // nextBatch blocks until a mini-batch is available: a full BatchSize, or
@@ -637,12 +801,22 @@ func (j *Job) fitBatch(batch []answers.Answer, roundsSinceSave *int) error {
 		full = true
 	}
 	var jerr error
-	if j.journal != nil {
-		jerr = j.journal.appendFit(len(batch), full)
+	var req *commitReq
+	jr := j.journal
+	if jr != nil {
+		req, jerr = jr.reserveLine(fitLine(len(batch), full))
 	}
 	j.mu.Unlock()
 	if jerr != nil {
 		return fmt.Errorf("serve: journaling fit marker: %w", jerr)
+	}
+	if req != nil {
+		// The marker must be durable before the publication it describes:
+		// a snapshot must never be observable without its journal record,
+		// or replay could fall one publication behind a served state.
+		if err := jr.await(req); err != nil {
+			return fmt.Errorf("serve: journaling fit marker: %w", err)
+		}
 	}
 	if err := j.publish(full); err != nil {
 		return err
@@ -679,7 +853,7 @@ func (j *Job) truncateJournal() error {
 	coveredFits := int64(j.model.BatchRounds())
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.journal == nil || j.journal.off-j.journal.hdr < j.truncateMin {
+	if j.journal == nil || j.journal.fileLen() < j.truncateMin {
 		return nil
 	}
 	if err := copyFileAtomic(filepath.Join(j.dir, modelFile), filepath.Join(j.dir, baseFile)); err != nil {

@@ -2,12 +2,15 @@ package serve
 
 import (
 	"bufio"
-	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"time"
 
 	"cpa/internal/answers"
+	"cpa/internal/labelset"
 )
 
 // Journal line operations.
@@ -42,6 +45,12 @@ const (
 // answer stream for any JSONL consumer (modulo the envelope). Fit lines
 // written before publish modes existed carry no "pub" field and replay as
 // full publications, which is exactly what that code did.
+//
+// The byte encoding of this struct is frozen (DESIGN.md §14): it is
+// produced by the hand codec in jcodec.go, byte-for-byte what
+// encoding/json emitted since the first release, because replication
+// offsets, truncation coordinates and torn-tail recovery all address raw
+// journal bytes.
 type journalLine struct {
 	Op   string              `json:"op"`
 	Ans  *answers.JSONAnswer `json:"a,omitempty"`
@@ -51,6 +60,15 @@ type journalLine struct {
 	// Par/Batch carry a tune annotation's new settings (op "tune" only).
 	Par   int `json:"par,omitempty"`
 	Batch int `json:"bs,omitempty"`
+}
+
+// fitLine builds a fit marker with its publish mode.
+func fitLine(n int, full bool) journalLine {
+	mode := pubModeInc
+	if full {
+		mode = pubModeFull
+	}
+	return journalLine{Op: opFit, N: n, Mode: mode}
 }
 
 // JournalBase describes the journal prefix a truncation dropped. It is
@@ -76,17 +94,66 @@ type JournalBase struct {
 	Covered int64 `json:"c"`
 }
 
-// journal is a job's append-only JSONL log. Every append is flushed to the
-// OS before returning, so the log survives a process kill; SyncJournal
-// additionally fsyncs for power-loss durability. The caller serialises
-// access (jobs append under their ingest mutex).
+var errJournalFailed = errors.New("serve: journal in failed state")
+
+// commitReq is one sequenced record group riding the commit pipeline: the
+// encoded newline-terminated bytes, their record count, and the completion
+// channel the commit leader releases the waiter through. When job is
+// non-nil the leader calls job.commitDurable(batch, err) before the
+// release — the hook that appends the batch to the fitter queue in exactly
+// pipeline (= journal) order without holding the job mutex across the
+// write. Requests recycle through commitReqPool; the done channel is
+// buffered and sees exactly one send per reservation.
+type commitReq struct {
+	buf   []byte
+	nrecs int64
+	job   *Job
+	batch []answers.Answer
+	t0    time.Time
+	done  chan error
+}
+
+var commitReqPool = sync.Pool{New: func() any {
+	return &commitReq{done: make(chan error, 1)}
+}}
+
+func getCommitReq() *commitReq { return commitReqPool.Get().(*commitReq) }
+
+func putCommitReq(r *commitReq) {
+	r.buf = r.buf[:0]
+	r.nrecs = 0
+	r.job, r.batch = nil, nil
+	commitReqPool.Put(r)
+}
+
+// journal is a job's append-only JSONL log with a group-commit pipeline.
+// Appenders sequence encoded record groups into the pipeline under their
+// job mutex (lock order: job mutex → journal mutex, never the reverse) and
+// wait for durability outside both; a commit leader drains the pipeline in
+// cohorts — one buffered write and one flush (plus fsync when SyncJournal)
+// for every group queued at that moment — so N concurrent appends cost ~1
+// syscall round instead of N. Every append is flushed to the OS before its
+// waiter is released, so the log survives a process kill; SyncJournal
+// additionally fsyncs for power-loss durability.
 type journal struct {
 	f    *os.File
 	w    *bufio.Writer
 	sync bool
+
+	// mu guards everything below. idle signals pipeline drain (no leader
+	// writing, nothing pending); truncate and Close wait on it for exclusive
+	// use of f and w.
+	mu   sync.Mutex
+	idle sync.Cond
+	// pending holds sequenced-but-unwritten record groups; writing is true
+	// while a commit leader owns the file. spare recycles the cohort slice.
+	pending []*commitReq
+	spare   []*commitReq
+	writing bool
+
 	// off is the durable length: the file size after the last fully
-	// flushed append. A failed append is rolled back by truncating to off,
-	// so a partially-flushed batch (the bufio buffer spills mid-batch
+	// flushed cohort. A failed cohort is rolled back by truncating to off,
+	// so a partially-flushed group (the bufio buffer spills mid-cohort
 	// before a later write fails) can never desynchronise the journal
 	// from the in-memory queue — orphaned answer lines would make fit
 	// markers consume the wrong answers on replay.
@@ -103,6 +170,9 @@ type journal struct {
 	// absent). off and recs stay file-local — globalOffsets maps them.
 	base JournalBase
 	hdr  int64
+	// stats, when set, receives group-commit observability (cohort sizes,
+	// per-append commit latency) from the leader.
+	stats *ingestHist
 }
 
 // openJournal opens a journal for appending. recs is the number of durable
@@ -122,25 +192,165 @@ func openJournal(path string, sync bool, recs int64, base JournalBase, hdr int64
 		f.Close()
 		return nil, fmt.Errorf("serve: opening journal: %w", err)
 	}
-	return &journal{f: f, w: bufio.NewWriter(f), sync: sync, off: st.Size(), recs: recs, base: base, hdr: hdr}, nil
+	j := &journal{f: f, w: bufio.NewWriter(f), sync: sync, off: st.Size(), recs: recs, base: base, hdr: hdr}
+	j.idle.L = &j.mu
+	return j, nil
 }
 
-func (j *journal) appendLine(line journalLine) (int, error) {
-	raw, err := json.Marshal(line)
-	if err != nil {
-		return 0, err
+// reserve sequences req into the commit pipeline. The caller must hold the
+// job mutex (or otherwise serialise against all other appenders) so that
+// pipeline order equals queue order, then release it and call await. On
+// error the request was not sequenced and must not be awaited.
+func (j *journal) reserve(req *commitReq) error {
+	j.mu.Lock()
+	if j.broken {
+		j.mu.Unlock()
+		return errJournalFailed
 	}
-	if _, err := j.w.Write(raw); err != nil {
-		return 0, err
-	}
-	return len(raw) + 1, j.w.WriteByte('\n')
+	req.t0 = time.Now()
+	j.pending = append(j.pending, req)
+	j.mu.Unlock()
+	return nil
 }
 
-// rollback discards a failed append: drops whatever is still buffered and
-// truncates the file back to the last durable length. If the truncate
+// reserveLine encodes one control record (fit marker, restart re-anchor,
+// tune annotation, truncation header test lines, …) into a pooled request
+// and sequences it.
+func (j *journal) reserveLine(line journalLine) (*commitReq, error) {
+	req := getCommitReq()
+	req.buf = append(appendJournalLine(req.buf[:0], line), '\n')
+	req.nrecs = 1
+	if err := j.reserve(req); err != nil {
+		putCommitReq(req)
+		return nil, err
+	}
+	return req, nil
+}
+
+// await blocks until req's record group is durable and returns the commit
+// outcome. The first waiter to find the pipeline unled becomes the commit
+// leader and writes cohorts until the pipeline drains — group commit
+// without a dedicated writer goroutine: under contention one caller pays
+// the syscall round for everyone queued behind it, while an uncontended
+// caller writes its own batch immediately, exactly like the old
+// one-flush-per-append path.
+func (j *journal) await(req *commitReq) error {
+	for {
+		select {
+		case err := <-req.done:
+			putCommitReq(req)
+			return err
+		default:
+		}
+		j.mu.Lock()
+		if j.writing || len(j.pending) == 0 {
+			// A leader owns the pipeline (it will complete us), or our group
+			// was already committed (the buffered send is in flight or
+			// landed): either way, park on the channel.
+			j.mu.Unlock()
+			err := <-req.done
+			putCommitReq(req)
+			return err
+		}
+		j.writing = true
+		j.lead()
+	}
+}
+
+// lead writes cohorts until the pipeline drains. Called with j.mu held and
+// writing freshly set; returns with j.mu released. All durable-offset
+// advancement happens here, after the cohort's flush — the single
+// durability path of the journal.
+func (j *journal) lead() {
+	for {
+		cohort := j.pending
+		if len(cohort) == 0 {
+			j.writing = false
+			j.idle.Broadcast()
+			j.mu.Unlock()
+			return
+		}
+		if j.spare != nil {
+			j.pending = j.spare[:0]
+			j.spare = nil
+		} else {
+			j.pending = nil
+		}
+		broken := j.broken
+		j.mu.Unlock()
+
+		var nbytes, nrecs int64
+		var err error
+		if broken {
+			err = errJournalFailed
+		}
+		for _, r := range cohort {
+			if err != nil {
+				break
+			}
+			if _, werr := j.w.Write(r.buf); werr != nil {
+				err = werr
+				break
+			}
+			nbytes += int64(len(r.buf))
+			nrecs += r.nrecs
+		}
+		if err == nil {
+			err = j.flush()
+		}
+
+		j.mu.Lock()
+		if err == nil {
+			j.off += nbytes
+			j.recs += nrecs
+		} else if !broken {
+			err = j.rollbackLocked(err)
+		}
+		st := j.stats
+		more := len(j.pending) > 0
+		if !more {
+			// Go idle before releasing the cohort: drain waiters (truncate,
+			// Close) need only the file quiescent, and a release callback may
+			// itself block on the job mutex a drain waiter holds — releasing
+			// first would deadlock.
+			j.writing = false
+			j.idle.Broadcast()
+		}
+		j.mu.Unlock()
+
+		if st != nil && err == nil {
+			st.observe(cohort, nrecs)
+		}
+		for _, r := range cohort {
+			if r.job != nil {
+				job, batch := r.job, r.batch
+				r.job, r.batch = nil, nil
+				job.commitDurable(batch, err)
+			}
+			// After this send the waiter may recycle r: no further access.
+			r.done <- err
+		}
+		clear(cohort)
+
+		j.mu.Lock()
+		if j.spare == nil {
+			j.spare = cohort[:0]
+		}
+		if !more {
+			// The pipeline may have refilled while the cohort was being
+			// released, but writing is already false: whoever awaits those
+			// requests takes over as leader. Nothing left for us.
+			j.mu.Unlock()
+			return
+		}
+	}
+}
+
+// rollbackLocked discards a failed cohort: drops whatever is still buffered
+// and truncates the file back to the last durable length. If the truncate
 // itself fails the journal is marked broken and every later append errors,
 // failing the job loudly rather than recovering from a corrupt log.
-func (j *journal) rollback(cause error) error {
+func (j *journal) rollbackLocked(cause error) error {
 	j.w.Reset(j.f)
 	if err := j.f.Truncate(j.off); err != nil {
 		j.broken = true
@@ -149,34 +359,24 @@ func (j *journal) rollback(cause error) error {
 	return cause
 }
 
-// commit is the single durability protocol every append goes through:
-// refuse a broken journal, write the lines, flush, and only then advance
-// the durable offset — rolling the whole group back on any failure so the
-// file never holds a partial record group.
-func (j *journal) commit(lines []journalLine) error {
-	if j.broken {
-		return fmt.Errorf("serve: journal in failed state")
+// drainLocked blocks until the commit pipeline is empty and no leader owns
+// the file, giving the caller exclusive use of f and w. The caller holds
+// j.mu and must have stopped new reservations (truncate runs under the job
+// mutex; Close runs after ingestion is fenced off).
+func (j *journal) drainLocked() {
+	for j.writing || len(j.pending) > 0 {
+		j.idle.Wait()
 	}
-	var n int64
-	for _, line := range lines {
-		m, err := j.appendLine(line)
-		if err != nil {
-			return j.rollback(err)
-		}
-		n += int64(m)
-	}
-	if err := j.flush(); err != nil {
-		return j.rollback(err)
-	}
-	j.off += n
-	j.recs += int64(len(lines))
-	return nil
 }
 
 // offsets reports the durable file-local (byte, record) position —
 // everything at or below it is fully flushed, complete lines. The byte
 // count includes the base header line when present.
-func (j *journal) offsets() (bytes, recs int64) { return j.off, j.recs }
+func (j *journal) offsets() (bytes, recs int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.off, j.recs
+}
 
 // globalOffsets reports the durable position in global coordinates: the
 // (byte, record) offsets the journal would have had it never been
@@ -184,12 +384,28 @@ func (j *journal) offsets() (bytes, recs int64) { return j.off, j.recs }
 // continuous and monotone across truncations, so a follower's shipped
 // offset and the ingest-ack durability barrier never move backwards.
 func (j *journal) globalOffsets() (bytes, recs int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	return j.base.Bytes + (j.off - j.hdr), j.base.Recs + j.recs
 }
 
-// fileForGlobal maps a global byte offset to its position in the current
-// file. The caller must have checked from >= j.base.Bytes.
-func (j *journal) fileForGlobal(from int64) int64 { return j.hdr + (from - j.base.Bytes) }
+// view returns a consistent snapshot of the journal's coordinates: the
+// durable global offset, the truncation base, and the base header length.
+// fileForGlobal-style mapping is then base-relative arithmetic on the
+// snapshot (hdr + (global - base.Bytes)).
+func (j *journal) view() (durable int64, base JournalBase, hdr int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.base.Bytes + (j.off - j.hdr), j.base, j.hdr
+}
+
+// fileLen returns the durable file-local byte length past the base header —
+// what the truncation threshold compares against.
+func (j *journal) fileLen() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.off - j.hdr
+}
 
 // truncate drops the journal prefix covered by the current checkpoint
 // behind a fresh base header: the longest prefix containing at most
@@ -205,15 +421,18 @@ func (j *journal) fileForGlobal(from int64) int64 { return j.hdr + (from - j.bas
 // Concurrent tail readers holding the old inode keep reading it unchanged.
 //
 // Returns the number of bytes dropped (0 if the droppable prefix was
-// shorter than minDrop). The caller holds the job mutex, so no append can
-// interleave with the swap.
+// shorter than minDrop). The caller holds the job mutex — no new append can
+// be sequenced — and truncate drains the commit pipeline before touching
+// the file, so no in-flight cohort can interleave with the swap.
 func (j *journal) truncate(path string, coveredAns, coveredFits, minDrop int64) (int64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.drainLocked()
 	if j.broken {
-		return 0, fmt.Errorf("serve: journal in failed state")
+		return 0, errJournalFailed
 	}
-	if err := j.flush(); err != nil {
-		return 0, j.rollback(err)
-	}
+	// Every committed cohort already flushed, and the drained pipeline left
+	// nothing buffered: the file holds exactly off durable bytes.
 	limA := coveredAns - j.base.Ans
 	limF := coveredFits - j.base.Fits
 	if limA < 0 || limF < 0 {
@@ -240,8 +459,8 @@ scan:
 		if err != nil {
 			return 0, fmt.Errorf("serve: truncate: scanning journal: %w", err)
 		}
-		var line journalLine
-		if err := json.Unmarshal(raw[:len(raw)-1], &line); err != nil {
+		line, err := decodeJournalLine(raw[:len(raw)-1], nil)
+		if err != nil {
 			return 0, fmt.Errorf("serve: truncate: corrupt durable line: %w", err)
 		}
 		switch line.Op {
@@ -273,11 +492,7 @@ scan:
 		Fits:    j.base.Fits + dropFits,
 		Covered: j.base.Covered + dropCovered,
 	}
-	hdrRaw, err := json.Marshal(journalLine{Op: opBase, Base: &newBase})
-	if err != nil {
-		return 0, err
-	}
-	hdrRaw = append(hdrRaw, '\n')
+	hdrRaw := append(appendJournalLine(nil, journalLine{Op: opBase, Base: &newBase}), '\n')
 
 	tmpPath := path + ".tmp"
 	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -321,42 +536,17 @@ scan:
 	return cut, nil
 }
 
-// appendAnswers journals a batch of accepted answers and flushes. On error
-// the batch is rolled back in full; the file never holds a partial batch.
-func (j *journal) appendAnswers(batch []answers.Answer) error {
-	lines := make([]journalLine, len(batch))
-	jas := make([]answers.JSONAnswer, len(batch))
-	for i, a := range batch {
-		jas[i] = answers.ToJSON(a)
-		lines[i] = journalLine{Op: opAnswer, Ans: &jas[i]}
-	}
-	return j.commit(lines)
-}
-
-// appendFit journals a fit marker: the fitter has consumed the next n
-// pending (journaled-but-unfitted) answers as one mini-batch, and the
-// round's snapshot was published full (caught up) or incrementally
-// (backlogged).
-func (j *journal) appendFit(n int, full bool) error {
-	mode := pubModeInc
-	if full {
-		mode = pubModeFull
-	}
-	return j.commit([]journalLine{{Op: opFit, N: n, Mode: mode}})
-}
-
 // appendRestart journals a recovery re-anchor: the job was reopened, its
 // publisher restarted cold, and a full snapshot republished at the current
-// round. Replay resets its mirrored publisher at this point.
+// round. Replay resets its mirrored publisher at this point. Recovery calls
+// this single-threaded, before the fitter starts, so sequencing needs no
+// job mutex.
 func (j *journal) appendRestart() error {
-	return j.commit([]journalLine{{Op: opRestart}})
-}
-
-// appendTune journals an auto-tune annotation: the job's knobs now sit at
-// (parallelism, batchSize). Replay-inert (see opTune); recorded between two
-// fit markers, never inside a round.
-func (j *journal) appendTune(parallelism, batchSize int) error {
-	return j.commit([]journalLine{{Op: opTune, Par: parallelism, Batch: batchSize}})
+	req, err := j.reserveLine(journalLine{Op: opRestart})
+	if err != nil {
+		return err
+	}
+	return j.await(req)
 }
 
 func (j *journal) flush() error {
@@ -369,12 +559,30 @@ func (j *journal) flush() error {
 	return nil
 }
 
+// Close drains the commit pipeline and closes the journal file. The
+// per-cohort flush in the commit leader is the journal's only durability
+// path — a drained pipeline has nothing buffered — so Close does not flush
+// again. (It used to: flush() on the last append and then a bare w.Flush()
+// here, a second flush through a path that skipped the sync-mode fsync.)
 func (j *journal) Close() error {
-	if err := j.w.Flush(); err != nil {
-		j.f.Close()
-		return err
-	}
+	j.mu.Lock()
+	j.drainLocked()
+	// Any append sequenced after Close fails loudly instead of writing to a
+	// closed descriptor.
+	j.broken = true
+	j.mu.Unlock()
 	return j.f.Close()
+}
+
+// closeCrash simulates a hard kill for recovery tests: mark the journal
+// failed and close the descriptor without draining — an in-flight cohort
+// fails its waiters exactly like a real torn write would, and everything
+// already flushed stays durable.
+func (j *journal) closeCrash() {
+	j.mu.Lock()
+	j.broken = true
+	j.mu.Unlock()
+	j.f.Close()
 }
 
 // JournalEntry is one decoded record of a job's ingestion journal, exposed
@@ -406,10 +614,12 @@ type JournalEntry struct {
 // not) into its entry form. It is the incremental counterpart of
 // ReadJournal, used by the cluster layer to apply a shipped journal stream
 // record by record. Unknown ops decode to a zero JournalEntry (forward
-// compatibility — replay ignores them too).
+// compatibility — replay ignores them too). Canonical lines take the
+// allocation-lean fast path; everything else decodes through encoding/json
+// with identical acceptance and errors.
 func DecodeJournalLine(raw []byte) (JournalEntry, error) {
-	var line journalLine
-	if err := json.Unmarshal(raw, &line); err != nil {
+	line, err := decodeJournalLine(raw, nil)
+	if err != nil {
 		return JournalEntry{}, fmt.Errorf("serve: decoding journal line: %w", err)
 	}
 	return line.entry()
@@ -513,7 +723,8 @@ func ReadJournalInfo(path string, fn func(JournalEntry) error) (JournalInfo, err
 // offset (a crash can tear a record mid-write; it was never acked, and a
 // shipped stream can end mid-record when the primary dies mid-send). A
 // malformed line in the middle of the file is an error. A missing file
-// yields no entries at offset 0.
+// yields no entries at offset 0. Label sets decoded on the fast path are
+// bump-allocated from one arena for the whole replay.
 func replayJournal(path string, fn func(journalLine, int64) error) (int64, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -524,6 +735,7 @@ func replayJournal(path string, fn func(journalLine, int64) error) (int64, int64
 	}
 	defer f.Close()
 	rd := bufio.NewReaderSize(f, 64*1024)
+	var arena labelset.Arena
 	var off, recs int64
 	var pendingErr error
 	lineNo := 0
@@ -550,8 +762,8 @@ func replayJournal(path string, fn func(journalLine, int64) error) (int64, int64
 			off += int64(len(raw))
 			continue
 		}
-		var line journalLine
-		if err := json.Unmarshal(trimmed, &line); err != nil {
+		line, err := decodeJournalLine(trimmed, &arena)
+		if err != nil {
 			pendingErr = fmt.Errorf("serve: journal line %d: %w", lineNo, err)
 			continue
 		}

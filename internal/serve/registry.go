@@ -114,6 +114,9 @@ func (r *Registry) Create(spec JobSpec) (*Job, error) {
 	}
 	j := newJob(spec, model, dir, r.cfg)
 	j.journal = jr
+	if jr != nil {
+		jr.stats = &j.ingestHist
+	}
 	j.start()
 	r.jobs[spec.ID] = j
 	return j, nil
@@ -435,6 +438,7 @@ func openExistingJob(dir string, cfg Config) (*Job, error) {
 	if j.journal, err = openJournal(journalPath, cfg.SyncJournal, recs, base, hdrLen); err != nil {
 		return nil, err
 	}
+	j.journal.stats = &j.ingestHist
 	if model.Fitted() {
 		// Re-anchor: the recovered publisher starts cold, so the first
 		// publication is a full one. The restart marker records that for
