@@ -345,6 +345,154 @@ func TestGroupCommitTruncationRecoversBitExact(t *testing.T) {
 }
 
 
+// TestGroupCommitQueueMatchesJournalOrder pins the replay invariant the
+// release chain exists for: with many writers racing through a chain of
+// commit leaders, the fitter queue must receive batches in exactly journal
+// order — a single leader handoff that released a later cohort first would
+// let recovery rebuild a different model than the live one.
+func TestGroupCommitQueueMatchesJournalOrder(t *testing.T) {
+	dir := t.TempDir()
+	// A parked fitter (huge mini-batch, hour-long wait) keeps every admitted
+	// answer in the queue so its order can be read back verbatim.
+	reg := mustOpen(t, Config{Dir: dir, QueueLimit: 1 << 20, BatchWait: time.Hour})
+	defer reg.Close()
+	spec := JobSpec{
+		ID: "order", Items: 4096, Workers: 64, Labels: 8,
+		Model: core.Config{Seed: 1, BatchSize: 1 << 19, Parallelism: 1},
+	}
+	job, err := reg.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 8
+		batches = 50
+		perB    = 4
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				batch := make([]answers.Answer, perB)
+				for i := range batch {
+					// The item index is a globally unique id: the journal and
+					// the queue must list them in the same sequence.
+					id := w*batches*perB + b*perB + i
+					batch[i] = answers.Answer{Item: id, Worker: id % 64, Labels: labelset.Of(id % 8)}
+				}
+				if err := job.Ingest(batch); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every cohort was flushed before its ack, so the on-disk journal is
+	// complete the moment the last Ingest returns.
+	var jorder []int
+	err = ReadJournal(JournalPath(dir, "order"), func(e JournalEntry) error {
+		if e.Answer != nil {
+			jorder = append(jorder, e.Answer.Item)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.mu.Lock()
+	qorder := make([]int, 0, len(job.queue)-job.head)
+	for _, a := range job.queue[job.head:] {
+		qorder = append(qorder, a.Item)
+	}
+	job.mu.Unlock()
+
+	if len(jorder) != writers*batches*perB || len(qorder) != len(jorder) {
+		t.Fatalf("journal holds %d answers, queue %d, want %d", len(jorder), len(qorder), writers*batches*perB)
+	}
+	for i := range jorder {
+		if jorder[i] != qorder[i] {
+			t.Fatalf("queue diverges from journal at position %d: journal item %d, queue item %d",
+				i, jorder[i], qorder[i])
+		}
+	}
+}
+
+// TestTruncateDuringGroupCommitDoesNotDeadlock hammers journal truncation
+// (which holds the job mutex and drains the commit pipeline) against a
+// saturated group-commit pipeline. The old leader released cohorts inline
+// while still owning the pipeline; its commitDurable call then blocked on
+// the job mutex the draining truncate held, wedging the job permanently.
+// The release chain keeps commitDurable off the write path, so the drain
+// always completes; the watchdog is the assertion.
+func TestTruncateDuringGroupCommitDoesNotDeadlock(t *testing.T) {
+	dir := t.TempDir()
+	reg := mustOpen(t, Config{Dir: dir, QueueLimit: 1 << 20, BatchWait: time.Hour})
+	spec := JobSpec{
+		ID: "dlock", Items: 512, Workers: 64, Labels: 8,
+		Model: core.Config{Seed: 1, BatchSize: 1 << 19, Parallelism: 1},
+	}
+	job, err := reg.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for b := 0; ; b++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					batch := make([]answers.Answer, 4)
+					for i := range batch {
+						batch[i] = answers.Answer{Item: (w*1000 + b + i) % 512, Worker: w, Labels: labelset.Of(i)}
+					}
+					if err := job.Ingest(batch); err != nil {
+						if !errors.Is(err, ErrQueueFull) {
+							t.Errorf("writer %d: %v", w, err)
+						}
+						return
+					}
+				}
+			}(w)
+		}
+		// Zero-coverage truncations drop nothing but exercise the full
+		// drain-and-swap under the job mutex, exactly like the production
+		// truncateJournal locking shape.
+		for i := 0; i < 100; i++ {
+			job.mu.Lock()
+			_, terr := job.journal.truncate(JournalPath(dir, "dlock"), 0, 0, 0)
+			job.mu.Unlock()
+			if terr != nil {
+				t.Errorf("truncate %d: %v", i, terr)
+				break
+			}
+		}
+		close(stop)
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		// Deliberately leak the wedged registry: closing it would hang too.
+		t.Fatal("truncate wedged against the group-commit pipeline")
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestIngestSteadyStateAllocs pins the zero-alloc claim end to end: a
 // steady-state NDJSON POST through ServeHTTP — decode, admission, journal
 // group commit, queue — must cost a small fixed number of allocations per

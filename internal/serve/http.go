@@ -197,6 +197,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			clear(sc.batch)
 			sc.batch = sc.batch[:0]
+			if cap(sc.body) > maxPooledBodyBytes {
+				// A rare oversized POST must not pin its grown buffer (up to
+				// maxIngestBytes) in the pool until the next GC: a burst of
+				// large bodies would park tens of MiB there. Steady-state
+				// bodies stay under the cap and keep recycling.
+				return
+			}
 			ingestScratchPool.Put(sc)
 		}()
 		var err error
@@ -554,6 +561,10 @@ func (s *Server) handleEpochChange(w http.ResponseWriter, r *http.Request, apply
 const (
 	maxIngestBytes = 32 << 20
 	maxCreateBytes = 1 << 20
+	// maxPooledBodyBytes caps what an ingestScratch may retain between
+	// requests; bigger body buffers are dropped for the GC instead of
+	// pooled.
+	maxPooledBodyBytes = 1 << 20
 )
 
 // ingestScratch recycles the NDJSON ingest buffers across requests: the raw

@@ -181,7 +181,7 @@ func (j *Job) IngestAt(batch []answers.Answer, epoch int64) error {
 	}
 	j.reserved += len(batch)
 	j.mu.Unlock()
-	// Wait for durability outside the mutex; the commit leader has already
+	// Wait for durability outside the mutex; the release chain has already
 	// queued the batch (commitDurable) by the time the wait returns.
 	if err := jr.await(req); err != nil {
 		return fmt.Errorf("serve: journaling batch: %w", err)
@@ -210,9 +210,9 @@ func (j *Job) admitLocked(epoch int64, n int) error {
 	return nil
 }
 
-// commitDurable is the group-commit leader's post-durability hook, called
-// once per reserved batch in pipeline (= journal) order before the waiter
-// is released. On success the batch moves from reserved to queued, so queue
+// commitDurable is the group-commit release chain's post-durability hook,
+// called once per reserved batch in pipeline (= journal) order before the
+// waiter is released. On success the batch moves from reserved to queued, so queue
 // order stays identical to journal order — the invariant fit-marker replay
 // depends on. On failure the reservation is released and the batch never
 // queued, preserving the old failed-append-is-never-fitted semantics.

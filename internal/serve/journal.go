@@ -98,8 +98,8 @@ var errJournalFailed = errors.New("serve: journal in failed state")
 
 // commitReq is one sequenced record group riding the commit pipeline: the
 // encoded newline-terminated bytes, their record count, and the completion
-// channel the commit leader releases the waiter through. When job is
-// non-nil the leader calls job.commitDurable(batch, err) before the
+// channel the release chain releases the waiter through. When job is
+// non-nil the releaser calls job.commitDurable(batch, err) before the
 // release — the hook that appends the batch to the fitter queue in exactly
 // pipeline (= journal) order without holding the job mutex across the
 // write. Requests recycle through commitReqPool; the done channel is
@@ -150,6 +150,16 @@ type journal struct {
 	pending []*commitReq
 	spare   []*commitReq
 	writing bool
+	// relTail is the tail of the release ticket chain: the channel the most
+	// recently committed cohort's releaser closes when its waiters are all
+	// released. Each cohort captures the current tail as its turn and
+	// installs a fresh tail, both under mu in commit order, so releases run
+	// in journal order even across commit-leader handoffs. Releases happen
+	// on a per-cohort goroutine, never on the leader: the commitDurable
+	// hook takes the job mutex, which a drain waiter (truncate) may hold
+	// while waiting for the leader to go idle — a leader that released
+	// inline would deadlock against it.
+	relTail chan struct{}
 
 	// off is the durable length: the file size after the last fully
 	// flushed cohort. A failed cohort is rolled back by truncating to off,
@@ -194,6 +204,10 @@ func openJournal(path string, sync bool, recs int64, base JournalBase, hdr int64
 	}
 	j := &journal{f: f, w: bufio.NewWriter(f), sync: sync, off: st.Size(), recs: recs, base: base, hdr: hdr}
 	j.idle.L = &j.mu
+	// Seed the release chain with an already-completed turn so the first
+	// cohort's releaser starts immediately.
+	j.relTail = make(chan struct{})
+	close(j.relTail)
 	return j, nil
 }
 
@@ -244,9 +258,9 @@ func (j *journal) await(req *commitReq) error {
 		}
 		j.mu.Lock()
 		if j.writing || len(j.pending) == 0 {
-			// A leader owns the pipeline (it will complete us), or our group
-			// was already committed (the buffered send is in flight or
-			// landed): either way, park on the channel.
+			// A leader owns the pipeline (its releaser will complete us), or
+			// our group was already committed (the buffered send is in flight
+			// or landed): either way, park on the channel.
 			j.mu.Unlock()
 			err := <-req.done
 			putCommitReq(req)
@@ -261,6 +275,17 @@ func (j *journal) await(req *commitReq) error {
 // writing freshly set; returns with j.mu released. All durable-offset
 // advancement happens here, after the cohort's flush — the single
 // durability path of the journal.
+//
+// The leader only writes; it never releases. Each committed cohort is
+// handed to a releaseCohort goroutine, sequenced by the ticket chain, so
+// the write path can never block on the job mutex: commitDurable takes it,
+// and a drain waiter (truncate, Close on the job side) holds it while
+// waiting for the leader to go idle — a leader that ran release callbacks
+// itself would deadlock the job the moment a truncation raced a busy
+// pipeline. Decoupling also keeps releases in journal order across leader
+// handoffs: ticket capture happens under j.mu in commit order, while the
+// old step-down-then-release dance let a successor leader release a later
+// cohort first, reordering the fitter queue against the journal.
 func (j *journal) lead() {
 	for {
 		cohort := j.pending
@@ -307,43 +332,50 @@ func (j *journal) lead() {
 			err = j.rollbackLocked(err)
 		}
 		st := j.stats
-		more := len(j.pending) > 0
-		if !more {
-			// Go idle before releasing the cohort: drain waiters (truncate,
-			// Close) need only the file quiescent, and a release callback may
-			// itself block on the job mutex a drain waiter holds — releasing
-			// first would deadlock.
-			j.writing = false
-			j.idle.Broadcast()
-		}
+		// Take the cohort's release turn while still holding j.mu: tickets
+		// are chained in commit order, and a successor leader can only claim
+		// the pipeline after this critical section, so its cohorts' turns
+		// come later in the chain.
+		turn := j.relTail
+		next := make(chan struct{})
+		j.relTail = next
 		j.mu.Unlock()
 
+		// Latencies are measured at durability, before the cohort is handed
+		// off — the releaser owns the requests from the go statement on.
 		if st != nil && err == nil {
 			st.observe(cohort, nrecs)
 		}
-		for _, r := range cohort {
-			if r.job != nil {
-				job, batch := r.job, r.batch
-				r.job, r.batch = nil, nil
-				job.commitDurable(batch, err)
-			}
-			// After this send the waiter may recycle r: no further access.
-			r.done <- err
-		}
-		clear(cohort)
+		go j.releaseCohort(cohort, err, turn, next)
 
 		j.mu.Lock()
-		if j.spare == nil {
-			j.spare = cohort[:0]
-		}
-		if !more {
-			// The pipeline may have refilled while the cohort was being
-			// released, but writing is already false: whoever awaits those
-			// requests takes over as leader. Nothing left for us.
-			j.mu.Unlock()
-			return
-		}
 	}
+}
+
+// releaseCohort releases one committed cohort's waiters in reservation
+// order: first the commitDurable hook (which may block on the job mutex —
+// this is why release runs off the write path), then the done send. turn
+// gates the start on the previous cohort's release completing and next is
+// closed when this one is done, so the fitter queue receives batches in
+// exactly journal order across the whole journal lifetime.
+func (j *journal) releaseCohort(cohort []*commitReq, err error, turn, next chan struct{}) {
+	<-turn
+	for _, r := range cohort {
+		if r.job != nil {
+			job, batch := r.job, r.batch
+			r.job, r.batch = nil, nil
+			job.commitDurable(batch, err)
+		}
+		// After this send the waiter may recycle r: no further access.
+		r.done <- err
+	}
+	close(next)
+	clear(cohort)
+	j.mu.Lock()
+	if j.spare == nil {
+		j.spare = cohort[:0]
+	}
+	j.mu.Unlock()
 }
 
 // rollbackLocked discards a failed cohort: drops whatever is still buffered
@@ -362,7 +394,11 @@ func (j *journal) rollbackLocked(cause error) error {
 // drainLocked blocks until the commit pipeline is empty and no leader owns
 // the file, giving the caller exclusive use of f and w. The caller holds
 // j.mu and must have stopped new reservations (truncate runs under the job
-// mutex; Close runs after ingestion is fenced off).
+// mutex; Close runs after ingestion is fenced off). Releases of already
+// committed cohorts may still be in flight when drain returns — they only
+// touch the job queue and waiter channels, never f or w, which is what
+// lets a truncate holding the job mutex drain safely while a releaser
+// blocks on that same mutex.
 func (j *journal) drainLocked() {
 	for j.writing || len(j.pending) > 0 {
 		j.idle.Wait()
